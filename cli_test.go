@@ -1,0 +1,157 @@
+package templatedep_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestCLI builds every command and drives it end to end: the acceptance
+// test a release would gate on. Skipped under -short (it shells out to the
+// Go toolchain).
+func TestCLI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI integration skipped in -short mode")
+	}
+	bin := t.TempDir()
+	build := exec.Command("go", "build", "-o", bin+string(os.PathSeparator), "./cmd/...")
+	build.Dir = "."
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build ./cmd/...: %v\n%s", err, out)
+	}
+	run := func(name string, wantExit int, args ...string) string {
+		t.Helper()
+		cmd := exec.Command(filepath.Join(bin, name), args...)
+		out, err := cmd.CombinedOutput()
+		exit := 0
+		if ee, ok := err.(*exec.ExitError); ok {
+			exit = ee.ExitCode()
+		} else if err != nil {
+			t.Fatalf("%s %v: %v\n%s", name, args, err, out)
+		}
+		if exit != wantExit {
+			t.Fatalf("%s %v: exit %d, want %d\n%s", name, args, exit, wantExit, out)
+		}
+		return string(out)
+	}
+
+	t.Run("tdinfer", func(t *testing.T) {
+		out := run("tdinfer", 0,
+			"-schema", "SUPPLIER,STYLE,SIZE",
+			"-dep", "R(a,b,c) & R(a,b',c') -> R(a*,b,c')",
+			"-goal", "R(a,b,c) & R(a,b',c') -> R(a*,b,c')",
+			"-trace")
+		if !strings.Contains(out, "verdict: implied") {
+			t.Errorf("output:\n%s", out)
+		}
+		if !strings.Contains(out, "proof trace") {
+			t.Errorf("missing trace:\n%s", out)
+		}
+	})
+
+	t.Run("tdreduce", func(t *testing.T) {
+		out := run("tdreduce", 0, "-preset", "power")
+		for _, want := range []string{"D1[0:", "D4[", "D0:", "max antecedents = 5"} {
+			if !strings.Contains(out, want) {
+				t.Errorf("missing %q:\n%s", want, out)
+			}
+		}
+		dot := run("tdreduce", 0, "-preset", "twostep", "-dot")
+		if !strings.Contains(dot, "graph") || !strings.Contains(dot, "doublecircle") {
+			t.Errorf("dot output:\n%s", dot[:200])
+		}
+	})
+
+	t.Run("sgword", func(t *testing.T) {
+		out := run("sgword", 0, "analyze", "-preset", "power")
+		if !strings.Contains(out, "finite-counterexample") {
+			t.Errorf("output:\n%s", out)
+		}
+		out = run("sgword", 0, "derive", "-preset", "chain:2")
+		if !strings.Contains(out, "derivable") {
+			t.Errorf("output:\n%s", out)
+		}
+		out = run("sgword", 0, "complete", "-preset", "twostep")
+		if !strings.Contains(out, "confluent: true") || !strings.Contains(out, "goal decided: true") {
+			t.Errorf("output:\n%s", out)
+		}
+		out = run("sgword", 0, "model", "-preset", "power")
+		if !strings.Contains(out, "model-found") {
+			t.Errorf("output:\n%s", out)
+		}
+	})
+
+	t.Run("sgword-cert", func(t *testing.T) {
+		cert := run("sgword", 0, "derive", "-preset", "twostep", "-cert")
+		if !strings.HasPrefix(cert, "cert v1") {
+			t.Fatalf("cert output:\n%s", cert)
+		}
+		f := filepath.Join(t.TempDir(), "cert.txt")
+		os.WriteFile(f, []byte(cert), 0o644)
+		out := run("sgword", 0, "derive", "-preset", "twostep", "-check-cert", f)
+		if !strings.Contains(out, "certificate valid") {
+			t.Errorf("output:\n%s", out)
+		}
+		// A certificate for one presentation must not validate against
+		// another.
+		bad := run("sgword", 1, "derive", "-preset", "power", "-check-cert", f)
+		if !strings.Contains(bad, "sgword:") {
+			t.Errorf("cross-presentation cert accepted:\n%s", bad)
+		}
+	})
+
+	t.Run("tdcheck", func(t *testing.T) {
+		dir := t.TempDir()
+		db := filepath.Join(dir, "db.txt")
+		deps := filepath.Join(dir, "deps.td")
+		os.WriteFile(db, []byte("R(StLaurent, EveningDress, 10)\nR(StLaurent, Brief, 36)\n"), 0o644)
+		os.WriteFile(deps, []byte("fig1: R(a,b,c) & R(a,b',c') -> R(a*,b,c')\n"), 0o644)
+		out := run("tdcheck", 1,
+			"-schema", "SUPPLIER,STYLE,SIZE", "-db", db, "-deps", deps, "-repair")
+		for _, want := range []string{"VIOLATED", "repair: 2 tuples to add", "_supplier"} {
+			if !strings.Contains(out, want) {
+				t.Errorf("missing %q:\n%s", want, out)
+			}
+		}
+	})
+
+	t.Run("tdreduce-to-tdinfer-pipeline", func(t *testing.T) {
+		// The Main Theorem's direction (A), end to end across process
+		// boundaries: tdreduce emits (D, D0) for a derivable presentation;
+		// tdinfer independently proves the implication by chasing.
+		dir := t.TempDir()
+		run("tdreduce", 0, "-preset", "twostep", "-emit-dir", dir)
+		schema, err := os.ReadFile(filepath.Join(dir, "schema.txt"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		goal, err := os.ReadFile(filepath.Join(dir, "goal.td"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := run("tdinfer", 0,
+			"-schema", strings.TrimSpace(string(schema)),
+			"-deps", filepath.Join(dir, "deps.td"),
+			"-goal", strings.TrimSpace(string(goal)),
+			"-rounds", "16")
+		if !strings.Contains(out, "verdict: implied") {
+			t.Errorf("pipeline output:\n%s", out)
+		}
+	})
+
+	t.Run("tddiagram", func(t *testing.T) {
+		out := run("tddiagram", 0, "-fig1")
+		if !strings.Contains(out, "1 --[SUPPLIER]-- 2") {
+			t.Errorf("output:\n%s", out)
+		}
+	})
+
+	t.Run("tmrun", func(t *testing.T) {
+		out := run("tmrun", 0, "-machine", "write-one", "-analyze")
+		if !strings.Contains(out, "halted=true") || !strings.Contains(out, "derivable") {
+			t.Errorf("output:\n%s", out)
+		}
+	})
+}

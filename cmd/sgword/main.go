@@ -1,0 +1,179 @@
+// Command sgword is a workbench for the word problem of the Main Lemma:
+// semigroup presentations with zero and the goal equation A0 = 0.
+//
+// Subcommands:
+//
+//	sgword derive   -preset twostep            # equational-closure search
+//	sgword complete -spec pres.sg              # Knuth–Bendix completion
+//	sgword model    -preset power              # finite cancellation model search
+//	sgword analyze  -preset power              # full dual pipeline via the reduction
+//
+// Each certificate is printed: a derivation chain for "derive", a confluent
+// rule system for "complete", a multiplication table plus symbol assignment
+// for "model", and the corresponding TD-level artifacts for "analyze".
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"templatedep/internal/core"
+	"templatedep/internal/rewrite"
+	"templatedep/internal/search"
+	"templatedep/internal/words"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	sub := os.Args[1]
+	fs := flag.NewFlagSet(sub, flag.ExitOnError)
+	specFile := fs.String("spec", "", "presentation spec file")
+	preset := fs.String("preset", "", "preset presentation: power|twostep|gap|chain:N|nilpotent:M")
+	maxWords := fs.Int("max-words", 100000, "closure search: word budget")
+	maxLen := fs.Int("max-length", 0, "closure search: word length cap (0 = unbounded)")
+	maxOrder := fs.Int("max-order", 6, "model search: largest semigroup order")
+	maxNodes := fs.Int("max-nodes", 5_000_000, "model search: node budget")
+	maxRules := fs.Int("max-rules", 500, "completion: rule budget")
+	bidi := fs.Bool("bidirectional", false, "derive: meet-in-the-middle search")
+	quotient := fs.Int("quotient", 0, "model: try nilpotent quotients up to this class before the table search (0 = off)")
+	cert := fs.Bool("cert", false, "derive: emit a machine-checkable certificate instead of the pretty chain")
+	checkCert := fs.String("check-cert", "", "derive: validate a certificate file against the presentation and exit")
+	if err := fs.Parse(os.Args[2:]); err != nil {
+		fatal(err)
+	}
+
+	p, err := load(*specFile, *preset)
+	if err != nil {
+		fatal(err)
+	}
+	if !(sub == "derive" && *cert) {
+		fmt.Printf("# presentation over %s, %d equations; goal %s\n\n",
+			p.Alphabet, len(p.Equations), p.Goal().Format(p.Alphabet))
+	}
+
+	switch sub {
+	case "derive":
+		if *checkCert != "" {
+			data, err := os.ReadFile(*checkCert)
+			if err != nil {
+				fatal(err)
+			}
+			d, err := words.ParseDerivation(p, string(data))
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("certificate valid: %s = %s in %d steps\n",
+				d.From.Format(p.Alphabet), d.To.Format(p.Alphabet), d.Len())
+			return
+		}
+		opts := words.ClosureOptions{MaxWords: *maxWords, MaxLength: *maxLen}
+		var res words.Result
+		if *bidi {
+			res = words.DeriveGoalBidirectional(p, opts)
+		} else {
+			res = words.DeriveGoal(p, opts)
+		}
+		if *cert {
+			if res.Derivation == nil {
+				fatal(fmt.Errorf("no derivation found (verdict %s); nothing to certify", res.Verdict))
+			}
+			fmt.Print(res.Derivation.MarshalText(p))
+			return
+		}
+		fmt.Printf("verdict: %s (%d words explored)\n", res.Verdict, res.WordsExplored)
+		if res.Derivation != nil {
+			fmt.Println("derivation:")
+			fmt.Print(res.Derivation.Format(p))
+		}
+	case "complete":
+		s := rewrite.FromPresentation(p)
+		res, err := s.Complete(rewrite.CompletionOptions{MaxRules: *maxRules})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("confluent: %v after %d iterations, %d rules\n", res.Confluent, res.Iterations, len(s.Rules))
+		if res.Confluent {
+			ok, err := s.DecideGoal()
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("goal decided: %v\nrules:\n%s", ok, s.Format())
+		}
+	case "model":
+		res, err := search.FindCounterModel(p, search.Options{MaxOrder: *maxOrder, MaxNodes: *maxNodes, QuotientClasses: *quotient})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("outcome: %s (%d nodes)\n", res.Outcome, res.NodesVisited)
+		if res.Interpretation != nil {
+			fmt.Printf("witness semigroup:\n%s", res.Interpretation.Table.String())
+			fmt.Println("assignment:")
+			for _, s := range p.Alphabet.Symbols() {
+				fmt.Printf("  %s -> %d\n", p.Alphabet.Name(s), int(res.Interpretation.Assign[s]))
+			}
+		}
+	case "analyze":
+		budget := core.DefaultBudget()
+		budget.Closure = words.ClosureOptions{MaxWords: *maxWords, MaxLength: *maxLen}
+		budget.ModelSearch = search.Options{MaxOrder: *maxOrder, MaxNodes: *maxNodes, QuotientClasses: *quotient}
+		res, err := core.AnalyzePresentation(p, budget)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("verdict: %s\n", res.Verdict)
+		fmt.Printf("reduction: schema width %d, |D| = %d, max antecedents %d\n",
+			res.Instance.Schema.Width(), len(res.Instance.D), res.Instance.MaxAntecedents())
+		switch res.Verdict {
+		case core.Implied:
+			fmt.Printf("derivation (%d steps) certifies D |= D0:\n%s", res.Derivation.Len(), res.Derivation.Format(res.Instance.Pres))
+			if res.ChaseProof != nil {
+				fmt.Printf("chase confirmation: %d rounds, %d tuples\n",
+					res.ChaseProof.Stats.Rounds, res.ChaseProof.Instance.Len())
+			}
+		case core.FiniteCounterexample:
+			fmt.Printf("finite semigroup witness (order %d) and database (%d tuples) certify D0's failure\n",
+				res.Witness.Table.Size(), res.CounterModel.Instance.Len())
+			fmt.Printf("|P| = %d, |Q| = %d\n", len(res.CounterModel.PElems), len(res.CounterModel.QTriples))
+		default:
+			if res.GoalRefuted {
+				fmt.Println("word problem refuted (A0 = 0 does not follow equationally), but no")
+				fmt.Println("finite cancellation witness found: the instance may lie in the gap")
+				fmt.Println("between the Main Theorem's two sets")
+			} else {
+				fmt.Println("inconclusive within budget (the undecidability gap in action)")
+			}
+		}
+	default:
+		usage()
+	}
+}
+
+func load(specFile, preset string) (*words.Presentation, error) {
+	switch {
+	case specFile != "" && preset != "":
+		return nil, fmt.Errorf("use either -spec or -preset, not both")
+	case specFile != "":
+		data, err := os.ReadFile(specFile)
+		if err != nil {
+			return nil, err
+		}
+		return words.ParseSpec(string(data))
+	case preset != "":
+		return words.Preset(preset)
+	default:
+		return nil, fmt.Errorf("one of -spec or -preset is required")
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: sgword {derive|complete|model|analyze} [-spec FILE | -preset NAME] [flags]")
+	os.Exit(2)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sgword:", err)
+	os.Exit(1)
+}

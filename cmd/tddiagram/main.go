@@ -1,0 +1,111 @@
+// Command tddiagram renders template dependencies as the dependency
+// diagrams of Fagin et al. that the paper draws in Figs. 1–3.
+//
+// Examples:
+//
+//	tddiagram -fig1                       # the paper's Figure 1
+//	tddiagram -fig3 -preset power         # D1..D4 for each equation + D0
+//	tddiagram -schema A,B -td "R(a,b) -> R(a,b')" -dot
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"templatedep/internal/diagram"
+	"templatedep/internal/eid"
+	"templatedep/internal/reduction"
+	"templatedep/internal/relation"
+	"templatedep/internal/td"
+	"templatedep/internal/words"
+)
+
+func main() {
+	var (
+		fig1       = flag.Bool("fig1", false, "render the paper's Figure 1")
+		fig3       = flag.Bool("fig3", false, "render the reduction's dependencies (Figure 3) for -preset/-spec")
+		preset     = flag.String("preset", "power", "preset presentation for -fig3")
+		specFile   = flag.String("spec", "", "presentation spec file for -fig3")
+		schemaFlag = flag.String("schema", "", "attribute names for -td / -eid")
+		tdFlag     = flag.String("td", "", "a TD to render")
+		eidFlag    = flag.String("eid", "", "an EID (conjunctive conclusion) to render")
+		dot        = flag.Bool("dot", false, "emit Graphviz instead of ASCII")
+	)
+	flag.Parse()
+
+	emit := func(name string, g *diagram.Diagram) {
+		if *dot {
+			fmt.Print(g.DOT(name))
+		} else {
+			fmt.Printf("== %s ==\n%s\n", name, g.ASCII())
+		}
+	}
+
+	switch {
+	case *fig1:
+		g, d := diagram.Fig1()
+		fmt.Printf("# %s\n", d.Format())
+		emit("Figure 1", g)
+	case *fig3:
+		var p *words.Presentation
+		var err error
+		if *specFile != "" {
+			data, rerr := os.ReadFile(*specFile)
+			if rerr != nil {
+				fatal(rerr)
+			}
+			p, err = words.ParseSpec(string(data))
+		} else {
+			p, err = words.Preset(*preset)
+		}
+		if err != nil {
+			fatal(err)
+		}
+		in, err := reduction.Build(p)
+		if err != nil {
+			fatal(err)
+		}
+		for _, d := range append(in.D, in.D0) {
+			fmt.Printf("# %s\n", d.Format())
+			emit(d.Name(), diagram.FromTD(d))
+		}
+	case *tdFlag != "":
+		if *schemaFlag == "" {
+			fatal(fmt.Errorf("-td requires -schema"))
+		}
+		schema, err := relation.NewSchema(strings.Split(*schemaFlag, ","))
+		if err != nil {
+			fatal(err)
+		}
+		d, err := td.Parse(schema, *tdFlag, "td")
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("# %s (full=%v trivial=%v)\n", d.Format(), d.IsFull(), d.IsTrivial())
+		emit("td", diagram.FromTD(d))
+	case *eidFlag != "":
+		if *schemaFlag == "" {
+			fatal(fmt.Errorf("-eid requires -schema"))
+		}
+		schema, err := relation.NewSchema(strings.Split(*schemaFlag, ","))
+		if err != nil {
+			fatal(err)
+		}
+		e, err := eid.Parse(schema, *eidFlag, "eid")
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("# %s (%d conclusion atoms)\n", e.Format(), e.NumConclusions())
+		emit("eid", diagram.FromEID(e))
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tddiagram:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,117 @@
+// Command tdinfer runs the dual semidecision procedure for template
+// dependency inference: given a set D of TDs and a goal TD D0 over a shared
+// schema, it chases D0's frozen antecedents under D (semideciding "D
+// implies D0") and, if the chase is inconclusive, enumerates small finite
+// databases looking for a counterexample (semideciding "D0 fails finitely").
+//
+// Example:
+//
+//	tdinfer -schema SUPPLIER,STYLE,SIZE \
+//	        -dep "R(a,b,c) & R(a,b',c') -> R(a*,b,c')" \
+//	        -goal "R(a,b,c) & R(a,b',c') -> R(a*,b,c')"
+//
+// Dependencies may also be read one per line from a file via -deps.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"templatedep/internal/chase"
+	"templatedep/internal/core"
+	"templatedep/internal/finitemodel"
+	"templatedep/internal/relation"
+	"templatedep/internal/td"
+)
+
+type depFlags []string
+
+func (d *depFlags) String() string     { return strings.Join(*d, "; ") }
+func (d *depFlags) Set(s string) error { *d = append(*d, s); return nil }
+
+func main() {
+	var (
+		schemaFlag = flag.String("schema", "", "comma-separated attribute names (required)")
+		depsFile   = flag.String("deps", "", "file with one TD per line (optional)")
+		goalFlag   = flag.String("goal", "", "goal TD D0 (required)")
+		rounds     = flag.Int("rounds", 64, "chase round budget")
+		tuples     = flag.Int("tuples", 100000, "chase tuple budget")
+		fmTuples   = flag.Int("cx-tuples", 4, "counterexample enumeration: max tuples")
+		trace      = flag.Bool("trace", false, "print the chase proof trace")
+		deps       depFlags
+	)
+	flag.Var(&deps, "dep", "a TD (repeatable)")
+	flag.Parse()
+
+	if *schemaFlag == "" || *goalFlag == "" {
+		fmt.Fprintln(os.Stderr, "tdinfer: -schema and -goal are required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	schema, err := relation.NewSchema(strings.Split(*schemaFlag, ","))
+	if err != nil {
+		fatal(err)
+	}
+	var depSet []*td.TD
+	if *depsFile != "" {
+		data, err := os.ReadFile(*depsFile)
+		if err != nil {
+			fatal(err)
+		}
+		ds, err := td.ParseSet(schema, string(data))
+		if err != nil {
+			fatal(err)
+		}
+		depSet = append(depSet, ds...)
+	}
+	for i, s := range deps {
+		d, err := td.Parse(schema, s, fmt.Sprintf("dep%d", i+1))
+		if err != nil {
+			fatal(err)
+		}
+		depSet = append(depSet, d)
+	}
+	goal, err := td.Parse(schema, *goalFlag, "D0")
+	if err != nil {
+		fatal(err)
+	}
+
+	budget := core.DefaultBudget()
+	budget.Chase = chase.Options{MaxRounds: *rounds, MaxTuples: *tuples, SemiNaive: true, Trace: *trace}
+	budget.FiniteDB = finitemodel.Options{MaxTuples: *fmTuples}
+
+	fmt.Printf("schema: %s\n", schema)
+	fmt.Printf("|D| = %d dependencies (all full: %v)\n", len(depSet), chase.AllFull(depSet))
+	fmt.Printf("D0:  %s\n\n", goal.Format())
+
+	res, err := core.Infer(depSet, goal, budget)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("verdict: %s\n", res.Verdict)
+	if res.Chase != nil {
+		st := res.Chase.Stats
+		fmt.Printf("chase: %d rounds, %d tuples added, %d triggers fired, fixpoint=%v\n",
+			st.Rounds, st.TuplesAdded, st.TriggersFired, res.Chase.FixpointReached)
+		if *trace && res.Verdict == core.Implied {
+			fmt.Println("proof trace:")
+			for _, f := range res.Chase.Trace {
+				fmt.Printf("  round %d: %s adds %v\n", f.Round, depSet[f.Dep].Name(), f.Tuple)
+			}
+		}
+	}
+	if res.Counterexample != nil {
+		fmt.Printf("finite counterexample (%d tuples):\n%s", res.Counterexample.Len(), res.Counterexample.String())
+	}
+	if res.Verdict == core.Unknown {
+		fmt.Println("inconclusive within budget — raise -rounds / -tuples / -cx-tuples.")
+		fmt.Println("(TD inference is undecidable; no budget eliminates this outcome in general.)")
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tdinfer:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,124 @@
+// Command tdreduce runs the Gurevich–Lewis reduction: it reads a semigroup
+// presentation (a word-problem instance of the Main Lemma) and emits the
+// template-dependency inference instance (D, D0) of the Reduction Theorem.
+//
+// Input is either a spec file (-spec, see words.ParseSpec) or a named
+// preset (-preset power|twostep|chain:N|gap|nilpotent:M). Output is the
+// dependency set in textual TD syntax; -dot renders each dependency's
+// diagram in Graphviz format instead, and -bridge W prints the bridge
+// tableau of the word W (Fig. 2).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"templatedep/internal/diagram"
+	"templatedep/internal/reduction"
+	"templatedep/internal/words"
+)
+
+func main() {
+	var (
+		specFile = flag.String("spec", "", "presentation spec file")
+		preset   = flag.String("preset", "", "preset presentation: power|twostep|chain:N|gap|nilpotent:M")
+		dot      = flag.Bool("dot", false, "emit Graphviz diagrams instead of TD text")
+		bridge   = flag.String("bridge", "", "also print the bridge tableau for this word (Fig. 2)")
+		emitDir  = flag.String("emit-dir", "", "write deps.td, goal.td, and schema.txt into this directory, in the format tdinfer consumes")
+	)
+	flag.Parse()
+
+	p, err := loadPresentation(*specFile, *preset)
+	if err != nil {
+		fatal(err)
+	}
+	in, err := reduction.Build(p)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("# presentation (%d equations over %s)\n", len(in.Pres.Equations), in.Pres.Alphabet)
+	fmt.Print(words.FormatSpec(in.Pres, true))
+	fmt.Printf("\n# schema: %d attributes (2n+2 for n = %d symbols)\n", in.Schema.Width(), in.Pres.Alphabet.Size())
+	fmt.Printf("# %s\n", in.Schema)
+	fmt.Printf("# |D| = %d dependencies, max antecedents = %d\n\n", len(in.D), in.MaxAntecedents())
+
+	if *dot {
+		for _, d := range append(in.D, in.D0) {
+			fmt.Print(diagram.FromTD(d).DOT(d.Name()))
+		}
+	} else {
+		for _, d := range in.D {
+			fmt.Printf("%s: %s\n", d.Name(), d.Format())
+		}
+		fmt.Printf("\nD0: %s\n", in.D0.Format())
+	}
+
+	if *emitDir != "" {
+		if err := emitFiles(*emitDir, in); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\n# wrote %s/{schema.txt, deps.td, goal.td}\n", *emitDir)
+	}
+
+	if *bridge != "" {
+		w, err := words.ParseWord(in.Pres.Alphabet, *bridge)
+		if err != nil {
+			fatal(err)
+		}
+		br, err := in.BuildBridge(w)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\n# bridge for %s (%d base + %d apex nodes)\n", w.Format(in.Pres.Alphabet),
+			len(br.BaseNodes), len(br.ApexNodes))
+		fmt.Print(br.Tableau.String())
+	}
+}
+
+func loadPresentation(specFile, preset string) (*words.Presentation, error) {
+	switch {
+	case specFile != "" && preset != "":
+		return nil, fmt.Errorf("use either -spec or -preset, not both")
+	case specFile != "":
+		data, err := os.ReadFile(specFile)
+		if err != nil {
+			return nil, err
+		}
+		return words.ParseSpec(string(data))
+	case preset != "":
+		return words.Preset(preset)
+	default:
+		return nil, fmt.Errorf("one of -spec or -preset is required")
+	}
+}
+
+// emitFiles writes the instance in the three-file layout tdinfer consumes:
+// schema.txt (comma-separated attribute names), deps.td (one TD per line
+// with sanitized names), and goal.td (D0's body).
+func emitFiles(dir string, in *reduction.Instance) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	schema := strings.Join(in.Schema.Names(), ",")
+	if err := os.WriteFile(dir+"/schema.txt", []byte(schema+"\n"), 0o644); err != nil {
+		return err
+	}
+	var deps strings.Builder
+	for i, d := range in.D {
+		// ParseSet treats text before the first ':' as the name; keep it
+		// free of the brackets and spaces the display names use.
+		fmt.Fprintf(&deps, "D%d_%d: %s\n", i%4+1, i/4, d.Format())
+	}
+	if err := os.WriteFile(dir+"/deps.td", []byte(deps.String()), 0o644); err != nil {
+		return err
+	}
+	return os.WriteFile(dir+"/goal.td", []byte(in.D0.Format()+"\n"), 0o644)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tdreduce:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,93 @@
+// Command tmrun drives the Turing-machine end of the undecidability
+// pipeline: simulate one of the bundled machines, encode its halting
+// problem as a semigroup presentation, and optionally push it through the
+// Gurevich–Lewis reduction and the word-problem semi-procedure.
+//
+//	tmrun -machine write-one -analyze
+//	tmrun -machine scan -input "1 1 1"
+//	tmrun -machine forever -steps 100
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"templatedep/internal/reduction"
+	"templatedep/internal/tm"
+	"templatedep/internal/words"
+)
+
+func main() {
+	var (
+		machine  = flag.String("machine", "write-one", "machine: write-one|scan|flip-flop|forever")
+		inputStr = flag.String("input", "", "space-separated tape symbols (integers)")
+		steps    = flag.Int("steps", 1000, "simulation step budget")
+		analyze  = flag.Bool("analyze", false, "run the reduction + word-problem semi-procedure")
+		maxWords = flag.Int("max-words", 500000, "derivation search word budget for -analyze")
+	)
+	flag.Parse()
+
+	m, err := machineByName(*machine)
+	if err != nil {
+		fatal(err)
+	}
+	var input []int
+	for _, f := range strings.Fields(*inputStr) {
+		v, err := strconv.Atoi(f)
+		if err != nil {
+			fatal(fmt.Errorf("bad input symbol %q", f))
+		}
+		input = append(input, v)
+	}
+
+	halted, n, cfg, err := m.Run(input, *steps)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("machine %s on input %v: halted=%v after %d steps; tape %v, head %d, state %d\n",
+		*machine, input, halted, n, cfg.Tape, cfg.Head, cfg.State)
+
+	p, err := tm.EncodePresentation(m, input)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("encoded presentation: %d symbols, %d equations\n", p.Alphabet.Size(), len(p.Equations))
+
+	if !*analyze {
+		return
+	}
+	in, err := reduction.Build(p)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("reduction: %d attributes, |D| = %d, max antecedents %d\n",
+		in.Schema.Width(), len(in.D), in.MaxAntecedents())
+	res := words.DeriveGoal(in.Pres, words.ClosureOptions{MaxWords: *maxWords, MaxLength: 16})
+	fmt.Printf("word problem A0 = 0: %s (%d words explored)\n", res.Verdict, res.WordsExplored)
+	if res.Verdict == words.Derivable {
+		fmt.Printf("derivation (%d steps) certifies, via Reduction Theorem (A), that D |= D0\n", res.Derivation.Len())
+	}
+}
+
+func machineByName(name string) (*tm.TM, error) {
+	switch name {
+	case "write-one":
+		return tm.WriteOneAndHalt(), nil
+	case "scan":
+		return tm.ScanRightAndHalt(), nil
+	case "flip-flop":
+		return tm.FlipFlopAndHalt(), nil
+	case "forever":
+		return tm.RunForever(), nil
+	default:
+		return nil, fmt.Errorf("unknown machine %q", name)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tmrun:", err)
+	os.Exit(1)
+}

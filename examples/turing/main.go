@@ -1,0 +1,56 @@
+// Turing: the full undecidability pipeline, end to end. A Turing machine's
+// halting problem is encoded as a semigroup word problem (Post/Turing),
+// which the Gurevich–Lewis reduction turns into a template-dependency
+// inference instance. For a halting machine the equational derivation — and
+// hence D |= D0 — is found mechanically; for a diverging machine the
+// procedures stay inconclusive, as they must.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"templatedep/internal/reduction"
+	"templatedep/internal/tm"
+	"templatedep/internal/words"
+)
+
+func main() {
+	run("write-one-and-halt", tm.WriteOneAndHalt(), nil, 200000)
+	run("scan-right over 11", tm.ScanRightAndHalt(), []int{1, 1}, 500000)
+	run("run-forever", tm.RunForever(), nil, 20000)
+}
+
+func run(name string, m *tm.TM, input []int, budget int) {
+	fmt.Printf("=== %s ===\n", name)
+	halted, steps, _, err := m.Run(input, 1000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("simulation: halted=%v after %d steps\n", halted, steps)
+
+	p, err := tm.EncodePresentation(m, input)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("encoded presentation: %d symbols, %d equations\n",
+		p.Alphabet.Size(), len(p.Equations))
+
+	in, err := reduction.Build(p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("TD instance: %d attributes, |D| = %d dependencies, max antecedents %d\n",
+		in.Schema.Width(), len(in.D), in.MaxAntecedents())
+
+	res := words.DeriveGoal(in.Pres, words.ClosureOptions{MaxWords: budget, MaxLength: 14})
+	fmt.Printf("word problem: %s (%d words explored)\n", res.Verdict, res.WordsExplored)
+	if res.Verdict == words.Derivable {
+		fmt.Printf("derivation has %d steps; by Reduction Theorem (A), D logically implies D0\n",
+			res.Derivation.Len())
+	} else {
+		fmt.Println("no derivation found — for a diverging machine none exists,")
+		fmt.Println("but no algorithm can certify that in general (halting problem)")
+	}
+	fmt.Println()
+}

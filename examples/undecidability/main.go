@@ -1,0 +1,75 @@
+// Undecidability: the paper's Main Theorem made executable. Three word
+// problem instances are pushed through the Gurevich–Lewis reduction; the
+// dual semidecision procedure certifies one as IMPLIED (with an explicit
+// derivation and chase proof), one as having a FINITE COUNTEREXAMPLE (with
+// an explicit finite semigroup and database), and leaves the third —
+// an instance in neither of the effectively inseparable sets — UNKNOWN.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"templatedep/internal/chase"
+	"templatedep/internal/core"
+	"templatedep/internal/words"
+)
+
+func main() {
+	budget := core.DefaultBudget()
+	budget.Chase = chase.Options{MaxRounds: 12, MaxTuples: 60000, SemiNaive: true}
+	budget.Closure = words.ClosureOptions{MaxWords: 5000, MaxLength: 10}
+
+	cases := []struct {
+		name string
+		p    *words.Presentation
+		why  string
+	}{
+		{"two-step", words.TwoStepPresentation(),
+			"A0 = bc = 0 is derivable, so by Reduction Theorem (A) the dependencies D imply D0"},
+		{"power", words.PowerPresentation(),
+			"the nilpotent semigroup N3 falsifies A0 = 0, so by (B) a finite database violates D0"},
+		{"idempotent-gap", words.IdempotentGapPresentation(),
+			"A0·A0 = A0 is in NEITHER set: not derivable, and condition (ii) bars every finite cancellation model"},
+	}
+
+	for _, c := range cases {
+		fmt.Printf("=== %s ===\n", c.name)
+		fmt.Printf("presentation:\n%s", words.FormatSpec(c.p, true))
+		fmt.Printf("why: %s\n", c.why)
+
+		res, err := core.AnalyzePresentation(c.p, budget)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("reduction: %d attributes, |D| = %d, max antecedents %d\n",
+			res.Instance.Schema.Width(), len(res.Instance.D), res.Instance.MaxAntecedents())
+		fmt.Printf("verdict: %s\n", res.Verdict)
+
+		switch res.Verdict {
+		case core.Implied:
+			fmt.Printf("derivation (%d steps):\n%s", res.Derivation.Len(), res.Derivation.Format(res.Instance.Pres))
+			if res.ChaseProof != nil {
+				fmt.Printf("chase proof: %d rounds, %d tuples in the canonical database\n",
+					res.ChaseProof.Stats.Rounds, res.ChaseProof.Instance.Len())
+			}
+		case core.FiniteCounterexample:
+			fmt.Printf("finite semigroup witness (order %d):\n%s",
+				res.Witness.Table.Size(), res.Witness.Table.String())
+			fmt.Printf("counterexample database: %d tuples (|P| = %d, |Q| = %d), satisfies all %d members of D, violates D0\n",
+				res.CounterModel.Instance.Len(), len(res.CounterModel.PElems),
+				len(res.CounterModel.QTriples), len(res.Instance.D))
+		default:
+			if res.GoalRefuted {
+				fmt.Println("the word problem is REFUTED (Knuth–Bendix completion decides A0 ≠ 0")
+				fmt.Println("in the free model), so Reduction Theorem (A) cannot apply; yet no")
+				fmt.Println("finite cancellation witness exists either (condition (ii) forbids")
+				fmt.Println("nonzero idempotents) — the instance sits in NEITHER set.")
+			} else {
+				fmt.Println("both semi-procedures exhausted their budgets — the gap the")
+				fmt.Println("undecidability proof lives in; no budget can close it in general.")
+			}
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,3 @@
+module templatedep
+
+go 1.22

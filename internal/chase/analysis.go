@@ -1,0 +1,132 @@
+package chase
+
+import (
+	"fmt"
+
+	"templatedep/internal/tableau"
+	"templatedep/internal/td"
+)
+
+// This file contains the dependency-set analyses that the paper's
+// introduction motivates: "A solution to the inference problem carries with
+// it the ability to determine whether two sets of dependencies are
+// equivalent, whether a set of dependencies is redundant, etc." All of them
+// reduce to Implies and inherit its three-valued nature: for full TDs they
+// are decision procedures, for embedded TDs they may return Unknown.
+
+// ImpliesSet reports whether deps imply every member of goals: Implied only
+// if all goals are implied; NotImplied if some goal is definitively not
+// implied; Unknown otherwise.
+func ImpliesSet(deps, goals []*td.TD, opt Options) (Verdict, error) {
+	sawUnknown := false
+	for _, g := range goals {
+		res, err := Implies(deps, g, opt)
+		if err != nil {
+			return Unknown, err
+		}
+		switch res.Verdict {
+		case NotImplied:
+			return NotImplied, nil
+		case Unknown:
+			sawUnknown = true
+		}
+	}
+	if sawUnknown {
+		return Unknown, nil
+	}
+	return Implied, nil
+}
+
+// Equivalent reports whether two dependency sets are logically equivalent
+// (each implies every member of the other). Implied means equivalent.
+func Equivalent(a, b []*td.TD, opt Options) (Verdict, error) {
+	ab, err := ImpliesSet(a, b, opt)
+	if err != nil {
+		return Unknown, err
+	}
+	if ab == NotImplied {
+		return NotImplied, nil
+	}
+	ba, err := ImpliesSet(b, a, opt)
+	if err != nil {
+		return Unknown, err
+	}
+	if ba == NotImplied {
+		return NotImplied, nil
+	}
+	if ab == Implied && ba == Implied {
+		return Implied, nil
+	}
+	return Unknown, nil
+}
+
+// RedundantMembers returns the indices of dependencies implied by the other
+// members of the set (each checked against the set with all PREVIOUSLY
+// found redundancies removed, so removing all reported indices at once is
+// sound). Unknown verdicts are conservatively treated as non-redundant.
+func RedundantMembers(deps []*td.TD, opt Options) ([]int, error) {
+	var redundant []int
+	removed := make(map[int]bool)
+	for i, d := range deps {
+		rest := make([]*td.TD, 0, len(deps)-1)
+		for j, o := range deps {
+			if j != i && !removed[j] {
+				rest = append(rest, o)
+			}
+		}
+		res, err := Implies(rest, d, opt)
+		if err != nil {
+			return nil, err
+		}
+		if res.Verdict == Implied {
+			redundant = append(redundant, i)
+			removed[i] = true
+		}
+	}
+	return redundant, nil
+}
+
+// MinimizeAntecedents greedily removes antecedent rows of d while the
+// reduced dependency remains equivalent to the original. (Equivalence must
+// be checked in BOTH directions: dropping a premise strengthens the
+// dependency only when the dropped row introduces no conclusion variables —
+// otherwise those become existential and the reduced form can even be
+// trivial.) Unknown verdicts keep the row. The result uses d's schema and
+// name with a "-min" suffix when anything was removed.
+func MinimizeAntecedents(d *td.TD, opt Options) (*td.TD, error) {
+	rows := make([]tableau.VarTuple, 0, d.NumAntecedents())
+	for i := 0; i < d.NumAntecedents(); i++ {
+		rows = append(rows, d.Antecedent(i))
+	}
+	concl := d.Conclusion()
+	changed := false
+	for i := 0; i < len(rows) && len(rows) > 1; {
+		candidateRows := make([]tableau.VarTuple, 0, len(rows)-1)
+		candidateRows = append(candidateRows, rows[:i]...)
+		candidateRows = append(candidateRows, rows[i+1:]...)
+		cand, err := td.New(d.Schema(), candidateRows, concl, d.Name())
+		if err != nil {
+			return nil, fmt.Errorf("chase: minimization produced an invalid TD: %w", err)
+		}
+		verdict, err := Equivalent([]*td.TD{d}, []*td.TD{cand}, opt)
+		if err != nil {
+			return nil, err
+		}
+		if verdict == Implied {
+			rows = candidateRows
+			changed = true
+			// Re-scan from the start: removals can enable further removals.
+			i = 0
+			continue
+		}
+		i++
+	}
+	if !changed {
+		return d, nil
+	}
+	name := d.Name()
+	if name != "" {
+		name += "-min"
+	}
+	return td.New(d.Schema(), rows, concl, name)
+}

@@ -1,0 +1,396 @@
+// Package chase implements the chase procedure for template dependencies:
+// the canonical semidecision procedure for TD implication.
+//
+// To decide whether a set D of TDs logically implies a TD D0, freeze D0's
+// antecedents into a database of distinct constants and close it under D:
+// whenever some dependency's antecedents match but its conclusion is not
+// yet witnessed, add the conclusion tuple, inventing fresh values (labeled
+// nulls) for existentially quantified positions. D implies D0 exactly when
+// the (possibly infinite) chase result contains a tuple matching D0's
+// conclusion under the identity assignment of D0's universal variables.
+//
+// For FULL dependencies no fresh values are ever invented, so the chase
+// terminates and implication is decidable (Sadri–Ullman). For embedded
+// dependencies the chase may run forever — the paper proves it must, in
+// general: TD inference is undecidable. The engine therefore runs in fair
+// rounds under explicit budgets and returns a three-valued verdict:
+//
+//   - Implied: the conclusion appeared; the trace is a proof.
+//   - NotImplied: a fixpoint was reached without the conclusion; the final
+//     instance is a finite counterexample database satisfying D and
+//     violating D0.
+//   - Unknown: budget exhausted first.
+//
+// Fairness (round-robin over dependencies, breadth-first over trigger
+// generations) makes the procedure complete in the limit: every logically
+// implied conclusion is found given enough budget.
+package chase
+
+import (
+	"fmt"
+	"sync"
+
+	"templatedep/internal/relation"
+	"templatedep/internal/tableau"
+	"templatedep/internal/td"
+)
+
+// Variant selects the chase step discipline.
+type Variant int
+
+const (
+	// Restricted fires a trigger only when the conclusion is not already
+	// witnessed in the current instance (the standard chase).
+	Restricted Variant = iota
+	// Oblivious fires every trigger exactly once regardless of whether the
+	// conclusion is already witnessed, deduplicating triggers by their
+	// matched antecedent bindings.
+	Oblivious
+)
+
+func (v Variant) String() string {
+	if v == Oblivious {
+		return "oblivious"
+	}
+	return "restricted"
+}
+
+// Options bounds and configures a chase run.
+type Options struct {
+	// MaxRounds caps the number of fair rounds. <= 0 means 64.
+	MaxRounds int
+	// MaxTuples caps the instance size. <= 0 means 100000.
+	MaxTuples int
+	// Variant selects restricted (default) or oblivious stepping.
+	Variant Variant
+	// SemiNaive enables delta-driven trigger enumeration: after the first
+	// round, only homomorphisms touching at least one tuple added in the
+	// previous round are considered. Identical results, fewer joins.
+	SemiNaive bool
+	// Trace records every fired trigger.
+	Trace bool
+	// Workers > 1 enumerates triggers for different dependencies in
+	// parallel goroutines within each round. Results are merged in
+	// dependency order, so the chase remains deterministic.
+	Workers int
+	// KeepHistory records per-round statistics in Result.History; used by
+	// the experiment harness to plot canonical-database growth.
+	KeepHistory bool
+}
+
+// RoundStats snapshots one fair round for growth analysis.
+type RoundStats struct {
+	Round         int
+	TriggersFired int
+	TuplesAfter   int
+}
+
+// DefaultOptions returns sensible interactive defaults (semi-naive
+// restricted chase).
+func DefaultOptions() Options {
+	return Options{MaxRounds: 64, MaxTuples: 100000, SemiNaive: true}
+}
+
+// Verdict is the three-valued outcome of an implication check.
+type Verdict int
+
+const (
+	// Unknown means budgets ran out before an answer.
+	Unknown Verdict = iota
+	// Implied means D logically implies D0 (certified by the chase trace).
+	Implied
+	// NotImplied means the chase reached a fixpoint without witnessing the
+	// conclusion: the fixpoint is a finite counterexample.
+	NotImplied
+)
+
+func (v Verdict) String() string {
+	switch v {
+	case Implied:
+		return "implied"
+	case NotImplied:
+		return "not-implied"
+	default:
+		return "unknown"
+	}
+}
+
+// Fired records one chase step for proof traces.
+type Fired struct {
+	// Dep is the index of the dependency in the input set.
+	Dep int
+	// Round is the fair round in which the trigger fired (1-based).
+	Round int
+	// Tuple is the tuple added (for Restricted, always new; for Oblivious it
+	// may duplicate an existing tuple, in which case Added is false).
+	Tuple relation.Tuple
+	// Added reports whether the tuple was new to the instance.
+	Added bool
+}
+
+// Stats reports work performed by a chase run.
+type Stats struct {
+	Rounds            int
+	TriggersMatched   int
+	TriggersFired     int
+	TuplesAdded       int
+	HomomorphismsSeen int
+}
+
+// Result is the outcome of a chase or implication run.
+type Result struct {
+	Verdict Verdict
+	// Instance is the final chase instance (the canonical database).
+	Instance *relation.Instance
+	// FixpointReached reports that no trigger was applicable in the last
+	// round: the instance satisfies every dependency.
+	FixpointReached bool
+	Stats           Stats
+	// Trace is non-nil when Options.Trace was set.
+	Trace []Fired
+	// History is non-nil when Options.KeepHistory was set.
+	History []RoundStats
+}
+
+// Engine runs chases of a fixed dependency set over one schema.
+type Engine struct {
+	schema *relation.Schema
+	deps   []*td.TD
+	opt    Options
+}
+
+// NewEngine validates that all dependencies share the schema.
+func NewEngine(schema *relation.Schema, deps []*td.TD, opt Options) (*Engine, error) {
+	if opt.MaxRounds <= 0 {
+		opt.MaxRounds = 64
+	}
+	if opt.MaxTuples <= 0 {
+		opt.MaxTuples = 100000
+	}
+	for i, d := range deps {
+		if !d.Schema().Equal(schema) {
+			return nil, fmt.Errorf("chase: dependency %d (%s) has a different schema", i, d.Name())
+		}
+	}
+	return &Engine{schema: schema, deps: deps, opt: opt}, nil
+}
+
+// Chase closes start under the engine's dependencies (start is cloned).
+// The goal callback, if non-nil, is evaluated after the initial state and
+// after every round; when it returns true the chase stops early with
+// Verdict Implied.
+func (e *Engine) Chase(start *relation.Instance, goal func(*relation.Instance) bool) Result {
+	inst := start.Clone()
+	res := Result{Instance: inst}
+	if goal != nil && goal(inst) {
+		res.Verdict = Implied
+		res.FixpointReached = false
+		return res
+	}
+
+	// For the oblivious variant: triggers already fired, keyed by
+	// dependency index and the antecedent-variable bindings.
+	firedKeys := make(map[string]bool)
+
+	// Delta tracking for semi-naive evaluation.
+	prevLen := 0 // tuples with index < prevLen existed before last round
+	lastLen := inst.Len()
+
+	for round := 1; round <= e.opt.MaxRounds; round++ {
+		res.Stats.Rounds = round
+		type pending struct {
+			dep int
+			tup relation.Tuple
+		}
+		var adds []pending
+
+		// Phase 1: enumerate antecedent homomorphisms per dependency
+		// (read-only on the instance, so dependencies can run in parallel).
+		collect := func(di int) []tableau.Assignment {
+			d := e.deps[di]
+			k := d.NumAntecedents()
+			var homs []tableau.Assignment
+			emit := func(as tableau.Assignment) bool {
+				homs = append(homs, as.Clone())
+				return true
+			}
+			if e.opt.SemiNaive && round > 1 {
+				// Delta decomposition: at least one row maps to a tuple
+				// added in the previous round (index in [prevLen, lastLen)).
+				all := inst.Tuples()[:lastLen]
+				old := inst.Tuples()[:prevLen]
+				delta := inst.Tuples()[prevLen:lastLen]
+				if len(delta) == 0 {
+					return nil
+				}
+				for j := 0; j < k; j++ {
+					cands := make([][]relation.Tuple, k)
+					for i := 0; i < k; i++ {
+						switch {
+						case i < j:
+							cands[i] = old
+						case i == j:
+							cands[i] = delta
+						default:
+							cands[i] = all
+						}
+					}
+					d.Tableau().EachCandidateHomomorphism(cands, nil, emit)
+				}
+			} else {
+				d.Tableau().EachPrefixHomomorphism(inst, nil, k, emit)
+			}
+			return homs
+		}
+		homsByDep := make([][]tableau.Assignment, len(e.deps))
+		if e.opt.Workers > 1 && len(e.deps) > 1 {
+			var wg sync.WaitGroup
+			next := make(chan int)
+			for w := 0; w < e.opt.Workers; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for di := range next {
+						homsByDep[di] = collect(di)
+					}
+				}()
+			}
+			for di := range e.deps {
+				next <- di
+			}
+			close(next)
+			wg.Wait()
+		} else {
+			for di := range e.deps {
+				homsByDep[di] = collect(di)
+			}
+		}
+
+		// Phase 2: sequential, deterministic merge — trigger checks against
+		// the round-start snapshot, then materialization.
+		for di, homs := range homsByDep {
+			d := e.deps[di]
+			for _, as := range homs {
+				res.Stats.HomomorphismsSeen++
+				if e.opt.Variant == Oblivious {
+					key := triggerKey(di, d, as)
+					if firedKeys[key] {
+						continue
+					}
+					firedKeys[key] = true
+				} else if tableau.RowSatisfiable(d.Conclusion(), as, inst) {
+					continue
+				}
+				res.Stats.TriggersMatched++
+				adds = append(adds, pending{dep: di, tup: conclusionTuple(d, as, inst)})
+			}
+		}
+
+		if len(adds) == 0 {
+			res.FixpointReached = true
+			if goal == nil {
+				res.Verdict = Unknown
+			} else {
+				res.Verdict = NotImplied
+			}
+			return res
+		}
+		for _, p := range adds {
+			if inst.Len() >= e.opt.MaxTuples {
+				res.Verdict = Unknown
+				return res
+			}
+			_, added, err := inst.Add(p.tup)
+			if err != nil {
+				// Cannot happen: tuples are built against the schema.
+				panic(err)
+			}
+			res.Stats.TriggersFired++
+			if added {
+				res.Stats.TuplesAdded++
+			}
+			if e.opt.Trace {
+				res.Trace = append(res.Trace, Fired{Dep: p.dep, Round: round, Tuple: p.tup.Clone(), Added: added})
+			}
+		}
+		prevLen = lastLen
+		lastLen = inst.Len()
+		if e.opt.KeepHistory {
+			res.History = append(res.History, RoundStats{
+				Round:         round,
+				TriggersFired: len(adds),
+				TuplesAfter:   inst.Len(),
+			})
+		}
+		if goal != nil && goal(inst) {
+			res.Verdict = Implied
+			return res
+		}
+	}
+	res.Verdict = Unknown
+	return res
+}
+
+// conclusionTuple materializes d's conclusion under as, inventing fresh
+// values for unbound (existential) positions.
+func conclusionTuple(d *td.TD, as tableau.Assignment, inst *relation.Instance) relation.Tuple {
+	concl := d.Conclusion()
+	tup := make(relation.Tuple, len(concl))
+	for a, v := range concl {
+		if bound := as[a][v]; bound != tableau.Unbound {
+			tup[a] = bound
+		} else {
+			tup[a] = inst.FreshValue(relation.Attr(a))
+		}
+	}
+	return tup
+}
+
+// triggerKey canonicalizes a trigger for oblivious deduplication: the
+// dependency index plus the values of every bound variable.
+func triggerKey(di int, d *td.TD, as tableau.Assignment) string {
+	key := fmt.Sprintf("%d:", di)
+	for a := range as {
+		for v, val := range as[a] {
+			if val != tableau.Unbound {
+				key += fmt.Sprintf("%d.%d=%d;", a, v, int(val))
+			}
+		}
+	}
+	return key
+}
+
+// Implies checks whether the engine's dependency set logically implies d0,
+// by chasing d0's frozen antecedents and watching for its conclusion.
+func (e *Engine) Implies(d0 *td.TD) (Result, error) {
+	if !d0.Schema().Equal(e.schema) {
+		return Result{}, fmt.Errorf("chase: goal dependency has a different schema")
+	}
+	frozen, as := d0.FrozenAntecedents()
+	concl := d0.Conclusion()
+	goal := func(inst *relation.Instance) bool {
+		return tableau.RowSatisfiable(concl, as, inst)
+	}
+	res := e.Chase(frozen, goal)
+	return res, nil
+}
+
+// Implies is a convenience one-shot wrapper around Engine.Implies.
+func Implies(deps []*td.TD, d0 *td.TD, opt Options) (Result, error) {
+	e, err := NewEngine(d0.Schema(), deps, opt)
+	if err != nil {
+		return Result{}, err
+	}
+	return e.Implies(d0)
+}
+
+// AllFull reports whether every dependency in the set is full; for full
+// sets the chase terminates, so Implies is a decision procedure.
+func AllFull(deps []*td.TD) bool {
+	for _, d := range deps {
+		if !d.IsFull() {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,392 @@
+package chase
+
+import (
+	"testing"
+
+	"templatedep/internal/relation"
+	"templatedep/internal/td"
+)
+
+func threeCol() *relation.Schema { return relation.MustSchema("A", "B", "C") }
+
+func TestImpliesTrivialGoal(t *testing.T) {
+	s := threeCol()
+	d0 := td.MustParse(s, "R(a, b, c) -> R(a, b, c*)", "trivial")
+	res, err := Implies(nil, d0, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != Implied {
+		t.Fatalf("verdict %v", res.Verdict)
+	}
+	if res.Stats.Rounds != 0 {
+		t.Errorf("trivial goal should need 0 rounds, got %d", res.Stats.Rounds)
+	}
+}
+
+func TestImpliesSelf(t *testing.T) {
+	_, fig1 := td.GarmentExample()
+	res, err := Implies([]*td.TD{fig1}, fig1, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != Implied {
+		t.Fatalf("verdict %v", res.Verdict)
+	}
+	if res.Stats.Rounds != 1 {
+		t.Errorf("self-implication should need 1 round, got %d", res.Stats.Rounds)
+	}
+}
+
+func TestNotImpliedByEmptySet(t *testing.T) {
+	_, fig1 := td.GarmentExample()
+	res, err := Implies(nil, fig1, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != NotImplied {
+		t.Fatalf("verdict %v", res.Verdict)
+	}
+	if !res.FixpointReached {
+		t.Error("empty dependency set should reach fixpoint immediately")
+	}
+	// The fixpoint is a counterexample: it must violate fig1.
+	if ok, _ := fig1.Satisfies(res.Instance); ok {
+		t.Error("counterexample instance satisfies the goal")
+	}
+}
+
+func TestFullTDDecision(t *testing.T) {
+	s := threeCol()
+	// join: if two tuples share A, the cross tuple (a, b, c') exists.
+	join := td.MustParse(s, "R(a, b, c) & R(a, b', c') -> R(a, b, c')", "join")
+	if !join.IsFull() {
+		t.Fatal("join should be full")
+	}
+	// Implied: the double-cross follows from join.
+	goal := td.MustParse(s, "R(a, b, c) & R(a, b', c') & R(a, b'', c'') -> R(a, b, c'')", "goal")
+	res, err := Implies([]*td.TD{join}, goal, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != Implied {
+		t.Errorf("verdict %v, want Implied", res.Verdict)
+	}
+	// Not implied: crossing tuples with different A values.
+	goal2 := td.MustParse(s, "R(a, b, c) & R(a', b', c') -> R(a, b, c')", "goal2")
+	res2, err := Implies([]*td.TD{join}, goal2, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Verdict != NotImplied {
+		t.Errorf("verdict %v, want NotImplied", res2.Verdict)
+	}
+	if !res2.FixpointReached {
+		t.Error("full-TD chase must terminate")
+	}
+	// The terminated chase instance satisfies every dependency and violates
+	// the goal: a certified finite counterexample.
+	if ok, _ := join.Satisfies(res2.Instance); !ok {
+		t.Error("fixpoint violates join")
+	}
+	if ok, _ := goal2.Satisfies(res2.Instance); ok {
+		t.Error("fixpoint satisfies goal2; not a counterexample")
+	}
+}
+
+func TestEmbeddedFires(t *testing.T) {
+	s, fig1 := td.GarmentExample()
+	_ = s
+	// fig1 with swapped roles is NOT implied by fig1... use a goal with
+	// fresh antecedents: two tuples sharing nothing.
+	goal := td.MustParse(fig1.Schema(), "R(a, b, c) & R(a', b', c') -> R(a*, b, c')", "cross")
+	res, err := Implies([]*td.TD{fig1}, goal, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// fig1 requires a shared supplier; the goal's antecedents do not share
+	// one, so fig1 never helps: expect NotImplied at fixpoint.
+	if res.Verdict != NotImplied {
+		t.Errorf("verdict %v, want NotImplied", res.Verdict)
+	}
+}
+
+func TestBudgetUnknown(t *testing.T) {
+	_, fig1 := td.GarmentExample()
+	opt := DefaultOptions()
+	opt.MaxTuples = 2 // frozen antecedents already have 2 tuples
+	res, err := Implies([]*td.TD{fig1}, fig1, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != Unknown {
+		t.Errorf("verdict %v, want Unknown", res.Verdict)
+	}
+}
+
+func TestMaxRoundsUnknown(t *testing.T) {
+	s := threeCol()
+	join := td.MustParse(s, "R(a, b, c) & R(a, b', c') -> R(a, b, c')", "join")
+	goal := td.MustParse(s, "R(a, b, c) & R(a, b', c') & R(a, b'', c'') -> R(a, b, c'')", "goal")
+	opt := DefaultOptions()
+	opt.MaxRounds = 0 // clamps to default; use 1 explicitly below
+	e, err := NewEngine(s, []*td.TD{join}, Options{MaxRounds: 1, MaxTuples: 3, SemiNaive: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Implies(goal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One round with tuple cap 3 cannot finish (several crosses needed).
+	if res.Verdict == NotImplied {
+		t.Errorf("verdict %v; a budget cut must not claim NotImplied", res.Verdict)
+	}
+	_ = opt
+}
+
+func TestRestrictedVsObliviousAgree(t *testing.T) {
+	s := threeCol()
+	join := td.MustParse(s, "R(a, b, c) & R(a, b', c') -> R(a, b, c')", "join")
+	goal := td.MustParse(s, "R(a, b, c) & R(a, b', c') & R(a, b'', c'') -> R(a, b, c'')", "goal")
+	optR := DefaultOptions()
+	optO := DefaultOptions()
+	optO.Variant = Oblivious
+	r1, err := Implies([]*td.TD{join}, goal, optR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Implies([]*td.TD{join}, goal, optO)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Verdict != Implied || r2.Verdict != Implied {
+		t.Errorf("verdicts %v, %v", r1.Verdict, r2.Verdict)
+	}
+}
+
+func TestSemiNaiveMatchesNaive(t *testing.T) {
+	s := threeCol()
+	join := td.MustParse(s, "R(a, b, c) & R(a, b', c') -> R(a, b, c')", "join")
+	start := relation.NewInstance(s)
+	start.MustAdd(relation.Tuple{0, 0, 0})
+	start.MustAdd(relation.Tuple{0, 1, 1})
+	start.MustAdd(relation.Tuple{0, 2, 2})
+	start.MustAdd(relation.Tuple{7, 1, 2})
+
+	run := func(semiNaive bool) *relation.Instance {
+		e, err := NewEngine(s, []*td.TD{join}, Options{MaxRounds: 50, MaxTuples: 1000, SemiNaive: semiNaive})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := e.Chase(start, nil)
+		if !res.FixpointReached {
+			t.Fatal("expected fixpoint")
+		}
+		return res.Instance
+	}
+	a := run(false)
+	b := run(true)
+	if a.Len() != b.Len() {
+		t.Fatalf("naive %d tuples, semi-naive %d", a.Len(), b.Len())
+	}
+	for _, tup := range a.Tuples() {
+		if !b.Contains(tup) {
+			t.Errorf("semi-naive missing %v", tup)
+		}
+	}
+	// Stronger: the fixpoints are isomorphic (equal up to null renaming).
+	if !relation.Isomorphic(a, b) {
+		t.Error("fixpoints not isomorphic")
+	}
+}
+
+func TestChaseClosureSatisfiesDeps(t *testing.T) {
+	s := threeCol()
+	join := td.MustParse(s, "R(a, b, c) & R(a, b', c') -> R(a, b, c')", "join")
+	start := relation.NewInstance(s)
+	start.MustAdd(relation.Tuple{0, 0, 0})
+	start.MustAdd(relation.Tuple{0, 1, 1})
+	e, err := NewEngine(s, []*td.TD{join}, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := e.Chase(start, nil)
+	if !res.FixpointReached {
+		t.Fatal("expected fixpoint")
+	}
+	if ok, _ := join.Satisfies(res.Instance); !ok {
+		t.Error("fixpoint violates the dependency")
+	}
+	// The original tuples survive (chase only adds).
+	if !res.Instance.Contains(relation.Tuple{0, 0, 0}) {
+		t.Error("chase lost an input tuple")
+	}
+	// Closure of the 2x2 grid on supplier 0: 4 tuples.
+	if res.Instance.Len() != 4 {
+		t.Errorf("closure size %d, want 4", res.Instance.Len())
+	}
+}
+
+func TestTraceRecordsSteps(t *testing.T) {
+	_, fig1 := td.GarmentExample()
+	opt := DefaultOptions()
+	opt.Trace = true
+	res, err := Implies([]*td.TD{fig1}, fig1, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != Implied {
+		t.Fatal("setup")
+	}
+	if len(res.Trace) == 0 {
+		t.Fatal("no trace recorded")
+	}
+	f := res.Trace[0]
+	if f.Dep != 0 || f.Round != 1 || !f.Added {
+		t.Errorf("trace entry %+v", f)
+	}
+	// The traced tuple must be in the final instance.
+	if !res.Instance.Contains(f.Tuple) {
+		t.Error("traced tuple missing from instance")
+	}
+}
+
+func TestKeepHistory(t *testing.T) {
+	s := threeCol()
+	join := td.MustParse(s, "R(a, b, c) & R(a, b', c') -> R(a, b, c')", "join")
+	start := relation.NewInstance(s)
+	start.MustAdd(relation.Tuple{0, 0, 0})
+	start.MustAdd(relation.Tuple{0, 1, 1})
+	start.MustAdd(relation.Tuple{0, 2, 2})
+	e, err := NewEngine(s, []*td.TD{join}, Options{MaxRounds: 20, MaxTuples: 1000, SemiNaive: true, KeepHistory: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := e.Chase(start, nil)
+	if !res.FixpointReached {
+		t.Fatal("no fixpoint")
+	}
+	if len(res.History) == 0 {
+		t.Fatal("no history recorded")
+	}
+	// Tuple counts are non-decreasing and end at the final size.
+	prev := start.Len()
+	for _, h := range res.History {
+		if h.TuplesAfter < prev {
+			t.Errorf("round %d: tuples decreased %d -> %d", h.Round, prev, h.TuplesAfter)
+		}
+		prev = h.TuplesAfter
+	}
+	if prev != res.Instance.Len() {
+		t.Errorf("history ends at %d, instance has %d", prev, res.Instance.Len())
+	}
+}
+
+func TestParallelWorkersMatchSequential(t *testing.T) {
+	s := threeCol()
+	deps, err := td.ParseSet(s, `
+join:  R(a, b, c) & R(a, b', c') -> R(a, b, c')
+mirror: R(a, b, c) & R(a', b, c') -> R(a, b, c')
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := relation.NewInstance(s)
+	start.MustAdd(relation.Tuple{0, 0, 0})
+	start.MustAdd(relation.Tuple{0, 1, 1})
+	start.MustAdd(relation.Tuple{7, 1, 2})
+	run := func(workers int) Result {
+		e, err := NewEngine(s, deps, Options{MaxRounds: 50, MaxTuples: 10000, SemiNaive: true, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e.Chase(start, nil)
+	}
+	seq := run(1)
+	par := run(4)
+	if !seq.FixpointReached || !par.FixpointReached {
+		t.Fatal("no fixpoint")
+	}
+	if seq.Instance.Len() != par.Instance.Len() {
+		t.Fatalf("sizes differ: %d vs %d", seq.Instance.Len(), par.Instance.Len())
+	}
+	// Determinism: identical instances, not merely isomorphic.
+	for _, tup := range seq.Instance.Tuples() {
+		if !par.Instance.Contains(tup) {
+			t.Errorf("parallel run missing %v", tup)
+		}
+	}
+	if seq.Stats.TriggersFired != par.Stats.TriggersFired {
+		t.Errorf("fired %d vs %d", seq.Stats.TriggersFired, par.Stats.TriggersFired)
+	}
+}
+
+func TestNewEngineSchemaMismatch(t *testing.T) {
+	s := threeCol()
+	other := relation.MustSchema("X", "Y")
+	dep := td.MustParse(other, "R(x, y) -> R(x, y*)", "")
+	if _, err := NewEngine(s, []*td.TD{dep}, DefaultOptions()); err == nil {
+		t.Error("schema mismatch accepted")
+	}
+	e, err := NewEngine(s, nil, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Implies(dep); err == nil {
+		t.Error("goal schema mismatch accepted")
+	}
+}
+
+func TestAllFull(t *testing.T) {
+	s := threeCol()
+	full := td.MustParse(s, "R(a, b, c) & R(a, b', c') -> R(a, b, c')", "")
+	emb := td.MustParse(s, "R(a, b, c) -> R(a*, b, c)", "")
+	if !AllFull([]*td.TD{full}) {
+		t.Error("full set reported not full")
+	}
+	if AllFull([]*td.TD{full, emb}) {
+		t.Error("embedded member not detected")
+	}
+	if !AllFull(nil) {
+		t.Error("empty set is vacuously full")
+	}
+}
+
+func TestRestrictedTerminatesWhereObliviousDiverges(t *testing.T) {
+	s := threeCol()
+	// With an embedded dependency the restricted chase can terminate (every
+	// conclusion becomes witnessed) while the oblivious chase diverges:
+	// each freshly invented supplier spawns a brand-new self-trigger.
+	dep := td.MustParse(s, "R(a, b, c) & R(a, b', c') -> R(a*, b, c')", "fig1")
+	start := relation.NewInstance(s)
+	start.MustAdd(relation.Tuple{0, 0, 0})
+	start.MustAdd(relation.Tuple{0, 1, 1})
+
+	eR, err := NewEngine(s, []*td.TD{dep}, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	resR := eR.Chase(start, nil)
+	if !resR.FixpointReached {
+		t.Fatalf("restricted chase did not reach fixpoint (tuples %d)", resR.Instance.Len())
+	}
+	if resR.Instance.Len() != 4 {
+		t.Errorf("restricted fixpoint has %d tuples, want 4", resR.Instance.Len())
+	}
+	if ok, _ := dep.Satisfies(resR.Instance); !ok {
+		t.Error("restricted fixpoint violates the dependency")
+	}
+
+	eO, err := NewEngine(s, []*td.TD{dep}, Options{MaxRounds: 10, MaxTuples: 10000, Variant: Oblivious, SemiNaive: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resO := eO.Chase(start, nil)
+	if resO.FixpointReached {
+		t.Error("oblivious chase unexpectedly reached a fixpoint")
+	}
+	if resO.Stats.TriggersFired <= resR.Stats.TriggersFired {
+		t.Errorf("oblivious fired %d <= restricted %d", resO.Stats.TriggersFired, resR.Stats.TriggersFired)
+	}
+}

@@ -1,0 +1,101 @@
+package chase
+
+import (
+	"fmt"
+
+	"templatedep/internal/relation"
+	"templatedep/internal/tableau"
+)
+
+// Core computation for chase results. The chase's canonical database is a
+// UNIVERSAL solution but rarely a minimal one: restricted-chase runs leave
+// behind tuples whose invented nulls are subsumed by others. The CORE is
+// the minimal retract — the smallest subinstance C such that some
+// homomorphism I -> C is the identity on C and on the designated constants
+// (here: the frozen antecedent values). Cores are unique up to isomorphism
+// and are the right canonical form for comparing chase results across
+// engines and variants.
+//
+// An instance whose values split into constants and nulls is exactly a
+// tableau with a partial seed, so the computation reuses the homomorphism
+// engine: repeatedly look for a tuple whose removal still admits a
+// constant-fixing homomorphism from the full instance into the remainder.
+
+// CoreOf computes the core of inst, treating any value v in attribute a
+// with v < constBound[a] as a constant (it must map to itself) and every
+// other value as a null (it may map to any value of its column). The
+// returned instance is a subinstance of inst.
+//
+// For a chase result obtained from frozen antecedents, pass the frozen
+// instance's per-column value counts as constBound (see CoreOfResult).
+func CoreOf(inst *relation.Instance, constBound []relation.Value) (*relation.Instance, error) {
+	width := inst.Schema().Width()
+	if len(constBound) != width {
+		return nil, fmt.Errorf("chase: constBound has %d entries, want %d", len(constBound), width)
+	}
+	current := inst.Clone()
+	for {
+		removed := false
+		tuples := current.Tuples()
+		for i := 0; i < len(tuples); i++ {
+			candidate := relation.NewInstance(inst.Schema())
+			for j, t := range tuples {
+				if j != i {
+					candidate.MustAdd(t)
+				}
+			}
+			if retractsInto(current, candidate, constBound) {
+				current = candidate
+				removed = true
+				break
+			}
+		}
+		if !removed {
+			return current, nil
+		}
+	}
+}
+
+// retractsInto reports whether a homomorphism from src into dst exists that
+// fixes every constant (values below constBound per column).
+func retractsInto(src, dst *relation.Instance, constBound []relation.Value) bool {
+	// View src as a tableau: each distinct value of a column becomes a
+	// variable; constants are seeded to themselves.
+	width := src.Schema().Width()
+	rows := make([]tableau.VarTuple, src.Len())
+	for i, t := range src.Tuples() {
+		row := make(tableau.VarTuple, width)
+		for a, v := range t {
+			row[a] = tableau.Var(v)
+		}
+		rows[i] = row
+	}
+	tab, err := tableau.New(src.Schema(), rows)
+	if err != nil {
+		return false
+	}
+	// tableau.New renumbers variables; recover the mapping from original
+	// values to renumbered vars by re-reading the rows.
+	seed := tableau.NewAssignment(tab)
+	for i, t := range src.Tuples() {
+		nr := tab.Row(i)
+		for a, v := range t {
+			if v < constBound[a] {
+				seed[a][nr[a]] = v
+			}
+		}
+	}
+	return tab.HasHomomorphism(dst, seed)
+}
+
+// CoreOfResult computes the core of a chase Result produced by Implies,
+// fixing the goal's frozen antecedent values as constants.
+func CoreOfResult(res Result, frozen *relation.Instance) (*relation.Instance, error) {
+	width := frozen.Schema().Width()
+	bound := make([]relation.Value, width)
+	for _, a := range frozen.Schema().Attrs() {
+		// Frozen antecedents use values 0..k-1 per column.
+		bound[a] = relation.Value(frozen.ActiveDomainSize(a))
+	}
+	return CoreOf(res.Instance, bound)
+}

@@ -1,0 +1,102 @@
+package chase
+
+import (
+	"fmt"
+
+	"templatedep/internal/relation"
+	"templatedep/internal/tableau"
+	"templatedep/internal/td"
+)
+
+// ValidateTrace replays a chase trace against an independent copy of the
+// start instance and checks that every recorded step is justified: the
+// fired dependency's antecedents must match the instance built so far by a
+// homomorphism whose universal conclusion positions agree with the added
+// tuple. A valid trace whose final instance witnesses goal is an
+// independently checkable PROOF of implication — the chase-side analogue of
+// words.Derivation.Validate.
+//
+// Validation is deliberately decoupled from the engine: it never trusts
+// Result internals, only the recorded tuples.
+func ValidateTrace(deps []*td.TD, start *relation.Instance, trace []Fired, goal func(*relation.Instance) bool) error {
+	inst := start.Clone()
+	for i, f := range trace {
+		if f.Dep < 0 || f.Dep >= len(deps) {
+			return fmt.Errorf("chase: step %d: dependency index %d out of range", i, f.Dep)
+		}
+		d := deps[f.Dep]
+		if len(f.Tuple) != d.Schema().Width() {
+			return fmt.Errorf("chase: step %d: tuple width %d", i, len(f.Tuple))
+		}
+		if err := justify(d, inst, f.Tuple); err != nil {
+			return fmt.Errorf("chase: step %d (%s): %w", i, d.Name(), err)
+		}
+		_, added, err := inst.Add(f.Tuple)
+		if err != nil {
+			return fmt.Errorf("chase: step %d: %w", i, err)
+		}
+		if added != f.Added {
+			return fmt.Errorf("chase: step %d: Added flag recorded %v, replay says %v", i, f.Added, added)
+		}
+	}
+	if goal != nil && !goal(inst) {
+		return fmt.Errorf("chase: replayed instance does not witness the goal")
+	}
+	return nil
+}
+
+// justify checks that tup is a legal conclusion of d against inst: some
+// homomorphism of d's antecedents binds every universal conclusion position
+// to tup's value there. Existential positions may hold any value (the
+// engine used fresh nulls; validation does not care which).
+func justify(d *td.TD, inst *relation.Instance, tup relation.Tuple) error {
+	concl := d.Conclusion()
+	seed := tableau.NewAssignment(d.Tableau())
+	// Bind conclusion variables that are universal (shared with the
+	// antecedents) to the added tuple's values; tableau renumbering
+	// guarantees antecedent variables come first per column.
+	counts := make([]int, d.Schema().Width())
+	for ri := 0; ri < d.NumAntecedents(); ri++ {
+		for a, v := range d.Antecedent(ri) {
+			if int(v)+1 > counts[a] {
+				counts[a] = int(v) + 1
+			}
+		}
+	}
+	for a, v := range concl {
+		if int(v) < counts[a] {
+			seed[a][v] = tup[a]
+		}
+	}
+	found := false
+	d.Tableau().EachPrefixHomomorphism(inst, seed, d.NumAntecedents(), func(tableau.Assignment) bool {
+		found = true
+		return false
+	})
+	if !found {
+		return fmt.Errorf("no antecedent match justifies tuple %v", tup)
+	}
+	return nil
+}
+
+// ProveImplies runs Implies with tracing enabled and, on an Implied
+// verdict, independently validates the proof before returning it.
+func ProveImplies(deps []*td.TD, d0 *td.TD, opt Options) (Result, error) {
+	opt.Trace = true
+	res, err := Implies(deps, d0, opt)
+	if err != nil {
+		return res, err
+	}
+	if res.Verdict != Implied {
+		return res, nil
+	}
+	frozen, as := d0.FrozenAntecedents()
+	concl := d0.Conclusion()
+	goal := func(inst *relation.Instance) bool {
+		return tableau.RowSatisfiable(concl, as, inst)
+	}
+	if err := ValidateTrace(deps, frozen, res.Trace, goal); err != nil {
+		return res, fmt.Errorf("chase: internal error: proof failed validation: %w", err)
+	}
+	return res, nil
+}

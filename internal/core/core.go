@@ -1,0 +1,211 @@
+// Package core is the high-level facade of the library: it wires the word
+// problem solvers, the finite-model searches, the reduction, and the chase
+// into the paper's dual semidecision picture.
+//
+// The Main Theorem says the sets
+//
+//	IMPL = {(D, D0) : D0 holds in every database satisfying D}
+//	FCEX = {(D, D0) : D0 fails in some finite database satisfying D}
+//
+// are effectively inseparable — no algorithm decides between them. What CAN
+// be done, and what this package does, is run a semi-procedure for each set
+// side by side under explicit budgets:
+//
+//   - the chase semidecides IMPL (a proof trace certifies membership);
+//   - finite-database / finite-semigroup search semidecides FCEX (a
+//     counterexample certifies membership);
+//   - on instances in neither set — they exist, e.g. the reduction of
+//     {A0·A0 = A0} — both procedures run forever, and a budgeted run
+//     reports Unknown. Undecidability guarantees that no budget heuristic
+//     can eliminate the Unknown outcome; this library makes the phenomenon
+//     observable rather than pretending to decide it.
+package core
+
+import (
+	"fmt"
+
+	"templatedep/internal/chase"
+	"templatedep/internal/finitemodel"
+	"templatedep/internal/reduction"
+	"templatedep/internal/relation"
+	"templatedep/internal/rewrite"
+	"templatedep/internal/search"
+	"templatedep/internal/semigroup"
+	"templatedep/internal/td"
+	"templatedep/internal/tm"
+	"templatedep/internal/words"
+)
+
+// Budget bundles the budgets of every sub-procedure.
+type Budget struct {
+	Chase       chase.Options
+	Closure     words.ClosureOptions
+	ModelSearch search.Options
+	FiniteDB    finitemodel.Options
+}
+
+// DefaultBudget returns moderate budgets suitable for interactive use.
+func DefaultBudget() Budget {
+	return Budget{
+		Chase:       chase.DefaultOptions(),
+		Closure:     words.DefaultClosureOptions(),
+		ModelSearch: search.DefaultOptions(),
+		FiniteDB:    finitemodel.DefaultOptions(),
+	}
+}
+
+// Verdict is the outcome of a dual semidecision run.
+type Verdict int
+
+const (
+	// Unknown means neither semi-procedure reached an answer in budget.
+	Unknown Verdict = iota
+	// Implied means D logically implies D0.
+	Implied
+	// FiniteCounterexample means a finite database satisfies D and
+	// violates D0.
+	FiniteCounterexample
+)
+
+func (v Verdict) String() string {
+	switch v {
+	case Implied:
+		return "implied"
+	case FiniteCounterexample:
+		return "finite-counterexample"
+	default:
+		return "unknown"
+	}
+}
+
+// InferenceResult reports a TD-level dual semidecision run.
+type InferenceResult struct {
+	Verdict Verdict
+	// Chase holds the chase run (its trace is the proof when Implied; its
+	// fixpoint is the counterexample when the chase itself refuted).
+	Chase *chase.Result
+	// Counterexample is the finite database violating D0, when found
+	// (either the chase fixpoint or the enumerator's witness).
+	Counterexample *relation.Instance
+}
+
+// Infer runs the dual semidecision for an arbitrary TD instance: the chase
+// for IMPL and, if the chase is inconclusive, the finite-database
+// enumerator for FCEX.
+func Infer(deps []*td.TD, d0 *td.TD, budget Budget) (InferenceResult, error) {
+	cres, err := chase.Implies(deps, d0, budget.Chase)
+	if err != nil {
+		return InferenceResult{}, err
+	}
+	switch cres.Verdict {
+	case chase.Implied:
+		return InferenceResult{Verdict: Implied, Chase: &cres}, nil
+	case chase.NotImplied:
+		return InferenceResult{Verdict: FiniteCounterexample, Chase: &cres, Counterexample: cres.Instance}, nil
+	}
+	fres, err := finitemodel.FindCounterexample(deps, d0, budget.FiniteDB)
+	if err != nil {
+		return InferenceResult{}, err
+	}
+	if fres.Outcome == finitemodel.Found {
+		return InferenceResult{Verdict: FiniteCounterexample, Chase: &cres, Counterexample: fres.Instance}, nil
+	}
+	return InferenceResult{Verdict: Unknown, Chase: &cres}, nil
+}
+
+// PresentationResult reports a presentation-level run of the paper's
+// pipeline.
+type PresentationResult struct {
+	Verdict Verdict
+	// Instance is the reduction's (D, D0).
+	Instance *reduction.Instance
+	// Derivation certifies the goal (Verdict Implied).
+	Derivation *words.Derivation
+	// ChaseProof is present when the chase confirmed D ⊨ D0 in budget.
+	ChaseProof *chase.Result
+	// Witness and CounterModel certify Verdict FiniteCounterexample.
+	Witness      *semigroup.Interpretation
+	CounterModel *reduction.CounterModel
+	// GoalRefuted reports that the word-problem layer DEFINITIVELY refuted
+	// derivability of A0 = 0 (the equational class of A0 was exhausted, or
+	// Knuth–Bendix completion decided the word problem negatively). This
+	// rules out certifying implication via Reduction Theorem (A); it does
+	// NOT by itself settle the TD question — the reduction maps only
+	// derivable instances into IMPL and finitely-refutable ones into FCEX,
+	// and the gap between them is where the undecidability lives.
+	GoalRefuted bool
+}
+
+// AnalyzePresentation runs the full pipeline on a semigroup presentation:
+// build (D, D0), then run the word-problem semi-procedure (whose success
+// implies, by Reduction Theorem (A), that D ⊨ D0 — confirmed by the chase
+// when the chase budget allows) and the finite-cancellation-model search
+// (whose success yields, by (B), a finite counterexample database —
+// verified tuple by tuple).
+func AnalyzePresentation(p *words.Presentation, budget Budget) (*PresentationResult, error) {
+	in, err := reduction.Build(p)
+	if err != nil {
+		return nil, err
+	}
+	res := &PresentationResult{Instance: in}
+
+	dres := words.DeriveGoal(in.Pres, budget.Closure)
+	if dres.Verdict == words.Derivable {
+		res.Verdict = Implied
+		res.Derivation = dres.Derivation
+		// Confirm with a traced chase run and validate the trace
+		// independently before exposing it as a proof.
+		cres, err := chase.ProveImplies(in.D, in.D0, budget.Chase)
+		if err != nil {
+			return nil, err
+		}
+		if cres.Verdict == chase.Implied {
+			res.ChaseProof = &cres
+		}
+		return res, nil
+	}
+
+	if dres.Verdict == words.NotDerivable {
+		res.GoalRefuted = true
+	} else {
+		// The closure was inconclusive; try Knuth–Bendix completion, which
+		// can refute derivability even when A0's equational class is
+		// infinite.
+		sys := rewrite.FromPresentation(in.Pres)
+		if cres, err := sys.Complete(rewrite.CompletionOptions{MaxRules: 200, MaxIterations: 25}); err == nil && cres.Confluent {
+			if decided, err := sys.DecideGoal(); err == nil && !decided {
+				res.GoalRefuted = true
+			}
+		}
+	}
+
+	sres, err := search.FindCounterModel(p, budget.ModelSearch)
+	if err != nil {
+		return nil, err
+	}
+	if sres.Outcome == search.ModelFound {
+		cm, err := in.BuildCounterModel(sres.Interpretation)
+		if err != nil {
+			return nil, err
+		}
+		if err := in.Verify(cm); err != nil {
+			return nil, fmt.Errorf("core: counter-model failed verification: %w", err)
+		}
+		res.Verdict = FiniteCounterexample
+		res.Witness = sres.Interpretation
+		res.CounterModel = cm
+		return res, nil
+	}
+	res.Verdict = Unknown
+	return res, nil
+}
+
+// AnalyzeTM encodes a Turing machine's halting on the given input and runs
+// the presentation pipeline: a halting machine yields Verdict Implied.
+func AnalyzeTM(m *tm.TM, input []int, budget Budget) (*PresentationResult, error) {
+	p, err := tm.EncodePresentation(m, input)
+	if err != nil {
+		return nil, err
+	}
+	return AnalyzePresentation(p, budget)
+}

@@ -1,0 +1,181 @@
+package core
+
+import (
+	"testing"
+
+	"templatedep/internal/chase"
+	"templatedep/internal/finitemodel"
+	"templatedep/internal/relation"
+	"templatedep/internal/search"
+	"templatedep/internal/td"
+	"templatedep/internal/tm"
+	"templatedep/internal/words"
+)
+
+func TestInferImplied(t *testing.T) {
+	_, fig1 := td.GarmentExample()
+	res, err := Infer([]*td.TD{fig1}, fig1, DefaultBudget())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != Implied {
+		t.Errorf("verdict %v", res.Verdict)
+	}
+	if res.Chase == nil {
+		t.Error("missing chase proof")
+	}
+}
+
+func TestInferCounterexampleViaChaseFixpoint(t *testing.T) {
+	_, fig1 := td.GarmentExample()
+	res, err := Infer(nil, fig1, DefaultBudget())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != FiniteCounterexample {
+		t.Fatalf("verdict %v", res.Verdict)
+	}
+	if res.Counterexample == nil {
+		t.Fatal("missing counterexample")
+	}
+	if ok, _ := fig1.Satisfies(res.Counterexample); ok {
+		t.Error("counterexample satisfies D0")
+	}
+}
+
+func TestInferCounterexampleViaEnumerator(t *testing.T) {
+	// Force the chase to be inconclusive with a tiny budget, so the
+	// enumerator must find the counterexample.
+	s := relation.MustSchema("A", "B", "C")
+	join := td.MustParse(s, "R(a, b, c) & R(a, b', c') -> R(a, b, c')", "join")
+	goal := td.MustParse(s, "R(a, b, c) & R(a', b', c') -> R(a, b, c')", "goal")
+	b := DefaultBudget()
+	b.Chase = chase.Options{MaxRounds: 1, MaxTuples: 3, SemiNaive: true}
+	b.FiniteDB = finitemodel.Options{MaxTuples: 3}
+	res, err := Infer([]*td.TD{join}, goal, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != FiniteCounterexample {
+		t.Fatalf("verdict %v", res.Verdict)
+	}
+	if ok, _ := join.Satisfies(res.Counterexample); !ok {
+		t.Error("counterexample violates D")
+	}
+}
+
+func TestInferUnknown(t *testing.T) {
+	_, fig1 := td.GarmentExample()
+	b := DefaultBudget()
+	b.Chase = chase.Options{MaxRounds: 1, MaxTuples: 2, SemiNaive: true} // cannot finish
+	b.FiniteDB = finitemodel.Options{MaxTuples: 1, MaxNodes: 5}
+	res, err := Infer([]*td.TD{fig1}, fig1, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != Unknown {
+		t.Errorf("verdict %v", res.Verdict)
+	}
+}
+
+func TestAnalyzePresentationImplied(t *testing.T) {
+	b := DefaultBudget()
+	b.Chase = chase.Options{MaxRounds: 12, MaxTuples: 60000, SemiNaive: true}
+	res, err := AnalyzePresentation(words.TwoStepPresentation(), b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != Implied {
+		t.Fatalf("verdict %v", res.Verdict)
+	}
+	if res.Derivation == nil {
+		t.Error("missing derivation certificate")
+	}
+	if res.ChaseProof == nil {
+		t.Error("chase should confirm within budget")
+	}
+}
+
+func TestAnalyzePresentationCounterexample(t *testing.T) {
+	res, err := AnalyzePresentation(words.PowerPresentation(), DefaultBudget())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != FiniteCounterexample {
+		t.Fatalf("verdict %v", res.Verdict)
+	}
+	if res.CounterModel == nil || res.Witness == nil {
+		t.Fatal("missing counterexample artifacts")
+	}
+	// The database-level counterexample is verified inside; spot-check D0.
+	if ok, _ := res.Instance.D0.Satisfies(res.CounterModel.Instance); ok {
+		t.Error("counter-model satisfies D0")
+	}
+}
+
+func TestGoalRefutedFlag(t *testing.T) {
+	// power: the closure exhausts A0's singleton class — refuted directly.
+	res, err := AnalyzePresentation(words.PowerPresentation(), DefaultBudget())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.GoalRefuted {
+		t.Error("power: goal refutation not reported")
+	}
+	// gap: the class is infinite, but Knuth–Bendix completion succeeds and
+	// decides the word problem negatively.
+	b := DefaultBudget()
+	b.Closure = words.ClosureOptions{MaxWords: 200, MaxLength: 8}
+	b.ModelSearch = search.Options{MaxOrder: 3, MaxNodes: 100000}
+	res2, err := AnalyzePresentation(words.IdempotentGapPresentation(), b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Verdict != Unknown {
+		t.Fatalf("verdict %v", res2.Verdict)
+	}
+	if !res2.GoalRefuted {
+		t.Error("gap: completion should refute derivability")
+	}
+	// twostep: derivable — no refutation.
+	res3, err := AnalyzePresentation(words.TwoStepPresentation(), DefaultBudget())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res3.GoalRefuted {
+		t.Error("twostep: spurious refutation")
+	}
+}
+
+func TestAnalyzePresentationUnknownGap(t *testing.T) {
+	// The idempotent-gap instance lies in NEITHER set; with finite budgets
+	// the result must be Unknown.
+	b := DefaultBudget()
+	b.Closure = words.ClosureOptions{MaxWords: 300, MaxLength: 8}
+	b.ModelSearch = search.Options{MaxOrder: 4, MaxNodes: 200000}
+	res, err := AnalyzePresentation(words.IdempotentGapPresentation(), b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != Unknown {
+		t.Fatalf("verdict %v — the gap instance must stay undecided", res.Verdict)
+	}
+}
+
+func TestAnalyzeTMHalting(t *testing.T) {
+	b := DefaultBudget()
+	b.Closure = words.ClosureOptions{MaxWords: 200000}
+	// Skip the chase confirmation for the TM instance (its schema is wide);
+	// the derivation alone certifies direction (A).
+	b.Chase = chase.Options{MaxRounds: 1, MaxTuples: 50, SemiNaive: true}
+	res, err := AnalyzeTM(tm.WriteOneAndHalt(), nil, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != Implied {
+		t.Fatalf("verdict %v", res.Verdict)
+	}
+	if res.Derivation == nil {
+		t.Fatal("missing derivation")
+	}
+}

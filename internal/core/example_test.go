@@ -1,0 +1,40 @@
+package core_test
+
+import (
+	"fmt"
+
+	"templatedep/internal/core"
+	"templatedep/internal/words"
+)
+
+func ExampleAnalyzePresentation() {
+	// The two-step instance: A0 = b·c = 0 is derivable, so by Reduction
+	// Theorem (A) the generated dependency set implies D0.
+	res, err := core.AnalyzePresentation(words.TwoStepPresentation(), core.DefaultBudget())
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("verdict:", res.Verdict)
+	fmt.Println("derivation steps:", res.Derivation.Len())
+	fmt.Println("dependencies:", len(res.Instance.D))
+	// Output:
+	// verdict: implied
+	// derivation steps: 2
+	// dependencies: 36
+}
+
+func ExampleAnalyzePresentation_counterexample() {
+	// {A0·A0 = B}: falsified by a finite cancellation semigroup, so by
+	// part (B) a finite database separates D from D0.
+	res, err := core.AnalyzePresentation(words.PowerPresentation(), core.DefaultBudget())
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("verdict:", res.Verdict)
+	fmt.Println("witness order:", res.Witness.Table.Size())
+	fmt.Println("database tuples:", res.CounterModel.Instance.Len())
+	// Output:
+	// verdict: finite-counterexample
+	// witness order: 2
+	// database tuples: 3
+}

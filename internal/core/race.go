@@ -1,0 +1,193 @@
+package core
+
+import (
+	"time"
+
+	"templatedep/internal/reduction"
+	"templatedep/internal/search"
+	"templatedep/internal/td"
+	"templatedep/internal/words"
+)
+
+// This file adds the two "run forever, answer when you can" front-ends that
+// turn the budgeted procedures into genuine semidecision procedures:
+//
+//   - AnalyzePresentationRace runs the two semi-procedures CONCURRENTLY and
+//     returns as soon as either certifies an answer;
+//   - AnalyzePresentationDeepening runs rounds of geometrically increasing
+//     budgets until an answer or a wall-clock deadline — complete in the
+//     limit: every instance in either of the Main Theorem's two sets is
+//     eventually decided, and (necessarily) instances in neither set run
+//     until the deadline.
+
+// RaceResult is the outcome of AnalyzePresentationRace.
+type RaceResult struct {
+	*PresentationResult
+	// Winner names the side that produced the verdict: "derivation",
+	// "model-search", or "" for Unknown.
+	Winner string
+}
+
+// AnalyzePresentationRace runs the derivability search and the
+// counter-model search in parallel goroutines and returns the first
+// definitive answer (or Unknown when both budgets exhaust). The reduction
+// instance is built once, up front.
+func AnalyzePresentationRace(p *words.Presentation, budget Budget) (*RaceResult, error) {
+	in, err := reduction.Build(p)
+	if err != nil {
+		return nil, err
+	}
+
+	type outcome struct {
+		res    *PresentationResult
+		winner string
+		err    error
+	}
+	ch := make(chan outcome, 2)
+
+	go func() {
+		dres := words.DeriveGoal(in.Pres, budget.Closure)
+		if dres.Verdict != words.Derivable {
+			ch <- outcome{}
+			return
+		}
+		res := &PresentationResult{Instance: in, Verdict: Implied, Derivation: dres.Derivation}
+		ch <- outcome{res: res, winner: "derivation"}
+	}()
+	go func() {
+		sres, err := search.FindCounterModel(p, budget.ModelSearch)
+		if err != nil {
+			ch <- outcome{err: err}
+			return
+		}
+		if sres.Outcome != search.ModelFound {
+			ch <- outcome{}
+			return
+		}
+		cm, err := in.BuildCounterModel(sres.Interpretation)
+		if err != nil {
+			ch <- outcome{err: err}
+			return
+		}
+		if err := in.Verify(cm); err != nil {
+			ch <- outcome{err: err}
+			return
+		}
+		res := &PresentationResult{Instance: in, Verdict: FiniteCounterexample, Witness: sres.Interpretation, CounterModel: cm}
+		ch <- outcome{res: res, winner: "model-search"}
+	}()
+
+	var firstErr error
+	for i := 0; i < 2; i++ {
+		o := <-ch
+		if o.err != nil && firstErr == nil {
+			firstErr = o.err
+		}
+		if o.res != nil {
+			return &RaceResult{PresentationResult: o.res, Winner: o.winner}, nil
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return &RaceResult{PresentationResult: &PresentationResult{Instance: in, Verdict: Unknown}}, nil
+}
+
+// DeepeningOptions configures AnalyzePresentationDeepening.
+type DeepeningOptions struct {
+	// Initial is the budget of the first round; every later round doubles
+	// the word, node, and order budgets (orders grow by 1 per round).
+	Initial Budget
+	// Deadline bounds the total wall-clock time. <= 0 means 2 seconds.
+	Deadline time.Duration
+	// MaxRounds caps deepening rounds. <= 0 means 16.
+	MaxRounds int
+}
+
+// AnalyzePresentationDeepening alternates the two semi-procedures with
+// geometrically increasing budgets. It is complete in the limit (modulo the
+// deadline): if the instance lies in either of the Main Theorem's sets, a
+// large enough round certifies it.
+func AnalyzePresentationDeepening(p *words.Presentation, opt DeepeningOptions) (*PresentationResult, int, error) {
+	if opt.Deadline <= 0 {
+		opt.Deadline = 2 * time.Second
+	}
+	if opt.MaxRounds <= 0 {
+		opt.MaxRounds = 16
+	}
+	b := opt.Initial
+	if b.Closure.MaxWords <= 0 {
+		b.Closure.MaxWords = 64
+	}
+	if b.ModelSearch.MaxNodes <= 0 {
+		b.ModelSearch.MaxNodes = 512
+	}
+	if b.ModelSearch.MaxOrder <= 0 {
+		b.ModelSearch.MaxOrder = 2
+	}
+	start := time.Now()
+	var last *PresentationResult
+	for round := 1; round <= opt.MaxRounds; round++ {
+		res, err := AnalyzePresentation(p, b)
+		if err != nil {
+			return nil, round, err
+		}
+		last = res
+		if res.Verdict != Unknown {
+			return res, round, nil
+		}
+		if time.Since(start) > opt.Deadline {
+			return res, round, nil
+		}
+		b.Closure.MaxWords *= 2
+		b.ModelSearch.MaxNodes *= 2
+		b.ModelSearch.MaxOrder++
+		b.Chase.MaxRounds += 4
+	}
+	return last, opt.MaxRounds, nil
+}
+
+// InferDeepening is the TD-level counterpart of
+// AnalyzePresentationDeepening: it alternates the chase and the
+// finite-database enumerator with geometrically increasing budgets until an
+// answer or the deadline. Complete in the limit on both of the Main
+// Theorem's sets.
+func InferDeepening(deps []*td.TD, d0 *td.TD, opt DeepeningOptions) (InferenceResult, int, error) {
+	if opt.Deadline <= 0 {
+		opt.Deadline = 2 * time.Second
+	}
+	if opt.MaxRounds <= 0 {
+		opt.MaxRounds = 16
+	}
+	b := opt.Initial
+	if b.Chase.MaxRounds <= 0 {
+		b.Chase.MaxRounds = 2
+	}
+	if b.Chase.MaxTuples <= 0 {
+		b.Chase.MaxTuples = 32
+	}
+	b.Chase.SemiNaive = true
+	if b.FiniteDB.MaxTuples <= 0 {
+		b.FiniteDB.MaxTuples = 1
+	}
+	if b.FiniteDB.MaxNodes <= 0 {
+		b.FiniteDB.MaxNodes = 1024
+	}
+	start := time.Now()
+	var last InferenceResult
+	for round := 1; round <= opt.MaxRounds; round++ {
+		res, err := Infer(deps, d0, b)
+		if err != nil {
+			return InferenceResult{}, round, err
+		}
+		last = res
+		if res.Verdict != Unknown || time.Since(start) > opt.Deadline {
+			return res, round, nil
+		}
+		b.Chase.MaxRounds *= 2
+		b.Chase.MaxTuples *= 4
+		b.FiniteDB.MaxTuples++
+		b.FiniteDB.MaxNodes *= 4
+	}
+	return last, opt.MaxRounds, nil
+}

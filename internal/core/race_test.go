@@ -1,0 +1,105 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"templatedep/internal/search"
+	"templatedep/internal/td"
+	"templatedep/internal/words"
+)
+
+func TestRaceImplied(t *testing.T) {
+	res, err := AnalyzePresentationRace(words.TwoStepPresentation(), DefaultBudget())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != Implied || res.Winner != "derivation" {
+		t.Errorf("verdict %v winner %q", res.Verdict, res.Winner)
+	}
+	if res.Derivation == nil {
+		t.Error("missing derivation")
+	}
+}
+
+func TestRaceCounterexample(t *testing.T) {
+	// Make the derivation side exhaust fast so the model search wins.
+	b := DefaultBudget()
+	b.Closure = words.ClosureOptions{MaxWords: 10, MaxLength: 4}
+	res, err := AnalyzePresentationRace(words.PowerPresentation(), b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != FiniteCounterexample || res.Winner != "model-search" {
+		t.Errorf("verdict %v winner %q", res.Verdict, res.Winner)
+	}
+	if res.CounterModel == nil {
+		t.Error("missing counter-model")
+	}
+}
+
+func TestRaceUnknown(t *testing.T) {
+	b := DefaultBudget()
+	b.Closure = words.ClosureOptions{MaxWords: 50, MaxLength: 6}
+	b.ModelSearch = search.Options{MaxOrder: 3, MaxNodes: 10000}
+	res, err := AnalyzePresentationRace(words.IdempotentGapPresentation(), b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != Unknown || res.Winner != "" {
+		t.Errorf("verdict %v winner %q", res.Verdict, res.Winner)
+	}
+}
+
+func TestDeepeningFindsAnswersFromTinyBudgets(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		p    *words.Presentation
+		want Verdict
+	}{
+		{"twostep", words.TwoStepPresentation(), Implied},
+		{"power", words.PowerPresentation(), FiniteCounterexample},
+		{"chain2", words.ChainPresentation(2), Implied},
+	} {
+		res, rounds, err := AnalyzePresentationDeepening(tc.p, DeepeningOptions{Deadline: 10 * time.Second})
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if res.Verdict != tc.want {
+			t.Errorf("%s: verdict %v after %d rounds, want %v", tc.name, res.Verdict, rounds, tc.want)
+		}
+	}
+}
+
+func TestInferDeepening(t *testing.T) {
+	s, fig1 := td.GarmentExample()
+	_ = s
+	// Self-implication: found at some deepening round.
+	res, rounds, err := InferDeepening([]*td.TD{fig1}, fig1, DeepeningOptions{Deadline: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != Implied {
+		t.Errorf("verdict %v after %d rounds", res.Verdict, rounds)
+	}
+	// Non-implication: the chase fixpoint (or enumerator) refutes.
+	cross := td.MustParse(fig1.Schema(), "R(a, b, c) & R(a', b', c') -> R(a*, b, c')", "cross")
+	res2, _, err := InferDeepening([]*td.TD{fig1}, cross, DeepeningOptions{Deadline: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Verdict != FiniteCounterexample {
+		t.Errorf("verdict %v", res2.Verdict)
+	}
+}
+
+func TestDeepeningGapStaysUnknown(t *testing.T) {
+	res, rounds, err := AnalyzePresentationDeepening(words.IdempotentGapPresentation(),
+		DeepeningOptions{Deadline: 300 * time.Millisecond, MaxRounds: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != Unknown {
+		t.Errorf("verdict %v after %d rounds — the gap instance must stay undecided", res.Verdict, rounds)
+	}
+}

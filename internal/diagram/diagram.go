@@ -1,0 +1,361 @@
+// Package diagram implements the dependency diagrams of Fagin, Maier,
+// Ullman and Yannakakis (1981), which the paper uses to describe template
+// dependencies succinctly (Figs. 1–3).
+//
+// A diagram is an undirected graph whose nodes stand for tuples of the
+// relation and whose edges are labeled with attributes on which the joined
+// tuples agree. Numbered nodes are antecedents; the node labeled * is the
+// conclusion. Each attribute's edges generate an equivalence relation on
+// nodes (implied edges may be omitted in drawings); the conclusion tuple
+// has existentially quantified components on attributes that do not connect
+// it (even transitively) to the rest of the diagram.
+package diagram
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"templatedep/internal/eid"
+	"templatedep/internal/relation"
+	"templatedep/internal/tableau"
+	"templatedep/internal/td"
+)
+
+// Edge joins nodes U and V and is labeled with an attribute.
+type Edge struct {
+	Attr relation.Attr
+	U, V int
+}
+
+// Diagram is a dependency diagram: nodes 0..NumNodes-1, one of which is the
+// conclusion (*).
+type Diagram struct {
+	schema      *relation.Schema
+	numNodes    int
+	conclusions []int // sorted; usually one, several for EID diagrams
+	edges       []Edge
+}
+
+// New creates a diagram with numNodes nodes; conclusion is the index of the
+// * node.
+func New(schema *relation.Schema, numNodes, conclusion int) (*Diagram, error) {
+	return NewMulti(schema, numNodes, []int{conclusion})
+}
+
+// NewMulti creates a diagram with several conclusion nodes — the diagram
+// form of an embedded implicational dependency, whose conclusion is a
+// conjunction of atoms sharing existential variables.
+func NewMulti(schema *relation.Schema, numNodes int, conclusions []int) (*Diagram, error) {
+	if len(conclusions) == 0 {
+		return nil, fmt.Errorf("diagram: need at least one conclusion node")
+	}
+	if numNodes < len(conclusions)+1 {
+		return nil, fmt.Errorf("diagram: need at least one antecedent node besides the conclusions")
+	}
+	seen := make(map[int]bool)
+	sorted := append([]int(nil), conclusions...)
+	sort.Ints(sorted)
+	for _, c := range sorted {
+		if c < 0 || c >= numNodes {
+			return nil, fmt.Errorf("diagram: conclusion index %d out of range", c)
+		}
+		if seen[c] {
+			return nil, fmt.Errorf("diagram: duplicate conclusion index %d", c)
+		}
+		seen[c] = true
+	}
+	return &Diagram{schema: schema, numNodes: numNodes, conclusions: sorted}, nil
+}
+
+// MustNew is New that panics on error.
+func MustNew(schema *relation.Schema, numNodes, conclusion int) *Diagram {
+	g, err := New(schema, numNodes, conclusion)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// Schema returns the diagram's schema.
+func (g *Diagram) Schema() *relation.Schema { return g.schema }
+
+// NumNodes returns the node count (including the conclusion).
+func (g *Diagram) NumNodes() int { return g.numNodes }
+
+// Conclusion returns the index of the * node.
+func (g *Diagram) Conclusion() int { return g.conclusions[0] }
+
+// Conclusions returns all conclusion node indices (sorted).
+func (g *Diagram) Conclusions() []int {
+	return append([]int(nil), g.conclusions...)
+}
+
+// isConclusion reports whether node i is a conclusion node.
+func (g *Diagram) isConclusion(i int) bool {
+	for _, c := range g.conclusions {
+		if c == i {
+			return true
+		}
+	}
+	return false
+}
+
+// Edges returns the edge list (not copied).
+func (g *Diagram) Edges() []Edge { return g.edges }
+
+// AddEdge joins u and v with an attribute label.
+func (g *Diagram) AddEdge(attr relation.Attr, u, v int) error {
+	if int(attr) < 0 || int(attr) >= g.schema.Width() {
+		return fmt.Errorf("diagram: attribute %d out of range", int(attr))
+	}
+	if u < 0 || u >= g.numNodes || v < 0 || v >= g.numNodes {
+		return fmt.Errorf("diagram: edge (%d, %d) out of range", u, v)
+	}
+	if u == v {
+		return fmt.Errorf("diagram: self-loop on node %d is meaningless (agreement is reflexive)", u)
+	}
+	g.edges = append(g.edges, Edge{Attr: attr, U: u, V: v})
+	return nil
+}
+
+// MustAddEdge is AddEdge that panics on error.
+func (g *Diagram) MustAddEdge(attr relation.Attr, u, v int) {
+	if err := g.AddEdge(attr, u, v); err != nil {
+		panic(err)
+	}
+}
+
+// components returns, for attribute a, the partition of nodes into
+// agreement classes (the reflexive-transitive closure of a's edges),
+// as a slice mapping node -> class id (dense, in first-seen order).
+func (g *Diagram) components(a relation.Attr) []int {
+	parent := make([]int, g.numNodes)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for _, e := range g.edges {
+		if e.Attr != a {
+			continue
+		}
+		ru, rv := find(e.U), find(e.V)
+		if ru != rv {
+			parent[ru] = rv
+		}
+	}
+	cls := make([]int, g.numNodes)
+	next := 0
+	seen := make(map[int]int)
+	for i := 0; i < g.numNodes; i++ {
+		r := find(i)
+		id, ok := seen[r]
+		if !ok {
+			id = next
+			next++
+			seen[r] = id
+		}
+		cls[i] = id
+	}
+	return cls
+}
+
+// SameClass reports whether nodes u and v agree on attribute a (possibly
+// through implied edges).
+func (g *Diagram) SameClass(a relation.Attr, u, v int) bool {
+	cls := g.components(a)
+	return cls[u] == cls[v]
+}
+
+// TD converts the diagram to a template dependency: antecedent nodes in
+// index order, then the conclusion. Within each attribute, nodes in the
+// same agreement class share a variable.
+func (g *Diagram) TD(name string) (*td.TD, error) {
+	width := g.schema.Width()
+	classes := make([][]int, width)
+	for a := 0; a < width; a++ {
+		classes[a] = g.components(relation.Attr(a))
+	}
+	row := func(node int) tableau.VarTuple {
+		r := make(tableau.VarTuple, width)
+		for a := 0; a < width; a++ {
+			r[a] = tableau.Var(classes[a][node])
+		}
+		return r
+	}
+	if len(g.conclusions) != 1 {
+		return nil, fmt.Errorf("diagram: %d conclusion nodes; a TD has exactly one (use an EID)", len(g.conclusions))
+	}
+	var antecedents []tableau.VarTuple
+	for i := 0; i < g.numNodes; i++ {
+		if !g.isConclusion(i) {
+			antecedents = append(antecedents, row(i))
+		}
+	}
+	return td.New(g.schema, antecedents, row(g.conclusions[0]), name)
+}
+
+// FromTD converts a TD back into a diagram: nodes are the antecedents (in
+// order) followed by the conclusion (as the last node, marked *). For each
+// attribute, nodes sharing a variable are connected by a path of edges in
+// node order (implied edges are omitted, as in the paper's drawings).
+func FromTD(d *td.TD) *Diagram {
+	k := d.NumAntecedents()
+	rows := make([]tableau.VarTuple, 0, k+1)
+	for i := 0; i < k; i++ {
+		rows = append(rows, d.Antecedent(i))
+	}
+	rows = append(rows, d.Conclusion())
+	return fromRows(d.Schema(), rows, []int{k})
+}
+
+// FromEID converts an EID into a multi-conclusion diagram: antecedent nodes
+// first, then one starred node per conclusion atom (sharing variables, and
+// hence edges, with each other and the antecedents).
+func FromEID(e *eid.EID) *Diagram {
+	k := e.NumAntecedents()
+	rows := make([]tableau.VarTuple, 0, k+e.NumConclusions())
+	tab := eidRows(e)
+	rows = append(rows, tab...)
+	conclusions := make([]int, e.NumConclusions())
+	for i := range conclusions {
+		conclusions[i] = k + i
+	}
+	return fromRows(e.Schema(), rows, conclusions)
+}
+
+// eidRows extracts all rows of an EID in order (antecedents, conclusions).
+func eidRows(e *eid.EID) []tableau.VarTuple {
+	var rows []tableau.VarTuple
+	for i := 0; i < e.NumAntecedents(); i++ {
+		rows = append(rows, e.Antecedent(i))
+	}
+	for i := 0; i < e.NumConclusions(); i++ {
+		rows = append(rows, e.Conclusion(i))
+	}
+	return rows
+}
+
+// fromRows builds a diagram from pattern rows, marking the given nodes as
+// conclusions.
+func fromRows(schema *relation.Schema, rows []tableau.VarTuple, conclusions []int) *Diagram {
+	g, err := NewMulti(schema, len(rows), conclusions)
+	if err != nil {
+		panic(err)
+	}
+	for a := 0; a < schema.Width(); a++ {
+		byVar := make(map[tableau.Var][]int)
+		for ni, r := range rows {
+			byVar[r[a]] = append(byVar[r[a]], ni)
+		}
+		vars := make([]int, 0, len(byVar))
+		for v := range byVar {
+			vars = append(vars, int(v))
+		}
+		sort.Ints(vars)
+		for _, v := range vars {
+			nodes := byVar[tableau.Var(v)]
+			for i := 1; i < len(nodes); i++ {
+				g.MustAddEdge(relation.Attr(a), nodes[i-1], nodes[i])
+			}
+		}
+	}
+	return g
+}
+
+// nodeLabel names nodes as 1..k and "*" for the conclusion, following the
+// paper's figures.
+func (g *Diagram) nodeLabel(i int) string {
+	if g.isConclusion(i) {
+		if len(g.conclusions) == 1 {
+			return "*"
+		}
+		for k, c := range g.conclusions {
+			if c == i {
+				return fmt.Sprintf("*%d", k+1)
+			}
+		}
+	}
+	// Number the non-conclusion nodes 1..k in index order.
+	n := 0
+	for j := 0; j <= i; j++ {
+		if !g.isConclusion(j) {
+			n++
+		}
+	}
+	return fmt.Sprintf("%d", n)
+}
+
+// DOT renders the diagram in Graphviz format.
+func (g *Diagram) DOT(name string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "graph %q {\n", name)
+	b.WriteString("  node [shape=circle];\n")
+	for i := 0; i < g.numNodes; i++ {
+		shape := ""
+		if g.isConclusion(i) {
+			shape = " [shape=doublecircle]"
+		}
+		fmt.Fprintf(&b, "  n%d [label=%q]%s;\n", i, g.nodeLabel(i), shape)
+	}
+	for _, e := range g.edges {
+		fmt.Fprintf(&b, "  n%d -- n%d [label=%q];\n", e.U, e.V, g.schema.Name(e.Attr))
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// ASCII renders the diagram as an adjacency listing readable in a terminal.
+func (g *Diagram) ASCII() string {
+	var b strings.Builder
+	labels := make([]string, len(g.conclusions))
+	for k, c := range g.conclusions {
+		labels[k] = g.nodeLabel(c)
+	}
+	fmt.Fprintf(&b, "diagram over %s, %d nodes, conclusion %s\n",
+		g.schema.String(), g.numNodes, strings.Join(labels, ","))
+	byPair := make(map[[2]int][]string)
+	var pairs [][2]int
+	for _, e := range g.edges {
+		u, v := e.U, e.V
+		if u > v {
+			u, v = v, u
+		}
+		key := [2]int{u, v}
+		if len(byPair[key]) == 0 {
+			pairs = append(pairs, key)
+		}
+		byPair[key] = append(byPair[key], g.schema.Name(e.Attr))
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i][0] != pairs[j][0] {
+			return pairs[i][0] < pairs[j][0]
+		}
+		return pairs[i][1] < pairs[j][1]
+	})
+	for _, p := range pairs {
+		labels := byPair[p]
+		sort.Strings(labels)
+		fmt.Fprintf(&b, "  %s --[%s]-- %s\n", g.nodeLabel(p[0]), strings.Join(labels, ","), g.nodeLabel(p[1]))
+	}
+	return b.String()
+}
+
+// Fig1 reproduces the paper's Figure 1: the garment dependency's diagram.
+// Node 1 is (a, b, c), node 2 is (a, b', c'), node * is (a*, b, c'); the
+// edges are A between 1 and 2, B between 1 and *, C between 2 and *.
+func Fig1() (*Diagram, *td.TD) {
+	s, d := td.GarmentExample()
+	g := MustNew(s, 3, 2)
+	g.MustAddEdge(s.MustAttr("SUPPLIER"), 0, 1)
+	g.MustAddEdge(s.MustAttr("STYLE"), 0, 2)
+	g.MustAddEdge(s.MustAttr("SIZE"), 1, 2)
+	return g, d
+}

@@ -1,0 +1,167 @@
+package diagram
+
+import (
+	"strings"
+	"testing"
+
+	"templatedep/internal/eid"
+	"templatedep/internal/relation"
+	"templatedep/internal/td"
+)
+
+func TestFig1MatchesGarmentTD(t *testing.T) {
+	g, want := Fig1()
+	got, err := g.TD("fig1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Format() != want.Format() {
+		t.Errorf("diagram TD = %s\nwant        %s", got.Format(), want.Format())
+	}
+	if got.IsFull() {
+		t.Error("fig1 is embedded")
+	}
+}
+
+func TestFromTDRoundTrip(t *testing.T) {
+	_, fig1 := td.GarmentExample()
+	g := FromTD(fig1)
+	if g.NumNodes() != 3 || g.Conclusion() != 2 {
+		t.Fatalf("nodes %d conclusion %d", g.NumNodes(), g.Conclusion())
+	}
+	back, err := g.TD("back")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Format() != fig1.Format() {
+		t.Errorf("round trip: %s vs %s", back.Format(), fig1.Format())
+	}
+}
+
+func TestComponentsTransitivity(t *testing.T) {
+	s := relation.MustSchema("A", "B")
+	g := MustNew(s, 4, 3)
+	g.MustAddEdge(0, 0, 1)
+	g.MustAddEdge(0, 1, 2)
+	// 0-1-2 chained on A: all in one class; 3 alone.
+	if !g.SameClass(0, 0, 2) {
+		t.Error("transitive closure missing")
+	}
+	if g.SameClass(0, 0, 3) {
+		t.Error("spurious class merge")
+	}
+	if g.SameClass(1, 0, 1) {
+		t.Error("edges leaked across attributes")
+	}
+}
+
+func TestDiagramValidation(t *testing.T) {
+	s := relation.MustSchema("A")
+	if _, err := New(s, 1, 0); err == nil {
+		t.Error("single-node diagram accepted")
+	}
+	if _, err := New(s, 3, 5); err == nil {
+		t.Error("out-of-range conclusion accepted")
+	}
+	g := MustNew(s, 3, 2)
+	if err := g.AddEdge(5, 0, 1); err == nil {
+		t.Error("bad attribute accepted")
+	}
+	if err := g.AddEdge(0, 0, 9); err == nil {
+		t.Error("bad node accepted")
+	}
+	if err := g.AddEdge(0, 1, 1); err == nil {
+		t.Error("self-loop accepted")
+	}
+}
+
+func TestRenderings(t *testing.T) {
+	g, _ := Fig1()
+	dot := g.DOT("fig1")
+	for _, want := range []string{"graph \"fig1\"", "doublecircle", "SUPPLIER", "--"} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT missing %q:\n%s", want, dot)
+		}
+	}
+	ascii := g.ASCII()
+	for _, want := range []string{"conclusion *", "1 --[SUPPLIER]-- 2", "--[STYLE]--", "--[SIZE]--"} {
+		if !strings.Contains(ascii, want) {
+			t.Errorf("ASCII missing %q:\n%s", want, ascii)
+		}
+	}
+}
+
+func TestMultiLabelEdgeRendering(t *testing.T) {
+	s := relation.MustSchema("A", "B")
+	g := MustNew(s, 2, 1)
+	g.MustAddEdge(0, 0, 1)
+	g.MustAddEdge(1, 0, 1)
+	ascii := g.ASCII()
+	if !strings.Contains(ascii, "[A,B]") {
+		t.Errorf("multi-label edge not merged: %s", ascii)
+	}
+}
+
+func TestFromEIDMultiConclusion(t *testing.T) {
+	_, e := eid.PaperExample()
+	g := FromEID(e)
+	if g.NumNodes() != 4 {
+		t.Fatalf("nodes %d, want 4 (2 antecedents + 2 conclusions)", g.NumNodes())
+	}
+	if got := g.Conclusions(); len(got) != 2 || got[0] != 2 || got[1] != 3 {
+		t.Errorf("conclusions %v", got)
+	}
+	// The two conclusion atoms share the existential supplier: they must be
+	// SUPPLIER-connected to each other but to no antecedent.
+	sup := e.Schema().MustAttr("SUPPLIER")
+	if !g.SameClass(sup, 2, 3) {
+		t.Error("conclusion atoms should share the supplier class")
+	}
+	if g.SameClass(sup, 0, 2) || g.SameClass(sup, 1, 3) {
+		t.Error("existential supplier leaked into the antecedents")
+	}
+	// Rendering marks both starred nodes.
+	ascii := g.ASCII()
+	if !strings.Contains(ascii, "*1") || !strings.Contains(ascii, "*2") {
+		t.Errorf("ASCII missing starred nodes:\n%s", ascii)
+	}
+	// A multi-conclusion diagram cannot be converted to a TD.
+	if _, err := g.TD("x"); err == nil {
+		t.Error("multi-conclusion diagram converted to TD")
+	}
+}
+
+func TestNewMultiValidation(t *testing.T) {
+	s := relation.MustSchema("A")
+	if _, err := NewMulti(s, 3, nil); err == nil {
+		t.Error("no conclusions accepted")
+	}
+	if _, err := NewMulti(s, 2, []int{0, 1}); err == nil {
+		t.Error("all-conclusion diagram accepted")
+	}
+	if _, err := NewMulti(s, 3, []int{1, 1}); err == nil {
+		t.Error("duplicate conclusion accepted")
+	}
+	if _, err := NewMulti(s, 3, []int{5}); err == nil {
+		t.Error("out-of-range conclusion accepted")
+	}
+}
+
+func TestTDToDiagramSatisfactionEquivalence(t *testing.T) {
+	// The TD produced by a diagram and the TD it came from agree on
+	// satisfaction over a concrete instance.
+	s, fig1 := td.GarmentExample()
+	g := FromTD(fig1)
+	d2, err := g.TD("copy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := relation.NewInstance(s)
+	inst.MustAdd(relation.Tuple{0, 0, 0})
+	inst.MustAdd(relation.Tuple{0, 1, 1})
+	ok1, _ := fig1.Satisfies(inst)
+	ok2, _ := d2.Satisfies(inst)
+	if ok1 != ok2 {
+		t.Errorf("satisfaction differs: %v vs %v", ok1, ok2)
+	}
+}

@@ -1,0 +1,154 @@
+package eid
+
+import (
+	"fmt"
+
+	"templatedep/internal/relation"
+	"templatedep/internal/tableau"
+)
+
+// The EID chase generalizes the TD chase of package chase: a trigger is a
+// match of an EID's antecedents that does not extend to a joint match of
+// ALL conclusion atoms; firing it adds every conclusion atom at once, with
+// the existential variables shared across atoms bound to the same fresh
+// values. Everything else (fair rounds, budgets, three-valued verdicts)
+// mirrors the TD engine.
+
+// Options bounds an EID chase run.
+type Options struct {
+	// MaxRounds caps fair rounds. <= 0 means 64.
+	MaxRounds int
+	// MaxTuples caps the instance size. <= 0 means 100000.
+	MaxTuples int
+}
+
+// DefaultOptions returns moderate defaults.
+func DefaultOptions() Options { return Options{MaxRounds: 64, MaxTuples: 100000} }
+
+// Verdict is the three-valued implication outcome.
+type Verdict int
+
+const (
+	// Unknown means budgets ran out.
+	Unknown Verdict = iota
+	// Implied means the dependency set logically implies the goal.
+	Implied
+	// NotImplied means a fixpoint was reached without the goal: the
+	// fixpoint is a finite counterexample.
+	NotImplied
+)
+
+func (v Verdict) String() string {
+	switch v {
+	case Implied:
+		return "implied"
+	case NotImplied:
+		return "not-implied"
+	default:
+		return "unknown"
+	}
+}
+
+// Result reports an EID chase run.
+type Result struct {
+	Verdict         Verdict
+	Instance        *relation.Instance
+	FixpointReached bool
+	Rounds          int
+	TuplesAdded     int
+}
+
+// Chase closes start (cloned) under the EIDs, evaluating goal after every
+// round when non-nil.
+func Chase(deps []*EID, start *relation.Instance, goal func(*relation.Instance) bool, opt Options) (Result, error) {
+	if opt.MaxRounds <= 0 {
+		opt.MaxRounds = 64
+	}
+	if opt.MaxTuples <= 0 {
+		opt.MaxTuples = 100000
+	}
+	for i, d := range deps {
+		if !d.Schema().Equal(start.Schema()) {
+			return Result{}, fmt.Errorf("eid: dependency %d has a different schema", i)
+		}
+	}
+	inst := start.Clone()
+	res := Result{Instance: inst}
+	if goal != nil && goal(inst) {
+		res.Verdict = Implied
+		return res, nil
+	}
+	for round := 1; round <= opt.MaxRounds; round++ {
+		res.Rounds = round
+		var adds []relation.Tuple
+		for _, d := range deps {
+			d.tab.EachPrefixHomomorphism(inst, nil, d.numAnte, func(as tableau.Assignment) bool {
+				if d.tab.HasHomomorphism(inst, as) {
+					return true // conclusion already jointly witnessed
+				}
+				// Materialize all conclusion atoms with shared fresh values.
+				bound := as.Clone()
+				for ci := 0; ci < d.NumConclusions(); ci++ {
+					row := d.Conclusion(ci)
+					tup := make(relation.Tuple, len(row))
+					for a, v := range row {
+						if bound[a][v] == tableau.Unbound {
+							bound[a][v] = inst.FreshValue(relation.Attr(a))
+						}
+						tup[a] = bound[a][v]
+					}
+					adds = append(adds, tup)
+				}
+				return true
+			})
+		}
+		if len(adds) == 0 {
+			res.FixpointReached = true
+			if goal == nil {
+				res.Verdict = Unknown
+			} else {
+				res.Verdict = NotImplied
+			}
+			return res, nil
+		}
+		for _, tup := range adds {
+			if inst.Len() >= opt.MaxTuples {
+				res.Verdict = Unknown
+				return res, nil
+			}
+			if _, added, err := inst.Add(tup); err != nil {
+				return Result{}, err
+			} else if added {
+				res.TuplesAdded++
+			}
+		}
+		if goal != nil && goal(inst) {
+			res.Verdict = Implied
+			return res, nil
+		}
+	}
+	res.Verdict = Unknown
+	return res, nil
+}
+
+// Implies semidecides whether deps logically imply goal, by chasing the
+// goal's frozen antecedents and watching for a joint match of all its
+// conclusion atoms.
+func Implies(deps []*EID, goal *EID, opt Options) (Result, error) {
+	// Freeze the goal's antecedents with the identity assignment.
+	inst := relation.NewInstance(goal.Schema())
+	seed := tableau.NewAssignment(goal.tab)
+	for ri := 0; ri < goal.numAnte; ri++ {
+		row := goal.tab.Row(ri)
+		tup := make(relation.Tuple, len(row))
+		for a, v := range row {
+			tup[a] = relation.Value(v)
+			seed[a][v] = relation.Value(v)
+		}
+		inst.MustAdd(tup)
+	}
+	check := func(cur *relation.Instance) bool {
+		return goal.tab.HasHomomorphism(cur, seed)
+	}
+	return Chase(deps, inst, check, opt)
+}

@@ -1,0 +1,145 @@
+package eid
+
+import (
+	"strings"
+	"testing"
+
+	"templatedep/internal/relation"
+	"templatedep/internal/td"
+)
+
+func TestPaperExampleSatisfaction(t *testing.T) {
+	s, e := PaperExample()
+	if e.NumAntecedents() != 2 || e.NumConclusions() != 2 {
+		t.Fatalf("shape %d/%d", e.NumAntecedents(), e.NumConclusions())
+	}
+	if e.IsTD() {
+		t.Error("two-conclusion EID reported as TD")
+	}
+	inst := relation.NewInstance(s)
+	// Supplier 0 supplies style 0 size 0 and style 1 size 1: need a single
+	// supplier with (style0, size0) and (style0, size1).
+	inst.MustAdd(relation.Tuple{0, 0, 0})
+	inst.MustAdd(relation.Tuple{0, 1, 1})
+	ok, witness := e.Satisfies(inst)
+	if ok {
+		t.Fatal("should be violated")
+	}
+	if witness == nil {
+		t.Fatal("violation needs a witness")
+	}
+	// Add a supplier covering both: satisfied for that match. The repair
+	// tuples also create new matches; close manually and check via brute
+	// force equivalence with two single-conclusion TDs? No: the shared a*
+	// cannot be decomposed into independent TDs. Just verify the positive
+	// case on a crafted instance.
+	inst2 := relation.NewInstance(s)
+	inst2.MustAdd(relation.Tuple{0, 0, 0})
+	inst2.MustAdd(relation.Tuple{0, 0, 1})
+	// Only matches have b=0 (style of first tuple), c in {0,1}; supplier 0
+	// itself covers (0,0) and (0,1).
+	if ok, _ := e.Satisfies(inst2); !ok {
+		t.Error("self-covering instance should satisfy the EID")
+	}
+}
+
+func TestSharedExistentialMatters(t *testing.T) {
+	// The conjunctive conclusion with shared a* is strictly stronger than
+	// the two TDs with independent existentials.
+	s, e := PaperExample()
+	tdA := td.MustParse(s, "R(a, b, c) & R(a, b', c') -> R(x, b, c)", "") // trivial-ish
+	tdB := td.MustParse(s, "R(a, b, c) & R(a, b', c') -> R(y, b, c')", "")
+	inst := relation.NewInstance(s)
+	inst.MustAdd(relation.Tuple{0, 0, 0})
+	inst.MustAdd(relation.Tuple{0, 1, 1})
+	inst.MustAdd(relation.Tuple{1, 0, 1}) // supplier 1 covers (style0, size1)
+	inst.MustAdd(relation.Tuple{2, 1, 0}) // supplier 2 covers (style1, size0)
+	// Both TDs hold: (x,b,c) matched by the first tuple of each match
+	// itself; (y,b,c') by the covering suppliers 1 and 2.
+	if ok, _ := tdA.Satisfies(inst); !ok {
+		t.Fatal("tdA should hold")
+	}
+	if ok, _ := tdB.Satisfies(inst); !ok {
+		t.Fatal("tdB should hold")
+	}
+	// The EID demands ONE supplier covering both sizes: no supplier has
+	// both (style0,size0) and (style0,size1).
+	if ok, _ := e.Satisfies(inst); ok {
+		t.Error("EID should be violated: the existential supplier is shared")
+	}
+}
+
+func TestFromTD(t *testing.T) {
+	s, fig1 := td.GarmentExample()
+	e := FromTD(fig1)
+	if !e.IsTD() {
+		t.Error("TD-derived EID should report IsTD")
+	}
+	inst := relation.NewInstance(s)
+	inst.MustAdd(relation.Tuple{0, 0, 0})
+	inst.MustAdd(relation.Tuple{0, 1, 1})
+	okTD, _ := fig1.Satisfies(inst)
+	okEID, _ := e.Satisfies(inst)
+	if okTD != okEID {
+		t.Errorf("TD %v vs EID %v", okTD, okEID)
+	}
+	inst.MustAdd(relation.Tuple{1, 0, 1})
+	okTD, _ = fig1.Satisfies(inst)
+	okEID, _ = e.Satisfies(inst)
+	if okTD != okEID {
+		t.Errorf("after repair: TD %v vs EID %v", okTD, okEID)
+	}
+}
+
+func TestParseAndFormat(t *testing.T) {
+	s := relation.MustSchema("A", "B")
+	e, err := Parse(s, "R(a, b) -> R(a, b') & R(a', b)", "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.NumConclusions() != 2 {
+		t.Errorf("conclusions %d", e.NumConclusions())
+	}
+	text := e.Format()
+	e2, err := Parse(s, text, "y")
+	if err != nil {
+		t.Fatalf("reparse %q: %v", text, err)
+	}
+	if e2.Format() != text {
+		t.Errorf("round trip %q vs %q", e2.Format(), text)
+	}
+	if !strings.Contains(text, "->") {
+		t.Errorf("Format = %q", text)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	s := relation.MustSchema("A", "B")
+	for _, bad := range []string{
+		"R(a, b)",            // no arrow
+		"-> R(a, b)",         // no antecedents
+		"R(a, b) ->",         // no conclusions
+		"R(a) -> R(a, b)",    // width
+		"R(a, a) -> R(a, a)", // typing
+		"S(a, b) -> R(a, b)", // relation name
+	} {
+		if _, err := Parse(s, bad, ""); err == nil {
+			t.Errorf("accepted %q", bad)
+		}
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	s := relation.MustSchema("A")
+	if _, err := New(s, nil, nil, ""); err == nil {
+		t.Error("empty EID accepted")
+	}
+}
+
+func TestSatisfiesEmptyInstance(t *testing.T) {
+	_, e := PaperExample()
+	inst := relation.NewInstance(e.Schema())
+	if ok, _ := e.Satisfies(inst); !ok {
+		t.Error("EIDs hold vacuously on the empty instance")
+	}
+}

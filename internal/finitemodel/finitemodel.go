@@ -1,0 +1,197 @@
+// Package finitemodel implements a brute-force finite-database
+// counterexample search for template dependency inference: given D and D0,
+// it enumerates small typed instances looking for one that satisfies every
+// member of D and violates D0.
+//
+// This is the database-side realization of the Main Theorem's second set
+// {(D, D0) : D0 fails in some finite database satisfying D}: enumerating
+// all finite databases is a genuine semidecision procedure for membership.
+// It complements the chase (which certifies the first set) and the
+// semigroup route of package reduction (which produces large structured
+// counterexamples the enumeration could never reach).
+//
+// The search enumerates instances in a canonical order (tuples strictly
+// increasing lexicographically, values per column restricted to
+// first-occurrence order) to prune isomorphic duplicates.
+package finitemodel
+
+import (
+	"fmt"
+
+	"templatedep/internal/relation"
+	"templatedep/internal/td"
+)
+
+// Options bounds the enumeration.
+type Options struct {
+	// MaxTuples caps the instance size. <= 0 means 4.
+	MaxTuples int
+	// MaxValuesPerColumn caps the active domain per attribute; <= 0 means
+	// MaxTuples (more values than tuples never helps: each tuple
+	// contributes one value per column).
+	MaxValuesPerColumn int
+	// MaxNodes caps search nodes. <= 0 means 2,000,000.
+	MaxNodes int
+}
+
+// DefaultOptions returns conservative defaults for narrow schemas.
+func DefaultOptions() Options { return Options{MaxTuples: 4} }
+
+// Outcome reports how the search ended.
+type Outcome int
+
+const (
+	// ExhaustedWithinBounds means no counterexample exists within the
+	// bounds (not a proof that none exists at all).
+	ExhaustedWithinBounds Outcome = iota
+	// Found means a counterexample database was found.
+	Found
+	// BudgetExhausted means MaxNodes ran out first.
+	BudgetExhausted
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case Found:
+		return "found"
+	case BudgetExhausted:
+		return "budget-exhausted"
+	default:
+		return "exhausted-within-bounds"
+	}
+}
+
+// Result is the outcome of FindCounterexample.
+type Result struct {
+	Outcome      Outcome
+	Instance     *relation.Instance // non-nil iff Outcome == Found
+	NodesVisited int
+}
+
+// FindCounterexample searches for a finite instance satisfying every
+// dependency in deps and violating d0.
+func FindCounterexample(deps []*td.TD, d0 *td.TD, opt Options) (Result, error) {
+	if opt.MaxTuples <= 0 {
+		opt.MaxTuples = 4
+	}
+	if opt.MaxValuesPerColumn <= 0 || opt.MaxValuesPerColumn > opt.MaxTuples {
+		opt.MaxValuesPerColumn = opt.MaxTuples
+	}
+	if opt.MaxNodes <= 0 {
+		opt.MaxNodes = 2_000_000
+	}
+	schema := d0.Schema()
+	for i, d := range deps {
+		if !d.Schema().Equal(schema) {
+			return Result{}, fmt.Errorf("finitemodel: dependency %d has a different schema", i)
+		}
+	}
+	s := &searcher{schema: schema, deps: deps, d0: d0, opt: opt}
+	for n := 1; n <= opt.MaxTuples; n++ {
+		inst, err := s.searchSize(n)
+		if err != nil {
+			return Result{}, err
+		}
+		if inst != nil {
+			return Result{Outcome: Found, Instance: inst, NodesVisited: s.nodes}, nil
+		}
+		if s.nodes >= s.opt.MaxNodes {
+			return Result{Outcome: BudgetExhausted, NodesVisited: s.nodes}, nil
+		}
+	}
+	return Result{Outcome: ExhaustedWithinBounds, NodesVisited: s.nodes}, nil
+}
+
+type searcher struct {
+	schema *relation.Schema
+	deps   []*td.TD
+	d0     *td.TD
+	opt    Options
+	nodes  int
+}
+
+// searchSize enumerates canonical instances with exactly n tuples.
+func (s *searcher) searchSize(n int) (*relation.Instance, error) {
+	width := s.schema.Width()
+	tuples := make([]relation.Tuple, n)
+	used := make([]int, width) // distinct values used so far per column
+
+	var place func(ti int) (*relation.Instance, error)
+	var fill func(ti, col int, tup relation.Tuple, usedDelta []int) (*relation.Instance, error)
+
+	check := func() (*relation.Instance, error) {
+		inst := relation.NewInstance(s.schema)
+		for _, t := range tuples {
+			if _, _, err := inst.Add(t); err != nil {
+				return nil, err
+			}
+		}
+		if inst.Len() != n {
+			return nil, nil // duplicate tuples; skip
+		}
+		for _, d := range s.deps {
+			if ok, _ := d.Satisfies(inst); !ok {
+				return nil, nil
+			}
+		}
+		if ok, _ := s.d0.Satisfies(inst); ok {
+			return nil, nil
+		}
+		return inst, nil
+	}
+
+	fill = func(ti, col int, tup relation.Tuple, usedDelta []int) (*relation.Instance, error) {
+		s.nodes++
+		if s.nodes >= s.opt.MaxNodes {
+			return nil, nil
+		}
+		if col == width {
+			// Canonical order: strictly greater than the previous tuple.
+			if ti > 0 && !lexLess(tuples[ti-1], tup) {
+				return nil, nil
+			}
+			tuples[ti] = tup.Clone()
+			return place(ti + 1)
+		}
+		limit := used[col]
+		if limit >= s.opt.MaxValuesPerColumn {
+			limit = s.opt.MaxValuesPerColumn - 1
+		}
+		for v := 0; v <= limit; v++ {
+			tup[col] = relation.Value(v)
+			fresh := v == used[col]
+			if fresh {
+				used[col]++
+				usedDelta[col]++
+			}
+			inst, err := fill(ti, col+1, tup, usedDelta)
+			if err != nil || inst != nil {
+				return inst, err
+			}
+			if fresh {
+				used[col]--
+				usedDelta[col]--
+			}
+		}
+		return nil, nil
+	}
+
+	place = func(ti int) (*relation.Instance, error) {
+		if ti == n {
+			return check()
+		}
+		tup := make(relation.Tuple, width)
+		usedDelta := make([]int, width)
+		return fill(ti, 0, tup, usedDelta)
+	}
+	return place(0)
+}
+
+func lexLess(a, b relation.Tuple) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}

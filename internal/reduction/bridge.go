@@ -1,0 +1,139 @@
+package reduction
+
+import (
+	"fmt"
+
+	"templatedep/internal/relation"
+	"templatedep/internal/tableau"
+	"templatedep/internal/words"
+)
+
+// Bridge is the Fig. 2 structure representing a word A1...Ak: base nodes
+// c0..ck, all E-equivalent; apex nodes d1..dk, all E'-equivalent; and for
+// each symbol Ai a triangle c(i-1) —Ai'— di —Ai”— ci.
+type Bridge struct {
+	// Word is the represented word.
+	Word words.Word
+	// Tableau holds the k+1 base rows followed by the k apex rows.
+	Tableau *tableau.Tableau
+	// BaseNodes and ApexNodes index rows of Tableau.
+	BaseNodes []int
+	ApexNodes []int
+}
+
+// BuildBridge constructs the bridge tableau for a non-empty word.
+func (in *Instance) BuildBridge(w words.Word) (*Bridge, error) {
+	if w.IsEmpty() {
+		return nil, fmt.Errorf("reduction: cannot build a bridge for the empty word")
+	}
+	for _, s := range w {
+		if !in.Pres.Alphabet.Contains(s) {
+			return nil, fmt.Errorf("reduction: word uses symbol %d outside the alphabet", int(s))
+		}
+	}
+	k := w.Len()
+	numNodes := (k + 1) + k // base + apexes
+	width := in.Schema.Width()
+
+	// Per-column union-find over nodes; unmerged node components become
+	// distinct variables.
+	parent := make([][]int, width)
+	for a := range parent {
+		parent[a] = make([]int, numNodes)
+		for i := range parent[a] {
+			parent[a][i] = i
+		}
+	}
+	find := func(a, x int) int {
+		for parent[a][x] != x {
+			parent[a][x] = parent[a][parent[a][x]]
+			x = parent[a][x]
+		}
+		return x
+	}
+	union := func(a relation.Attr, x, y int) {
+		rx, ry := find(int(a), x), find(int(a), y)
+		if rx != ry {
+			parent[a][rx] = ry
+		}
+	}
+	base := func(i int) int { return i }         // c_i, i in 0..k
+	apex := func(i int) int { return k + 1 + i } // d_(i+1), i in 0..k-1
+
+	for i := 0; i+1 <= k; i++ {
+		union(in.e, base(i), base(i+1))
+	}
+	for i := 0; i+1 < k; i++ {
+		union(in.ePrime, apex(i), apex(i+1))
+	}
+	for i, sym := range w {
+		union(in.prime[sym], base(i), apex(i))
+		union(in.dprime[sym], apex(i), base(i+1))
+	}
+
+	rows := make([]tableau.VarTuple, numNodes)
+	for ni := 0; ni < numNodes; ni++ {
+		r := make(tableau.VarTuple, width)
+		for a := 0; a < width; a++ {
+			r[a] = tableau.Var(find(a, ni))
+		}
+		rows[ni] = r
+	}
+	tab, err := tableau.New(in.Schema, rows)
+	if err != nil {
+		return nil, err
+	}
+	b := &Bridge{Word: w.Clone(), Tableau: tab}
+	for i := 0; i <= k; i++ {
+		b.BaseNodes = append(b.BaseNodes, base(i))
+	}
+	for i := 0; i < k; i++ {
+		b.ApexNodes = append(b.ApexNodes, apex(i))
+	}
+	return b, nil
+}
+
+// Freeze materializes the bridge as a database instance.
+func (b *Bridge) Freeze() (*relation.Instance, tableau.Assignment) {
+	return b.Tableau.Freeze()
+}
+
+// SeedEndpoints builds an assignment seed that pins row `row` of the bridge
+// tableau to the concrete tuple tup; used to search for bridges anchored at
+// specific tuples (e.g. the frozen a and b of D0's antecedents).
+func (b *Bridge) SeedEndpoints(anchors map[int]relation.Tuple) (tableau.Assignment, error) {
+	as := tableau.NewAssignment(b.Tableau)
+	for row, tup := range anchors {
+		if row < 0 || row >= b.Tableau.Len() {
+			return nil, fmt.Errorf("reduction: anchor row %d out of range", row)
+		}
+		if len(tup) != b.Tableau.Schema().Width() {
+			return nil, fmt.Errorf("reduction: anchor tuple has width %d, want %d", len(tup), b.Tableau.Schema().Width())
+		}
+		r := b.Tableau.Row(row)
+		for a, v := range r {
+			if as[a][v] != tableau.Unbound && as[a][v] != tup[a] {
+				return nil, fmt.Errorf("reduction: conflicting anchors at attribute %d", a)
+			}
+			as[a][v] = tup[a]
+		}
+	}
+	return as, nil
+}
+
+// AppearsIn reports whether the chased (or any) instance contains a
+// homomorphic image of the bridge, optionally anchored (see SeedEndpoints;
+// pass nil for no anchors). This is the invariant of the paper's part (A)
+// induction: once the chase has simulated a derivation u0, ..., uj, the
+// instance contains an anchored bridge for uj.
+func (b *Bridge) AppearsIn(inst *relation.Instance, anchors map[int]relation.Tuple) (bool, error) {
+	var seed tableau.Assignment
+	if anchors != nil {
+		var err error
+		seed, err = b.SeedEndpoints(anchors)
+		if err != nil {
+			return false, err
+		}
+	}
+	return b.Tableau.HasHomomorphism(inst, seed), nil
+}

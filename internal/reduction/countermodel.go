@@ -1,0 +1,219 @@
+package reduction
+
+import (
+	"fmt"
+	"sort"
+
+	"templatedep/internal/relation"
+	"templatedep/internal/semigroup"
+	"templatedep/internal/words"
+)
+
+// Triple is an element of Q: a witness that a —A→ b, i.e. a·Ā = b with a
+// and b in P.
+type Triple struct {
+	A   semigroup.Elem
+	Sym words.Symbol
+	B   semigroup.Elem
+}
+
+// CounterModel is the finite database of Reduction Theorem part (B), built
+// from a finite cancellation semigroup G without identity in which the
+// presentation holds but A0 ≠ 0:
+//
+//   - G' = G with an identity I adjoined (cancellation is preserved);
+//   - P = {a ∈ G' : ∃b ∈ G'. a·b = Ā0} (so I, Ā0 ∈ P and 0 ∉ P);
+//   - Q = {⟨a, A, b⟩ : a, b ∈ P, A ∈ S, a·Ā = b};
+//   - the universe is P ∪ Q, one database tuple per element, and the
+//     attributes are the equivalence relations: ~A' joins ⟨a,A,b⟩ with a,
+//     ~A” joins ⟨a,A,b⟩ with b, ~E is total on P, ~E' is total on Q.
+//
+// The resulting database satisfies every dependency of D and violates D0
+// (the violating match is t1 = I, t2 = Ā0, t3 = ⟨I, A0, Ā0⟩).
+type CounterModel struct {
+	// Instance is the finite database.
+	Instance *relation.Instance
+	// GPrime is G with identity adjoined; Identity is the new element.
+	GPrime   *semigroup.Table
+	Identity semigroup.Elem
+	// PElems lists P (elements of GPrime), in ascending order.
+	PElems []semigroup.Elem
+	// QTriples lists Q in deterministic order.
+	QTriples []Triple
+	// PTuple and QTuple give the database tuple index of each element.
+	PTuple map[semigroup.Elem]int
+	QTuple map[Triple]int
+}
+
+// ExtendWitness lifts an interpretation of the ORIGINAL alphabet to the
+// (possibly normalized) alphabet of in.Pres: fresh definitional symbols
+// evaluate their defining words; original symbols keep their values. The
+// extension is validated as a Main Lemma failure witness for in.Pres.
+func (in *Instance) ExtendWitness(wit *semigroup.Interpretation) (*semigroup.Interpretation, error) {
+	assign := make(map[words.Symbol]semigroup.Elem)
+	if in.Norm == nil {
+		for k, v := range wit.Assign {
+			assign[k] = v
+		}
+	} else {
+		origA := in.Original.Alphabet
+		for _, s := range origA.Symbols() {
+			v, ok := wit.Assign[s]
+			if !ok {
+				return nil, fmt.Errorf("reduction: witness does not assign symbol %s", origA.Name(s))
+			}
+			assign[s] = v
+		}
+		for _, s := range in.Pres.Alphabet.Symbols() {
+			if _, done := assign[s]; done {
+				continue
+			}
+			def, ok := in.Norm.Definitions[s]
+			if !ok {
+				return nil, fmt.Errorf("reduction: symbol %s of the normalized alphabet has no definition", in.Pres.Alphabet.Name(s))
+			}
+			origIn, err := semigroup.NewInterpretation(wit.Table, origA, wit.Assign)
+			if err != nil {
+				return nil, err
+			}
+			v, err := origIn.Eval(def)
+			if err != nil {
+				return nil, err
+			}
+			assign[s] = v
+		}
+	}
+	ext, err := semigroup.NewInterpretation(wit.Table, in.Pres.Alphabet, assign)
+	if err != nil {
+		return nil, err
+	}
+	if err := ext.IsModelOfMainLemmaFailure(in.Pres); err != nil {
+		return nil, fmt.Errorf("reduction: witness is not a Main Lemma failure model: %w", err)
+	}
+	return ext, nil
+}
+
+// BuildCounterModel executes the part (B) construction from a witness
+// interpretation over the ORIGINAL alphabet.
+func (in *Instance) BuildCounterModel(wit *semigroup.Interpretation) (*CounterModel, error) {
+	ext, err := in.ExtendWitness(wit)
+	if err != nil {
+		return nil, err
+	}
+	a := in.Pres.Alphabet
+	gp, id := semigroup.AdjoinIdentity(ext.Table)
+	a0bar := ext.Assign[a.A0()]
+
+	cm := &CounterModel{GPrime: gp, Identity: id, PTuple: make(map[semigroup.Elem]int), QTuple: make(map[Triple]int)}
+
+	// P = {x : ∃b. x·b = a0bar}.
+	for x := 0; x < gp.Size(); x++ {
+		for b := 0; b < gp.Size(); b++ {
+			if gp.Mul(semigroup.Elem(x), semigroup.Elem(b)) == a0bar {
+				cm.PElems = append(cm.PElems, semigroup.Elem(x))
+				break
+			}
+		}
+	}
+	inP := make(map[semigroup.Elem]bool, len(cm.PElems))
+	for _, x := range cm.PElems {
+		inP[x] = true
+	}
+	if !inP[id] || !inP[a0bar] {
+		return nil, fmt.Errorf("reduction: internal error: I or A0-bar missing from P")
+	}
+
+	// Q = {⟨x, A, y⟩ : x, y ∈ P, x·Ā = y}.
+	for _, x := range cm.PElems {
+		for _, s := range a.Symbols() {
+			y := gp.Mul(x, ext.Assign[s])
+			if inP[y] {
+				cm.QTriples = append(cm.QTriples, Triple{A: x, Sym: s, B: y})
+			}
+		}
+	}
+	sort.Slice(cm.QTriples, func(i, j int) bool {
+		ti, tj := cm.QTriples[i], cm.QTriples[j]
+		if ti.A != tj.A {
+			return ti.A < tj.A
+		}
+		if ti.Sym != tj.Sym {
+			return ti.Sym < tj.Sym
+		}
+		return ti.B < tj.B
+	})
+
+	// Union-find per attribute over the universe P ∪ Q.
+	numNodes := len(cm.PElems) + len(cm.QTriples)
+	pIndex := make(map[semigroup.Elem]int, len(cm.PElems))
+	for i, x := range cm.PElems {
+		pIndex[x] = i
+	}
+	qBase := len(cm.PElems)
+
+	width := in.Schema.Width()
+	parent := make([][]int, width)
+	for at := range parent {
+		parent[at] = make([]int, numNodes)
+		for i := range parent[at] {
+			parent[at][i] = i
+		}
+	}
+	find := func(at, x int) int {
+		for parent[at][x] != x {
+			parent[at][x] = parent[at][parent[at][x]]
+			x = parent[at][x]
+		}
+		return x
+	}
+	union := func(at relation.Attr, x, y int) {
+		rx, ry := find(int(at), x), find(int(at), y)
+		if rx != ry {
+			parent[at][rx] = ry
+		}
+	}
+
+	// ~A' joins each triple with its source; ~A'' with its target.
+	for qi, tr := range cm.QTriples {
+		union(in.prime[tr.Sym], qBase+qi, pIndex[tr.A])
+		union(in.dprime[tr.Sym], qBase+qi, pIndex[tr.B])
+	}
+	// ~E is total on P; ~E' is total on Q.
+	for i := 1; i < len(cm.PElems); i++ {
+		union(in.e, 0, i)
+	}
+	for i := 1; i < len(cm.QTriples); i++ {
+		union(in.ePrime, qBase, qBase+i)
+	}
+
+	inst := relation.NewInstance(in.Schema)
+	for ni := 0; ni < numNodes; ni++ {
+		tup := make(relation.Tuple, width)
+		for at := 0; at < width; at++ {
+			tup[at] = relation.Value(find(at, ni))
+		}
+		idx := inst.MustAdd(tup)
+		if ni < qBase {
+			cm.PTuple[cm.PElems[ni]] = idx
+		} else {
+			cm.QTuple[cm.QTriples[ni-qBase]] = idx
+		}
+	}
+	cm.Instance = inst
+	return cm, nil
+}
+
+// Verify checks, by direct satisfaction testing, that the counter-model
+// satisfies every dependency of D and violates D0 — the conclusion of
+// Reduction Theorem part (B).
+func (in *Instance) Verify(cm *CounterModel) error {
+	for _, d := range in.D {
+		if ok, _ := d.Satisfies(cm.Instance); !ok {
+			return fmt.Errorf("reduction: counter-model violates %s", d.Name())
+		}
+	}
+	if ok, _ := in.D0.Satisfies(cm.Instance); ok {
+		return fmt.Errorf("reduction: counter-model satisfies D0; it is not a counterexample")
+	}
+	return nil
+}

@@ -1,0 +1,41 @@
+package reduction_test
+
+import (
+	"fmt"
+
+	"templatedep/internal/reduction"
+	"templatedep/internal/words"
+)
+
+func ExampleBuild() {
+	// {b·c = A0, b·c = 0}: the smallest presentation whose goal A0 = 0 is
+	// derivable through a longer word.
+	p := words.TwoStepPresentation()
+	in, err := reduction.Build(p)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("attributes:", in.Schema.Width()) // 2n+2 for n = 4 symbols
+	fmt.Println("dependencies:", len(in.D))       // 4 per equation
+	fmt.Println("max antecedents:", in.MaxAntecedents())
+	fmt.Println("D0:", in.D0.NumAntecedents(), "antecedents")
+	// Output:
+	// attributes: 10
+	// dependencies: 36
+	// max antecedents: 5
+	// D0: 3 antecedents
+}
+
+func ExampleInstance_BuildBridge() {
+	p := words.TwoStepPresentation()
+	in := reduction.MustBuild(p)
+	w := words.MustParseWord(p.Alphabet, "b c")
+	br, err := in.BuildBridge(w)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("bridge for %s: %d base + %d apex nodes\n",
+		w.Format(p.Alphabet), len(br.BaseNodes), len(br.ApexNodes))
+	// Output:
+	// bridge for bc: 3 base + 2 apex nodes
+}

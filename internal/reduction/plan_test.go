@@ -1,0 +1,91 @@
+package reduction
+
+import (
+	"testing"
+
+	"templatedep/internal/chase"
+	"templatedep/internal/words"
+)
+
+// isSubsequence reports whether want occurs as a (not necessarily
+// contiguous) subsequence of got.
+func isSubsequence(want, got []int) bool {
+	i := 0
+	for _, g := range got {
+		if i < len(want) && want[i] == g {
+			i++
+		}
+	}
+	return i == len(want)
+}
+
+// TestChasePlanIsTraceSubsequence is the tightest correspondence test
+// between the two layers of part (A): the dependency firings planned from
+// the word derivation occur, in order, inside the actual chase proof trace.
+func TestChasePlanIsTraceSubsequence(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		p    *words.Presentation
+	}{
+		{"twostep", words.TwoStepPresentation()},
+		{"chain1", words.ChainPresentation(1)},
+		{"chain2", words.ChainPresentation(2)},
+	} {
+		in := MustBuild(tc.p)
+		dres := words.DeriveGoal(in.Pres, words.DefaultClosureOptions())
+		if dres.Verdict != words.Derivable {
+			t.Fatalf("%s: setup", tc.name)
+		}
+		plan, err := in.PlanChaseSteps(dres.Derivation)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		res, err := chase.Implies(in.D, in.D0, chase.Options{
+			MaxRounds: 32, MaxTuples: 200000, SemiNaive: true, Trace: true,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if res.Verdict != chase.Implied {
+			t.Fatalf("%s: verdict %v", tc.name, res.Verdict)
+		}
+		fired := make([]int, len(res.Trace))
+		for i, f := range res.Trace {
+			fired[i] = f.Dep
+		}
+		if !isSubsequence(plan, fired) {
+			t.Errorf("%s: plan %v is not a subsequence of the %d-step trace",
+				tc.name, plan, len(fired))
+		}
+	}
+}
+
+func TestPlanChaseStepsShape(t *testing.T) {
+	p := words.TwoStepPresentation()
+	in := MustBuild(p)
+	dres := words.DeriveGoal(in.Pres, words.DefaultClosureOptions())
+	plan, err := in.PlanChaseSteps(dres.Derivation)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A0 -> bc (expansion: D2, D3, D4 of eq 0) -> 0 (contraction: D1 of
+	// eq 1): indices 1, 2, 3, 4.
+	want := []int{1, 2, 3, 4}
+	if len(plan) != len(want) {
+		t.Fatalf("plan %v, want %v", plan, want)
+	}
+	for i := range want {
+		if plan[i] != want[i] {
+			t.Fatalf("plan %v, want %v", plan, want)
+		}
+	}
+}
+
+func TestPlanChaseStepsRejectsInvalid(t *testing.T) {
+	p := words.TwoStepPresentation()
+	in := MustBuild(p)
+	bad := &words.Derivation{From: words.W(p.Alphabet.A0()), To: words.W(p.Alphabet.Zero())}
+	if _, err := in.PlanChaseSteps(bad); err == nil {
+		t.Error("invalid derivation accepted")
+	}
+}

@@ -1,0 +1,149 @@
+package relation
+
+import "sort"
+
+// Isomorphic reports whether two instances are equal up to a per-column
+// renaming of values — the right notion of equality for chase results and
+// canonical databases, whose invented nulls carry no identity beyond their
+// pattern of co-occurrence. (Under the typing restriction a renaming is a
+// family of independent bijections, one per attribute.)
+//
+// The check canonicalizes both instances (values renumbered in first-use
+// order after sorting tuples into a canonical order, iterated to fixpoint)
+// and falls back to backtracking over tuple matchings when the canonical
+// forms still differ only by tuple order ambiguity.
+func Isomorphic(a, b *Instance) bool {
+	if !a.schema.Equal(b.schema) || a.Len() != b.Len() {
+		return false
+	}
+	if a.Len() == 0 {
+		return true
+	}
+	ca := canonicalize(a)
+	cb := canonicalize(b)
+	if ca == cb {
+		return true
+	}
+	// Canonicalization is a heuristic (tuple order and value numbering
+	// interact); decide exactly by backtracking.
+	return matchInstances(a, b)
+}
+
+// canonicalize renumbers values per column in first-use order of the sorted
+// tuple list, iterating until the encoding stabilizes.
+func canonicalize(in *Instance) string {
+	tuples := make([]Tuple, in.Len())
+	for i, t := range in.Tuples() {
+		tuples[i] = t.Clone()
+	}
+	prev := ""
+	for iter := 0; iter < 4; iter++ {
+		// Renumber per column in order of appearance.
+		maps := make([]map[Value]Value, in.schema.Width())
+		for i := range maps {
+			maps[i] = make(map[Value]Value)
+		}
+		for _, t := range tuples {
+			for a, v := range t {
+				if _, ok := maps[a][v]; !ok {
+					maps[a][v] = Value(len(maps[a]))
+				}
+			}
+		}
+		for _, t := range tuples {
+			for a := range t {
+				t[a] = maps[a][t[a]]
+			}
+		}
+		sort.Slice(tuples, func(i, j int) bool { return lexLessTuple(tuples[i], tuples[j]) })
+		cur := encode(tuples)
+		if cur == prev {
+			return cur
+		}
+		prev = cur
+	}
+	return prev
+}
+
+func lexLessTuple(a, b Tuple) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+func encode(tuples []Tuple) string {
+	out := make([]byte, 0, len(tuples)*8)
+	for _, t := range tuples {
+		for _, v := range t {
+			out = append(out, byte('a'+int(v)%26), byte('0'+(int(v)/26)%10))
+		}
+		out = append(out, ';')
+	}
+	return string(out)
+}
+
+// matchInstances decides isomorphism exactly by backtracking over a
+// bijection between tuple sets with per-column value maps.
+func matchInstances(a, b *Instance) bool {
+	n := a.Len()
+	width := a.schema.Width()
+	fwd := make([]map[Value]Value, width) // a-value -> b-value
+	rev := make([]map[Value]Value, width)
+	for i := 0; i < width; i++ {
+		fwd[i] = make(map[Value]Value)
+		rev[i] = make(map[Value]Value)
+	}
+	used := make([]bool, n)
+	at := a.Tuples()
+	bt := b.Tuples()
+
+	var try func(i int) bool
+	try = func(i int) bool {
+		if i == n {
+			return true
+		}
+		ta := at[i]
+		for j := 0; j < n; j++ {
+			if used[j] {
+				continue
+			}
+			tb := bt[j]
+			// Tentatively extend the value bijections.
+			var trail [][2]int // (col, aval)
+			ok := true
+			for c := 0; c < width && ok; c++ {
+				va, vb := ta[c], tb[c]
+				if mapped, has := fwd[c][va]; has {
+					if mapped != vb {
+						ok = false
+					}
+					continue
+				}
+				if _, has := rev[c][vb]; has {
+					ok = false
+					continue
+				}
+				fwd[c][va] = vb
+				rev[c][vb] = va
+				trail = append(trail, [2]int{c, int(va)})
+			}
+			if ok {
+				used[j] = true
+				if try(i + 1) {
+					return true
+				}
+				used[j] = false
+			}
+			for _, tr := range trail {
+				vb := fwd[tr[0]][Value(tr[1])]
+				delete(fwd[tr[0]], Value(tr[1]))
+				delete(rev[tr[0]], vb)
+			}
+		}
+		return false
+	}
+	return try(0)
+}

@@ -1,0 +1,123 @@
+package relation
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func inst(s *Schema, tuples ...Tuple) *Instance {
+	in := NewInstance(s)
+	for _, t := range tuples {
+		in.MustAdd(t)
+	}
+	return in
+}
+
+func TestIsomorphicBasic(t *testing.T) {
+	s := MustSchema("A", "B")
+	a := inst(s, Tuple{0, 0}, Tuple{0, 1})
+	b := inst(s, Tuple{5, 9}, Tuple{5, 3}) // renamed per column
+	if !Isomorphic(a, b) {
+		t.Error("renamed instances should be isomorphic")
+	}
+	c := inst(s, Tuple{0, 0}, Tuple{1, 1}) // different co-occurrence pattern
+	if Isomorphic(a, c) {
+		t.Error("different patterns reported isomorphic")
+	}
+}
+
+func TestIsomorphicSizesAndSchemas(t *testing.T) {
+	s := MustSchema("A", "B")
+	a := inst(s, Tuple{0, 0})
+	if Isomorphic(a, inst(s, Tuple{0, 0}, Tuple{1, 1})) {
+		t.Error("different sizes")
+	}
+	other := MustSchema("A", "C")
+	if Isomorphic(a, inst(other, Tuple{0, 0})) {
+		t.Error("different schemas")
+	}
+	if !Isomorphic(NewInstance(s), NewInstance(s)) {
+		t.Error("empty instances")
+	}
+}
+
+func TestIsomorphicCrossColumnIndependence(t *testing.T) {
+	// Renamings are per-column: a global swap that mixes columns is not
+	// required to exist. These two share a pattern only if columns are
+	// renamed independently — which they are here.
+	s := MustSchema("A", "B")
+	a := inst(s, Tuple{0, 1}, Tuple{1, 0})
+	b := inst(s, Tuple{1, 0}, Tuple{0, 1})
+	if !Isomorphic(a, b) {
+		t.Error("column-independent renaming missed")
+	}
+}
+
+func TestIsomorphicTrianglesAreIsomorphic(t *testing.T) {
+	// A subtle positive case that defeats naive canonicalization: two
+	// "agreement triangles" whose edges visit the columns in different
+	// orders are related by the cyclic tuple relabeling t1->u2, t2->u1,
+	// t3->u3 with per-column value bijections.
+	s := MustSchema("A", "B", "C")
+	a := inst(s,
+		Tuple{0, 0, 0},
+		Tuple{0, 1, 1},
+		Tuple{1, 1, 0},
+	)
+	b := inst(s,
+		Tuple{0, 0, 0},
+		Tuple{0, 1, 1},
+		Tuple{1, 0, 1},
+	)
+	if !Isomorphic(a, b) {
+		t.Error("cyclically relabeled triangles should be isomorphic")
+	}
+}
+
+func TestIsomorphicDifferentAgreementDegrees(t *testing.T) {
+	// a has three tuples sharing one A value; b has only two.
+	s := MustSchema("A", "B", "C")
+	a := inst(s,
+		Tuple{0, 0, 0},
+		Tuple{0, 1, 1},
+		Tuple{0, 2, 2},
+	)
+	b := inst(s,
+		Tuple{0, 0, 0},
+		Tuple{0, 1, 1},
+		Tuple{1, 2, 0},
+	)
+	if Isomorphic(a, b) {
+		t.Error("different agreement degrees reported isomorphic")
+	}
+}
+
+// Property: applying a random per-column renaming yields an isomorphic
+// instance; adding a fresh distinguishing tuple breaks it.
+func TestIsomorphicProperty(t *testing.T) {
+	s := MustSchema("A", "B")
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := NewInstance(s)
+		n := 1 + rng.Intn(5)
+		for i := 0; i < n; i++ {
+			a.MustAdd(Tuple{Value(rng.Intn(3)), Value(rng.Intn(3))})
+		}
+		// Random per-column permutation of {0,1,2} with an offset.
+		permA := rng.Perm(3)
+		permB := rng.Perm(3)
+		b := NewInstance(s)
+		for _, tup := range a.Tuples() {
+			b.MustAdd(Tuple{Value(permA[tup[0]] + 7), Value(permB[tup[1]] + 11)})
+		}
+		if !Isomorphic(a, b) {
+			t.Logf("seed %d: renamed copy not isomorphic\n%s\n%s", seed, a, b)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80, Rand: rand.New(rand.NewSource(23))}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,110 @@
+package relation
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Namer maps the integer values of an instance to human-readable names,
+// per attribute (the typing restriction means the same name in different
+// columns denotes different individuals, so names are interned per column).
+type Namer struct {
+	schema *Schema
+	names  []map[Value]string
+	ids    []map[string]Value
+}
+
+// NewNamer creates an empty namer for the schema.
+func NewNamer(s *Schema) *Namer {
+	n := &Namer{schema: s, names: make([]map[Value]string, s.Width()), ids: make([]map[string]Value, s.Width())}
+	for i := range n.names {
+		n.names[i] = make(map[Value]string)
+		n.ids[i] = make(map[string]Value)
+	}
+	return n
+}
+
+// Intern returns the value for name in attribute a, allocating the next
+// free value on first use.
+func (n *Namer) Intern(a Attr, name string) Value {
+	if v, ok := n.ids[a][name]; ok {
+		return v
+	}
+	v := Value(len(n.ids[a]))
+	n.ids[a][name] = v
+	n.names[a][v] = name
+	return v
+}
+
+// Name returns the name of value v in attribute a, or a numeric placeholder
+// for values never interned (e.g. nulls invented by the chase).
+func (n *Namer) Name(a Attr, v Value) string {
+	if s, ok := n.names[a][v]; ok {
+		return s
+	}
+	return fmt.Sprintf("_%s%d", strings.ToLower(n.schema.Name(a)), int(v))
+}
+
+// FormatTuple renders one tuple with named values.
+func (n *Namer) FormatTuple(t Tuple) string {
+	var b strings.Builder
+	b.WriteString("R(")
+	for a, v := range t {
+		if a > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(n.Name(Attr(a), v))
+	}
+	b.WriteString(")")
+	return b.String()
+}
+
+// FormatInstance renders the whole instance with named values, sorted for
+// determinism.
+func (n *Namer) FormatInstance(in *Instance) string {
+	lines := make([]string, 0, in.Len())
+	for _, t := range in.Tuples() {
+		lines = append(lines, n.FormatTuple(t))
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n") + "\n"
+}
+
+// ParseInstance reads a database from symbolic text form: one fact per
+// line, "R(value, value, ...)", with '#' comments and blank lines skipped.
+// Values are free-form tokens interned per column. The namer allows
+// rendering results back with the original names.
+func ParseInstance(s *Schema, text string) (*Instance, *Namer, error) {
+	inst := NewInstance(s)
+	namer := NewNamer(s)
+	for ln, raw := range strings.Split(text, "\n") {
+		line := raw
+		if i := strings.Index(line, "#"); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if !strings.HasPrefix(line, "R(") || !strings.HasSuffix(line, ")") {
+			return nil, nil, fmt.Errorf("relation: line %d: facts have the form R(...): %q", ln+1, raw)
+		}
+		parts := strings.Split(line[2:len(line)-1], ",")
+		if len(parts) != s.Width() {
+			return nil, nil, fmt.Errorf("relation: line %d: %d values, want %d", ln+1, len(parts), s.Width())
+		}
+		tup := make(Tuple, s.Width())
+		for a, tok := range parts {
+			tok = strings.TrimSpace(tok)
+			if tok == "" {
+				return nil, nil, fmt.Errorf("relation: line %d: empty value", ln+1)
+			}
+			tup[a] = namer.Intern(Attr(a), tok)
+		}
+		if _, _, err := inst.Add(tup); err != nil {
+			return nil, nil, fmt.Errorf("relation: line %d: %w", ln+1, err)
+		}
+	}
+	return inst, namer, nil
+}

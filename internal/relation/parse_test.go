@@ -1,0 +1,90 @@
+package relation
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseInstance(t *testing.T) {
+	s := MustSchema("SUPPLIER", "STYLE", "SIZE")
+	inst, namer, err := ParseInstance(s, `
+# garments
+R(StLaurent, EveningDress, 10)
+R(BVD, Brief, 36)
+R(StLaurent, Brief, 36)   # duplicate-ish supplier
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.Len() != 3 {
+		t.Fatalf("len %d", inst.Len())
+	}
+	// StLaurent interned once: both its tuples share the supplier value.
+	if inst.Tuple(0)[0] != inst.Tuple(2)[0] {
+		t.Error("same name got different values")
+	}
+	if inst.Tuple(0)[0] == inst.Tuple(1)[0] {
+		t.Error("different names got the same value")
+	}
+	// Round trip through the namer.
+	text := namer.FormatInstance(inst)
+	if !strings.Contains(text, "R(StLaurent, EveningDress, 10)") {
+		t.Errorf("FormatInstance = %q", text)
+	}
+	inst2, _, err := ParseInstance(s, text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst2.Len() != inst.Len() {
+		t.Error("round trip changed size")
+	}
+}
+
+func TestParseInstanceTypedInterning(t *testing.T) {
+	// The same token in different columns is interned independently (typed
+	// domains): it may receive the same integer, but via separate tables.
+	s := MustSchema("A", "B")
+	inst, namer, err := ParseInstance(s, "R(x, x)\nR(x, y)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.Len() != 2 {
+		t.Fatal("len")
+	}
+	if namer.Name(0, inst.Tuple(0)[0]) != "x" || namer.Name(1, inst.Tuple(0)[1]) != "x" {
+		t.Error("naming lost")
+	}
+}
+
+func TestParseInstanceErrors(t *testing.T) {
+	s := MustSchema("A", "B")
+	for _, bad := range []string{
+		"R(x)",   // width
+		"x, y",   // no R(...)
+		"R(, y)", // empty value
+		"R(x, y", // unclosed
+	} {
+		if _, _, err := ParseInstance(s, bad); err == nil {
+			t.Errorf("accepted %q", bad)
+		}
+	}
+}
+
+func TestNamerPlaceholders(t *testing.T) {
+	s := MustSchema("A", "B")
+	n := NewNamer(s)
+	// Unknown values get deterministic placeholders.
+	if got := n.Name(0, 7); got != "_a7" {
+		t.Errorf("placeholder = %q", got)
+	}
+	v := n.Intern(0, "hello")
+	if n.Name(0, v) != "hello" {
+		t.Error("intern/name mismatch")
+	}
+	if n.Intern(0, "hello") != v {
+		t.Error("re-intern changed value")
+	}
+	if got := n.FormatTuple(Tuple{v, 3}); got != "R(hello, _b3)" {
+		t.Errorf("FormatTuple = %q", got)
+	}
+}

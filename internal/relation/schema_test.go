@@ -1,0 +1,166 @@
+package relation
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNewSchema(t *testing.T) {
+	s, err := NewSchema([]string{"A", "B", "C"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Width() != 3 {
+		t.Errorf("Width = %d", s.Width())
+	}
+	if s.Name(1) != "B" {
+		t.Errorf("Name(1) = %q", s.Name(1))
+	}
+	if a, ok := s.Attr("C"); !ok || a != 2 {
+		t.Errorf("Attr(C) = %v, %v", a, ok)
+	}
+	if _, ok := s.Attr("Z"); ok {
+		t.Error("Attr(Z) should not exist")
+	}
+	if s.Name(99) == "" {
+		t.Error("out-of-range Name should return placeholder")
+	}
+	if s.String() != "R(A, B, C)" {
+		t.Errorf("String = %q", s.String())
+	}
+}
+
+func TestNewSchemaErrors(t *testing.T) {
+	if _, err := NewSchema(nil); err == nil {
+		t.Error("empty schema accepted")
+	}
+	if _, err := NewSchema([]string{"A", "A"}); err == nil {
+		t.Error("duplicate attribute accepted")
+	}
+	if _, err := NewSchema([]string{""}); err == nil {
+		t.Error("empty name accepted")
+	}
+}
+
+func TestSchemaEqualAndAttrs(t *testing.T) {
+	s := MustSchema("A", "B")
+	if !s.Equal(MustSchema("A", "B")) {
+		t.Error("equal schemas unequal")
+	}
+	if s.Equal(MustSchema("A")) || s.Equal(MustSchema("A", "C")) {
+		t.Error("unequal schemas equal")
+	}
+	if len(s.Attrs()) != 2 || len(s.Names()) != 2 {
+		t.Error("Attrs/Names wrong")
+	}
+}
+
+func TestMustAttrPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustAttr should panic")
+		}
+	}()
+	MustSchema("A").MustAttr("B")
+}
+
+func TestInstanceAddContains(t *testing.T) {
+	s := MustSchema("A", "B")
+	in := NewInstance(s)
+	i, added, err := in.Add(Tuple{1, 2})
+	if err != nil || !added || i != 0 {
+		t.Fatalf("Add: %d %v %v", i, added, err)
+	}
+	// Duplicate.
+	j, added, err := in.Add(Tuple{1, 2})
+	if err != nil || added || j != 0 {
+		t.Errorf("duplicate Add: %d %v %v", j, added, err)
+	}
+	if in.Len() != 1 {
+		t.Errorf("Len = %d", in.Len())
+	}
+	if !in.Contains(Tuple{1, 2}) || in.Contains(Tuple{2, 1}) {
+		t.Error("Contains wrong")
+	}
+	if in.Contains(Tuple{1}) {
+		t.Error("wrong-width Contains should be false")
+	}
+	if _, _, err := in.Add(Tuple{1}); err == nil {
+		t.Error("wrong width accepted")
+	}
+	if _, _, err := in.Add(Tuple{-1, 0}); err == nil {
+		t.Error("negative value accepted")
+	}
+}
+
+func TestInstanceAddCopiesTuple(t *testing.T) {
+	s := MustSchema("A")
+	in := NewInstance(s)
+	tup := Tuple{5}
+	in.MustAdd(tup)
+	tup[0] = 9
+	if !in.Contains(Tuple{5}) {
+		t.Error("Add did not copy the tuple")
+	}
+}
+
+func TestFreshValue(t *testing.T) {
+	s := MustSchema("A", "B")
+	in := NewInstance(s)
+	in.MustAdd(Tuple{7, 0})
+	if v := in.FreshValue(0); v != 8 {
+		t.Errorf("FreshValue(A) = %d, want 8", int(v))
+	}
+	if v := in.FreshValue(1); v != 1 {
+		t.Errorf("FreshValue(B) = %d, want 1", int(v))
+	}
+	// Fresh values advance.
+	if v := in.FreshValue(1); v != 2 {
+		t.Errorf("second FreshValue(B) = %d, want 2", int(v))
+	}
+}
+
+func TestInstanceClone(t *testing.T) {
+	s := MustSchema("A")
+	in := NewInstance(s)
+	in.MustAdd(Tuple{1})
+	cp := in.Clone()
+	cp.MustAdd(Tuple{2})
+	if in.Len() != 1 || cp.Len() != 2 {
+		t.Error("Clone aliases the original")
+	}
+	// Fresh-value counters are cloned too.
+	if in.FreshValue(0) != 2 {
+		t.Error("original counters affected")
+	}
+}
+
+func TestActiveDomainSizeAndString(t *testing.T) {
+	s := MustSchema("A", "B")
+	in := NewInstance(s)
+	in.MustAdd(Tuple{1, 5})
+	in.MustAdd(Tuple{1, 6})
+	in.MustAdd(Tuple{2, 5})
+	if got := in.ActiveDomainSize(0); got != 2 {
+		t.Errorf("ActiveDomainSize(A) = %d", got)
+	}
+	if got := in.ActiveDomainSize(1); got != 2 {
+		t.Errorf("ActiveDomainSize(B) = %d", got)
+	}
+	str := in.String()
+	if !strings.Contains(str, "R(A, B)") || !strings.Contains(str, "A1") {
+		t.Errorf("String = %q", str)
+	}
+}
+
+func TestTupleHelpers(t *testing.T) {
+	a := Tuple{1, 2}
+	b := a.Clone()
+	b[0] = 9
+	if a[0] != 1 {
+		t.Error("Clone aliases")
+	}
+	if !a.Equal(Tuple{1, 2}) || a.Equal(Tuple{1}) || a.Equal(Tuple{1, 3}) {
+		t.Error("Equal wrong")
+	}
+}

@@ -1,0 +1,278 @@
+// Package rewrite implements string rewriting systems over the alphabets of
+// package words, with shortlex-oriented rules and bounded Knuth–Bendix
+// completion. It is a second, independent solver for the word problem the
+// Main Lemma is about:
+//
+//   - a presentation's equations are oriented into length-reducing (more
+//     precisely, shortlex-reducing) rules, so rewriting always terminates;
+//   - completion adds rules for unresolved critical pairs; if it reaches a
+//     confluent system, the word problem for that presentation is DECIDED
+//     by comparing normal forms — undecidability means completion cannot
+//     always succeed, and the budget makes that visible;
+//   - on presentations where both run to an answer, the rewriting decision
+//     and the equational-closure search of package words must agree (they
+//     are cross-checked in tests and benchmarked against each other).
+package rewrite
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"templatedep/internal/words"
+)
+
+// Rule is an oriented rewrite rule LHS -> RHS with LHS shortlex-greater.
+type Rule struct {
+	LHS, RHS words.Word
+}
+
+// Format renders the rule.
+func (r Rule) Format(a *words.Alphabet) string {
+	return r.LHS.Format(a) + " -> " + r.RHS.Format(a)
+}
+
+// System is a set of shortlex-oriented rewrite rules.
+type System struct {
+	Alphabet *words.Alphabet
+	Rules    []Rule
+}
+
+// Orient turns an equation into a rule by shortlex order; trivial equations
+// return ok=false.
+func Orient(e words.Equation) (Rule, bool) {
+	switch e.LHS.Compare(e.RHS) {
+	case 0:
+		return Rule{}, false
+	case 1:
+		return Rule{LHS: e.LHS, RHS: e.RHS}, true
+	default:
+		return Rule{LHS: e.RHS, RHS: e.LHS}, true
+	}
+}
+
+// FromPresentation orients every equation of p.
+func FromPresentation(p *words.Presentation) *System {
+	s := &System{Alphabet: p.Alphabet}
+	seen := make(map[string]bool)
+	for _, e := range p.Equations {
+		if r, ok := Orient(e); ok {
+			k := r.LHS.Key() + ">" + r.RHS.Key()
+			if !seen[k] {
+				seen[k] = true
+				s.Rules = append(s.Rules, r)
+			}
+		}
+	}
+	return s
+}
+
+// RewriteOnce applies the first applicable rule at the leftmost position;
+// returns the rewritten word and whether a rewrite happened.
+func (s *System) RewriteOnce(w words.Word) (words.Word, bool) {
+	for i := 0; i < len(w); i++ {
+		for _, r := range s.Rules {
+			if i+len(r.LHS) > len(w) {
+				continue
+			}
+			match := true
+			for j := range r.LHS {
+				if w[i+j] != r.LHS[j] {
+					match = false
+					break
+				}
+			}
+			if match {
+				return w.ReplaceAt(i, len(r.LHS), r.RHS), true
+			}
+		}
+	}
+	return w, false
+}
+
+// NormalForm rewrites w to an irreducible word. Because every rule is
+// shortlex-reducing, this always terminates; the internal step limit only
+// guards against a non-reducing rule sneaking in through direct Rules
+// manipulation.
+func (s *System) NormalForm(w words.Word) (words.Word, error) {
+	limit := 1000 + 100*len(w)*(len(s.Rules)+1)
+	cur := w
+	for i := 0; i < limit; i++ {
+		next, changed := s.RewriteOnce(cur)
+		if !changed {
+			return cur, nil
+		}
+		cur = next
+	}
+	return nil, fmt.Errorf("rewrite: normal form not reached within %d steps (non-reducing rule?)", limit)
+}
+
+// Joinable reports whether u and v rewrite to the same normal form.
+func (s *System) Joinable(u, v words.Word) (bool, error) {
+	nu, err := s.NormalForm(u)
+	if err != nil {
+		return false, err
+	}
+	nv, err := s.NormalForm(v)
+	if err != nil {
+		return false, err
+	}
+	return nu.Equal(nv), nil
+}
+
+// CriticalPairs returns the unresolved critical pairs of the system: pairs
+// of distinct words both reachable in one step from a common superposition
+// of two rule left sides, whose normal forms differ.
+func (s *System) CriticalPairs() ([][2]words.Word, error) {
+	var out [][2]words.Word
+	add := func(x, y words.Word) error {
+		nx, err := s.NormalForm(x)
+		if err != nil {
+			return err
+		}
+		ny, err := s.NormalForm(y)
+		if err != nil {
+			return err
+		}
+		if !nx.Equal(ny) {
+			out = append(out, [2]words.Word{nx, ny})
+		}
+		return nil
+	}
+	for _, r1 := range s.Rules {
+		for _, r2 := range s.Rules {
+			// Overlap type 1: r2.LHS occurs inside r1.LHS.
+			for _, pos := range r1.LHS.Occurrences(r2.LHS) {
+				x := r1.RHS
+				y := r1.LHS.ReplaceAt(pos, len(r2.LHS), r2.RHS)
+				if err := add(x, y); err != nil {
+					return nil, err
+				}
+			}
+			// Overlap type 2: a proper suffix of r1.LHS is a proper prefix
+			// of r2.LHS.
+			for k := 1; k < len(r1.LHS) && k < len(r2.LHS); k++ {
+				ok := true
+				for j := 0; j < k; j++ {
+					if r1.LHS[len(r1.LHS)-k+j] != r2.LHS[j] {
+						ok = false
+						break
+					}
+				}
+				if !ok {
+					continue
+				}
+				// Superposition: r1.LHS + r2.LHS[k:].
+				super := r1.LHS.Concat(r2.LHS[k:])
+				x := r1.RHS.Concat(r2.LHS[k:])
+				y := super[:len(r1.LHS)-k].Concat(r2.RHS)
+				if err := add(x, y); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// CompletionOptions bounds Knuth–Bendix completion.
+type CompletionOptions struct {
+	// MaxRules caps the rule count. <= 0 means 500.
+	MaxRules int
+	// MaxIterations caps completion sweeps. <= 0 means 100.
+	MaxIterations int
+}
+
+// CompletionResult reports how completion ended.
+type CompletionResult struct {
+	// Confluent is true when no unresolved critical pairs remain: the
+	// system decides its word problem.
+	Confluent bool
+	// Iterations is the number of sweeps performed.
+	Iterations int
+}
+
+// Complete runs Knuth–Bendix completion in place, adding oriented rules for
+// unresolved critical pairs until none remain or budgets run out.
+func (s *System) Complete(opt CompletionOptions) (CompletionResult, error) {
+	if opt.MaxRules <= 0 {
+		opt.MaxRules = 500
+	}
+	if opt.MaxIterations <= 0 {
+		opt.MaxIterations = 100
+	}
+	res := CompletionResult{}
+	for it := 1; it <= opt.MaxIterations; it++ {
+		res.Iterations = it
+		pairs, err := s.CriticalPairs()
+		if err != nil {
+			return res, err
+		}
+		if len(pairs) == 0 {
+			res.Confluent = true
+			s.simplify()
+			return res, nil
+		}
+		added := 0
+		for _, p := range pairs {
+			r, ok := Orient(words.Eq(p[0], p[1]))
+			if !ok {
+				continue
+			}
+			if len(s.Rules) >= opt.MaxRules {
+				return res, fmt.Errorf("rewrite: completion exceeded %d rules", opt.MaxRules)
+			}
+			s.Rules = append(s.Rules, r)
+			added++
+		}
+		if added == 0 {
+			// All pairs were trivial after normalization races; re-check.
+			res.Confluent = true
+			s.simplify()
+			return res, nil
+		}
+	}
+	return res, nil
+}
+
+// simplify removes rules whose left side is reducible by the others and
+// normalizes right sides; it keeps the decision procedure but shrinks it.
+func (s *System) simplify() {
+	sort.Slice(s.Rules, func(i, j int) bool {
+		if c := s.Rules[i].LHS.Compare(s.Rules[j].LHS); c != 0 {
+			return c < 0
+		}
+		return s.Rules[i].RHS.Compare(s.Rules[j].RHS) < 0
+	})
+	var kept []Rule
+	for i, r := range s.Rules {
+		others := &System{Alphabet: s.Alphabet}
+		others.Rules = append(others.Rules, s.Rules[:i]...)
+		others.Rules = append(others.Rules, s.Rules[i+1:]...)
+		if _, reducible := others.RewriteOnce(r.LHS); reducible {
+			// Check the rule is redundant: both sides joinable without it.
+			if ok, err := others.Joinable(r.LHS, r.RHS); err == nil && ok {
+				s.Rules = append(s.Rules[:i:i], s.Rules[i+1:]...)
+				s.simplify()
+				return
+			}
+		}
+		kept = append(kept, r)
+	}
+	s.Rules = kept
+}
+
+// DecideGoal decides (when the system is confluent) whether A0 = 0 holds.
+func (s *System) DecideGoal() (bool, error) {
+	return s.Joinable(words.W(s.Alphabet.A0()), words.W(s.Alphabet.Zero()))
+}
+
+// Format renders the system, one rule per line.
+func (s *System) Format() string {
+	var b strings.Builder
+	for _, r := range s.Rules {
+		b.WriteString(r.Format(s.Alphabet))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

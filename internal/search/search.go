@@ -1,0 +1,406 @@
+// Package search implements a finite-model finder for the semigroup side of
+// the Gurevich–Lewis Main Lemma: given a presentation E over an alphabet S
+// with distinguished symbols A0 and 0, it looks for a finite S-generated
+// semigroup WITHOUT identity, having the cancellation property (conditions
+// (i) and (ii)), in which every equation of E holds but A0 = 0 fails.
+//
+// Finding such a model certifies membership of the instance in the Main
+// Theorem's second set: by Reduction Theorem part (B) it yields a finite
+// database satisfying D in which D0 fails. Together with the equational
+// closure of internal/words (which certifies membership in the first set),
+// this realizes the two semi-procedures whose domains the paper proves
+// effectively inseparable.
+//
+// The search enumerates multiplication tables by backtracking over cells
+// with constraint propagation:
+//
+//   - element 0 is the zero (its row and column are pinned);
+//   - symbol A0 is interpreted as element 1 (any model can be relabeled);
+//   - (2,1) equations pin single cells before the search starts;
+//   - condition (ii) forbids any cell x·y = x or x·y = y with the repeated
+//     element nonzero;
+//   - condition (i) is enforced by keeping rows and columns injective off
+//     zero;
+//   - associativity is pruned on every fully determined triple and
+//     re-verified at the leaves.
+package search
+
+import (
+	"fmt"
+
+	"templatedep/internal/semigroup"
+	"templatedep/internal/words"
+)
+
+// Options bounds the model search.
+type Options struct {
+	// MinOrder and MaxOrder bound the semigroup order tried (inclusive).
+	// Defaults: 2 and 6.
+	MinOrder, MaxOrder int
+	// MaxNodes caps the total number of backtracking nodes across all
+	// orders and assignments. <= 0 means 5,000,000.
+	MaxNodes int
+	// QuotientClasses > 0 tries the nilpotent-quotient construction
+	// (classes 2..QuotientClasses) BEFORE the table search; witnesses found
+	// this way cost no search nodes. Sound but incomplete, hence opt-in.
+	QuotientClasses int
+}
+
+// DefaultOptions returns generous interactive defaults.
+func DefaultOptions() Options {
+	return Options{MinOrder: 2, MaxOrder: 6, MaxNodes: 5_000_000}
+}
+
+// Outcome reports how a search ended.
+type Outcome int
+
+const (
+	// NoModelWithinBounds means the space up to MaxOrder was exhausted:
+	// no counterexample of that size exists (NOT a proof that none exists).
+	NoModelWithinBounds Outcome = iota
+	// ModelFound means a witness was found.
+	ModelFound
+	// BudgetExhausted means MaxNodes was hit before the space was covered.
+	BudgetExhausted
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case ModelFound:
+		return "model-found"
+	case BudgetExhausted:
+		return "budget-exhausted"
+	default:
+		return "no-model-within-bounds"
+	}
+}
+
+// Result is the outcome of FindCounterModel.
+type Result struct {
+	Outcome Outcome
+	// Interpretation witnesses Main Lemma failure for the ORIGINAL
+	// presentation; non-nil iff Outcome == ModelFound.
+	Interpretation *semigroup.Interpretation
+	// Presentation is the presentation the witness interprets (the input).
+	Presentation *words.Presentation
+	// NodesVisited counts backtracking nodes explored.
+	NodesVisited int
+}
+
+// FindCounterModel searches for a finite cancellation counterexample to the
+// Main Lemma goal of p. Presentations not in (2,1) form are normalized
+// first; a witness for the normalized form is mapped back to the original
+// alphabet through the normalization's aliases.
+func FindCounterModel(p *words.Presentation, opt Options) (Result, error) {
+	if opt.MinOrder < 2 {
+		opt.MinOrder = 2
+	}
+	if opt.MaxOrder < opt.MinOrder {
+		opt.MaxOrder = opt.MinOrder
+	}
+	if opt.MaxNodes <= 0 {
+		opt.MaxNodes = 5_000_000
+	}
+	p = p.WithZeroEquations()
+
+	if opt.QuotientClasses > 0 {
+		wit, ok, err := BestNilpotentQuotientWitness(p, opt.QuotientClasses)
+		if err != nil {
+			return Result{}, err
+		}
+		if ok {
+			return Result{Outcome: ModelFound, Interpretation: wit, Presentation: p}, nil
+		}
+	}
+
+	work := p
+	var norm *words.Normalization
+	if !p.IsTwoOne() {
+		var err error
+		norm, err = words.Normalize(p)
+		if err != nil {
+			return Result{}, err
+		}
+		work = norm.Presentation
+	}
+
+	s := &searcher{pres: work, budget: opt.MaxNodes}
+	for n := opt.MinOrder; n <= opt.MaxOrder; n++ {
+		found, err := s.searchOrder(n)
+		if err != nil {
+			return Result{}, err
+		}
+		if s.budget <= 0 && found == nil {
+			return Result{Outcome: BudgetExhausted, Presentation: p, NodesVisited: s.nodes}, nil
+		}
+		if found != nil {
+			in, err := mapBack(p, norm, found)
+			if err != nil {
+				return Result{}, err
+			}
+			if err := in.IsModelOfMainLemmaFailure(p); err != nil {
+				return Result{}, fmt.Errorf("search: internal error: found model fails verification: %w", err)
+			}
+			return Result{Outcome: ModelFound, Interpretation: in, Presentation: p, NodesVisited: s.nodes}, nil
+		}
+	}
+	return Result{Outcome: NoModelWithinBounds, Presentation: p, NodesVisited: s.nodes}, nil
+}
+
+// mapBack restricts a witness for the normalized presentation to the
+// original alphabet (original symbol s is interpreted as the value of its
+// alias representative).
+func mapBack(orig *words.Presentation, norm *words.Normalization, in *semigroup.Interpretation) (*semigroup.Interpretation, error) {
+	if norm == nil {
+		return in, nil
+	}
+	assign := make(map[words.Symbol]semigroup.Elem, orig.Alphabet.Size())
+	for _, s := range orig.Alphabet.Symbols() {
+		r := s
+		if rep, ok := norm.Aliases[s]; ok {
+			r = rep
+		}
+		v, ok := in.Assign[r]
+		if !ok {
+			return nil, fmt.Errorf("search: representative of %s unassigned", orig.Alphabet.Name(s))
+		}
+		assign[s] = v
+	}
+	return semigroup.NewInterpretation(in.Table, orig.Alphabet, assign)
+}
+
+// searcher holds the state shared across orders.
+type searcher struct {
+	pres   *words.Presentation
+	budget int
+	nodes  int
+}
+
+const unset = semigroup.Elem(-1)
+
+// searchOrder looks for a model of exactly order n. Returns the witness
+// interpretation over the searcher's (normalized) presentation, or nil.
+func (s *searcher) searchOrder(n int) (*semigroup.Interpretation, error) {
+	a := s.pres.Alphabet
+	syms := a.Symbols()
+	// Assignment: zero symbol -> 0, A0 -> 1, others enumerated.
+	free := make([]words.Symbol, 0, len(syms))
+	for _, sym := range syms {
+		if sym != a.Zero() && sym != a.A0() {
+			free = append(free, sym)
+		}
+	}
+	assign := make(map[words.Symbol]semigroup.Elem, len(syms))
+	assign[a.Zero()] = 0
+	assign[a.A0()] = 1
+
+	var tryAssign func(i int) (*semigroup.Interpretation, error)
+	tryAssign = func(i int) (*semigroup.Interpretation, error) {
+		if s.budget <= 0 {
+			return nil, nil
+		}
+		if i == len(free) {
+			tb := s.searchTable(n, assign)
+			if tb == nil {
+				return nil, nil
+			}
+			cp := make(map[words.Symbol]semigroup.Elem, len(assign))
+			for k, v := range assign {
+				cp[k] = v
+			}
+			return semigroup.NewInterpretation(tb, a, cp)
+		}
+		for e := 0; e < n; e++ {
+			assign[free[i]] = semigroup.Elem(e)
+			in, err := tryAssign(i + 1)
+			if err != nil || in != nil {
+				return in, err
+			}
+		}
+		delete(assign, free[i])
+		return nil, nil
+	}
+	return tryAssign(0)
+}
+
+// searchTable backtracks over the n×n multiplication table under the given
+// symbol assignment, returning a verified table or nil.
+func (s *searcher) searchTable(n int, assign map[words.Symbol]semigroup.Elem) *semigroup.Table {
+	mul := make([]semigroup.Elem, n*n)
+	for i := range mul {
+		mul[i] = unset
+	}
+	at := func(x, y semigroup.Elem) semigroup.Elem { return mul[int(x)*n+int(y)] }
+	set := func(x, y, v semigroup.Elem) { mul[int(x)*n+int(y)] = v }
+
+	// Pin the zero row and column.
+	for i := 0; i < n; i++ {
+		set(semigroup.Elem(i), 0, 0)
+		set(0, semigroup.Elem(i), 0)
+	}
+	// Pin cells from (2,1) equations.
+	for _, e := range s.pres.Equations {
+		if !e.IsTwoOne() {
+			continue // non-(2,1) presentations were normalized upstream
+		}
+		x, y := assign[e.LHS[0]], assign[e.LHS[1]]
+		v := assign[e.RHS[0]]
+		if cur := at(x, y); cur != unset && cur != v {
+			return nil // contradictory pinning under this assignment
+		}
+		// Cancellation conditions on pinned cells.
+		if v == x && x != 0 {
+			return nil
+		}
+		if v == y && y != 0 {
+			return nil
+		}
+		set(x, y, v)
+	}
+	// Row/column injectivity-off-zero for pinned cells.
+	if !s.injectiveOffZero(mul, n) {
+		return nil
+	}
+
+	// Collect free cells in row-major order.
+	var cells []int
+	for i := range mul {
+		if mul[i] == unset {
+			cells = append(cells, i)
+		}
+	}
+
+	var try func(ci int) *semigroup.Table
+	try = func(ci int) *semigroup.Table {
+		s.nodes++
+		s.budget--
+		if s.budget <= 0 {
+			return nil
+		}
+		if ci == len(cells) {
+			return s.verifyLeaf(mul, n, assign)
+		}
+		idx := cells[ci]
+		x, y := semigroup.Elem(idx/n), semigroup.Elem(idx%n)
+		for v := 0; v < n; v++ {
+			val := semigroup.Elem(v)
+			if val == x && x != 0 {
+				continue // condition (ii): x·y = x
+			}
+			if val == y && y != 0 {
+				continue // condition (ii): x·y = y
+			}
+			mul[idx] = val
+			if s.cellConsistent(mul, n, x, y) {
+				if tb := try(ci + 1); tb != nil {
+					return tb
+				}
+				if s.budget <= 0 {
+					mul[idx] = unset
+					return nil
+				}
+			}
+			mul[idx] = unset
+		}
+		return nil
+	}
+	return try(0)
+}
+
+// cellConsistent checks local constraints after setting cell (x, y):
+// injectivity off zero in row x and column y, and associativity on every
+// triple that the new cell completes.
+func (s *searcher) cellConsistent(mul []semigroup.Elem, n int, x, y semigroup.Elem) bool {
+	v := mul[int(x)*n+int(y)]
+	if v != 0 {
+		for yy := 0; yy < n; yy++ {
+			if semigroup.Elem(yy) != y && mul[int(x)*n+yy] == v {
+				return false // condition (i), left cancellation
+			}
+		}
+		for xx := 0; xx < n; xx++ {
+			if semigroup.Elem(xx) != x && mul[xx*n+int(y)] == v {
+				return false // condition (i), right cancellation
+			}
+		}
+	}
+	at := func(a, b semigroup.Elem) semigroup.Elem {
+		if a == unset || b == unset {
+			return unset
+		}
+		return mul[int(a)*n+int(b)]
+	}
+	// Triples (x, y, c): (x·y)·c vs x·(y·c).
+	for c := 0; c < n; c++ {
+		ce := semigroup.Elem(c)
+		l := at(v, ce)
+		yc := at(y, ce)
+		r := at(x, yc)
+		if l != unset && r != unset && l != r {
+			return false
+		}
+		// Triples (c, x, y): (c·x)·y vs c·(x·y).
+		cx := at(ce, x)
+		l2 := at(cx, y)
+		r2 := at(ce, v)
+		if l2 != unset && r2 != unset && l2 != r2 {
+			return false
+		}
+		// Triples (x, c, y) where x·c or c·y routes through the new cell are
+		// covered by the two patterns above when the completing cell is
+		// (x, y); remaining patterns are caught at the leaf.
+	}
+	return true
+}
+
+// injectiveOffZero verifies condition-(i) injectivity on the current
+// (partially filled) table.
+func (s *searcher) injectiveOffZero(mul []semigroup.Elem, n int) bool {
+	for x := 0; x < n; x++ {
+		seenRow := make(map[semigroup.Elem]bool)
+		seenCol := make(map[semigroup.Elem]bool)
+		for y := 0; y < n; y++ {
+			if v := mul[x*n+y]; v != unset && v != 0 {
+				if seenRow[v] {
+					return false
+				}
+				seenRow[v] = true
+			}
+			if v := mul[y*n+x]; v != unset && v != 0 {
+				if seenCol[v] {
+					return false
+				}
+				seenCol[v] = true
+			}
+		}
+	}
+	return true
+}
+
+// verifyLeaf runs the full, authoritative checks on a complete table.
+func (s *searcher) verifyLeaf(mul []semigroup.Elem, n int, assign map[words.Symbol]semigroup.Elem) *semigroup.Table {
+	rows := make([][]semigroup.Elem, n)
+	for i := 0; i < n; i++ {
+		rows[i] = append([]semigroup.Elem(nil), mul[i*n:(i+1)*n]...)
+	}
+	tb, err := semigroup.New(rows, fmt.Sprintf("search-%d", n))
+	if err != nil {
+		return nil // not associative
+	}
+	if _, hasID := tb.Identity(); hasID {
+		return nil
+	}
+	if err := semigroup.CheckCancellation(tb); err != nil {
+		return nil
+	}
+	in, err := semigroup.NewInterpretation(tb, s.pres.Alphabet, assign)
+	if err != nil {
+		return nil
+	}
+	ok, _, err := in.SatisfiesPresentation(s.pres)
+	if err != nil || !ok {
+		return nil
+	}
+	// A0 != 0 holds by construction (A0 -> 1, zero -> 0).
+	return tb
+}

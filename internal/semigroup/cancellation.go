@@ -1,0 +1,114 @@
+package semigroup
+
+import "fmt"
+
+// CheckCancellation verifies the paper's cancellation property for a finite
+// semigroup with zero.
+//
+// For a semigroup G with zero 0 and an identity, the property is
+//
+//	(i) (xy = xy' != 0  or  yx = y'x != 0)  =>  y = y'.
+//
+// If G has zero but no identity, the property additionally requires
+//
+//	(ii) (xy = x or yx = x)  =>  x = 0,
+//
+// the condition that "describes a circumstance in which cancellation would
+// yield the identity, if there were one"; it is what makes adjoining an
+// identity preserve cancellation (see AdjoinIdentity and the proof of part
+// (B)). CheckCancellation returns nil iff the applicable conditions hold.
+func CheckCancellation(t *Table) error {
+	z, ok := t.Zero()
+	if !ok {
+		return fmt.Errorf("semigroup: cancellation property is defined for semigroups with zero; none found")
+	}
+	if err := checkConditionI(t, z); err != nil {
+		return err
+	}
+	if _, hasID := t.Identity(); !hasID {
+		if err := checkConditionII(t, z); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// checkConditionI verifies (i): nonzero products cancel on both sides.
+func checkConditionI(t *Table, z Elem) error {
+	n := t.Size()
+	for x := 0; x < n; x++ {
+		// Left cancellation: the map y -> xy must be injective on
+		// preimages of nonzero values.
+		seen := make([]int, n) // product -> first y+1 with x·y = product
+		for y := 0; y < n; y++ {
+			p := t.Mul(Elem(x), Elem(y))
+			if p == z {
+				continue
+			}
+			if prev := seen[p]; prev != 0 && Elem(prev-1) != Elem(y) {
+				return fmt.Errorf("semigroup: condition (i) fails: %d·%d = %d·%d = %d != 0", x, prev-1, x, y, int(p))
+			}
+			seen[p] = y + 1
+		}
+		// Right cancellation: y -> yx injective on nonzero products.
+		for i := range seen {
+			seen[i] = 0
+		}
+		for y := 0; y < n; y++ {
+			p := t.Mul(Elem(y), Elem(x))
+			if p == z {
+				continue
+			}
+			if prev := seen[p]; prev != 0 && Elem(prev-1) != Elem(y) {
+				return fmt.Errorf("semigroup: condition (i) fails: %d·%d = %d·%d = %d != 0", prev-1, x, y, x, int(p))
+			}
+			seen[p] = y + 1
+		}
+	}
+	return nil
+}
+
+// checkConditionII verifies (ii): xy = x or yx = x implies x = 0.
+func checkConditionII(t *Table, z Elem) error {
+	n := t.Size()
+	for x := 0; x < n; x++ {
+		if Elem(x) == z {
+			continue
+		}
+		for y := 0; y < n; y++ {
+			if t.Mul(Elem(x), Elem(y)) == Elem(x) {
+				return fmt.Errorf("semigroup: condition (ii) fails: %d·%d = %d != 0", x, y, x)
+			}
+			if t.Mul(Elem(y), Elem(x)) == Elem(x) {
+				return fmt.Errorf("semigroup: condition (ii) fails: %d·%d = %d != 0", y, x, x)
+			}
+		}
+	}
+	return nil
+}
+
+// AdjoinIdentity returns G' = G ∪ {I} with I a fresh identity element (the
+// construction in the proof of part (B)). The new element has index
+// t.Size(). The paper's claim — that if G has the cancellation property
+// (with zero, without identity) then so does G' — is verified by
+// TestAdjoinIdentityPreservesCancellation and benchmarked as experiment E8.
+func AdjoinIdentity(t *Table) (*Table, Elem) {
+	n := t.Size()
+	m := n + 1
+	mul := make([]Elem, m*m)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			mul[i*m+j] = t.Mul(Elem(i), Elem(j))
+		}
+	}
+	id := Elem(n)
+	for i := 0; i < m; i++ {
+		mul[i*m+int(id)] = Elem(i)
+		mul[int(id)*m+i] = Elem(i)
+	}
+	name := t.Name()
+	if name != "" {
+		name += "+I"
+	}
+	return newUnchecked(m, mul, name), id
+}

@@ -1,0 +1,145 @@
+package semigroup
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestNilpotentCyclicCancellation(t *testing.T) {
+	for n := 2; n <= 8; n++ {
+		if err := CheckCancellation(NilpotentCyclic(n)); err != nil {
+			t.Errorf("N%d: %v", n, err)
+		}
+	}
+}
+
+func TestFreeNilpotentCancellation(t *testing.T) {
+	for _, kc := range [][2]int{{1, 2}, {2, 2}, {2, 3}, {3, 2}} {
+		tb, gens := FreeNilpotent(kc[0], kc[1])
+		if err := CheckCancellation(tb); err != nil {
+			t.Errorf("B(%d,%d): %v", kc[0], kc[1], err)
+		}
+		if len(gens) != kc[0] {
+			t.Errorf("B(%d,%d): %d generators", kc[0], kc[1], len(gens))
+		}
+		if _, ok := tb.Identity(); ok {
+			t.Errorf("B(%d,%d) has an identity", kc[0], kc[1])
+		}
+		if _, ok := tb.Zero(); !ok {
+			t.Errorf("B(%d,%d) has no zero", kc[0], kc[1])
+		}
+	}
+}
+
+func TestCancellationRequiresZero(t *testing.T) {
+	if err := CheckCancellation(cyclicGroup(3)); err == nil {
+		t.Error("semigroup without zero accepted")
+	}
+}
+
+func TestConditionIIViolation(t *testing.T) {
+	// {e, b, 0} with e·e = e and every other product 0: e is idempotent but
+	// not an identity (e·b = 0 != b), so condition (ii) applies and fails
+	// on e·e = e != 0. Condition (i) holds, so the error must cite (ii).
+	tb := MustNew([][]Elem{
+		{0, 2, 2},
+		{2, 2, 2},
+		{2, 2, 2},
+	}, "idem-no-id")
+	err := CheckCancellation(tb)
+	if err == nil {
+		t.Fatal("condition (ii) violation not detected")
+	}
+	if !strings.Contains(err.Error(), "(ii)") {
+		t.Errorf("error should cite condition (ii): %v", err)
+	}
+}
+
+func TestConditionIViolationProper(t *testing.T) {
+	// Null extension with a genuine (i) violation: x·y = x·y' != 0 with
+	// y != y'. Build: elements {a, b, c, z} with a·b = a·c = b (nonzero),
+	// everything else z. Associativity: products of three elements always
+	// hit z... check: (a·b)·x = b·x = z; a·(b·x) = a·z = z ok; (a·a)·b =
+	// z·b = z; a·(a·b) = a·b = b. NOT associative. Instead use a table
+	// where the violating products are absorbed: elements {a, b, z};
+	// a·a = b, b·anything = z, a·b = b·a = z? Then y -> a·y: a·a = b,
+	// a·b = z: injective on nonzero. Try three generators: x·y1 = x·y2 = w
+	// requires w != 0 and w·t = 0 for all t to keep associativity simple:
+	// elements {x, y1, y2, w, z}: x·y1 = x·y2 = w, all other products z.
+	// Check associativity: (x·y1)·t = w·t = z and x·(y1·t) = x·z = z ✓;
+	// (t·x)·y1 = z·y1 = z, t·(x·y1) = t·w = z ✓; (x·x)·y1 = z·y1 = z,
+	// x·(x·y1) = x·w = z ✓. Associative.
+	mul := make([][]Elem, 5)
+	for i := range mul {
+		mul[i] = []Elem{4, 4, 4, 4, 4}
+	}
+	mul[0][1] = 3 // x·y1 = w
+	mul[0][2] = 3 // x·y2 = w
+	tb := MustNew(mul, "viol-i")
+	err := CheckCancellation(tb)
+	if err == nil {
+		t.Fatal("condition (i) violation not detected")
+	}
+}
+
+func TestAdjoinIdentity(t *testing.T) {
+	n3 := NilpotentCyclic(3)
+	g, id := AdjoinIdentity(n3)
+	if g.Size() != 4 {
+		t.Fatalf("size %d", g.Size())
+	}
+	gotID, ok := g.Identity()
+	if !ok || gotID != id {
+		t.Errorf("identity = %v, %v", gotID, ok)
+	}
+	// Old products preserved.
+	if g.Mul(0, 0) != n3.Mul(0, 0) {
+		t.Error("old products changed")
+	}
+	// Zero survives.
+	z, ok := g.Zero()
+	if !ok || z != Elem(2) {
+		t.Errorf("zero = %v, %v", z, ok)
+	}
+	if !g.AssociativityNaive() {
+		t.Error("adjoined table not associative")
+	}
+}
+
+// The paper's claim in the proof of (B): if G (no identity, with zero) has
+// the cancellation property, then G' = G + identity has it too.
+func TestAdjoinIdentityPreservesCancellation(t *testing.T) {
+	cases := []*Table{NilpotentCyclic(3), NilpotentCyclic(6)}
+	tb, _ := FreeNilpotent(2, 3)
+	cases = append(cases, tb)
+	for _, g := range cases {
+		if err := CheckCancellation(g); err != nil {
+			t.Fatalf("%s: precondition: %v", g.Name(), err)
+		}
+		gp, _ := AdjoinIdentity(g)
+		if err := CheckCancellation(gp); err != nil {
+			t.Errorf("%s: cancellation lost after adjoining identity: %v", g.Name(), err)
+		}
+	}
+}
+
+// Property: for random nilpotent-style tables built from Rees quotients of
+// free nilpotents, cancellation of G implies cancellation of G+I.
+func TestAdjoinIdentityPreservesCancellationProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := 1 + rng.Intn(2)
+		c := 2 + rng.Intn(2)
+		g, _ := FreeNilpotent(k, c)
+		if err := CheckCancellation(g); err != nil {
+			return true // not a cancellation semigroup; vacuous
+		}
+		gp, _ := AdjoinIdentity(g)
+		return CheckCancellation(gp) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30, Rand: rand.New(rand.NewSource(11))}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,223 @@
+package semigroup
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Congruence is an equivalence relation on a table's elements compatible
+// with multiplication: x ~ x' and y ~ y' imply xy ~ x'y'.
+type Congruence struct {
+	table  *Table
+	parent []Elem
+}
+
+// CongruenceClosure computes the smallest congruence on t containing the
+// given pairs, by union-find with product propagation to fixpoint.
+func CongruenceClosure(t *Table, pairs [][2]Elem) (*Congruence, error) {
+	n := t.Size()
+	c := &Congruence{table: t, parent: make([]Elem, n)}
+	for i := range c.parent {
+		c.parent[i] = Elem(i)
+	}
+	for _, p := range pairs {
+		for _, e := range p {
+			if int(e) < 0 || int(e) >= n {
+				return nil, fmt.Errorf("semigroup: congruence pair element %d out of range", int(e))
+			}
+		}
+		c.union(p[0], p[1])
+	}
+	// Propagate compatibility to fixpoint.
+	for changed := true; changed; {
+		changed = false
+		for x := 0; x < n; x++ {
+			for y := x + 1; y < n; y++ {
+				if c.find(Elem(x)) != c.find(Elem(y)) {
+					continue
+				}
+				for z := 0; z < n; z++ {
+					if c.union(t.Mul(Elem(x), Elem(z)), t.Mul(Elem(y), Elem(z))) {
+						changed = true
+					}
+					if c.union(t.Mul(Elem(z), Elem(x)), t.Mul(Elem(z), Elem(y))) {
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	return c, nil
+}
+
+func (c *Congruence) find(e Elem) Elem {
+	for c.parent[e] != e {
+		c.parent[e] = c.parent[c.parent[e]]
+		e = c.parent[e]
+	}
+	return e
+}
+
+// union merges the classes of x and y, reporting whether anything changed.
+func (c *Congruence) union(x, y Elem) bool {
+	rx, ry := c.find(x), c.find(y)
+	if rx == ry {
+		return false
+	}
+	if rx > ry {
+		rx, ry = ry, rx
+	}
+	c.parent[ry] = rx
+	return true
+}
+
+// Related reports whether x ~ y.
+func (c *Congruence) Related(x, y Elem) bool { return c.find(x) == c.find(y) }
+
+// Classes returns the partition as sorted slices, sorted by smallest member.
+func (c *Congruence) Classes() [][]Elem {
+	byRoot := make(map[Elem][]Elem)
+	for e := 0; e < c.table.Size(); e++ {
+		r := c.find(Elem(e))
+		byRoot[r] = append(byRoot[r], Elem(e))
+	}
+	out := make([][]Elem, 0, len(byRoot))
+	for _, cls := range byRoot {
+		out = append(out, cls)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
+	return out
+}
+
+// Quotient returns t/~ together with the projection map from t's elements
+// to quotient indices.
+func (c *Congruence) Quotient() (*Table, []Elem) {
+	classes := c.Classes()
+	idx := make([]Elem, c.table.Size())
+	for qi, cls := range classes {
+		for _, e := range cls {
+			idx[e] = Elem(qi)
+		}
+	}
+	n := len(classes)
+	mul := make([]Elem, n*n)
+	for i, ci := range classes {
+		for j, cj := range classes {
+			mul[i*n+j] = idx[c.table.Mul(ci[0], cj[0])]
+		}
+	}
+	return newUnchecked(n, mul, c.table.Name()+"/~"), idx
+}
+
+// ReesQuotient collapses a two-sided ideal to a single zero element. The
+// ideal must be closed under multiplication by arbitrary elements on both
+// sides; an error reports a violation. The projection map is returned.
+func ReesQuotient(t *Table, ideal []Elem) (*Table, []Elem, error) {
+	inIdeal := make([]bool, t.Size())
+	for _, e := range ideal {
+		if int(e) < 0 || int(e) >= t.Size() {
+			return nil, nil, fmt.Errorf("semigroup: ideal element %d out of range", int(e))
+		}
+		inIdeal[e] = true
+	}
+	if len(ideal) == 0 {
+		return nil, nil, fmt.Errorf("semigroup: empty ideal")
+	}
+	for i := 0; i < t.Size(); i++ {
+		for j := 0; j < t.Size(); j++ {
+			if (inIdeal[i] || inIdeal[j]) && !inIdeal[t.Mul(Elem(i), Elem(j))] {
+				return nil, nil, fmt.Errorf("semigroup: set is not an ideal: %d·%d escapes", i, j)
+			}
+		}
+	}
+	var pairs [][2]Elem
+	first := ideal[0]
+	for _, e := range ideal[1:] {
+		pairs = append(pairs, [2]Elem{first, e})
+	}
+	c, err := CongruenceClosure(t, pairs)
+	if err != nil {
+		return nil, nil, err
+	}
+	q, idx := c.Quotient()
+	return q, idx, nil
+}
+
+// IsIsomorphic reports whether s and t are isomorphic, by backtracking over
+// bijections with idempotent/row-profile pruning. Intended for small tables
+// (order <= 8 or so).
+func IsIsomorphic(s, t *Table) bool {
+	n := s.Size()
+	if n != t.Size() {
+		return false
+	}
+	// Invariant profile: (is idempotent, row multiset rank, column multiset
+	// rank) must match under any isomorphism; compare coarse signatures.
+	sig := func(tb *Table, e Elem) [3]int {
+		idem := 0
+		if tb.Mul(e, e) == e {
+			idem = 1
+		}
+		rowDistinct := map[Elem]bool{}
+		colDistinct := map[Elem]bool{}
+		for x := 0; x < tb.Size(); x++ {
+			rowDistinct[tb.Mul(e, Elem(x))] = true
+			colDistinct[tb.Mul(Elem(x), e)] = true
+		}
+		return [3]int{idem, len(rowDistinct), len(colDistinct)}
+	}
+	ssig := make([][3]int, n)
+	tsig := make([][3]int, n)
+	for i := 0; i < n; i++ {
+		ssig[i] = sig(s, Elem(i))
+		tsig[i] = sig(t, Elem(i))
+	}
+	perm := make([]Elem, n)
+	used := make([]bool, n)
+	for i := range perm {
+		perm[i] = -1
+	}
+	var try func(i int) bool
+	try = func(i int) bool {
+		if i == n {
+			return true
+		}
+		for j := 0; j < n; j++ {
+			if used[j] || ssig[i] != tsig[j] {
+				continue
+			}
+			perm[i] = Elem(j)
+			used[j] = true
+			ok := true
+			// Check all products among assigned elements.
+			for a := 0; a <= i && ok; a++ {
+				for b := 0; b <= i && ok; b++ {
+					p := s.Mul(Elem(a), Elem(b))
+					if int(p) <= i {
+						if t.Mul(perm[a], perm[b]) != perm[p] {
+							ok = false
+						}
+					} else {
+						// Product maps outside the assigned prefix: its
+						// image must not be an already-used target that
+						// conflicts; defer full check.
+						q := t.Mul(perm[a], perm[b])
+						for c := 0; c <= i; c++ {
+							if perm[c] == q && Elem(c) != p {
+								ok = false
+								break
+							}
+						}
+					}
+				}
+			}
+			if ok && try(i+1) {
+				return true
+			}
+			used[j] = false
+			perm[i] = -1
+		}
+		return false
+	}
+	return try(0)
+}

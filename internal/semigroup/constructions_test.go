@@ -1,0 +1,132 @@
+package semigroup
+
+import (
+	"testing"
+
+	"templatedep/internal/words"
+)
+
+func TestNilpotentCyclicStructure(t *testing.T) {
+	n5 := NilpotentCyclic(5)
+	// a^2 · a^2 = a^4, the last nonzero power in N5.
+	if got := n5.Mul(PowerElem(5, 2), PowerElem(5, 2)); got != PowerElem(5, 4) {
+		t.Errorf("a^2·a^2 = %v", got)
+	}
+	// a^3 · a^2 = a^5 = 0.
+	if got := n5.Mul(PowerElem(5, 3), PowerElem(5, 2)); got != Elem(4) {
+		t.Errorf("a^3·a^2 = %v", got)
+	}
+	// a · a^2 = a^3
+	if got := n5.Mul(PowerElem(5, 1), PowerElem(5, 2)); got != PowerElem(5, 3) {
+		t.Errorf("a·a^2 = %v", got)
+	}
+	if !n5.AssociativityNaive() {
+		t.Error("N5 not associative")
+	}
+	// Degenerate n clamps to 2.
+	if NilpotentCyclic(1).Size() != 2 {
+		t.Error("clamp failed")
+	}
+	if PowerElem(3, 7) != Elem(2) {
+		t.Error("PowerElem overflow should be zero")
+	}
+}
+
+func TestFreeNilpotentStructure(t *testing.T) {
+	// B(2,3): words of length 1..2 over 2 generators: 2 + 4 = 6, plus zero.
+	tb, gens := FreeNilpotent(2, 3)
+	if tb.Size() != 7 {
+		t.Fatalf("size %d, want 7", tb.Size())
+	}
+	if !tb.AssociativityNaive() {
+		t.Error("not associative")
+	}
+	// g0·g1 is a length-2 word (nonzero); (g0·g1)·g0 = 0.
+	p := tb.Mul(gens[0], gens[1])
+	z, _ := tb.Zero()
+	if p == z {
+		t.Error("g0·g1 should be nonzero")
+	}
+	if tb.Mul(p, gens[0]) != z {
+		t.Error("length-3 product should be zero")
+	}
+	// Distinct length-2 words are distinct elements.
+	q := tb.Mul(gens[1], gens[0])
+	if p == q {
+		t.Error("g0g1 and g1g0 should differ")
+	}
+	// Degenerate arguments clamp.
+	small, g := FreeNilpotent(0, 0)
+	if small.Size() != 2 || len(g) != 1 {
+		t.Errorf("clamped B = order %d with %d gens", small.Size(), len(g))
+	}
+}
+
+func TestDirectProduct(t *testing.T) {
+	a := NilpotentCyclic(2)
+	b := NilpotentCyclic(3)
+	p := DirectProduct(a, b)
+	if p.Size() != 6 {
+		t.Fatalf("size %d", p.Size())
+	}
+	if !p.AssociativityNaive() {
+		t.Error("product not associative")
+	}
+	// Zero of the product is the pair of zeros: (1, 2) -> 1*3+2 = 5.
+	z, ok := p.Zero()
+	if !ok || z != Elem(5) {
+		t.Errorf("zero = %v, %v", z, ok)
+	}
+	if p.IsCommutative() != (a.IsCommutative() && b.IsCommutative()) {
+		t.Error("commutativity of product wrong")
+	}
+}
+
+func TestSubsemigroupGenerated(t *testing.T) {
+	n6 := NilpotentCyclic(6)
+	// a^2 generates {a^2, a^4, 0}: indices 1, 3, 5.
+	sub, members, err := SubsemigroupGenerated(n6, []Elem{PowerElem(6, 2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.Size() != 3 {
+		t.Fatalf("size %d, want 3 (got members %v)", sub.Size(), members)
+	}
+	if !sub.AssociativityNaive() {
+		t.Error("not associative")
+	}
+	// Subsemigroup of a^2 is isomorphic to N3.
+	if !IsIsomorphic(sub, NilpotentCyclic(3)) {
+		t.Error("a^2-subsemigroup of N6 should be isomorphic to N3")
+	}
+	if _, _, err := SubsemigroupGenerated(n6, nil); err == nil {
+		t.Error("empty generating set accepted")
+	}
+	if _, _, err := SubsemigroupGenerated(n6, []Elem{99}); err == nil {
+		t.Error("out-of-range generator accepted")
+	}
+}
+
+func TestNilpotentInterpretationForPowers(t *testing.T) {
+	for m := 1; m <= 4; m++ {
+		in, p, err := NilpotentInterpretationForPowers(m)
+		if err != nil {
+			t.Fatalf("m=%d: %v", m, err)
+		}
+		if err := in.IsModelOfMainLemmaFailure(p); err != nil {
+			t.Errorf("m=%d: %v", m, err)
+		}
+	}
+}
+
+func TestTrivialZeroInterpretationSatisfiesAll(t *testing.T) {
+	p := words.ChainPresentation(2)
+	in, err := TrivialZeroInterpretation(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, bad, err := in.SatisfiesPresentation(p)
+	if err != nil || !ok {
+		t.Errorf("ok=%v bad=%d err=%v", ok, bad, err)
+	}
+}

@@ -1,0 +1,115 @@
+package semigroup
+
+import "testing"
+
+func TestCountLabeledMatchesOEIS(t *testing.T) {
+	// OEIS A023814: number of associative binary operations on an n-set.
+	want := map[int]int{1: 1, 2: 8, 3: 113}
+	for n, w := range want {
+		if got := CountLabeled(n); got != w {
+			t.Errorf("CountLabeled(%d) = %d, want %d", n, got, w)
+		}
+	}
+}
+
+func TestCountLabeledOrder4MatchesOEIS(t *testing.T) {
+	if testing.Short() {
+		t.Skip("order-4 enumeration (~200ms) skipped in -short mode")
+	}
+	if got := CountLabeled(4); got != 3492 {
+		t.Errorf("CountLabeled(4) = %d, want 3492", got)
+	}
+}
+
+func TestCountUpToIsoOrder4MatchesOEIS(t *testing.T) {
+	if testing.Short() {
+		t.Skip("order-4 iso enumeration (~500ms) skipped in -short mode")
+	}
+	if got := CountUpToIso(4); got != 188 {
+		t.Errorf("CountUpToIso(4) = %d, want 188", got)
+	}
+}
+
+func TestCountUpToIsoMatchesOEIS(t *testing.T) {
+	// OEIS A027851: number of semigroups of order n up to isomorphism.
+	want := map[int]int{1: 1, 2: 5, 3: 24}
+	for n, w := range want {
+		if got := CountUpToIso(n); got != w {
+			t.Errorf("CountUpToIso(%d) = %d, want %d", n, got, w)
+		}
+	}
+}
+
+func TestEnumerateLabeledAllAssociative(t *testing.T) {
+	EnumerateLabeled(3, func(tb *Table) bool {
+		if !tb.AssociativityNaive() {
+			t.Fatalf("non-associative table yielded:\n%s", tb.String())
+		}
+		return true
+	})
+}
+
+func TestEnumerateEarlyStop(t *testing.T) {
+	n := 0
+	EnumerateLabeled(3, func(*Table) bool {
+		n++
+		return n < 5
+	})
+	if n != 5 {
+		t.Errorf("early stop after %d", n)
+	}
+	n = 0
+	EnumerateUpToIso(2, func(*Table) bool {
+		n++
+		return false
+	})
+	if n != 1 {
+		t.Errorf("iso early stop after %d", n)
+	}
+}
+
+func TestEnumerateRepsPairwiseNonIsomorphic(t *testing.T) {
+	var reps []*Table
+	EnumerateUpToIso(3, func(tb *Table) bool {
+		reps = append(reps, tb)
+		return true
+	})
+	for i := 0; i < len(reps); i++ {
+		for j := i + 1; j < len(reps); j++ {
+			if IsIsomorphic(reps[i], reps[j]) {
+				t.Fatalf("representatives %d and %d are isomorphic", i, j)
+			}
+		}
+	}
+}
+
+func TestTakeCensusOrder3(t *testing.T) {
+	c := TakeCensus(3)
+	if c.Classes != 24 {
+		t.Fatalf("classes = %d, want 24", c.Classes)
+	}
+	// The null semigroup + a: N3 is among them, so the witness class is
+	// non-empty; monoids of order 3 exist; at least one non-commutative
+	// semigroup (left-zero) exists.
+	if c.WitnessClass < 1 {
+		t.Error("witness class empty at order 3")
+	}
+	if c.WithIdentity < 1 || c.WithZero < 1 {
+		t.Errorf("census: %+v", c)
+	}
+	if c.Commutative >= c.Classes {
+		t.Error("every order-3 semigroup commutative?")
+	}
+	if c.JTrivial < 1 {
+		t.Error("no J-trivial semigroups found")
+	}
+}
+
+func TestEnumerateDegenerate(t *testing.T) {
+	if CountLabeled(0) != 0 {
+		t.Error("order 0 should yield nothing")
+	}
+	if CountLabeled(1) != 1 {
+		t.Error("order 1 has exactly one table")
+	}
+}

@@ -1,0 +1,141 @@
+package semigroup
+
+import "fmt"
+
+// Green's relations — the standard structural equivalences of semigroup
+// theory. They are used here to characterize the witness semigroups of
+// Reduction Theorem part (B): in a finite cancellation semigroup with zero
+// and no identity, every element outside {0} generates a strictly larger
+// ideal than its proper products, which is what makes the P/Q construction
+// of the counter-model so sparse.
+//
+// All relations are computed in S^1 (the semigroup with an identity
+// adjoined), as is conventional: a R b iff aS^1 = bS^1, a L b iff
+// S^1a = S^1b, H = R ∧ L, J: S^1aS^1 = S^1bS^1, and for finite semigroups
+// D = J.
+
+// GreenClasses partitions the elements of t under one of Green's relations.
+type GreenClasses struct {
+	// Class[i] is the class index of element i; classes are numbered in
+	// first-seen order.
+	Class []int
+	// Count is the number of classes.
+	Count int
+}
+
+func classesOf(n int, key func(Elem) string) GreenClasses {
+	g := GreenClasses{Class: make([]int, n)}
+	seen := make(map[string]int)
+	for i := 0; i < n; i++ {
+		k := key(Elem(i))
+		id, ok := seen[k]
+		if !ok {
+			id = g.Count
+			g.Count++
+			seen[k] = id
+		}
+		g.Class[i] = id
+	}
+	return g
+}
+
+// rightIdeal returns the characteristic bitset of aS^1 as a string key.
+func rightIdeal(t *Table, a Elem) string {
+	n := t.Size()
+	in := make([]byte, n)
+	in[a] = 1 // identity of S^1
+	for x := 0; x < n; x++ {
+		in[t.Mul(a, Elem(x))] = 1
+	}
+	return string(in)
+}
+
+func leftIdeal(t *Table, a Elem) string {
+	n := t.Size()
+	in := make([]byte, n)
+	in[a] = 1
+	for x := 0; x < n; x++ {
+		in[t.Mul(Elem(x), a)] = 1
+	}
+	return string(in)
+}
+
+func twoSidedIdeal(t *Table, a Elem) string {
+	n := t.Size()
+	in := make([]bool, n)
+	in[a] = true
+	// Close under left and right multiplication.
+	for changed := true; changed; {
+		changed = false
+		for e := 0; e < n; e++ {
+			if !in[e] {
+				continue
+			}
+			for x := 0; x < n; x++ {
+				if p := t.Mul(Elem(x), Elem(e)); !in[p] {
+					in[p] = true
+					changed = true
+				}
+				if p := t.Mul(Elem(e), Elem(x)); !in[p] {
+					in[p] = true
+					changed = true
+				}
+			}
+		}
+	}
+	out := make([]byte, n)
+	for i, b := range in {
+		if b {
+			out[i] = 1
+		}
+	}
+	return string(out)
+}
+
+// GreenR computes the R-classes (equal right ideals).
+func GreenR(t *Table) GreenClasses {
+	return classesOf(t.Size(), func(a Elem) string { return rightIdeal(t, a) })
+}
+
+// GreenL computes the L-classes (equal left ideals).
+func GreenL(t *Table) GreenClasses {
+	return classesOf(t.Size(), func(a Elem) string { return leftIdeal(t, a) })
+}
+
+// GreenH computes the H-classes (R and L).
+func GreenH(t *Table) GreenClasses {
+	return classesOf(t.Size(), func(a Elem) string {
+		return rightIdeal(t, a) + "|" + leftIdeal(t, a)
+	})
+}
+
+// GreenJ computes the J-classes (equal two-sided principal ideals). For
+// finite semigroups J coincides with D.
+func GreenJ(t *Table) GreenClasses {
+	return classesOf(t.Size(), func(a Elem) string { return twoSidedIdeal(t, a) })
+}
+
+// Related reports whether x and y are in the same class.
+func (g GreenClasses) Related(x, y Elem) bool { return g.Class[x] == g.Class[y] }
+
+// Sizes returns the class sizes indexed by class id.
+func (g GreenClasses) Sizes() []int {
+	out := make([]int, g.Count)
+	for _, c := range g.Class {
+		out[c]++
+	}
+	return out
+}
+
+// String summarizes the partition.
+func (g GreenClasses) String() string {
+	return fmt.Sprintf("%d classes with sizes %v", g.Count, g.Sizes())
+}
+
+// IsJTrivial reports whether every J-class is a singleton. Finite
+// cancellation semigroups with zero and without identity are J-trivial:
+// a = xby forces, by repeated application, a length argument that only the
+// zero can absorb (compare the nilpotent witnesses of part (B)).
+func IsJTrivial(t *Table) bool {
+	return GreenJ(t).Count == t.Size()
+}

@@ -1,0 +1,87 @@
+package semigroup
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestGreenNilpotentCyclic(t *testing.T) {
+	// N4 = {a, a2, a3=0... no: a, a2, a3, 0}. Principal ideals are nested
+	// strictly: every Green relation is trivial (singleton classes).
+	n4 := NilpotentCyclic(4)
+	for name, g := range map[string]GreenClasses{
+		"R": GreenR(n4), "L": GreenL(n4), "H": GreenH(n4), "J": GreenJ(n4),
+	} {
+		if g.Count != n4.Size() {
+			t.Errorf("%s: %d classes, want %d (trivial)", name, g.Count, n4.Size())
+		}
+	}
+	if !IsJTrivial(n4) {
+		t.Error("N4 should be J-trivial")
+	}
+}
+
+func TestGreenGroup(t *testing.T) {
+	// In a group every Green relation is total: one class.
+	g := cyclicGroup(4)
+	for name, cls := range map[string]GreenClasses{
+		"R": GreenR(g), "L": GreenL(g), "H": GreenH(g), "J": GreenJ(g),
+	} {
+		if cls.Count != 1 {
+			t.Errorf("%s: %d classes, want 1", name, cls.Count)
+		}
+	}
+	if IsJTrivial(g) {
+		t.Error("a nontrivial group is not J-trivial")
+	}
+}
+
+func TestGreenLeftZero(t *testing.T) {
+	// Left-zero semigroup: x·y = x. aS^1 = {a} ∪ {a} = {a}: R-classes are
+	// singletons... a·x = a so aS^1 = {a}: all right ideals are distinct
+	// singletons -> R trivial. S^1a = {a} ∪ {x·a} = everything... x·a = x,
+	// so S^1a = S ∪ {a} = S: all left ideals equal -> L is total.
+	lz := leftZero(3)
+	if got := GreenR(lz).Count; got != 3 {
+		t.Errorf("R classes = %d, want 3", got)
+	}
+	if got := GreenL(lz).Count; got != 1 {
+		t.Errorf("L classes = %d, want 1", got)
+	}
+	// H = R ∧ L = R here.
+	if got := GreenH(lz).Count; got != 3 {
+		t.Errorf("H classes = %d, want 3", got)
+	}
+	// J: two-sided ideals all equal S -> one class.
+	if got := GreenJ(lz).Count; got != 1 {
+		t.Errorf("J classes = %d, want 1", got)
+	}
+}
+
+func TestGreenRelatedAndSizes(t *testing.T) {
+	lz := leftZero(3)
+	l := GreenL(lz)
+	if !l.Related(0, 2) {
+		t.Error("left-zero elements should be L-related")
+	}
+	sizes := l.Sizes()
+	if len(sizes) != 1 || sizes[0] != 3 {
+		t.Errorf("sizes = %v", sizes)
+	}
+	if !strings.Contains(l.String(), "1 classes") {
+		t.Errorf("String = %q", l.String())
+	}
+}
+
+func TestWitnessSemigroupsAreJTrivial(t *testing.T) {
+	// The nilpotent witnesses used for part (B) are all J-trivial.
+	for n := 2; n <= 6; n++ {
+		if !IsJTrivial(NilpotentCyclic(n)) {
+			t.Errorf("N%d not J-trivial", n)
+		}
+	}
+	b23, _ := FreeNilpotent(2, 3)
+	if !IsJTrivial(b23) {
+		t.Error("B(2,3) not J-trivial")
+	}
+}

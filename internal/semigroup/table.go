@@ -1,0 +1,355 @@
+// Package semigroup implements finite semigroups as explicit multiplication
+// tables, together with the structural notions the Gurevich–Lewis proof
+// manipulates: zero and identity elements, the cancellation property for
+// semigroups with zero (conditions (i) and (ii) of the paper), adjoining an
+// identity, evaluating words of a presentation, and checking that a finite
+// semigroup satisfies a presentation.
+//
+// Conventions: elements are 0..n-1. A Table need not have a zero or an
+// identity; accessors report them when present. All operations are on
+// immutable tables; constructors validate associativity.
+package semigroup
+
+import (
+	"fmt"
+	"strings"
+
+	"templatedep/internal/words"
+)
+
+// Elem is an element of a finite semigroup, an index in 0..n-1.
+type Elem int
+
+// Table is a finite semigroup given by its multiplication table.
+// mul[i*n+j] is the product of elements i and j.
+type Table struct {
+	n    int
+	mul  []Elem
+	name string
+}
+
+// New builds a semigroup from a square multiplication table and verifies
+// associativity (via Light's test against a generating set, falling back to
+// the naive cubic check for tiny tables).
+func New(mul [][]Elem, name string) (*Table, error) {
+	n := len(mul)
+	if n == 0 {
+		return nil, fmt.Errorf("semigroup: empty table")
+	}
+	t := &Table{n: n, mul: make([]Elem, n*n), name: name}
+	for i, row := range mul {
+		if len(row) != n {
+			return nil, fmt.Errorf("semigroup: row %d has %d entries, want %d", i, len(row), n)
+		}
+		for j, v := range row {
+			if int(v) < 0 || int(v) >= n {
+				return nil, fmt.Errorf("semigroup: entry (%d,%d)=%d out of range", i, j, int(v))
+			}
+			t.mul[i*n+j] = v
+		}
+	}
+	if i, j, k, ok := t.associativityDefect(); !ok {
+		return nil, fmt.Errorf("semigroup: not associative: (%d·%d)·%d != %d·(%d·%d)", i, j, k, i, j, k)
+	}
+	return t, nil
+}
+
+// MustNew is New that panics on error.
+func MustNew(mul [][]Elem, name string) *Table {
+	t, err := New(mul, name)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// newUnchecked builds a table without the associativity check; for internal
+// constructors whose output is associative by construction.
+func newUnchecked(n int, mul []Elem, name string) *Table {
+	return &Table{n: n, mul: mul, name: name}
+}
+
+// Size returns the number of elements.
+func (t *Table) Size() int { return t.n }
+
+// Name returns the descriptive name given at construction.
+func (t *Table) Name() string { return t.name }
+
+// Mul returns the product x·y.
+func (t *Table) Mul(x, y Elem) Elem { return t.mul[int(x)*t.n+int(y)] }
+
+// MulWordElems multiplies a non-empty sequence of elements left to right.
+func (t *Table) MulWordElems(es []Elem) (Elem, error) {
+	if len(es) == 0 {
+		return 0, fmt.Errorf("semigroup: cannot multiply the empty sequence in a semigroup")
+	}
+	acc := es[0]
+	for _, e := range es[1:] {
+		acc = t.Mul(acc, e)
+	}
+	return acc, nil
+}
+
+// associativityDefect returns a witness (i,j,k) with (ij)k != i(jk), or
+// ok=true if the table is associative. Uses Light's associativity test:
+// associativity needs checking only against a generating set.
+func (t *Table) associativityDefect() (Elem, Elem, Elem, bool) {
+	gens := t.GeneratingSet()
+	n := t.n
+	for _, g := range gens {
+		// Light's test: for generator g, compare the table L_g∘M with M∘R_g.
+		for i := 0; i < n; i++ {
+			ig := t.mul[i*n+int(g)]
+			for k := 0; k < n; k++ {
+				if t.mul[int(ig)*n+k] != t.mul[i*n+int(t.mul[int(g)*n+k])] {
+					return Elem(i), g, Elem(k), false
+				}
+			}
+		}
+	}
+	return 0, 0, 0, true
+}
+
+// AssociativityNaive is the straightforward O(n^3) check; exposed for the
+// ablation benchmark against Light's test.
+func (t *Table) AssociativityNaive() bool {
+	n := t.n
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			ij := t.mul[i*n+j]
+			for k := 0; k < n; k++ {
+				if t.mul[int(ij)*n+k] != t.mul[i*n+int(t.mul[j*n+k])] {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// GeneratingSet returns a (not necessarily minimal) generating set computed
+// greedily: elements not expressible as products of previously chosen ones.
+func (t *Table) GeneratingSet() []Elem {
+	n := t.n
+	inSpan := make([]bool, n)
+	span := make([]Elem, 0, n)
+	var gens []Elem
+	add := func(e Elem) {
+		if !inSpan[e] {
+			inSpan[e] = true
+			span = append(span, e)
+		}
+	}
+	closeSpan := func() {
+		for changed := true; changed; {
+			changed = false
+			for _, x := range span {
+				for _, y := range span {
+					p := t.Mul(x, y)
+					if !inSpan[p] {
+						inSpan[p] = true
+						span = append(span, p)
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	for e := 0; e < n; e++ {
+		if !inSpan[e] {
+			gens = append(gens, Elem(e))
+			add(Elem(e))
+			closeSpan()
+		}
+	}
+	return gens
+}
+
+// Zero returns the zero element (x·z = z·x = z for all x), if any.
+func (t *Table) Zero() (Elem, bool) {
+	for z := 0; z < t.n; z++ {
+		isZero := true
+		for x := 0; x < t.n; x++ {
+			if t.mul[x*t.n+z] != Elem(z) || t.mul[z*t.n+x] != Elem(z) {
+				isZero = false
+				break
+			}
+		}
+		if isZero {
+			return Elem(z), true
+		}
+	}
+	return 0, false
+}
+
+// Identity returns the identity element, if any.
+func (t *Table) Identity() (Elem, bool) {
+	for e := 0; e < t.n; e++ {
+		isID := true
+		for x := 0; x < t.n; x++ {
+			if t.mul[e*t.n+x] != Elem(x) || t.mul[x*t.n+e] != Elem(x) {
+				isID = false
+				break
+			}
+		}
+		if isID {
+			return Elem(e), true
+		}
+	}
+	return 0, false
+}
+
+// Idempotents returns all x with x·x = x.
+func (t *Table) Idempotents() []Elem {
+	var out []Elem
+	for x := 0; x < t.n; x++ {
+		if t.mul[x*t.n+x] == Elem(x) {
+			out = append(out, Elem(x))
+		}
+	}
+	return out
+}
+
+// IsCommutative reports whether the operation is commutative.
+func (t *Table) IsCommutative() bool {
+	for i := 0; i < t.n; i++ {
+		for j := i + 1; j < t.n; j++ {
+			if t.mul[i*t.n+j] != t.mul[j*t.n+i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// String renders the multiplication table.
+func (t *Table) String() string {
+	var b strings.Builder
+	if t.name != "" {
+		fmt.Fprintf(&b, "%s (order %d)\n", t.name, t.n)
+	}
+	for i := 0; i < t.n; i++ {
+		for j := 0; j < t.n; j++ {
+			if j > 0 {
+				b.WriteByte(' ')
+			}
+			fmt.Fprintf(&b, "%d", int(t.mul[i*t.n+j]))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Equal reports table equality (same order, same products); names ignored.
+func (t *Table) Equal(u *Table) bool {
+	if t.n != u.n {
+		return false
+	}
+	for i := range t.mul {
+		if t.mul[i] != u.mul[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Interpretation assigns a semigroup element to every alphabet symbol; it is
+// how a finite semigroup becomes a model of a presentation.
+type Interpretation struct {
+	Table  *Table
+	Assign map[words.Symbol]Elem
+}
+
+// NewInterpretation validates that every symbol of a is assigned.
+func NewInterpretation(t *Table, a *words.Alphabet, assign map[words.Symbol]Elem) (*Interpretation, error) {
+	for _, s := range a.Symbols() {
+		e, ok := assign[s]
+		if !ok {
+			return nil, fmt.Errorf("semigroup: symbol %s unassigned", a.Name(s))
+		}
+		if int(e) < 0 || int(e) >= t.Size() {
+			return nil, fmt.Errorf("semigroup: symbol %s assigned out-of-range element %d", a.Name(s), int(e))
+		}
+	}
+	return &Interpretation{Table: t, Assign: assign}, nil
+}
+
+// Eval computes the value of a non-empty word.
+func (in *Interpretation) Eval(w words.Word) (Elem, error) {
+	if w.IsEmpty() {
+		return 0, fmt.Errorf("semigroup: cannot evaluate the empty word")
+	}
+	acc, ok := in.Assign[w[0]]
+	if !ok {
+		return 0, fmt.Errorf("semigroup: unassigned symbol %d", int(w[0]))
+	}
+	for _, s := range w[1:] {
+		e, ok := in.Assign[s]
+		if !ok {
+			return 0, fmt.Errorf("semigroup: unassigned symbol %d", int(s))
+		}
+		acc = in.Table.Mul(acc, e)
+	}
+	return acc, nil
+}
+
+// SatisfiesEquation reports whether both sides evaluate equally.
+func (in *Interpretation) SatisfiesEquation(e words.Equation) (bool, error) {
+	l, err := in.Eval(e.LHS)
+	if err != nil {
+		return false, err
+	}
+	r, err := in.Eval(e.RHS)
+	if err != nil {
+		return false, err
+	}
+	return l == r, nil
+}
+
+// SatisfiesPresentation reports whether every equation holds; on failure the
+// index of the first violated equation is returned.
+func (in *Interpretation) SatisfiesPresentation(p *words.Presentation) (bool, int, error) {
+	for i, e := range p.Equations {
+		ok, err := in.SatisfiesEquation(e)
+		if err != nil {
+			return false, i, err
+		}
+		if !ok {
+			return false, i, nil
+		}
+	}
+	return true, -1, nil
+}
+
+// IsModelOfMainLemmaFailure reports whether this interpretation witnesses
+// failure of the Main Lemma formula for p: every equation of p holds but
+// A0 = 0 does not, the zero symbol denotes a semigroup zero, the semigroup
+// has no identity, and the cancellation property (conditions (i) and (ii))
+// holds. This is exactly the hypothesis of Reduction Theorem part (B).
+func (in *Interpretation) IsModelOfMainLemmaFailure(p *words.Presentation) error {
+	a := p.Alphabet
+	ok, bad, err := in.SatisfiesPresentation(p)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return fmt.Errorf("semigroup: equation %d (%s) fails", bad, p.Equations[bad].Format(a))
+	}
+	z, hasZero := in.Table.Zero()
+	if !hasZero {
+		return fmt.Errorf("semigroup: no zero element")
+	}
+	if in.Assign[a.Zero()] != z {
+		return fmt.Errorf("semigroup: symbol 0 denotes %d, not the zero %d", int(in.Assign[a.Zero()]), int(z))
+	}
+	if in.Assign[a.A0()] == z {
+		return fmt.Errorf("semigroup: A0 denotes the zero, so the goal holds rather than fails")
+	}
+	if _, hasID := in.Table.Identity(); hasID {
+		return fmt.Errorf("semigroup: has an identity; part (B) requires a semigroup without identity")
+	}
+	if err := CheckCancellation(in.Table); err != nil {
+		return err
+	}
+	return nil
+}

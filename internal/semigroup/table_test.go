@@ -1,0 +1,235 @@
+package semigroup
+
+import (
+	"strings"
+	"testing"
+
+	"templatedep/internal/words"
+)
+
+// leftZero returns the left-zero semigroup of order n: x·y = x.
+func leftZero(n int) *Table {
+	mul := make([][]Elem, n)
+	for i := range mul {
+		mul[i] = make([]Elem, n)
+		for j := range mul[i] {
+			mul[i][j] = Elem(i)
+		}
+	}
+	return MustNew(mul, "LZ")
+}
+
+// cyclicGroup returns Z_n under addition.
+func cyclicGroup(n int) *Table {
+	mul := make([][]Elem, n)
+	for i := range mul {
+		mul[i] = make([]Elem, n)
+		for j := range mul[i] {
+			mul[i][j] = Elem((i + j) % n)
+		}
+	}
+	return MustNew(mul, "Z")
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, ""); err == nil {
+		t.Error("empty table accepted")
+	}
+	if _, err := New([][]Elem{{0, 0}, {0}}, ""); err == nil {
+		t.Error("ragged table accepted")
+	}
+	if _, err := New([][]Elem{{5}}, ""); err == nil {
+		t.Error("out-of-range entry accepted")
+	}
+	// Non-associative magma: x·y table chosen to break associativity.
+	bad := [][]Elem{
+		{0, 1},
+		{0, 0},
+	}
+	// (1·1)·1 = 0·1 = 1; 1·(1·1) = 1·0 = 0.
+	if _, err := New(bad, ""); err == nil {
+		t.Error("non-associative table accepted")
+	}
+}
+
+func TestZeroIdentityIdempotents(t *testing.T) {
+	n3 := NilpotentCyclic(3)
+	z, ok := n3.Zero()
+	if !ok || z != Elem(2) {
+		t.Errorf("N3 zero = %v, %v", z, ok)
+	}
+	if _, ok := n3.Identity(); ok {
+		t.Error("N3 should have no identity")
+	}
+	idem := n3.Idempotents()
+	if len(idem) != 1 || idem[0] != z {
+		t.Errorf("N3 idempotents = %v", idem)
+	}
+
+	g := cyclicGroup(4)
+	if _, ok := g.Zero(); ok {
+		t.Error("Z4 has no zero")
+	}
+	id, ok := g.Identity()
+	if !ok || id != Elem(0) {
+		t.Errorf("Z4 identity = %v, %v", id, ok)
+	}
+}
+
+func TestMulWordElems(t *testing.T) {
+	n4 := NilpotentCyclic(4)
+	// a · a = a^2
+	got, err := n4.MulWordElems([]Elem{0, 0})
+	if err != nil || got != PowerElem(4, 2) {
+		t.Errorf("a·a = %v, %v", got, err)
+	}
+	// a·a·a·a = 0 in N4
+	got, err = n4.MulWordElems([]Elem{0, 0, 0, 0})
+	if err != nil || got != Elem(3) {
+		t.Errorf("a^4 = %v, %v", got, err)
+	}
+	if _, err := n4.MulWordElems(nil); err == nil {
+		t.Error("empty product accepted")
+	}
+}
+
+func TestAssociativityAgreement(t *testing.T) {
+	for _, tb := range []*Table{NilpotentCyclic(5), cyclicGroup(6), leftZero(4)} {
+		if !tb.AssociativityNaive() {
+			t.Errorf("%s: naive check failed", tb.Name())
+		}
+		if _, _, _, ok := tb.associativityDefect(); !ok {
+			t.Errorf("%s: Light's test failed", tb.Name())
+		}
+	}
+}
+
+func TestGeneratingSet(t *testing.T) {
+	n5 := NilpotentCyclic(5)
+	gens := n5.GeneratingSet()
+	// a generates everything: a, a^2, a^3, 0=a^4.
+	if len(gens) != 1 || gens[0] != Elem(0) {
+		t.Errorf("N5 generators = %v", gens)
+	}
+	lz := leftZero(3)
+	if len(lz.GeneratingSet()) != 3 {
+		t.Errorf("left-zero generators = %v", lz.GeneratingSet())
+	}
+}
+
+func TestIsCommutative(t *testing.T) {
+	if !NilpotentCyclic(4).IsCommutative() {
+		t.Error("N4 should be commutative")
+	}
+	if leftZero(2).IsCommutative() {
+		t.Error("left-zero should not be commutative")
+	}
+}
+
+func TestStringAndEqual(t *testing.T) {
+	n2 := NilpotentCyclic(2)
+	s := n2.String()
+	if !strings.Contains(s, "N2") || !strings.Contains(s, "1 1") {
+		t.Errorf("String = %q", s)
+	}
+	if !n2.Equal(NilpotentCyclic(2)) {
+		t.Error("equal tables reported unequal")
+	}
+	if n2.Equal(NilpotentCyclic(3)) {
+		t.Error("different orders reported equal")
+	}
+	if n2.Equal(leftZero(2)) {
+		t.Error("different tables reported equal")
+	}
+}
+
+func TestInterpretationEvalAndSatisfaction(t *testing.T) {
+	in, p, err := NilpotentInterpretationForPowers(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, bad, err := in.SatisfiesPresentation(p)
+	if err != nil || !ok {
+		t.Fatalf("satisfaction: ok=%v bad=%d err=%v", ok, bad, err)
+	}
+	// Goal must fail: A0 evaluates to a != 0.
+	goalHolds, err := in.SatisfiesEquation(p.Goal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if goalHolds {
+		t.Error("goal should fail in the counterexample")
+	}
+	if err := in.IsModelOfMainLemmaFailure(p); err != nil {
+		t.Errorf("IsModelOfMainLemmaFailure: %v", err)
+	}
+}
+
+func TestInterpretationErrors(t *testing.T) {
+	p := words.PowerPresentation()
+	t2 := NilpotentCyclic(2)
+	if _, err := NewInterpretation(t2, p.Alphabet, map[words.Symbol]Elem{}); err == nil {
+		t.Error("missing assignment accepted")
+	}
+	if _, err := NewInterpretation(t2, p.Alphabet, map[words.Symbol]Elem{
+		p.Alphabet.A0():            Elem(9),
+		p.Alphabet.Zero():          Elem(1),
+		p.Alphabet.MustSymbol("B"): Elem(0),
+	}); err == nil {
+		t.Error("out-of-range assignment accepted")
+	}
+	in, err := TrivialZeroInterpretation(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := in.Eval(words.Word{}); err == nil {
+		t.Error("empty word evaluated")
+	}
+	// Trivial interpretation satisfies everything but is not a failure
+	// witness (A0 = 0 holds).
+	if err := in.IsModelOfMainLemmaFailure(p); err == nil {
+		t.Error("trivial interpretation accepted as failure witness")
+	}
+}
+
+func TestIsModelOfMainLemmaFailureRejections(t *testing.T) {
+	// Equation fails: interpret PowerPresentation in N3 with B -> a (not a^2).
+	p := words.PowerPresentation()
+	n3 := NilpotentCyclic(3)
+	in, err := NewInterpretation(n3, p.Alphabet, map[words.Symbol]Elem{
+		p.Alphabet.A0():            Elem(0),
+		p.Alphabet.MustSymbol("B"): Elem(0), // wrong: a·a = a^2, not a
+		p.Alphabet.Zero():          Elem(2),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := in.IsModelOfMainLemmaFailure(p); err == nil {
+		t.Error("violated equation accepted")
+	}
+	// Zero symbol not the zero element.
+	in2, err := NewInterpretation(n3, p.Alphabet, map[words.Symbol]Elem{
+		p.Alphabet.A0():            Elem(0),
+		p.Alphabet.MustSymbol("B"): Elem(1),
+		p.Alphabet.Zero():          Elem(1),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := in2.IsModelOfMainLemmaFailure(p); err == nil {
+		t.Error("mis-assigned zero accepted")
+	}
+	// Semigroup with identity must be rejected.
+	g := cyclicGroup(3)
+	inG, err := NewInterpretation(g, p.Alphabet, map[words.Symbol]Elem{
+		p.Alphabet.A0():            Elem(1),
+		p.Alphabet.MustSymbol("B"): Elem(2),
+		p.Alphabet.Zero():          Elem(0),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inG.IsModelOfMainLemmaFailure(p); err == nil {
+		t.Error("group (no zero / has identity) accepted")
+	}
+}

@@ -1,0 +1,136 @@
+package tableau
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"templatedep/internal/relation"
+)
+
+// bruteCount enumerates every row-to-tuple map and counts the consistent
+// ones — the specification CountHomomorphisms must match.
+func bruteCount(t *Tableau, inst *relation.Instance) int {
+	tuples := inst.Tuples()
+	k := t.Len()
+	idx := make([]int, k)
+	count := 0
+	var rec func(i int)
+	rec = func(i int) {
+		if i == k {
+			as := NewAssignment(t)
+			for ri := 0; ri < k; ri++ {
+				row := t.Row(ri)
+				tup := tuples[idx[ri]]
+				for a, v := range row {
+					if as[a][v] == Unbound {
+						as[a][v] = tup[a]
+					} else if as[a][v] != tup[a] {
+						return
+					}
+				}
+			}
+			count++
+			return
+		}
+		for j := range tuples {
+			idx[i] = j
+			rec(i + 1)
+		}
+	}
+	if len(tuples) == 0 {
+		return 0
+	}
+	rec(0)
+	return count
+}
+
+// Property: the pruned backtracking search counts exactly the same
+// homomorphisms as brute-force enumeration, on random tableaux and
+// instances.
+func TestHomomorphismCountMatchesBruteForce(t *testing.T) {
+	s := relation.MustSchema("A", "B")
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows := make([]VarTuple, 1+rng.Intn(3))
+		for i := range rows {
+			rows[i] = VarTuple{Var(rng.Intn(2)), Var(rng.Intn(3))}
+		}
+		tab, err := New(s, rows)
+		if err != nil {
+			return false
+		}
+		inst := relation.NewInstance(s)
+		for i := 0; i < 1+rng.Intn(5); i++ {
+			inst.MustAdd(relation.Tuple{relation.Value(rng.Intn(3)), relation.Value(rng.Intn(3))})
+		}
+		got := tab.CountHomomorphisms(inst, nil)
+		want := bruteCount(tab, inst)
+		if got != want {
+			t.Logf("seed %d: got %d, brute %d\ntableau:\n%s\ninstance:\n%s", seed, got, want, tab, inst)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150, Rand: rand.New(rand.NewSource(29))}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the indexed RowSatisfiable agrees with the linear scan on
+// random rows, assignments, and instances.
+func TestRowSatisfiableMatchesScan(t *testing.T) {
+	s := relation.MustSchema("A", "B", "C")
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tab, err := New(s, []VarTuple{{0, 0, 0}, {1, 1, 1}})
+		if err != nil {
+			return false
+		}
+		inst := relation.NewInstance(s)
+		for i := 0; i < rng.Intn(6); i++ {
+			inst.MustAdd(relation.Tuple{relation.Value(rng.Intn(3)), relation.Value(rng.Intn(3)), relation.Value(rng.Intn(3))})
+		}
+		as := NewAssignment(tab)
+		for a := 0; a < 3; a++ {
+			for v := 0; v < tab.VarCount(relation.Attr(a)); v++ {
+				if rng.Intn(2) == 0 {
+					as[a][v] = relation.Value(rng.Intn(4))
+				}
+			}
+		}
+		row := tab.Row(rng.Intn(2))
+		return RowSatisfiable(row, as, inst) == RowSatisfiableScan(row, as, inst)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(37))}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: HasHomomorphism agrees with CountHomomorphisms > 0 under random
+// seeds binding a prefix of the variables.
+func TestSeededHomSearchConsistency(t *testing.T) {
+	s := relation.MustSchema("A", "B")
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tab, err := New(s, []VarTuple{{0, 0}, {Var(rng.Intn(2)), 1}})
+		if err != nil {
+			return false
+		}
+		inst := relation.NewInstance(s)
+		for i := 0; i < 2+rng.Intn(4); i++ {
+			inst.MustAdd(relation.Tuple{relation.Value(rng.Intn(2)), relation.Value(rng.Intn(3))})
+		}
+		sd := NewAssignment(tab)
+		if rng.Intn(2) == 0 {
+			sd[0][0] = relation.Value(rng.Intn(2))
+		}
+		if rng.Intn(2) == 0 {
+			sd[1][0] = relation.Value(rng.Intn(3))
+		}
+		return tab.HasHomomorphism(inst, sd) == (tab.CountHomomorphisms(inst, sd) > 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150, Rand: rand.New(rand.NewSource(31))}); err != nil {
+		t.Error(err)
+	}
+}

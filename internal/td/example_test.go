@@ -1,0 +1,37 @@
+package td_test
+
+import (
+	"fmt"
+
+	"templatedep/internal/relation"
+	"templatedep/internal/td"
+)
+
+func ExampleParse() {
+	schema := relation.MustSchema("SUPPLIER", "STYLE", "SIZE")
+	d, err := td.Parse(schema, "R(a, b, c) & R(a, b', c') -> R(a*, b, c')", "fig1")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(d.Format())
+	fmt.Println("full:", d.IsFull(), " trivial:", d.IsTrivial())
+	// Output:
+	// R(supplier0, style0, size0) & R(supplier0, style1, size1) -> R(supplier1, style0, size1)
+	// full: false  trivial: false
+}
+
+func ExampleTD_Satisfies() {
+	schema, fig1 := td.GarmentExample()
+	db := relation.NewInstance(schema)
+	db.MustAdd(relation.Tuple{0, 0, 0})
+	db.MustAdd(relation.Tuple{0, 1, 1})
+	ok, _ := fig1.Satisfies(db)
+	fmt.Println("satisfied:", ok)
+	db.MustAdd(relation.Tuple{1, 0, 1})
+	db.MustAdd(relation.Tuple{2, 1, 0})
+	ok, _ = fig1.Satisfies(db)
+	fmt.Println("after repair:", ok)
+	// Output:
+	// satisfied: false
+	// after repair: true
+}

@@ -1,0 +1,40 @@
+package td
+
+import (
+	"testing"
+
+	"templatedep/internal/relation"
+)
+
+// FuzzParse throws arbitrary strings at the TD parser; it must never panic,
+// and accepted inputs must round-trip through Format.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"R(a, b, c) & R(a, b', c') -> R(a*, b, c')",
+		"R(a, b, c) -> R(a, b, c)",
+		"R(a,b,c)&R(a,b,c)->R(x,y,z)",
+		"R(a, b, c) => R(a, b, c)",
+		"-> R(a, b, c)",
+		"R(a, b) -> R(a, b)",
+		"R(, b, c) -> R(a, b, c)",
+		"R(a, a, a) -> R(a, a, a)",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	schema := relation.MustSchema("A", "B", "C")
+	f.Fuzz(func(t *testing.T, input string) {
+		d, err := Parse(schema, input, "fuzz")
+		if err != nil {
+			return
+		}
+		text := d.Format()
+		d2, err := Parse(schema, text, "fuzz2")
+		if err != nil {
+			t.Fatalf("accepted %q but rejected its own Format %q: %v", input, text, err)
+		}
+		if d2.Format() != text {
+			t.Fatalf("Format not idempotent: %q vs %q", d2.Format(), text)
+		}
+	})
+}

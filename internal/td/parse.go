@@ -1,0 +1,145 @@
+package td
+
+import (
+	"fmt"
+	"strings"
+
+	"templatedep/internal/relation"
+	"templatedep/internal/tableau"
+)
+
+// Parse reads a TD from the textual syntax
+//
+//	R(a, b, c) & R(a, b', c') -> R(a*, b, c')
+//
+// over the given schema. Atoms are separated by '&'; the conclusion follows
+// '->' (or '=>'). Each atom must have exactly one variable token per
+// attribute. Variable tokens are arbitrary names without commas, spaces, or
+// parentheses; primes and stars are welcome. The typing restriction is
+// enforced: using the same token in two different columns is an error.
+func Parse(s *relation.Schema, input, name string) (*TD, error) {
+	input = strings.TrimSpace(input)
+	sep := "->"
+	idx := strings.Index(input, "->")
+	if idx < 0 {
+		idx = strings.Index(input, "=>")
+		sep = "=>"
+	}
+	if idx < 0 {
+		return nil, fmt.Errorf("td: missing '->' in %q", input)
+	}
+	left, right := input[:idx], input[idx+len(sep):]
+
+	// Token-to-variable maps, per column, plus a global token->column map to
+	// enforce typing.
+	varOf := make([]map[string]tableau.Var, s.Width())
+	for a := range varOf {
+		varOf[a] = make(map[string]tableau.Var)
+	}
+	next := make([]tableau.Var, s.Width())
+	colOf := make(map[string]int)
+
+	parseAtom := func(atom string) (tableau.VarTuple, error) {
+		atom = strings.TrimSpace(atom)
+		if !strings.HasPrefix(atom, "R(") || !strings.HasSuffix(atom, ")") {
+			return nil, fmt.Errorf("td: atom %q must have the form R(...)", atom)
+		}
+		inner := atom[2 : len(atom)-1]
+		parts := strings.Split(inner, ",")
+		if len(parts) != s.Width() {
+			return nil, fmt.Errorf("td: atom %q has %d components, want %d", atom, len(parts), s.Width())
+		}
+		row := make(tableau.VarTuple, s.Width())
+		for a, tok := range parts {
+			tok = strings.TrimSpace(tok)
+			if tok == "" {
+				return nil, fmt.Errorf("td: empty variable in atom %q", atom)
+			}
+			if strings.ContainsAny(tok, "() &") {
+				return nil, fmt.Errorf("td: bad variable token %q", tok)
+			}
+			if prev, seen := colOf[tok]; seen && prev != a {
+				return nil, fmt.Errorf("td: variable %q appears in columns %s and %s; the typing restriction forbids this",
+					tok, s.Name(relation.Attr(prev)), s.Name(relation.Attr(a)))
+			}
+			colOf[tok] = a
+			v, ok := varOf[a][tok]
+			if !ok {
+				v = next[a]
+				next[a]++
+				varOf[a][tok] = v
+			}
+			row[a] = v
+		}
+		return row, nil
+	}
+
+	var antecedents []tableau.VarTuple
+	for _, atom := range strings.Split(left, "&") {
+		if strings.TrimSpace(atom) == "" {
+			continue
+		}
+		row, err := parseAtom(atom)
+		if err != nil {
+			return nil, err
+		}
+		antecedents = append(antecedents, row)
+	}
+	if len(antecedents) == 0 {
+		return nil, fmt.Errorf("td: no antecedents in %q", input)
+	}
+	if strings.Contains(right, "&") {
+		return nil, fmt.Errorf("td: a template dependency has a single conclusion atom (use package eid for conjunctive conclusions)")
+	}
+	conclusion, err := parseAtom(right)
+	if err != nil {
+		return nil, err
+	}
+	return New(s, antecedents, conclusion, name)
+}
+
+// MustParse is Parse that panics on error.
+func MustParse(s *relation.Schema, input, name string) *TD {
+	d, err := Parse(s, input, name)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// ParseSet reads several TDs, one per line; blank lines and '#' comments are
+// skipped. Each TD may be prefixed with "name:".
+func ParseSet(s *relation.Schema, input string) ([]*TD, error) {
+	var out []*TD
+	for ln, line := range strings.Split(input, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name := ""
+		if i := strings.Index(line, ":"); i >= 0 && !strings.Contains(line[:i], "(") {
+			name = strings.TrimSpace(line[:i])
+			line = line[i+1:]
+		}
+		d, err := Parse(s, line, name)
+		if err != nil {
+			return nil, fmt.Errorf("td: line %d: %w", ln+1, err)
+		}
+		out = append(out, d)
+	}
+	return out, nil
+}
+
+// GarmentExample returns the paper's running example over the schema
+// R(SUPPLIER, STYLE, SIZE):
+//
+//	R(a, b, c) & R(a, b', c') -> R(a*, b, c')
+//
+// "if a supplier supplies both garments of some style b and garments of
+// some size c', then there is a supplier (not necessarily the same one) of
+// style b garments in size c'" — the dependency of Fig. 1.
+func GarmentExample() (*relation.Schema, *TD) {
+	s := relation.MustSchema("SUPPLIER", "STYLE", "SIZE")
+	d := MustParse(s, "R(a, b, c) & R(a, b', c') -> R(a*, b, c')", "fig1")
+	return s, d
+}

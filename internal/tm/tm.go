@@ -1,0 +1,275 @@
+// Package tm implements deterministic single-tape Turing machines and the
+// Post/Turing-style encoding of their halting problem into semigroup
+// presentations with zero — the ultimate source of the undecidability that
+// the paper transports, via the Main Lemma's word problem, into template
+// dependency inference.
+//
+// A machine configuration is encoded as the word
+//
+//	L  (tape symbols left of head)  q  (symbol under head, rest)  R
+//
+// over an alphabet containing the tape symbols, the states, and the end
+// markers L and R. Each machine transition becomes a word equation that
+// rewrites configurations exactly as the machine moves; halting-state
+// cleanup equations erase the tape; and the equations A0 = (initial
+// configuration) and L qH R = 0 tie the Main Lemma goal A0 = 0 to halting:
+//
+//	the machine halts on the input  ==>  A0 = 0 is equationally derivable.
+//
+// (The converse — that a derivation exists only when the machine halts —
+// is Post's theorem for this construction; the package exercises the
+// constructive direction.)
+package tm
+
+import (
+	"fmt"
+
+	"templatedep/internal/words"
+)
+
+// Dir is a head direction.
+type Dir int
+
+const (
+	// Left moves the head one cell left.
+	Left Dir = iota
+	// Right moves the head one cell right.
+	Right
+)
+
+// Transition is one entry of the transition function.
+type Transition struct {
+	NextState int
+	Write     int
+	Move      Dir
+}
+
+// TM is a deterministic single-tape Turing machine. Symbol 0 is the blank.
+// The machine halts upon entering state Halt (which has no outgoing
+// transitions). The head must never move left from the leftmost cell; Run
+// reports such a move as an error, and the encoding assumes it never
+// happens.
+type TM struct {
+	NumStates  int
+	NumSymbols int
+	Start      int
+	Halt       int
+	Delta      map[[2]int]Transition
+}
+
+// Validate checks structural sanity.
+func (m *TM) Validate() error {
+	if m.NumStates < 1 || m.NumSymbols < 1 {
+		return fmt.Errorf("tm: need at least one state and one symbol")
+	}
+	if m.Start < 0 || m.Start >= m.NumStates || m.Halt < 0 || m.Halt >= m.NumStates {
+		return fmt.Errorf("tm: start/halt state out of range")
+	}
+	for k, tr := range m.Delta {
+		if k[0] == m.Halt {
+			return fmt.Errorf("tm: halt state has an outgoing transition")
+		}
+		if k[0] < 0 || k[0] >= m.NumStates || k[1] < 0 || k[1] >= m.NumSymbols {
+			return fmt.Errorf("tm: transition key %v out of range", k)
+		}
+		if tr.NextState < 0 || tr.NextState >= m.NumStates || tr.Write < 0 || tr.Write >= m.NumSymbols {
+			return fmt.Errorf("tm: transition %v target out of range", k)
+		}
+	}
+	return nil
+}
+
+// Config is a machine configuration for simulation.
+type Config struct {
+	Tape  []int
+	Head  int
+	State int
+}
+
+// Run simulates the machine on the input for at most maxSteps steps.
+// It returns whether the machine halted, the number of steps executed, and
+// the final configuration. An attempted move left of cell 0 is an error.
+func (m *TM) Run(input []int, maxSteps int) (bool, int, Config, error) {
+	if err := m.Validate(); err != nil {
+		return false, 0, Config{}, err
+	}
+	tape := append([]int(nil), input...)
+	if len(tape) == 0 {
+		tape = []int{0}
+	}
+	cfg := Config{Tape: tape, State: m.Start}
+	for step := 0; step < maxSteps; step++ {
+		if cfg.State == m.Halt {
+			return true, step, cfg, nil
+		}
+		if cfg.Head >= len(cfg.Tape) {
+			cfg.Tape = append(cfg.Tape, 0)
+		}
+		tr, ok := m.Delta[[2]int{cfg.State, cfg.Tape[cfg.Head]}]
+		if !ok {
+			return false, step, cfg, fmt.Errorf("tm: no transition from state %d on symbol %d", cfg.State, cfg.Tape[cfg.Head])
+		}
+		cfg.Tape[cfg.Head] = tr.Write
+		cfg.State = tr.NextState
+		switch tr.Move {
+		case Right:
+			cfg.Head++
+		case Left:
+			if cfg.Head == 0 {
+				return false, step, cfg, fmt.Errorf("tm: head moved left of the leftmost cell")
+			}
+			cfg.Head--
+		}
+	}
+	return cfg.State == m.Halt, maxSteps, cfg, nil
+}
+
+// EncodePresentation encodes the machine's halting on the given input as a
+// semigroup presentation over an alphabet with distinguished A0 and 0.
+// The goal A0 = 0 is derivable whenever the machine halts on the input.
+func EncodePresentation(m *TM, input []int) (*words.Presentation, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	for _, s := range input {
+		if s < 0 || s >= m.NumSymbols {
+			return nil, fmt.Errorf("tm: input symbol %d out of range", s)
+		}
+	}
+
+	names := []string{"A0"}
+	for s := 0; s < m.NumSymbols; s++ {
+		names = append(names, fmt.Sprintf("t%d", s))
+	}
+	for q := 0; q < m.NumStates; q++ {
+		names = append(names, fmt.Sprintf("q%d", q))
+	}
+	names = append(names, "L", "R", "0")
+	a, err := words.NewAlphabet(names, "A0", "0")
+	if err != nil {
+		return nil, err
+	}
+	tape := func(s int) words.Symbol { return a.MustSymbol(fmt.Sprintf("t%d", s)) }
+	state := func(q int) words.Symbol { return a.MustSymbol(fmt.Sprintf("q%d", q)) }
+	lm, rm := a.MustSymbol("L"), a.MustSymbol("R")
+
+	var eqs []words.Equation
+
+	// Initial configuration: A0 = L q0 (input) R. With an empty input the
+	// head still faces the right marker (blanks materialize on demand).
+	init := words.W(lm, state(m.Start))
+	for _, s := range input {
+		init = init.Concat(words.W(tape(s)))
+	}
+	init = init.Concat(words.W(rm))
+	eqs = append(eqs, words.Eq(init, words.W(a.A0())))
+
+	// Transition equations.
+	for k, tr := range m.Delta {
+		q, s := k[0], k[1]
+		switch tr.Move {
+		case Right:
+			// q s = s' q'
+			eqs = append(eqs, words.Eq(
+				words.W(state(q), tape(s)),
+				words.W(tape(tr.Write), state(tr.NextState))))
+			if s == 0 {
+				// At the right marker the blank materializes: q R = s' q' R.
+				eqs = append(eqs, words.Eq(
+					words.W(state(q), rm),
+					words.W(tape(tr.Write), state(tr.NextState), rm)))
+			}
+		case Left:
+			// c q s = q' c s' for every tape symbol c.
+			for c := 0; c < m.NumSymbols; c++ {
+				eqs = append(eqs, words.Eq(
+					words.W(tape(c), state(q), tape(s)),
+					words.W(state(tr.NextState), tape(c), tape(tr.Write))))
+				if s == 0 {
+					// c q R = q' c s' R.
+					eqs = append(eqs, words.Eq(
+						words.W(tape(c), state(q), rm),
+						words.W(state(tr.NextState), tape(c), tape(tr.Write), rm)))
+				}
+			}
+		}
+	}
+
+	// Halting cleanup: the halt state eats the tape, then L qH R = 0.
+	qh := state(m.Halt)
+	for s := 0; s < m.NumSymbols; s++ {
+		eqs = append(eqs, words.Eq(words.W(qh, tape(s)), words.W(qh)))
+		eqs = append(eqs, words.Eq(words.W(tape(s), qh), words.W(qh)))
+	}
+	eqs = append(eqs, words.Eq(words.W(lm, qh, rm), words.W(a.Zero())))
+
+	p, err := words.NewPresentation(a, eqs)
+	if err != nil {
+		return nil, err
+	}
+	return p.WithZeroEquations(), nil
+}
+
+// WriteOneAndHalt returns the smallest interesting halting machine: on a
+// blank tape it writes symbol 1 and halts. Its encoded derivation is
+// A0 = L q0 R = L t1 qH R = L qH R = 0.
+func WriteOneAndHalt() *TM {
+	return &TM{
+		NumStates:  2,
+		NumSymbols: 2,
+		Start:      0,
+		Halt:       1,
+		Delta: map[[2]int]Transition{
+			{0, 0}: {NextState: 1, Write: 1, Move: Right},
+		},
+	}
+}
+
+// ScanRightAndHalt returns a machine that scans right over 1s and halts on
+// the first blank. On input 1^n it runs n+1 steps.
+func ScanRightAndHalt() *TM {
+	return &TM{
+		NumStates:  2,
+		NumSymbols: 2,
+		Start:      0,
+		Halt:       1,
+		Delta: map[[2]int]Transition{
+			{0, 1}: {NextState: 0, Write: 1, Move: Right},
+			{0, 0}: {NextState: 1, Write: 0, Move: Right},
+		},
+	}
+}
+
+// RunForever returns a machine that never halts: it walks right writing 1s
+// for eternity. Its encoded presentation has an underivable goal (and, per
+// the Main Lemma's gap, possibly no finite cancellation counterexample
+// either).
+func RunForever() *TM {
+	return &TM{
+		NumStates:  2,
+		NumSymbols: 2,
+		Start:      0,
+		Halt:       1,
+		Delta: map[[2]int]Transition{
+			{0, 0}: {NextState: 0, Write: 1, Move: Right},
+			{0, 1}: {NextState: 0, Write: 1, Move: Right},
+		},
+	}
+}
+
+// FlipFlopAndHalt returns a 3-state machine exercising a left move: it
+// writes 1, steps right, writes 1, steps back left, and halts on reading
+// the 1 it wrote first.
+func FlipFlopAndHalt() *TM {
+	return &TM{
+		NumStates:  3,
+		NumSymbols: 2,
+		Start:      0,
+		Halt:       2,
+		Delta: map[[2]int]Transition{
+			{0, 0}: {NextState: 1, Write: 1, Move: Right},
+			{1, 0}: {NextState: 2, Write: 1, Move: Left},
+			{1, 1}: {NextState: 2, Write: 1, Move: Left},
+		},
+	}
+}

@@ -1,0 +1,151 @@
+package tm
+
+import (
+	"testing"
+
+	"templatedep/internal/words"
+)
+
+func TestValidate(t *testing.T) {
+	m := WriteOneAndHalt()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := &TM{NumStates: 2, NumSymbols: 2, Start: 0, Halt: 1,
+		Delta: map[[2]int]Transition{{1, 0}: {NextState: 0, Write: 0, Move: Right}}}
+	if err := bad.Validate(); err == nil {
+		t.Error("halt state with outgoing transition accepted")
+	}
+	if err := (&TM{NumStates: 0}).Validate(); err == nil {
+		t.Error("empty machine accepted")
+	}
+	if err := (&TM{NumStates: 1, NumSymbols: 1, Start: 5}).Validate(); err == nil {
+		t.Error("bad start accepted")
+	}
+	outOfRange := &TM{NumStates: 2, NumSymbols: 2, Start: 0, Halt: 1,
+		Delta: map[[2]int]Transition{{0, 0}: {NextState: 9, Write: 0, Move: Right}}}
+	if err := outOfRange.Validate(); err == nil {
+		t.Error("out-of-range target accepted")
+	}
+}
+
+func TestRunHalting(t *testing.T) {
+	halted, steps, cfg, err := WriteOneAndHalt().Run(nil, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !halted || steps != 1 {
+		t.Errorf("halted=%v steps=%d", halted, steps)
+	}
+	if cfg.Tape[0] != 1 {
+		t.Errorf("tape %v", cfg.Tape)
+	}
+}
+
+func TestRunScan(t *testing.T) {
+	for n := 0; n <= 4; n++ {
+		input := make([]int, n)
+		for i := range input {
+			input[i] = 1
+		}
+		halted, steps, _, err := ScanRightAndHalt().Run(input, 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !halted || steps != n+1 {
+			t.Errorf("n=%d: halted=%v steps=%d, want %d", n, halted, steps, n+1)
+		}
+	}
+}
+
+func TestRunForeverBudget(t *testing.T) {
+	halted, steps, _, err := RunForever().Run(nil, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if halted || steps != 50 {
+		t.Errorf("halted=%v steps=%d", halted, steps)
+	}
+}
+
+func TestRunLeftMove(t *testing.T) {
+	halted, steps, _, err := FlipFlopAndHalt().Run(nil, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !halted || steps != 2 {
+		t.Errorf("halted=%v steps=%d", halted, steps)
+	}
+	// A machine that immediately moves left of cell 0 errors out.
+	bad := &TM{NumStates: 2, NumSymbols: 1, Start: 0, Halt: 1,
+		Delta: map[[2]int]Transition{{0, 0}: {NextState: 1, Write: 0, Move: Left}}}
+	if _, _, _, err := bad.Run(nil, 10); err == nil {
+		t.Error("left-of-tape move not reported")
+	}
+}
+
+func TestRunMissingTransition(t *testing.T) {
+	m := &TM{NumStates: 3, NumSymbols: 2, Start: 0, Halt: 2,
+		Delta: map[[2]int]Transition{{0, 0}: {NextState: 1, Write: 1, Move: Right}}}
+	if _, _, _, err := m.Run(nil, 10); err == nil {
+		t.Error("missing transition not reported")
+	}
+}
+
+func TestEncodeHaltingDerivable(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		m    *TM
+	}{
+		{"write-one", WriteOneAndHalt()},
+		{"flip-flop", FlipFlopAndHalt()},
+	} {
+		p, err := EncodePresentation(tc.m, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if err := p.CheckZeroEquations(); err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		res := words.DeriveGoal(p, words.ClosureOptions{MaxWords: 200000})
+		if res.Verdict != words.Derivable {
+			t.Fatalf("%s: verdict %v (explored %d)", tc.name, res.Verdict, res.WordsExplored)
+		}
+		if err := res.Derivation.Validate(p); err != nil {
+			t.Errorf("%s: %v", tc.name, err)
+		}
+		t.Logf("%s: derivation length %d, %d words explored", tc.name, res.Derivation.Len(), res.WordsExplored)
+	}
+}
+
+func TestEncodeScanWithInput(t *testing.T) {
+	p, err := EncodePresentation(ScanRightAndHalt(), []int{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := words.DeriveGoal(p, words.ClosureOptions{MaxWords: 500000})
+	if res.Verdict != words.Derivable {
+		t.Fatalf("verdict %v (explored %d)", res.Verdict, res.WordsExplored)
+	}
+}
+
+func TestEncodeNonHaltingNotQuicklyDerivable(t *testing.T) {
+	p, err := EncodePresentation(RunForever(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := words.DeriveGoal(p, words.ClosureOptions{MaxWords: 20000, MaxLength: 12})
+	if res.Verdict == words.Derivable {
+		t.Fatal("non-halting machine's goal became derivable")
+	}
+}
+
+func TestEncodeRejectsBadInput(t *testing.T) {
+	if _, err := EncodePresentation(WriteOneAndHalt(), []int{7}); err == nil {
+		t.Error("out-of-range input accepted")
+	}
+	bad := &TM{NumStates: 0}
+	if _, err := EncodePresentation(bad, nil); err == nil {
+		t.Error("invalid machine accepted")
+	}
+}

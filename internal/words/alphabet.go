@@ -1,0 +1,195 @@
+// Package words implements finite alphabets, words (strings over an
+// alphabet), semigroup equations, and finitely presented semigroups with
+// zero, together with an equational-closure semidecision procedure for the
+// word problem.
+//
+// This is the substrate for the Main Lemma of Gurevich & Lewis (1982): the
+// lemma concerns formulas
+//
+//	x1 = y1 & ... & xn = yn  ==>  A0 = 0
+//
+// over an alphabet S containing the distinguished symbols A0 and 0, where
+// the zero-absorption equations A·0 = 0 and 0·A = 0 for every A in S appear
+// among the antecedents.
+package words
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Symbol is an index into an Alphabet. Symbols are small non-negative
+// integers; the zero value is the first symbol of its alphabet.
+type Symbol int
+
+// Alphabet is a finite, ordered set of named generator symbols with two
+// distinguished members: A0 (the source symbol of the word problem) and Zero
+// (the symbol that the presentations force to be a semigroup zero).
+//
+// Alphabets are immutable once built; Extend returns a fresh alphabet.
+type Alphabet struct {
+	names []string
+	index map[string]Symbol
+	a0    Symbol
+	zero  Symbol
+}
+
+// NewAlphabet builds an alphabet from the given symbol names. The names a0
+// and zero must appear in names and must be distinct.
+func NewAlphabet(names []string, a0, zero string) (*Alphabet, error) {
+	if a0 == zero {
+		return nil, fmt.Errorf("words: A0 and zero must be distinct symbols (both %q)", a0)
+	}
+	a := &Alphabet{
+		names: make([]string, len(names)),
+		index: make(map[string]Symbol, len(names)),
+		a0:    -1,
+		zero:  -1,
+	}
+	for i, n := range names {
+		if n == "" {
+			return nil, fmt.Errorf("words: empty symbol name at position %d", i)
+		}
+		if strings.ContainsAny(n, " \t\n=*") {
+			return nil, fmt.Errorf("words: symbol name %q contains reserved characters", n)
+		}
+		if _, dup := a.index[n]; dup {
+			return nil, fmt.Errorf("words: duplicate symbol name %q", n)
+		}
+		a.names[i] = n
+		a.index[n] = Symbol(i)
+	}
+	var ok bool
+	if a.a0, ok = a.index[a0]; !ok {
+		return nil, fmt.Errorf("words: A0 symbol %q not among names", a0)
+	}
+	if a.zero, ok = a.index[zero]; !ok {
+		return nil, fmt.Errorf("words: zero symbol %q not among names", zero)
+	}
+	return a, nil
+}
+
+// MustAlphabet is NewAlphabet that panics on error; for tests and fixtures.
+func MustAlphabet(names []string, a0, zero string) *Alphabet {
+	a, err := NewAlphabet(names, a0, zero)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// StandardAlphabet returns the alphabet {A0, A1, ..., A(extra), 0} used
+// throughout the paper: A0 is the distinguished source symbol and "0" is the
+// zero symbol.
+func StandardAlphabet(extra int) *Alphabet {
+	names := make([]string, 0, extra+2)
+	for i := 0; i <= extra; i++ {
+		names = append(names, fmt.Sprintf("A%d", i))
+	}
+	names = append(names, "0")
+	return MustAlphabet(names, "A0", "0")
+}
+
+// Size returns the number of symbols.
+func (a *Alphabet) Size() int { return len(a.names) }
+
+// A0 returns the distinguished source symbol.
+func (a *Alphabet) A0() Symbol { return a.a0 }
+
+// Zero returns the distinguished zero symbol.
+func (a *Alphabet) Zero() Symbol { return a.zero }
+
+// Name returns the name of s.
+func (a *Alphabet) Name(s Symbol) string {
+	if int(s) < 0 || int(s) >= len(a.names) {
+		return fmt.Sprintf("?%d", int(s))
+	}
+	return a.names[s]
+}
+
+// Symbol looks up a symbol by name.
+func (a *Alphabet) Symbol(name string) (Symbol, bool) {
+	s, ok := a.index[name]
+	return s, ok
+}
+
+// MustSymbol looks up a symbol by name and panics if absent.
+func (a *Alphabet) MustSymbol(name string) Symbol {
+	s, ok := a.index[name]
+	if !ok {
+		panic(fmt.Sprintf("words: no symbol %q in alphabet", name))
+	}
+	return s
+}
+
+// Symbols returns all symbols in order.
+func (a *Alphabet) Symbols() []Symbol {
+	out := make([]Symbol, len(a.names))
+	for i := range a.names {
+		out[i] = Symbol(i)
+	}
+	return out
+}
+
+// Names returns a copy of the symbol names in order.
+func (a *Alphabet) Names() []string {
+	out := make([]string, len(a.names))
+	copy(out, a.names)
+	return out
+}
+
+// Contains reports whether s is a symbol of this alphabet.
+func (a *Alphabet) Contains(s Symbol) bool {
+	return int(s) >= 0 && int(s) < len(a.names)
+}
+
+// Extend returns a new alphabet with the given extra symbol appended, along
+// with the new symbol. The distinguished symbols are unchanged.
+func (a *Alphabet) Extend(name string) (*Alphabet, Symbol, error) {
+	if _, dup := a.index[name]; dup {
+		return nil, 0, fmt.Errorf("words: symbol %q already present", name)
+	}
+	names := make([]string, len(a.names), len(a.names)+1)
+	copy(names, a.names)
+	names = append(names, name)
+	b, err := NewAlphabet(names, a.names[a.a0], a.names[a.zero])
+	if err != nil {
+		return nil, 0, err
+	}
+	return b, Symbol(len(names) - 1), nil
+}
+
+// FreshName returns a symbol name based on prefix that is not yet in the
+// alphabet.
+func (a *Alphabet) FreshName(prefix string) string {
+	if _, taken := a.index[prefix]; !taken {
+		return prefix
+	}
+	for i := 0; ; i++ {
+		n := fmt.Sprintf("%s%d", prefix, i)
+		if _, taken := a.index[n]; !taken {
+			return n
+		}
+	}
+}
+
+// String renders the alphabet as {name, name, ...} marking the
+// distinguished symbols.
+func (a *Alphabet) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range a.names {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(n)
+		switch Symbol(i) {
+		case a.a0:
+			b.WriteString("(=A0)")
+		case a.zero:
+			b.WriteString("(=zero)")
+		}
+	}
+	b.WriteByte('}')
+	return b.String()
+}

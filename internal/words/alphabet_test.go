@@ -1,0 +1,125 @@
+package words
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNewAlphabetBasics(t *testing.T) {
+	a, err := NewAlphabet([]string{"A0", "B", "0"}, "A0", "0")
+	if err != nil {
+		t.Fatalf("NewAlphabet: %v", err)
+	}
+	if a.Size() != 3 {
+		t.Errorf("Size = %d, want 3", a.Size())
+	}
+	if a.Name(a.A0()) != "A0" {
+		t.Errorf("A0 name = %q", a.Name(a.A0()))
+	}
+	if a.Name(a.Zero()) != "0" {
+		t.Errorf("zero name = %q", a.Name(a.Zero()))
+	}
+	if s, ok := a.Symbol("B"); !ok || a.Name(s) != "B" {
+		t.Errorf("Symbol(B) = %v, %v", s, ok)
+	}
+	if _, ok := a.Symbol("missing"); ok {
+		t.Error("Symbol(missing) should not exist")
+	}
+}
+
+func TestNewAlphabetErrors(t *testing.T) {
+	cases := []struct {
+		names    []string
+		a0, zero string
+	}{
+		{[]string{"A0", "0"}, "A0", "A0"},         // a0 == zero
+		{[]string{"A0", "A0", "0"}, "A0", "0"},    // duplicate
+		{[]string{"A0", "", "0"}, "A0", "0"},      // empty name
+		{[]string{"A0", "x y", "0"}, "A0", "0"},   // reserved char
+		{[]string{"B", "0"}, "A0", "0"},           // missing a0
+		{[]string{"A0", "B"}, "A0", "0"},          // missing zero
+		{[]string{"A0", "a=b", "0"}, "A0", "0"},   // reserved '='
+		{[]string{"A0", "st*ar", "0"}, "A0", "0"}, // reserved '*'
+	}
+	for i, c := range cases {
+		if _, err := NewAlphabet(c.names, c.a0, c.zero); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestStandardAlphabet(t *testing.T) {
+	a := StandardAlphabet(3)
+	if a.Size() != 5 {
+		t.Fatalf("Size = %d, want 5 (A0..A3, 0)", a.Size())
+	}
+	if got := a.Name(a.A0()); got != "A0" {
+		t.Errorf("A0 = %q", got)
+	}
+	if got := a.Name(a.Zero()); got != "0" {
+		t.Errorf("zero = %q", got)
+	}
+	for _, n := range []string{"A1", "A2", "A3"} {
+		if _, ok := a.Symbol(n); !ok {
+			t.Errorf("missing %s", n)
+		}
+	}
+}
+
+func TestAlphabetExtendAndFresh(t *testing.T) {
+	a := StandardAlphabet(1)
+	b, s, err := a.Extend("E")
+	if err != nil {
+		t.Fatalf("Extend: %v", err)
+	}
+	if b.Name(s) != "E" {
+		t.Errorf("new symbol name = %q", b.Name(s))
+	}
+	if a.Size() != 3 {
+		t.Errorf("original alphabet mutated: size %d", a.Size())
+	}
+	if b.Size() != 4 {
+		t.Errorf("extended size = %d", b.Size())
+	}
+	// Distinguished symbols survive.
+	if b.Name(b.A0()) != "A0" || b.Name(b.Zero()) != "0" {
+		t.Errorf("distinguished symbols lost: %s %s", b.Name(b.A0()), b.Name(b.Zero()))
+	}
+	if _, _, err := b.Extend("E"); err == nil {
+		t.Error("duplicate Extend should fail")
+	}
+	fresh := b.FreshName("E")
+	if fresh == "E" {
+		t.Error("FreshName returned taken name")
+	}
+	if _, taken := b.Symbol(fresh); taken {
+		t.Errorf("FreshName %q already in alphabet", fresh)
+	}
+}
+
+func TestAlphabetString(t *testing.T) {
+	a := StandardAlphabet(0)
+	s := a.String()
+	if !strings.Contains(s, "A0(=A0)") || !strings.Contains(s, "0(=zero)") {
+		t.Errorf("String = %q, want distinguished markers", s)
+	}
+}
+
+func TestAlphabetContains(t *testing.T) {
+	a := StandardAlphabet(0)
+	if !a.Contains(a.A0()) || !a.Contains(a.Zero()) {
+		t.Error("Contains false for members")
+	}
+	if a.Contains(Symbol(-1)) || a.Contains(Symbol(99)) {
+		t.Error("Contains true for non-members")
+	}
+}
+
+func TestMustSymbolPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustSymbol should panic on unknown name")
+		}
+	}()
+	StandardAlphabet(0).MustSymbol("nope")
+}

@@ -1,0 +1,155 @@
+package words
+
+// DeriveBidirectional searches for a derivation of from = to by expanding
+// breadth-first frontiers from BOTH endpoints and meeting in the middle.
+// Because single-replacement rewriting is symmetric (each equation applies
+// in both directions), the backward frontier explores exactly the
+// equivalence class of `to`, and any common word yields a derivation by
+// inverting the backward path's steps in place.
+//
+// Whether this beats the forward-only search depends on endpoint degree:
+// meet-in-the-middle pays off between low-degree endpoints, while the goal
+// word 0 of the Main Lemma is pathological — the absorption equations give
+// the zero symbol an enormous rewrite neighbourhood (every A·0 and 0·A), so
+// for A0 = 0 goals the backward frontier can dominate the total work. The
+// ablation benchmark BenchmarkSearchStrategies measures both regimes; the
+// two searches always agree on verdicts.
+func DeriveBidirectional(p *Presentation, from, to Word, opt ClosureOptions) Result {
+	if opt.MaxWords <= 0 {
+		opt.MaxWords = 100000
+	}
+	if from.IsEmpty() || to.IsEmpty() {
+		return Result{Verdict: NotDerivable}
+	}
+	if from.Equal(to) {
+		return Result{Verdict: Derivable, Derivation: &Derivation{From: from, To: to}, WordsExplored: 1}
+	}
+
+	type edge struct {
+		prevKey string
+		step    Step // step applied at prev producing this word
+	}
+	visF := map[string]edge{from.Key(): {}}
+	visB := map[string]edge{to.Key(): {}}
+	queueF := []string{from.Key()}
+	queueB := []string{to.Key()}
+	truncated := false
+
+	totalVisited := func() int { return len(visF) + len(visB) }
+
+	// buildForward reconstructs from -> k using visF.
+	buildForward := func(k string) []Step {
+		var rev []Step
+		for k != from.Key() {
+			e := visF[k]
+			rev = append(rev, e.step)
+			k = e.prevKey
+		}
+		steps := make([]Step, len(rev))
+		for i := range rev {
+			steps[i] = rev[len(rev)-1-i]
+		}
+		return steps
+	}
+	// buildBackward reconstructs k -> to by inverting visB's edges: if prev
+	// --step--> cur (recorded while expanding toward `to`'s class), then
+	// cur --inverse(step)--> prev, at the same position.
+	buildBackward := func(k string) []Step {
+		var steps []Step
+		for k != to.Key() {
+			e := visB[k]
+			inv := Step{Eq: e.step.Eq, Pos: e.step.Pos, Forward: !e.step.Forward, Result: KeyToWord(e.prevKey)}
+			steps = append(steps, inv)
+			k = e.prevKey
+		}
+		return steps
+	}
+
+	finish := func(meet string) Result {
+		steps := buildForward(meet)
+		steps = append(steps, buildBackward(meet)...)
+		d := &Derivation{From: from, To: to, Steps: steps}
+		return Result{Verdict: Derivable, Derivation: d, WordsExplored: totalVisited(), Truncated: truncated}
+	}
+
+	expand := func(queue *[]string, vis map[string]edge, other map[string]edge) (string, bool) {
+		// Expand one full BFS level of the chosen side; return a meeting
+		// key if found.
+		levelSize := len(*queue)
+		for i := 0; i < levelSize; i++ {
+			k := (*queue)[0]
+			*queue = (*queue)[1:]
+			w := KeyToWord(k)
+			for ei, eq := range p.Equations {
+				for _, dirForward := range []bool{true, false} {
+					src, dst := eq.LHS, eq.RHS
+					if !dirForward {
+						src, dst = dst, src
+					}
+					if len(dst) > len(src) && opt.MaxLength > 0 && len(w)-len(src)+len(dst) > opt.MaxLength {
+						if len(w.Occurrences(src)) > 0 {
+							truncated = true
+						}
+						continue
+					}
+					for _, pos := range w.Occurrences(src) {
+						nw := w.ReplaceAt(pos, len(src), dst)
+						nk := nw.Key()
+						if _, seen := vis[nk]; seen {
+							continue
+						}
+						vis[nk] = edge{prevKey: k, step: Step{Eq: ei, Pos: pos, Forward: dirForward, Result: nw}}
+						if _, met := other[nk]; met {
+							return nk, true
+						}
+						if totalVisited() >= opt.MaxWords {
+							return "", false
+						}
+						*queue = append(*queue, nk)
+					}
+				}
+			}
+		}
+		return "", false
+	}
+
+	for len(queueF) > 0 || len(queueB) > 0 {
+		if totalVisited() >= opt.MaxWords {
+			return Result{Verdict: Unknown, WordsExplored: totalVisited(), Truncated: truncated}
+		}
+		// Expand the smaller live frontier first.
+		if len(queueF) > 0 && (len(queueF) <= len(queueB) || len(queueB) == 0) {
+			if meet, ok := expand(&queueF, visF, visB); ok {
+				return finish(meet)
+			}
+		} else if len(queueB) > 0 {
+			if meet, ok := expand(&queueB, visB, visF); ok {
+				return finish(meet)
+			}
+		}
+		if totalVisited() >= opt.MaxWords {
+			return Result{Verdict: Unknown, WordsExplored: totalVisited(), Truncated: truncated}
+		}
+		if len(queueF) == 0 && len(queueB) == 0 {
+			break
+		}
+		// If one side is exhausted and no meeting happened, the classes are
+		// disjoint as far as explored; only definitive when untruncated and
+		// that side's class was fully enumerated.
+		if len(queueF) == 0 || len(queueB) == 0 {
+			if !truncated {
+				return Result{Verdict: NotDerivable, WordsExplored: totalVisited()}
+			}
+			return Result{Verdict: Unknown, WordsExplored: totalVisited(), Truncated: true}
+		}
+	}
+	if truncated {
+		return Result{Verdict: Unknown, WordsExplored: totalVisited(), Truncated: true}
+	}
+	return Result{Verdict: NotDerivable, WordsExplored: totalVisited()}
+}
+
+// DeriveGoalBidirectional is DeriveBidirectional for the goal A0 = 0.
+func DeriveGoalBidirectional(p *Presentation, opt ClosureOptions) Result {
+	return DeriveBidirectional(p, W(p.Alphabet.A0()), W(p.Alphabet.Zero()), opt)
+}

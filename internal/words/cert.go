@@ -1,0 +1,110 @@
+package words
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Derivation certificates: a compact, machine-checkable text form of an
+// equational proof, so a derivation found by one tool run can be verified
+// by another (sgword derive emits them; ParseDerivation + Validate checks
+// them against the presentation).
+//
+// Format (one token per line element, '#' comments allowed):
+//
+//	cert v1
+//	from: <word>
+//	to: <word>
+//	step: <eq-index> <position> <+|-> <result word>
+//	...
+//
+// '+' means the equation was applied left-to-right.
+
+// MarshalText renders the derivation as a certificate.
+func (d *Derivation) MarshalText(p *Presentation) string {
+	var b strings.Builder
+	b.WriteString("cert v1\n")
+	fmt.Fprintf(&b, "from: %s\n", d.From.Format(p.Alphabet))
+	fmt.Fprintf(&b, "to: %s\n", d.To.Format(p.Alphabet))
+	for _, s := range d.Steps {
+		dir := "+"
+		if !s.Forward {
+			dir = "-"
+		}
+		fmt.Fprintf(&b, "step: %d %d %s %s\n", s.Eq, s.Pos, dir, s.Result.Format(p.Alphabet))
+	}
+	return b.String()
+}
+
+// ParseDerivation reads a certificate and validates it against p; the
+// returned derivation is guaranteed valid.
+func ParseDerivation(p *Presentation, text string) (*Derivation, error) {
+	d := &Derivation{}
+	sawHeader := false
+	for ln, raw := range strings.Split(text, "\n") {
+		line := raw
+		if i := strings.Index(line, "#"); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		switch {
+		case line == "cert v1":
+			sawHeader = true
+		case strings.HasPrefix(line, "from: "):
+			w, err := ParseWord(p.Alphabet, strings.TrimPrefix(line, "from: "))
+			if err != nil {
+				return nil, fmt.Errorf("words: cert line %d: %w", ln+1, err)
+			}
+			d.From = w
+		case strings.HasPrefix(line, "to: "):
+			w, err := ParseWord(p.Alphabet, strings.TrimPrefix(line, "to: "))
+			if err != nil {
+				return nil, fmt.Errorf("words: cert line %d: %w", ln+1, err)
+			}
+			d.To = w
+		case strings.HasPrefix(line, "step: "):
+			fields := strings.Fields(strings.TrimPrefix(line, "step: "))
+			if len(fields) < 4 {
+				return nil, fmt.Errorf("words: cert line %d: step needs eq, pos, dir, result", ln+1)
+			}
+			eq, err := strconv.Atoi(fields[0])
+			if err != nil {
+				return nil, fmt.Errorf("words: cert line %d: bad equation index: %w", ln+1, err)
+			}
+			pos, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("words: cert line %d: bad position: %w", ln+1, err)
+			}
+			var fwd bool
+			switch fields[2] {
+			case "+":
+				fwd = true
+			case "-":
+				fwd = false
+			default:
+				return nil, fmt.Errorf("words: cert line %d: direction must be + or -", ln+1)
+			}
+			result, err := ParseWord(p.Alphabet, strings.Join(fields[3:], " "))
+			if err != nil {
+				return nil, fmt.Errorf("words: cert line %d: %w", ln+1, err)
+			}
+			d.Steps = append(d.Steps, Step{Eq: eq, Pos: pos, Forward: fwd, Result: result})
+		default:
+			return nil, fmt.Errorf("words: cert line %d: cannot parse %q", ln+1, raw)
+		}
+	}
+	if !sawHeader {
+		return nil, fmt.Errorf("words: missing 'cert v1' header")
+	}
+	if d.From == nil || d.To == nil {
+		return nil, fmt.Errorf("words: certificate missing from/to lines")
+	}
+	if err := d.Validate(p); err != nil {
+		return nil, fmt.Errorf("words: certificate invalid: %w", err)
+	}
+	return d, nil
+}

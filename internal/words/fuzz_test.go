@@ -1,0 +1,58 @@
+package words
+
+import "testing"
+
+// FuzzParseSpec exercises the presentation spec parser: no panics, and
+// accepted specs round-trip through FormatSpec.
+func FuzzParseSpec(f *testing.F) {
+	seeds := []string{
+		"symbols: A0 b c 0\nb c = A0\nb c = 0\n",
+		"symbols: A0 0\n",
+		"symbols: s z\na0: s\nzero: z\ns s = z\n",
+		"# comment\nsymbols: A0 0\nA0 A0 = A0\n",
+		"symbols: A0 0\nA0 = 0",
+		"b c = A0",
+		"symbols: A0 A0 0\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		p, err := ParseSpec(input)
+		if err != nil {
+			return
+		}
+		again, err := ParseSpec(FormatSpec(p, false))
+		if err != nil {
+			t.Fatalf("FormatSpec output rejected: %v", err)
+		}
+		if len(again.Equations) != len(p.Equations) {
+			t.Fatalf("round trip changed equation count: %d vs %d", len(again.Equations), len(p.Equations))
+		}
+	})
+}
+
+// FuzzDerive runs the closure search on fuzz-generated words over a fixed
+// presentation; verdicts must be stable and derivations valid.
+func FuzzDerive(f *testing.F) {
+	f.Add("A0", "0")
+	f.Add("b c", "A0")
+	f.Add("b", "c")
+	p := TwoStepPresentation()
+	f.Fuzz(func(t *testing.T, fromS, toS string) {
+		from, err := ParseWord(p.Alphabet, fromS)
+		if err != nil {
+			return
+		}
+		to, err := ParseWord(p.Alphabet, toS)
+		if err != nil {
+			return
+		}
+		res := Derive(p, from, to, ClosureOptions{MaxWords: 300, MaxLength: 8})
+		if res.Verdict == Derivable {
+			if err := res.Derivation.Validate(p); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+}

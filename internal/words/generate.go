@@ -1,0 +1,198 @@
+package words
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+)
+
+// Preset returns a named presentation family member, as used by the
+// command-line tools: "power", "twostep", "gap", "chain:N", "nilpotent:M".
+func Preset(name string) (*Presentation, error) {
+	switch {
+	case name == "power":
+		return PowerPresentation(), nil
+	case name == "twostep":
+		return TwoStepPresentation(), nil
+	case name == "gap":
+		return IdempotentGapPresentation(), nil
+	case strings.HasPrefix(name, "chain:"):
+		n, err := strconv.Atoi(strings.TrimPrefix(name, "chain:"))
+		if err != nil {
+			return nil, fmt.Errorf("words: bad chain preset %q", name)
+		}
+		return ChainPresentation(n), nil
+	case strings.HasPrefix(name, "nilpotent:"):
+		m, err := strconv.Atoi(strings.TrimPrefix(name, "nilpotent:"))
+		if err != nil {
+			return nil, fmt.Errorf("words: bad nilpotent preset %q", name)
+		}
+		return NilpotentSafePresentation(m), nil
+	default:
+		return nil, fmt.Errorf("words: unknown preset %q (try power, twostep, gap, chain:N, nilpotent:M)", name)
+	}
+}
+
+// Generators for presentation families used by tests, examples, and the
+// experiment harness. Each family has a known ground truth:
+//
+//   - ChainPresentation(n): the goal A0 = 0 IS derivable, with shortest
+//     derivation length Θ(n); used to exercise direction (A) of the
+//     Reduction Theorem at scale.
+//   - NilpotentSafePresentation(k): the goal is NOT derivable, and the free
+//     k-nilpotent semigroup B(S,k) (see internal/semigroup) is a finite
+//     cancellation counterexample; used for direction (B).
+//   - PowerPresentation: A0^2 = B etc., falsified by nilpotent cyclic
+//     semigroups.
+
+// ChainPresentation returns a presentation over {A0, s1..s(n-1),
+// k0..k(n-1), 0} whose equations force the derivation chain
+//
+//	A0 = k0·k0 = s1 = k1·k1 = s2 = ... = s(n-1) = k(n-1)·k(n-1) = 0
+//
+// of length 2n: each link expands a chain symbol s(i) to the square of a
+// fresh symbol k(i) and contracts it to the next chain symbol. All
+// equations are in (2,1) form; the zero equations are included. The goal
+// A0 = 0 is derivable with exactly 2n steps.
+func ChainPresentation(n int) *Presentation {
+	if n < 1 {
+		n = 1
+	}
+	names := []string{"A0"}
+	for i := 1; i < n; i++ {
+		names = append(names, fmt.Sprintf("s%d", i))
+	}
+	for i := 0; i < n; i++ {
+		names = append(names, fmt.Sprintf("k%d", i))
+	}
+	names = append(names, "0")
+	a := MustAlphabet(names, "A0", "0")
+	var eqs []Equation
+	prev := a.MustSymbol("A0")
+	for i := 0; i < n; i++ {
+		k := a.MustSymbol(fmt.Sprintf("k%d", i))
+		var next Symbol
+		if i == n-1 {
+			next = a.Zero()
+		} else {
+			next = a.MustSymbol(fmt.Sprintf("s%d", i+1))
+		}
+		// k·k = prev (expansion target) and k·k = next (contraction source).
+		eqs = append(eqs, Eq(W(k, k), W(prev)))
+		eqs = append(eqs, Eq(W(k, k), W(next)))
+		prev = next
+	}
+	p, err := NewPresentation(a, eqs)
+	if err != nil {
+		panic(err)
+	}
+	return p.WithZeroEquations()
+}
+
+// NilpotentSafePresentation returns a presentation over {A0, B1..B(m), 0}
+// whose non-zero equations only define products of generators as fresh
+// generators (A0·A0 = B1, B1·A0 = B2, ..., i.e. Bi denotes A0^(i+1)). The
+// goal A0 = 0 is not derivable: the free nilpotent semigroup of class
+// m+2 over one generator — the nilpotent cyclic semigroup N(m+2) — is a
+// finite cancellation counterexample without identity in which A0 ≠ 0.
+func NilpotentSafePresentation(m int) *Presentation {
+	if m < 1 {
+		m = 1
+	}
+	names := []string{"A0"}
+	for i := 1; i <= m; i++ {
+		names = append(names, fmt.Sprintf("B%d", i))
+	}
+	names = append(names, "0")
+	a := MustAlphabet(names, "A0", "0")
+	var eqs []Equation
+	a0 := a.A0()
+	prev := a0
+	for i := 1; i <= m; i++ {
+		b := a.MustSymbol(fmt.Sprintf("B%d", i))
+		eqs = append(eqs, Eq(W(prev, a0), W(b)))
+		prev = b
+	}
+	p, err := NewPresentation(a, eqs)
+	if err != nil {
+		panic(err)
+	}
+	return p.WithZeroEquations()
+}
+
+// PowerPresentation returns the presentation {A0·A0 = B} + zero equations
+// over {A0, B, 0}: the smallest natural non-derivable instance. The
+// nilpotent cyclic semigroup N3 = {a, a^2, 0} falsifies the goal.
+func PowerPresentation() *Presentation {
+	a := MustAlphabet([]string{"A0", "B", "0"}, "A0", "0")
+	p, err := NewPresentation(a, []Equation{Eq(W(a.A0(), a.A0()), W(a.MustSymbol("B")))})
+	if err != nil {
+		panic(err)
+	}
+	return p.WithZeroEquations()
+}
+
+// TwoStepPresentation returns the presentation {b·c = A0, b·c = 0} + zero
+// equations: the smallest derivable instance whose derivation
+// A0 <- b·c -> 0 has length 2 and passes through a longer word, exercising
+// the expansion direction of the chase (D2/D3/D4 of Fig. 3).
+func TwoStepPresentation() *Presentation {
+	a := MustAlphabet([]string{"A0", "b", "c", "0"}, "A0", "0")
+	b, c := a.MustSymbol("b"), a.MustSymbol("c")
+	p, err := NewPresentation(a, []Equation{
+		Eq(W(b, c), W(a.A0())),
+		Eq(W(b, c), W(a.Zero())),
+	})
+	if err != nil {
+		panic(err)
+	}
+	return p.WithZeroEquations()
+}
+
+// IdempotentGapPresentation returns {A0·A0 = A0} + zero equations. The goal
+// A0 = 0 is NOT equationally derivable (the two-element semilattice {e, 0}
+// with e·e = e satisfies the equations with A0 = e ≠ 0), yet NO finite
+// cancellation semigroup without identity falsifies it (condition (ii)
+// forces x·x = x ⟹ x = 0). The instance therefore lies in NEITHER of the
+// Main Theorem's two inseparable sets: the gap the undecidability proof
+// lives in.
+func IdempotentGapPresentation() *Presentation {
+	a := MustAlphabet([]string{"A0", "0"}, "A0", "0")
+	p, err := NewPresentation(a, []Equation{Eq(W(a.A0(), a.A0()), W(a.A0()))})
+	if err != nil {
+		panic(err)
+	}
+	return p.WithZeroEquations()
+}
+
+// RandomPresentation generates a reproducible random presentation with m
+// extra symbols and k random (2,1) equations (plus the zero equations).
+// Ground truth is unknown; used to exercise the dual semidecision harness.
+func RandomPresentation(rng *rand.Rand, m, k int) *Presentation {
+	if m < 1 {
+		m = 1
+	}
+	a := StandardAlphabet(m)
+	syms := a.Symbols()
+	nonZero := make([]Symbol, 0, len(syms)-1)
+	for _, s := range syms {
+		if s != a.Zero() {
+			nonZero = append(nonZero, s)
+		}
+	}
+	pick := func() Symbol { return nonZero[rng.Intn(len(nonZero))] }
+	var eqs []Equation
+	for i := 0; i < k; i++ {
+		e := Eq(W(pick(), pick()), W(syms[rng.Intn(len(syms))]))
+		if e.IsTrivial() {
+			continue
+		}
+		eqs = append(eqs, e)
+	}
+	p, err := NewPresentation(a, eqs)
+	if err != nil {
+		panic(err)
+	}
+	return p.WithZeroEquations()
+}

@@ -1,0 +1,64 @@
+package words
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestChainPresentationShape(t *testing.T) {
+	p := ChainPresentation(3)
+	if !p.IsTwoOne() {
+		t.Error("not (2,1)")
+	}
+	if err := p.CheckZeroEquations(); err != nil {
+		t.Error(err)
+	}
+	// Alphabet: A0, s1, s2, k0, k1, k2, 0 = 7 symbols.
+	if p.Alphabet.Size() != 7 {
+		t.Errorf("alphabet size %d", p.Alphabet.Size())
+	}
+	// Degenerate argument is clamped to n=1: A0, k0, 0.
+	if ChainPresentation(0).Alphabet.Size() != 3 {
+		t.Error("clamp failed")
+	}
+}
+
+func TestNilpotentSafePresentation(t *testing.T) {
+	p := NilpotentSafePresentation(2)
+	if !p.IsTwoOne() {
+		t.Error("not (2,1)")
+	}
+	res := DeriveGoal(p, ClosureOptions{MaxWords: 5000})
+	// Definitional equations only: A0's class is infinite? A0 matches RHS
+	// of no equation and LHS of none alone; expansions: B1 -> A0 A0 only
+	// applies to words containing B1. The class of A0 is {A0}: definite no.
+	if res.Verdict != NotDerivable {
+		t.Errorf("verdict %v, want NotDerivable", res.Verdict)
+	}
+}
+
+func TestPowerAndTwoStepAndGap(t *testing.T) {
+	if got := DeriveGoal(PowerPresentation(), DefaultClosureOptions()).Verdict; got != NotDerivable {
+		t.Errorf("power: %v", got)
+	}
+	if got := DeriveGoal(TwoStepPresentation(), DefaultClosureOptions()).Verdict; got != Derivable {
+		t.Errorf("two-step: %v", got)
+	}
+	if got := DeriveGoal(IdempotentGapPresentation(), ClosureOptions{MaxWords: 300}).Verdict; got != Unknown {
+		t.Errorf("gap: %v", got)
+	}
+}
+
+func TestRandomPresentationReproducible(t *testing.T) {
+	p1 := RandomPresentation(rand.New(rand.NewSource(42)), 3, 5)
+	p2 := RandomPresentation(rand.New(rand.NewSource(42)), 3, 5)
+	if p1.Format() != p2.Format() {
+		t.Error("same seed should give same presentation")
+	}
+	if err := p1.CheckZeroEquations(); err != nil {
+		t.Error(err)
+	}
+	if !p1.IsTwoOne() {
+		t.Error("random presentation should be (2,1)")
+	}
+}

@@ -1,0 +1,286 @@
+package words
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Normalization is the result of converting a presentation to (2,1) normal
+// form, in which every equation has a length-2 left side and a length-1
+// right side. This is the form the Gurevich–Lewis reduction consumes: each
+// normalized equation AB = C yields the four dependencies D1–D4 of Fig. 3.
+//
+// The conversion is conservative in both directions of the Main Lemma:
+//
+//   - the implication "equations ⟹ A0 = 0" is equationally derivable from
+//     the original presentation iff it is derivable from the normalized one;
+//   - the original presentation has a finite cancellation model without
+//     identity in which A0 ≠ 0 iff the normalized one does (new symbols are
+//     definitional: each denotes a product of original generators).
+//
+// Alias equations A = B between single symbols are handled by substituting a
+// canonical representative; Aliases records the substitution. Longer
+// equations are chain-decomposed through fresh definitional symbols;
+// Definitions records, for each fresh symbol, the word over the ORIGINAL
+// alphabet that it denotes.
+type Normalization struct {
+	// Presentation is the normalized (2,1) presentation over Alphabet.
+	Presentation *Presentation
+	// Original is the input presentation.
+	Original *Presentation
+	// Aliases maps original symbols to their canonical representative
+	// (identity for non-aliased symbols).
+	Aliases map[Symbol]Symbol
+	// Definitions maps each fresh symbol of the normalized alphabet to the
+	// word over the original alphabet it denotes.
+	Definitions map[Symbol]Word
+	// GoalForced reports that the alias analysis already identified A0 with
+	// 0, so the goal A0 = 0 is trivially derivable; the normalized
+	// presentation then contains an explicit two-step derivation gadget.
+	GoalForced bool
+}
+
+// Normalize converts p to (2,1) normal form. The zero-absorption equations
+// are added if missing (they are already (2,1)).
+func Normalize(p *Presentation) (*Normalization, error) {
+	p = p.WithZeroEquations()
+	a := p.Alphabet
+
+	// Phase 1: alias analysis over (1,1) equations via union-find.
+	parent := make([]Symbol, a.Size())
+	for i := range parent {
+		parent[i] = Symbol(i)
+	}
+	var find func(Symbol) Symbol
+	find = func(s Symbol) Symbol {
+		if parent[s] != s {
+			parent[s] = find(parent[s])
+		}
+		return parent[s]
+	}
+	union := func(x, y Symbol) {
+		rx, ry := find(x), find(y)
+		if rx != ry {
+			parent[rx] = ry
+		}
+	}
+	for _, e := range p.Equations {
+		if len(e.LHS) == 1 && len(e.RHS) == 1 && e.LHS[0] != e.RHS[0] {
+			union(e.LHS[0], e.RHS[0])
+		}
+	}
+	// Choose representatives: zero wins, then A0, then the lowest index.
+	// Collect classes first.
+	classes := make(map[Symbol][]Symbol)
+	for _, s := range a.Symbols() {
+		classes[find(s)] = append(classes[find(s)], s)
+	}
+	rep := make(map[Symbol]Symbol, a.Size())
+	goalForced := false
+	for root, members := range classes {
+		best := members[0]
+		hasZero, hasA0 := false, false
+		for _, m := range members {
+			if m == a.Zero() {
+				hasZero = true
+			}
+			if m == a.A0() {
+				hasA0 = true
+			}
+			if m < best {
+				best = m
+			}
+		}
+		switch {
+		case hasZero:
+			best = a.Zero()
+		case hasA0:
+			best = a.A0()
+		}
+		if hasZero && hasA0 {
+			goalForced = true
+		}
+		_ = root
+		for _, m := range members {
+			rep[m] = best
+		}
+	}
+	subst := func(w Word) Word {
+		out := make(Word, len(w))
+		for i, s := range w {
+			out[i] = rep[s]
+		}
+		return out
+	}
+
+	n := &Normalization{
+		Original:    p,
+		Aliases:     rep,
+		Definitions: make(map[Symbol]Word),
+		GoalForced:  goalForced,
+	}
+
+	// Phase 2: substitute aliases, drop trivial equations, and collect the
+	// equations still needing decomposition.
+	curAlphabet := a
+	var outEqs []Equation
+	type pending struct{ lhs, rhs Word }
+	var todo []pending
+	seen := make(map[string]bool)
+	addEq := func(e Equation) {
+		if e.IsTrivial() || seen[e.Key()] {
+			return
+		}
+		seen[e.Key()] = true
+		outEqs = append(outEqs, e)
+	}
+	for _, e := range p.Equations {
+		lhs, rhs := subst(e.LHS), subst(e.RHS)
+		if lhs.Equal(rhs) {
+			continue
+		}
+		// Orient: longer side on the left; on ties keep as given.
+		if len(lhs) < len(rhs) {
+			lhs, rhs = rhs, lhs
+		}
+		switch {
+		case len(lhs) == 1 && len(rhs) == 1:
+			// Fully handled by aliasing.
+			continue
+		case len(lhs) == 2 && len(rhs) == 1:
+			addEq(Eq(lhs, rhs))
+		default:
+			todo = append(todo, pending{lhs, rhs})
+		}
+	}
+
+	// Phase 3: chain-decompose long sides through definitional symbols.
+	// defSym memoizes, per word (over the current alphabet, keyed by its
+	// original-alphabet expansion), the symbol defined to denote it.
+	defSym := make(map[string]Symbol)
+	// expand rewrites a word over the extended alphabet into the original
+	// alphabet by replacing definitional symbols with their definitions.
+	expand := func(w Word) Word {
+		out := make(Word, 0, len(w))
+		for _, s := range w {
+			if d, ok := n.Definitions[s]; ok {
+				out = append(out, d...)
+			} else {
+				out = append(out, s)
+			}
+		}
+		return out
+	}
+	// reduceToSymbol returns a symbol denoting w (|w| >= 1), emitting the
+	// definitional chain equations as needed.
+	var reduceToSymbol func(w Word) (Symbol, error)
+	reduceToSymbol = func(w Word) (Symbol, error) {
+		if len(w) == 1 {
+			return w[0], nil
+		}
+		key := expand(w).Key()
+		if s, ok := defSym[key]; ok {
+			return s, nil
+		}
+		pre, err := reduceToSymbol(w[:len(w)-1])
+		if err != nil {
+			return 0, err
+		}
+		name := curAlphabet.FreshName("G")
+		na, fresh, err := curAlphabet.Extend(name)
+		if err != nil {
+			return 0, err
+		}
+		curAlphabet = na
+		n.Definitions[fresh] = expand(w)
+		defSym[key] = fresh
+		addEq(Eq(W(pre, w[len(w)-1]), W(fresh)))
+		return fresh, nil
+	}
+	// reduceToPair returns (x, y) such that xy denotes w, |w| >= 2.
+	reduceToPair := func(w Word) (Symbol, Symbol, error) {
+		if len(w) == 2 {
+			return w[0], w[1], nil
+		}
+		pre, err := reduceToSymbol(w[:len(w)-1])
+		if err != nil {
+			return 0, 0, err
+		}
+		return pre, w[len(w)-1], nil
+	}
+	for _, pe := range todo {
+		// |lhs| >= 2 here (orientation), rhs arbitrary >= 1.
+		x1, x2, err := reduceToPair(pe.lhs)
+		if err != nil {
+			return nil, err
+		}
+		rhsSym, err := reduceToSymbol(pe.rhs)
+		if err != nil {
+			return nil, err
+		}
+		e := Eq(W(x1, x2), W(rhsSym))
+		if !e.IsTrivial() {
+			addEq(e)
+		}
+	}
+
+	// Phase 4: if aliasing forced A0 = 0, add an explicit (2,1) derivation
+	// gadget c·c = A0, c·c = 0 so that the goal remains derivable in the
+	// normalized presentation (whose equations no longer mention the alias).
+	if goalForced {
+		name := curAlphabet.FreshName("G")
+		na, fresh, err := curAlphabet.Extend(name)
+		if err != nil {
+			return nil, err
+		}
+		curAlphabet = na
+		n.Definitions[fresh] = W(a.Zero())
+		addEq(Eq(W(fresh, fresh), W(a.A0())))
+		addEq(Eq(W(fresh, fresh), W(a.Zero())))
+	}
+
+	// The extended alphabet needs zero equations for the fresh symbols too.
+	np, err := NewPresentation(curAlphabet, outEqs)
+	if err != nil {
+		return nil, err
+	}
+	np = np.WithZeroEquations()
+	// Deterministic order: sort equations for reproducibility.
+	sort.SliceStable(np.Equations, func(i, j int) bool {
+		return np.Equations[i].Key() < np.Equations[j].Key()
+	})
+	if !np.IsTwoOne() {
+		return nil, fmt.Errorf("words: internal error: normalization produced a non-(2,1) equation")
+	}
+	n.Presentation = np
+	return n, nil
+}
+
+// ExpandWord rewrites a word over the normalized alphabet into the original
+// alphabet, replacing definitional symbols by the words they denote and
+// aliased symbols by themselves (aliases map original symbols only).
+func (n *Normalization) ExpandWord(w Word) Word {
+	out := make(Word, 0, len(w))
+	for _, s := range w {
+		if d, ok := n.Definitions[s]; ok {
+			out = append(out, d...)
+		} else {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// ApplyAliases rewrites a word over the original alphabet through the alias
+// substitution chosen by the normalization.
+func (n *Normalization) ApplyAliases(w Word) Word {
+	out := make(Word, len(w))
+	for i, s := range w {
+		if r, ok := n.Aliases[s]; ok {
+			out[i] = r
+		} else {
+			out[i] = s
+		}
+	}
+	return out
+}

@@ -1,0 +1,138 @@
+package words
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseEquation(t *testing.T) {
+	a := MustAlphabet([]string{"A0", "B", "C", "0"}, "A0", "0")
+	e, err := ParseEquation(a, "A0 B = C")
+	if err != nil {
+		t.Fatalf("ParseEquation: %v", err)
+	}
+	if e.Format(a) != "A0 B = C" {
+		t.Errorf("Format = %q", e.Format(a))
+	}
+	if !e.IsTwoOne() {
+		t.Error("should be (2,1)")
+	}
+	if _, err := ParseEquation(a, "A0 B C"); err == nil {
+		t.Error("missing '=' should fail")
+	}
+	if _, err := ParseEquation(a, "A0 = B = C"); err == nil {
+		t.Error("two '=' should fail")
+	}
+	if _, err := ParseEquation(a, " = C"); err == nil {
+		t.Error("empty side should fail")
+	}
+}
+
+func TestEquationHelpers(t *testing.T) {
+	e := Eq(W(1, 2), W(3))
+	if e.IsTrivial() {
+		t.Error("not trivial")
+	}
+	if !Eq(W(1), W(1)).IsTrivial() {
+		t.Error("trivial not detected")
+	}
+	r := e.Reversed()
+	if !r.LHS.Equal(W(3)) || !r.RHS.Equal(W(1, 2)) {
+		t.Error("Reversed wrong")
+	}
+	if e.Key() == r.Key() {
+		t.Error("Key should distinguish orientation")
+	}
+	if Eq(W(1), W(2)).IsTwoOne() || Eq(W(1, 2, 3), W(4)).IsTwoOne() {
+		t.Error("IsTwoOne wrong")
+	}
+}
+
+func TestZeroEquations(t *testing.T) {
+	a := StandardAlphabet(1) // A0, A1, 0
+	eqs := ZeroEquations(a)
+	// For n symbols: n right absorptions + (n-1) left (0·0=0 only once).
+	want := 2*a.Size() - 1
+	if len(eqs) != want {
+		t.Fatalf("len = %d, want %d", len(eqs), want)
+	}
+	z := a.Zero()
+	for _, e := range eqs {
+		if !e.RHS.Equal(W(z)) || len(e.LHS) != 2 || !e.LHS.Contains(z) {
+			t.Errorf("bad zero equation %s", e.Format(a))
+		}
+	}
+}
+
+func TestWithZeroEquationsIdempotent(t *testing.T) {
+	p := PowerPresentation()
+	q := p.WithZeroEquations()
+	if len(q.Equations) != len(p.Equations) {
+		t.Errorf("WithZeroEquations added duplicates: %d vs %d", len(q.Equations), len(p.Equations))
+	}
+	if err := q.CheckZeroEquations(); err != nil {
+		t.Errorf("CheckZeroEquations: %v", err)
+	}
+}
+
+func TestCheckZeroEquationsMissing(t *testing.T) {
+	a := StandardAlphabet(0)
+	p, err := NewPresentation(a, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.CheckZeroEquations(); err == nil {
+		t.Error("missing zero equations should be reported")
+	}
+}
+
+func TestParsePresentation(t *testing.T) {
+	a := MustAlphabet([]string{"A0", "B", "C", "0"}, "A0", "0")
+	p, err := ParsePresentation(a, `
+# a comment
+A0 B = C
+
+C C = 0
+`)
+	if err != nil {
+		t.Fatalf("ParsePresentation: %v", err)
+	}
+	if len(p.Equations) != 2 {
+		t.Fatalf("len = %d", len(p.Equations))
+	}
+	if !strings.Contains(p.Format(), "A0 B = C") {
+		t.Errorf("Format = %q", p.Format())
+	}
+	if _, err := ParsePresentation(a, "A0 ="); err == nil {
+		t.Error("bad line should fail")
+	}
+}
+
+func TestNewPresentationRejectsForeignSymbols(t *testing.T) {
+	a := StandardAlphabet(0)
+	if _, err := NewPresentation(a, []Equation{Eq(W(99), W(0))}); err == nil {
+		t.Error("foreign symbol should fail")
+	}
+	if _, err := NewPresentation(nil, nil); err == nil {
+		t.Error("nil alphabet should fail")
+	}
+}
+
+func TestGoal(t *testing.T) {
+	p := PowerPresentation()
+	g := p.Goal()
+	if !g.LHS.Equal(W(p.Alphabet.A0())) || !g.RHS.Equal(W(p.Alphabet.Zero())) {
+		t.Errorf("Goal = %s", g.Format(p.Alphabet))
+	}
+}
+
+func TestPresentationIsTwoOne(t *testing.T) {
+	if !PowerPresentation().IsTwoOne() {
+		t.Error("PowerPresentation should be (2,1)")
+	}
+	a := MustAlphabet([]string{"A0", "B", "0"}, "A0", "0")
+	p, _ := NewPresentation(a, []Equation{Eq(W(0, 1, 2), W(1))})
+	if p.IsTwoOne() {
+		t.Error("(3,1) equation should not be (2,1)")
+	}
+}

@@ -1,0 +1,79 @@
+package words
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ParseSpec reads a complete presentation from a self-contained textual
+// spec, the format used by the command-line tools:
+//
+//	# comment
+//	symbols: A0 b c 0
+//	a0: A0          # optional; defaults to the symbol named A0
+//	zero: 0         # optional; defaults to the symbol named 0
+//	b c = A0
+//	b c = 0
+//
+// Zero-absorption equations are added automatically.
+func ParseSpec(spec string) (*Presentation, error) {
+	var symbolNames []string
+	a0Name, zeroName := "A0", "0"
+	var eqLines []string
+	for ln, raw := range strings.Split(spec, "\n") {
+		line := raw
+		if i := strings.Index(line, "#"); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(line, "symbols:"):
+			symbolNames = strings.Fields(strings.TrimPrefix(line, "symbols:"))
+		case strings.HasPrefix(line, "a0:"):
+			a0Name = strings.TrimSpace(strings.TrimPrefix(line, "a0:"))
+		case strings.HasPrefix(line, "zero:"):
+			zeroName = strings.TrimSpace(strings.TrimPrefix(line, "zero:"))
+		case strings.Contains(line, "="):
+			eqLines = append(eqLines, line)
+		default:
+			return nil, fmt.Errorf("words: spec line %d: cannot parse %q", ln+1, raw)
+		}
+	}
+	if len(symbolNames) == 0 {
+		return nil, fmt.Errorf("words: spec has no 'symbols:' line")
+	}
+	a, err := NewAlphabet(symbolNames, a0Name, zeroName)
+	if err != nil {
+		return nil, err
+	}
+	p, err := ParsePresentation(a, strings.Join(eqLines, "\n"))
+	if err != nil {
+		return nil, err
+	}
+	return p.WithZeroEquations(), nil
+}
+
+// FormatSpec renders a presentation in the ParseSpec format (omitting the
+// auto-added zero equations for brevity when omitZero is set).
+func FormatSpec(p *Presentation, omitZero bool) string {
+	var b strings.Builder
+	b.WriteString("symbols: " + strings.Join(p.Alphabet.Names(), " ") + "\n")
+	b.WriteString("a0: " + p.Alphabet.Name(p.Alphabet.A0()) + "\n")
+	b.WriteString("zero: " + p.Alphabet.Name(p.Alphabet.Zero()) + "\n")
+	zeroKeys := make(map[string]bool)
+	if omitZero {
+		for _, e := range ZeroEquations(p.Alphabet) {
+			zeroKeys[e.Key()] = true
+		}
+	}
+	for _, e := range p.Equations {
+		if zeroKeys[e.Key()] {
+			continue
+		}
+		b.WriteString(e.Format(p.Alphabet) + "\n")
+	}
+	return b.String()
+}

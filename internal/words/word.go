@@ -1,0 +1,218 @@
+package words
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Word is a finite, non-empty-or-empty sequence of symbols. The empty word
+// is permitted as a Go value (it is the identity of the free monoid) but
+// presentations and equations reject it: the paper works with semigroups,
+// whose elements are denoted by non-empty words.
+type Word []Symbol
+
+// W builds a word from symbols; convenience constructor.
+func W(syms ...Symbol) Word { return Word(syms) }
+
+// ParseWord parses a whitespace-separated sequence of symbol names, e.g.
+// "A0 B C". A single token with no spaces is also accepted when every
+// character is a symbol name of its own ("ABC" with one-letter symbols).
+func ParseWord(a *Alphabet, s string) (Word, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, fmt.Errorf("words: empty word")
+	}
+	fields := strings.Fields(s)
+	if len(fields) == 1 {
+		// Try the whole token as one symbol first, then fall back to
+		// per-character parsing for compact one-letter-symbol notation.
+		if sym, ok := a.Symbol(fields[0]); ok {
+			return Word{sym}, nil
+		}
+		w := make(Word, 0, len(fields[0]))
+		for _, r := range fields[0] {
+			sym, ok := a.Symbol(string(r))
+			if !ok {
+				return nil, fmt.Errorf("words: unknown symbol %q in word %q", string(r), s)
+			}
+			w = append(w, sym)
+		}
+		return w, nil
+	}
+	w := make(Word, 0, len(fields))
+	for _, f := range fields {
+		sym, ok := a.Symbol(f)
+		if !ok {
+			return nil, fmt.Errorf("words: unknown symbol %q in word %q", f, s)
+		}
+		w = append(w, sym)
+	}
+	return w, nil
+}
+
+// MustParseWord is ParseWord that panics on error.
+func MustParseWord(a *Alphabet, s string) Word {
+	w, err := ParseWord(a, s)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+// Len returns the number of symbols.
+func (w Word) Len() int { return len(w) }
+
+// IsEmpty reports whether w is the empty word.
+func (w Word) IsEmpty() bool { return len(w) == 0 }
+
+// Concat returns the concatenation w·v as a fresh word.
+func (w Word) Concat(v Word) Word {
+	out := make(Word, 0, len(w)+len(v))
+	out = append(out, w...)
+	out = append(out, v...)
+	return out
+}
+
+// Clone returns a copy of w.
+func (w Word) Clone() Word {
+	out := make(Word, len(w))
+	copy(out, w)
+	return out
+}
+
+// Equal reports symbol-wise equality.
+func (w Word) Equal(v Word) bool {
+	if len(w) != len(v) {
+		return false
+	}
+	for i := range w {
+		if w[i] != v[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Key returns a map-key encoding of w. Two words have equal keys iff they
+// are equal. The encoding packs each symbol as a rune, so it is valid for
+// alphabets of any realistic size.
+func (w Word) Key() string {
+	rs := make([]rune, len(w))
+	for i, s := range w {
+		rs[i] = rune(s) + 1 // avoid NUL for friendliness in debuggers
+	}
+	return string(rs)
+}
+
+// KeyToWord decodes a Key back into a word.
+func KeyToWord(k string) Word {
+	rs := []rune(k)
+	w := make(Word, len(rs))
+	for i, r := range rs {
+		w[i] = Symbol(r - 1)
+	}
+	return w
+}
+
+// IndexOf returns the first position at which v occurs as a factor
+// (contiguous subword) of w, or -1.
+func (w Word) IndexOf(v Word) int {
+	if len(v) == 0 || len(v) > len(w) {
+		return -1
+	}
+outer:
+	for i := 0; i+len(v) <= len(w); i++ {
+		for j := range v {
+			if w[i+j] != v[j] {
+				continue outer
+			}
+		}
+		return i
+	}
+	return -1
+}
+
+// Occurrences returns every position at which v occurs as a factor of w.
+func (w Word) Occurrences(v Word) []int {
+	if len(v) == 0 || len(v) > len(w) {
+		return nil
+	}
+	var out []int
+outer:
+	for i := 0; i+len(v) <= len(w); i++ {
+		for j := range v {
+			if w[i+j] != v[j] {
+				continue outer
+			}
+		}
+		out = append(out, i)
+	}
+	return out
+}
+
+// ReplaceAt returns a fresh word in which the factor of length old occurring
+// at position i is replaced by repl. It panics if the slice bounds are
+// invalid.
+func (w Word) ReplaceAt(i, old int, repl Word) Word {
+	if i < 0 || i+old > len(w) {
+		panic(fmt.Sprintf("words: ReplaceAt(%d, %d) out of range for word of length %d", i, old, len(w)))
+	}
+	out := make(Word, 0, len(w)-old+len(repl))
+	out = append(out, w[:i]...)
+	out = append(out, repl...)
+	out = append(out, w[i+old:]...)
+	return out
+}
+
+// Contains reports whether symbol s occurs in w.
+func (w Word) Contains(s Symbol) bool {
+	for _, x := range w {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}
+
+// Format renders the word using the alphabet's symbol names separated by
+// spaces when any name has more than one character, or compactly otherwise.
+func (w Word) Format(a *Alphabet) string {
+	if len(w) == 0 {
+		return "ε"
+	}
+	compact := true
+	for _, s := range w {
+		if len(a.Name(s)) != 1 {
+			compact = false
+			break
+		}
+	}
+	var b strings.Builder
+	for i, s := range w {
+		if !compact && i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(a.Name(s))
+	}
+	return b.String()
+}
+
+// Compare orders words by shortlex: shorter first, then lexicographically by
+// symbol index. Returns -1, 0, or 1.
+func (w Word) Compare(v Word) int {
+	if len(w) != len(v) {
+		if len(w) < len(v) {
+			return -1
+		}
+		return 1
+	}
+	for i := range w {
+		if w[i] != v[i] {
+			if w[i] < v[i] {
+				return -1
+			}
+			return 1
+		}
+	}
+	return 0
+}

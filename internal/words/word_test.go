@@ -1,0 +1,159 @@
+package words
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseWord(t *testing.T) {
+	a := MustAlphabet([]string{"A0", "b", "c", "0"}, "A0", "0")
+	w, err := ParseWord(a, "A0 b c")
+	if err != nil {
+		t.Fatalf("ParseWord: %v", err)
+	}
+	if w.Len() != 3 || w.Format(a) != "A0 b c" {
+		t.Errorf("parsed %q", w.Format(a))
+	}
+	// Compact one-letter parsing.
+	one := MustAlphabet([]string{"a", "b", "z"}, "a", "z")
+	w2, err := ParseWord(one, "abz")
+	if err != nil {
+		t.Fatalf("compact ParseWord: %v", err)
+	}
+	if w2.Format(one) != "abz" {
+		t.Errorf("compact parsed %q", w2.Format(one))
+	}
+	// Whole-token symbol beats per-character split.
+	w3, err := ParseWord(a, "A0")
+	if err != nil || w3.Len() != 1 {
+		t.Errorf("ParseWord(A0) = %v, %v", w3, err)
+	}
+	if _, err := ParseWord(a, ""); err == nil {
+		t.Error("empty word should fail")
+	}
+	if _, err := ParseWord(a, "A0 nope"); err == nil {
+		t.Error("unknown symbol should fail")
+	}
+}
+
+func TestWordOperations(t *testing.T) {
+	w := W(0, 1, 2)
+	v := W(1, 2)
+	if w.IndexOf(v) != 1 {
+		t.Errorf("IndexOf = %d, want 1", w.IndexOf(v))
+	}
+	if w.IndexOf(W(3)) != -1 {
+		t.Error("IndexOf missing should be -1")
+	}
+	if got := W(0, 1, 0, 1).Occurrences(W(0, 1)); !reflect.DeepEqual(got, []int{0, 2}) {
+		t.Errorf("Occurrences = %v", got)
+	}
+	// Overlapping occurrences.
+	if got := W(0, 0, 0).Occurrences(W(0, 0)); !reflect.DeepEqual(got, []int{0, 1}) {
+		t.Errorf("overlapping Occurrences = %v", got)
+	}
+	r := w.ReplaceAt(1, 2, W(9))
+	if !r.Equal(W(0, 9)) {
+		t.Errorf("ReplaceAt = %v", r)
+	}
+	if !w.Equal(W(0, 1, 2)) {
+		t.Error("ReplaceAt mutated the receiver")
+	}
+	if !w.Concat(v).Equal(W(0, 1, 2, 1, 2)) {
+		t.Error("Concat wrong")
+	}
+	if !w.Contains(2) || w.Contains(7) {
+		t.Error("Contains wrong")
+	}
+	c := w.Clone()
+	c[0] = 5
+	if w[0] == 5 {
+		t.Error("Clone aliases the receiver")
+	}
+}
+
+func TestReplaceAtPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("ReplaceAt out of range should panic")
+		}
+	}()
+	W(0, 1).ReplaceAt(1, 2, W(5))
+}
+
+func TestWordKeyRoundTrip(t *testing.T) {
+	f := func(raw []uint8) bool {
+		w := make(Word, len(raw))
+		for i, b := range raw {
+			w[i] = Symbol(int(b) % 500)
+		}
+		return KeyToWord(w.Key()).Equal(w)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(1))}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWordKeyInjective(t *testing.T) {
+	f := func(raw1, raw2 []uint8) bool {
+		w1 := make(Word, len(raw1))
+		for i, b := range raw1 {
+			w1[i] = Symbol(b)
+		}
+		w2 := make(Word, len(raw2))
+		for i, b := range raw2 {
+			w2[i] = Symbol(b)
+		}
+		return (w1.Key() == w2.Key()) == w1.Equal(w2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500, Rand: rand.New(rand.NewSource(2))}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWordCompareShortlex(t *testing.T) {
+	cases := []struct {
+		a, b Word
+		want int
+	}{
+		{W(0), W(0, 0), -1},
+		{W(0, 0), W(0), 1},
+		{W(0, 1), W(0, 2), -1},
+		{W(2), W(1), 1},
+		{W(1, 2), W(1, 2), 0},
+		{W(), W(0), -1},
+	}
+	for i, c := range cases {
+		if got := c.a.Compare(c.b); got != c.want {
+			t.Errorf("case %d: Compare = %d, want %d", i, got, c.want)
+		}
+	}
+}
+
+func TestWordFormat(t *testing.T) {
+	a := MustAlphabet([]string{"a", "b", "z"}, "a", "z")
+	if got := W(0, 1, 2).Format(a); got != "abz" {
+		t.Errorf("compact Format = %q", got)
+	}
+	multi := MustAlphabet([]string{"A0", "b", "0"}, "A0", "0")
+	if got := W(0, 1).Format(multi); got != "A0 b" {
+		t.Errorf("spaced Format = %q", got)
+	}
+	if got := (Word{}).Format(a); got != "ε" {
+		t.Errorf("empty Format = %q", got)
+	}
+}
+
+func TestConcatCopies(t *testing.T) {
+	// Concat must not alias its inputs even when capacity allows.
+	w := make(Word, 1, 10)
+	w[0] = 1
+	v := W(2)
+	c := w.Concat(v)
+	c[0] = 9
+	if w[0] != 1 {
+		t.Error("Concat aliased input")
+	}
+}
