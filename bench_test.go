@@ -429,6 +429,69 @@ tail:   R(a, b, c) & R(a', b', c) -> R(a, b', c)
 	}
 }
 
+// Ablation: index-driven homomorphism join vs the naive nested-loop scan,
+// on the Reduction Theorem implication workload (the F2/F3 bridge chases)
+// at growing derivation depth.
+func BenchmarkJoinStrategies(b *testing.B) {
+	for _, tc := range []struct {
+		name string
+		p    *words.Presentation
+	}{
+		{"chain1", words.ChainPresentation(1)},
+		{"chain2", words.ChainPresentation(2)},
+		{"chain3", words.ChainPresentation(3)},
+	} {
+		in := reduction.MustBuild(tc.p)
+		for _, join := range []chase.JoinStrategy{chase.JoinIndex, chase.JoinScan} {
+			b.Run(fmt.Sprintf("%s/%s", tc.name, join), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					res, err := chase.Implies(in.D, in.D0, chase.Options{
+						MaxRounds: 32, MaxTuples: 200000, SemiNaive: true, Join: join,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					if res.Verdict != chase.Implied {
+						b.Fatalf("verdict %v", res.Verdict)
+					}
+					b.ReportMetric(float64(res.Instance.Len()), "tuples")
+				}
+			})
+		}
+	}
+}
+
+// Ablation: the same join comparison on a dense full-TD closure, where the
+// quadratic trigger space makes posting-list probing pay off most.
+func BenchmarkJoinClosure(b *testing.B) {
+	s := relation.MustSchema("A", "B", "C")
+	join := td.MustParse(s, "R(a, b, c) & R(a, b', c') -> R(a, b, c')", "join")
+	for _, n := range []int{8, 16, 32} {
+		start := relation.NewInstance(s)
+		for i := 0; i < n; i++ {
+			start.MustAdd(relation.Tuple{relation.Value(i % 2), relation.Value(i), relation.Value(i)})
+		}
+		for _, strat := range []chase.JoinStrategy{chase.JoinIndex, chase.JoinScan} {
+			b.Run(fmt.Sprintf("n=%d/%s", n, strat), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					e, err := chase.NewEngine(s, []*td.TD{join}, chase.Options{
+						MaxRounds: 50, MaxTuples: 10000, SemiNaive: true, Join: strat,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					res := e.Chase(start, nil)
+					if !res.FixpointReached {
+						b.Fatal("no fixpoint")
+					}
+				}
+			})
+		}
+	}
+}
+
 // Ablation: pruned backtracking homomorphism search vs brute-force
 // enumeration of row-to-tuple maps.
 func BenchmarkHomomorphismPruning(b *testing.B) {

@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Repo CI gate: build, vet, and the full test suite under the race
+# detector. The chase worker-pool tests (TestIntraDependencyPartitioning,
+# TestParallelWorkers) exercise intra-dependency delta partitioning with
+# Workers > 1, so -race covers the concurrent join paths.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+go build ./...
+go vet ./...
+go test -race ./...

@@ -1,0 +1,175 @@
+// Machine-readable benchmark emission: `tdbench -benchjson FILE` measures
+// the F1–F3 experiments plus the chase implication/decision workloads with
+// testing.Benchmark and writes one JSON document, so the performance
+// trajectory of the engine is tracked in-repo from PR to PR. The chase
+// workloads are measured under both join strategies — JoinIndex is the
+// production path, JoinScan the pre-index baseline kept for ablation — so
+// every snapshot carries its own before/after comparison.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"templatedep/internal/chase"
+	"templatedep/internal/diagram"
+	"templatedep/internal/reduction"
+	"templatedep/internal/relation"
+	"templatedep/internal/td"
+	"templatedep/internal/words"
+)
+
+type benchResult struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	// TuplesPerSec is the canonical-database tuple throughput of chase
+	// workloads (tuples in the final instance per second of chase time);
+	// zero for workloads that do not run the chase.
+	TuplesPerSec float64 `json:"tuples_per_sec,omitempty"`
+}
+
+type benchReport struct {
+	Generated string        `json:"generated"`
+	GoVersion string        `json:"go_version"`
+	GOOS      string        `json:"goos"`
+	GOARCH    string        `json:"goarch"`
+	Results   []benchResult `json:"results"`
+}
+
+func writeBenchJSON(path string) {
+	// Fail on an unwritable path before spending minutes measuring.
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tdbench: %v\n", err)
+		os.Exit(1)
+	}
+	f.Close()
+
+	rep := benchReport{
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+	}
+
+	record := func(name string, tuples int, fn func(b *testing.B)) {
+		r := testing.Benchmark(fn)
+		br := benchResult{
+			Name:        name,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		}
+		if tuples > 0 && br.NsPerOp > 0 {
+			br.TuplesPerSec = float64(tuples) * 1e9 / br.NsPerOp
+		}
+		rep.Results = append(rep.Results, br)
+		fmt.Printf("%-28s %14.0f ns/op %8d allocs/op\n", name, br.NsPerOp, br.AllocsPerOp)
+	}
+
+	// F1: diagram round trip.
+	record("f1/roundtrip", 0, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			g, d := diagram.Fig1()
+			back, err := g.TD("roundtrip")
+			check(err)
+			if back.Format() != d.Format() {
+				b.Fatal("round trip mismatch")
+			}
+		}
+	})
+
+	// F2: bridge construction for growing word lengths.
+	twostep := reduction.MustBuild(words.TwoStepPresentation())
+	bSym := twostep.Pres.Alphabet.MustSymbol("b")
+	for _, k := range []int{1, 4, 16, 64} {
+		w := make(words.Word, k)
+		for i := range w {
+			w[i] = bSym
+		}
+		record(fmt.Sprintf("f2/bridge_len%d", k), 0, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := twostep.BuildBridge(w); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+
+	// F3: full reduction construction per presentation.
+	for _, tc := range []struct {
+		name string
+		p    *words.Presentation
+	}{
+		{"power", words.PowerPresentation()},
+		{"chain4", words.ChainPresentation(4)},
+		{"nilpotent4", words.NilpotentSafePresentation(4)},
+	} {
+		record("f3/build_"+tc.name, 0, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				reduction.MustBuild(tc.p)
+			}
+		})
+	}
+
+	// Chase implication on the reduction output, both join strategies.
+	for _, tc := range []struct {
+		name string
+		p    *words.Presentation
+	}{
+		{"chain1", words.ChainPresentation(1)},
+		{"chain2", words.ChainPresentation(2)},
+		{"chain3", words.ChainPresentation(3)},
+	} {
+		in := reduction.MustBuild(tc.p)
+		for _, join := range []chase.JoinStrategy{chase.JoinIndex, chase.JoinScan} {
+			opt := chase.Options{MaxRounds: 32, MaxTuples: 200000, SemiNaive: true, Join: join}
+			res, err := chase.Implies(in.D, in.D0, opt)
+			check(err)
+			tuples := res.Instance.Len()
+			record(fmt.Sprintf("chase/implies_%s/%s", tc.name, join), tuples, func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := chase.Implies(in.D, in.D0, opt); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+
+	// Full-TD decision (E6 shape): terminating chase on full dependencies.
+	s := relation.MustSchema("A", "B", "C")
+	joinDep := td.MustParse(s, "R(a, b, c) & R(a, b', c') -> R(a, b, c')", "join")
+	goal := td.MustParse(s, "R(a, b0, c0) & R(a, b1, c1) & R(a, b2, c2) -> R(a, b0, c2)", "goal")
+	for _, js := range []chase.JoinStrategy{chase.JoinIndex, chase.JoinScan} {
+		opt := chase.DefaultOptions()
+		opt.Join = js
+		res, err := chase.Implies([]*td.TD{joinDep}, goal, opt)
+		check(err)
+		tuples := res.Instance.Len()
+		record(fmt.Sprintf("chase/decide_full/%s", js), tuples, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := chase.Implies([]*td.TD{joinDep}, goal, opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+
+	out, err := json.MarshalIndent(rep, "", "  ")
+	check(err)
+	out = append(out, '\n')
+	check(os.WriteFile(path, out, 0o644))
+	fmt.Printf("\nwrote %d results to %s\n", len(rep.Results), path)
+}

@@ -25,7 +25,13 @@ import (
 
 func main() {
 	quick := flag.Bool("quick", false, "skip the slower experiments (E5 TM pipeline sweep)")
+	benchjson := flag.String("benchjson", "", "measure the F1-F3 and chase workloads and write JSON results to this file instead of running the report")
 	flag.Parse()
+
+	if *benchjson != "" {
+		writeBenchJSON(*benchjson)
+		return
+	}
 
 	f1()
 	f2()

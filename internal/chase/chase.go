@@ -28,6 +28,7 @@ package chase
 
 import (
 	"fmt"
+	"strconv"
 	"sync"
 
 	"templatedep/internal/relation"
@@ -55,6 +56,26 @@ func (v Variant) String() string {
 	return "restricted"
 }
 
+// JoinStrategy selects how antecedent homomorphisms are enumerated.
+type JoinStrategy int
+
+const (
+	// JoinIndex (the default) probes the instance's posting lists via
+	// already-bound variables, ordering rows by selectivity
+	// (tableau.EachRangeHomomorphism).
+	JoinIndex JoinStrategy = iota
+	// JoinScan is the naive nested-loop backtracking scan over all candidate
+	// tuples per row, kept as the ablation reference.
+	JoinScan
+)
+
+func (j JoinStrategy) String() string {
+	if j == JoinScan {
+		return "scan"
+	}
+	return "index"
+}
+
 // Options bounds and configures a chase run.
 type Options struct {
 	// MaxRounds caps the number of fair rounds. <= 0 means 64.
@@ -69,10 +90,17 @@ type Options struct {
 	SemiNaive bool
 	// Trace records every fired trigger.
 	Trace bool
-	// Workers > 1 enumerates triggers for different dependencies in
-	// parallel goroutines within each round. Results are merged in
-	// dependency order, so the chase remains deterministic.
+	// Workers > 1 enumerates triggers in parallel goroutines within each
+	// round: across dependencies, and — on semi-naive rounds with the index
+	// join — across contiguous shards of the delta within a single
+	// dependency. The delta row is pinned to the outermost backtracking
+	// level, so concatenating shard results in order reproduces the
+	// sequential enumeration exactly: the chase is deterministic and
+	// bit-identical for every Workers value.
 	Workers int
+	// Join selects index-driven (default) or naive-scan homomorphism
+	// enumeration.
+	Join JoinStrategy
 	// KeepHistory records per-round statistics in Result.History; used by
 	// the experiment harness to plot canonical-database growth.
 	KeepHistory bool
@@ -157,6 +185,9 @@ type Engine struct {
 	schema *relation.Schema
 	deps   []*td.TD
 	opt    Options
+	// widths[i] is the total variable count of deps[i]'s tableau — the flat
+	// row width used by homBuffer.
+	widths []int
 }
 
 // NewEngine validates that all dependencies share the schema.
@@ -167,12 +198,55 @@ func NewEngine(schema *relation.Schema, deps []*td.TD, opt Options) (*Engine, er
 	if opt.MaxTuples <= 0 {
 		opt.MaxTuples = 100000
 	}
+	widths := make([]int, len(deps))
 	for i, d := range deps {
 		if !d.Schema().Equal(schema) {
 			return nil, fmt.Errorf("chase: dependency %d (%s) has a different schema", i, d.Name())
 		}
+		for _, a := range schema.Attrs() {
+			widths[i] += d.Tableau().VarCount(a)
+		}
 	}
-	return &Engine{schema: schema, deps: deps, opt: opt}, nil
+	return &Engine{schema: schema, deps: deps, opt: opt, widths: widths}, nil
+}
+
+// homBuffer accumulates antecedent homomorphisms as flat rows of variable
+// values (column-major concatenation of the Assignment), so the collect
+// phase streams matches without allocating an Assignment clone per
+// homomorphism.
+type homBuffer struct {
+	vals  []relation.Value
+	width int
+	n     int
+}
+
+func (hb *homBuffer) add(as tableau.Assignment) {
+	for _, col := range as {
+		hb.vals = append(hb.vals, col...)
+	}
+	hb.n++
+}
+
+// load copies homomorphism i into the (correctly shaped) scratch
+// assignment.
+func (hb *homBuffer) load(i int, into tableau.Assignment) {
+	off := i * hb.width
+	for a := range into {
+		copy(into[a], hb.vals[off:off+len(into[a])])
+		off += len(into[a])
+	}
+}
+
+// collectTask is one unit of the trigger-enumeration phase: one dependency,
+// with row deltaRow restricted to instance indices [lo, hi). deltaRow < 0
+// means full enumeration over [0, hi). Tasks are independent and
+// read-only on the instance, so workers can run them in any order; results
+// are consumed in task order, which reproduces sequential enumeration.
+type collectTask struct {
+	dep      int
+	deltaRow int
+	lo, hi   int
+	homs     homBuffer
 }
 
 // Chase closes start under the engine's dependencies (start is cloned).
@@ -191,10 +265,15 @@ func (e *Engine) Chase(start *relation.Instance, goal func(*relation.Instance) b
 	// For the oblivious variant: triggers already fired, keyed by
 	// dependency index and the antecedent-variable bindings.
 	firedKeys := make(map[string]bool)
+	var keyBuf []byte
 
 	// Delta tracking for semi-naive evaluation.
 	prevLen := 0 // tuples with index < prevLen existed before last round
 	lastLen := inst.Len()
+
+	// Per-dependency scratch assignments for replaying buffered
+	// homomorphisms, reused across rounds.
+	scratch := make([]tableau.Assignment, len(e.deps))
 
 	for round := 1; round <= e.opt.MaxRounds; round++ {
 		res.Stats.Rounds = round
@@ -204,85 +283,131 @@ func (e *Engine) Chase(start *relation.Instance, goal func(*relation.Instance) b
 		}
 		var adds []pending
 
-		// Phase 1: enumerate antecedent homomorphisms per dependency
-		// (read-only on the instance, so dependencies can run in parallel).
-		collect := func(di int) []tableau.Assignment {
-			d := e.deps[di]
+		// Phase 1: enumerate antecedent homomorphisms (read-only on the
+		// instance). The work is cut into tasks — one per dependency on full
+		// rounds; one per (dependency, delta position, delta shard) on
+		// semi-naive rounds — so Workers > 1 parallelizes both across
+		// dependencies and within a single dependency's delta.
+		useDelta := e.opt.SemiNaive && round > 1
+		deltaLen := lastLen - prevLen
+		var tasks []collectTask
+		for di, d := range e.deps {
 			k := d.NumAntecedents()
-			var homs []tableau.Assignment
+			if !useDelta {
+				tasks = append(tasks, collectTask{dep: di, deltaRow: -1, lo: 0, hi: lastLen})
+				continue
+			}
+			// Delta decomposition: homomorphism position j maps to a tuple
+			// added in the previous round, earlier rows to older tuples,
+			// later rows to anything. Sharding splits the delta window of
+			// row j; with the index join that row is pinned outermost, so
+			// shard concatenation equals the unsharded enumeration.
+			shards := 1
+			if e.opt.Workers > 1 && e.opt.Join == JoinIndex && deltaLen > 1 {
+				shards = e.opt.Workers
+				if shards > deltaLen {
+					shards = deltaLen
+				}
+			}
+			if deltaLen == 0 {
+				continue
+			}
+			for j := 0; j < k; j++ {
+				for s := 0; s < shards; s++ {
+					tasks = append(tasks, collectTask{
+						dep:      di,
+						deltaRow: j,
+						lo:       prevLen + deltaLen*s/shards,
+						hi:       prevLen + deltaLen*(s+1)/shards,
+					})
+				}
+			}
+		}
+		runTask := func(t *collectTask) {
+			d := e.deps[t.dep]
+			k := d.NumAntecedents()
+			t.homs.width = e.widths[t.dep]
 			emit := func(as tableau.Assignment) bool {
-				homs = append(homs, as.Clone())
+				t.homs.add(as)
 				return true
 			}
-			if e.opt.SemiNaive && round > 1 {
-				// Delta decomposition: at least one row maps to a tuple
-				// added in the previous round (index in [prevLen, lastLen)).
-				all := inst.Tuples()[:lastLen]
-				old := inst.Tuples()[:prevLen]
-				delta := inst.Tuples()[prevLen:lastLen]
-				if len(delta) == 0 {
-					return nil
-				}
-				for j := 0; j < k; j++ {
-					cands := make([][]relation.Tuple, k)
-					for i := 0; i < k; i++ {
-						switch {
-						case i < j:
-							cands[i] = old
-						case i == j:
-							cands[i] = delta
-						default:
-							cands[i] = all
-						}
+			if e.opt.Join == JoinScan {
+				cands := make([][]relation.Tuple, k)
+				for i := 0; i < k; i++ {
+					switch {
+					case t.deltaRow < 0 || i > t.deltaRow:
+						cands[i] = inst.Tuples()[:lastLen]
+					case i < t.deltaRow:
+						cands[i] = inst.Tuples()[:prevLen]
+					default:
+						cands[i] = inst.Tuples()[t.lo:t.hi]
 					}
-					d.Tableau().EachCandidateHomomorphism(cands, nil, emit)
 				}
-			} else {
-				d.Tableau().EachPrefixHomomorphism(inst, nil, k, emit)
+				d.Tableau().EachCandidateHomomorphism(cands, nil, emit)
+				return
 			}
-			return homs
+			ranges := make([]tableau.Range, k)
+			for i := 0; i < k; i++ {
+				switch {
+				case t.deltaRow < 0 || i > t.deltaRow:
+					ranges[i] = tableau.Range{Lo: 0, Hi: lastLen}
+				case i < t.deltaRow:
+					ranges[i] = tableau.Range{Lo: 0, Hi: prevLen}
+				default:
+					ranges[i] = tableau.Range{Lo: t.lo, Hi: t.hi}
+				}
+			}
+			d.Tableau().EachRangeHomomorphism(inst, ranges, t.deltaRow, nil, emit)
 		}
-		homsByDep := make([][]tableau.Assignment, len(e.deps))
-		if e.opt.Workers > 1 && len(e.deps) > 1 {
+		if e.opt.Workers > 1 && len(tasks) > 1 {
 			var wg sync.WaitGroup
 			next := make(chan int)
 			for w := 0; w < e.opt.Workers; w++ {
 				wg.Add(1)
 				go func() {
 					defer wg.Done()
-					for di := range next {
-						homsByDep[di] = collect(di)
+					for ti := range next {
+						runTask(&tasks[ti])
 					}
 				}()
 			}
-			for di := range e.deps {
-				next <- di
+			for ti := range tasks {
+				next <- ti
 			}
 			close(next)
 			wg.Wait()
 		} else {
-			for di := range e.deps {
-				homsByDep[di] = collect(di)
+			for ti := range tasks {
+				runTask(&tasks[ti])
 			}
 		}
 
-		// Phase 2: sequential, deterministic merge — trigger checks against
-		// the round-start snapshot, then materialization.
-		for di, homs := range homsByDep {
-			d := e.deps[di]
-			for _, as := range homs {
+		// Phase 2: sequential, deterministic merge in task order — trigger
+		// checks against the round-start snapshot, then materialization.
+		for ti := range tasks {
+			t := &tasks[ti]
+			if t.homs.n == 0 {
+				continue
+			}
+			d := e.deps[t.dep]
+			if scratch[t.dep] == nil {
+				scratch[t.dep] = tableau.NewAssignment(d.Tableau())
+			}
+			as := scratch[t.dep]
+			for i := 0; i < t.homs.n; i++ {
+				t.homs.load(i, as)
 				res.Stats.HomomorphismsSeen++
 				if e.opt.Variant == Oblivious {
-					key := triggerKey(di, d, as)
-					if firedKeys[key] {
+					keyBuf = appendTriggerKey(keyBuf[:0], t.dep, as)
+					if firedKeys[string(keyBuf)] {
 						continue
 					}
-					firedKeys[key] = true
+					firedKeys[string(keyBuf)] = true
 				} else if tableau.RowSatisfiable(d.Conclusion(), as, inst) {
 					continue
 				}
 				res.Stats.TriggersMatched++
-				adds = append(adds, pending{dep: di, tup: conclusionTuple(d, as, inst)})
+				adds = append(adds, pending{dep: t.dep, tup: conclusionTuple(d, as, inst)})
 			}
 		}
 
@@ -346,18 +471,23 @@ func conclusionTuple(d *td.TD, as tableau.Assignment, inst *relation.Instance) r
 	return tup
 }
 
-// triggerKey canonicalizes a trigger for oblivious deduplication: the
-// dependency index plus the values of every bound variable.
-func triggerKey(di int, d *td.TD, as tableau.Assignment) string {
-	key := fmt.Sprintf("%d:", di)
+// appendTriggerKey canonicalizes a trigger for oblivious deduplication by
+// encoding the dependency index and every variable value (Unbound included,
+// so the encoding is positional and unambiguous) into buf. The caller
+// reuses the buffer; map lookups via string(buf) do not allocate, and the
+// string is materialized only when a new key is inserted — unlike the old
+// per-variable fmt.Sprintf concatenation, which was quadratic in the key
+// length.
+func appendTriggerKey(buf []byte, di int, as tableau.Assignment) []byte {
+	buf = strconv.AppendInt(buf, int64(di), 10)
 	for a := range as {
-		for v, val := range as[a] {
-			if val != tableau.Unbound {
-				key += fmt.Sprintf("%d.%d=%d;", a, v, int(val))
-			}
+		buf = append(buf, '|')
+		for _, val := range as[a] {
+			buf = strconv.AppendInt(buf, int64(val), 10)
+			buf = append(buf, ',')
 		}
 	}
-	return key
+	return buf
 }
 
 // Implies checks whether the engine's dependency set logically implies d0,

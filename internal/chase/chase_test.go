@@ -322,6 +322,109 @@ mirror: R(a, b, c) & R(a', b, c') -> R(a, b, c')
 	}
 }
 
+// Workers > 1 partitions the semi-naive delta within a single dependency.
+// Because the delta row is pinned to the outermost join level, the chase
+// must be bit-identical for every worker count: same tuples in the same
+// order (hence identical fresh-null numbering) and identical traces, even
+// with embedded dependencies inventing nulls. Run under -race this also
+// exercises the worker pool for data races.
+func TestIntraDependencyPartitioning(t *testing.T) {
+	s := threeCol()
+	deps, err := td.ParseSet(s, `
+join:   R(a, b, c) & R(a, b', c') -> R(a, b, c')
+invent: R(a, b, c) & R(a', b, c') -> R(a*, b, c')
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := relation.NewInstance(s)
+	for i := 0; i < 12; i++ {
+		start.MustAdd(relation.Tuple{relation.Value(i % 3), relation.Value(i % 4), relation.Value(i)})
+	}
+	run := func(workers int) Result {
+		e, err := NewEngine(s, deps, Options{
+			MaxRounds: 4, MaxTuples: 4000, SemiNaive: true, Workers: workers, Trace: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e.Chase(start, nil)
+	}
+	ref := run(1)
+	for _, workers := range []int{2, 4, 7} {
+		got := run(workers)
+		if got.Instance.Len() != ref.Instance.Len() {
+			t.Fatalf("workers=%d: %d tuples, want %d", workers, got.Instance.Len(), ref.Instance.Len())
+		}
+		// Same tuples in the same insertion order: fresh-null numbering and
+		// all statistics must match the sequential run exactly.
+		for i, tup := range ref.Instance.Tuples() {
+			if !tup.Equal(got.Instance.Tuple(i)) {
+				t.Fatalf("workers=%d: tuple %d is %v, want %v", workers, i, got.Instance.Tuple(i), tup)
+			}
+		}
+		if got.Stats != ref.Stats {
+			t.Errorf("workers=%d: stats %+v, want %+v", workers, got.Stats, ref.Stats)
+		}
+		if len(got.Trace) != len(ref.Trace) {
+			t.Fatalf("workers=%d: trace length %d, want %d", workers, len(got.Trace), len(ref.Trace))
+		}
+		for i := range ref.Trace {
+			if got.Trace[i].Dep != ref.Trace[i].Dep || got.Trace[i].Round != ref.Trace[i].Round ||
+				!got.Trace[i].Tuple.Equal(ref.Trace[i].Tuple) || got.Trace[i].Added != ref.Trace[i].Added {
+				t.Fatalf("workers=%d: trace[%d] = %+v, want %+v", workers, i, got.Trace[i], ref.Trace[i])
+			}
+		}
+	}
+}
+
+// The index-driven join and the naive scan must produce identical verdicts
+// and identical final statistics on implication checks; for full
+// dependencies (no invented nulls) the fixpoints must be equal tuple sets.
+func TestJoinStrategiesAgree(t *testing.T) {
+	s := threeCol()
+	join := td.MustParse(s, "R(a, b, c) & R(a, b', c') -> R(a, b, c')", "join")
+	goal := td.MustParse(s, "R(a, b, c) & R(a, b', c') & R(a, b'', c'') -> R(a, b, c'')", "goal")
+	emb := td.MustParse(s, "R(a, b, c) & R(a', b', c') -> R(a*, b, c')", "cross")
+	for _, tc := range []struct {
+		name string
+		deps []*td.TD
+		goal *td.TD
+	}{
+		{"full-implied", []*td.TD{join}, goal},
+		{"full-not-implied", []*td.TD{join}, emb},
+		{"embedded", []*td.TD{emb}, goal},
+	} {
+		for _, semiNaive := range []bool{false, true} {
+			opt := DefaultOptions()
+			opt.SemiNaive = semiNaive
+			opt.Join = JoinIndex
+			ri, err := Implies(tc.deps, tc.goal, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			opt.Join = JoinScan
+			rs, err := Implies(tc.deps, tc.goal, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ri.Verdict != rs.Verdict {
+				t.Errorf("%s (semiNaive=%v): index %v, scan %v", tc.name, semiNaive, ri.Verdict, rs.Verdict)
+			}
+			if ri.Stats.HomomorphismsSeen != rs.Stats.HomomorphismsSeen ||
+				ri.Stats.TriggersFired != rs.Stats.TriggersFired {
+				t.Errorf("%s (semiNaive=%v): stats %+v vs %+v", tc.name, semiNaive, ri.Stats, rs.Stats)
+			}
+			if ri.Instance.Len() != rs.Instance.Len() {
+				t.Errorf("%s (semiNaive=%v): %d vs %d tuples", tc.name, semiNaive, ri.Instance.Len(), rs.Instance.Len())
+			}
+			if !relation.Isomorphic(ri.Instance, rs.Instance) {
+				t.Errorf("%s (semiNaive=%v): fixpoints not isomorphic", tc.name, semiNaive)
+			}
+		}
+	}
+}
+
 func TestNewEngineSchemaMismatch(t *testing.T) {
 	s := threeCol()
 	other := relation.MustSchema("X", "Y")

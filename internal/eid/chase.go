@@ -78,24 +78,33 @@ func Chase(deps []*EID, start *relation.Instance, goal func(*relation.Instance) 
 		res.Verdict = Implied
 		return res, nil
 	}
+	// Scratch for materializing conclusion atoms, reused across triggers
+	// instead of cloning the assignment per fired trigger.
+	bound := make([]tableau.Assignment, len(deps))
+	for i, d := range deps {
+		bound[i] = tableau.NewAssignment(d.tab)
+	}
 	for round := 1; round <= opt.MaxRounds; round++ {
 		res.Rounds = round
 		var adds []relation.Tuple
-		for _, d := range deps {
+		for di, d := range deps {
 			d.tab.EachPrefixHomomorphism(inst, nil, d.numAnte, func(as tableau.Assignment) bool {
 				if d.tab.HasHomomorphism(inst, as) {
 					return true // conclusion already jointly witnessed
 				}
 				// Materialize all conclusion atoms with shared fresh values.
-				bound := as.Clone()
+				b := bound[di]
+				for a := range as {
+					copy(b[a], as[a])
+				}
 				for ci := 0; ci < d.NumConclusions(); ci++ {
 					row := d.Conclusion(ci)
 					tup := make(relation.Tuple, len(row))
 					for a, v := range row {
-						if bound[a][v] == tableau.Unbound {
-							bound[a][v] = inst.FreshValue(relation.Attr(a))
+						if b[a][v] == tableau.Unbound {
+							b[a][v] = inst.FreshValue(relation.Attr(a))
 						}
-						tup[a] = bound[a][v]
+						tup[a] = b[a][v]
 					}
 					adds = append(adds, tup)
 				}

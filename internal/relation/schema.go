@@ -9,6 +9,7 @@ package relation
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -138,16 +139,26 @@ func (t Tuple) Equal(u Tuple) bool {
 	return true
 }
 
-// key encodes the tuple for map deduplication.
-func (t Tuple) key() string {
-	var b strings.Builder
-	for i, v := range t {
-		if i > 0 {
-			b.WriteByte(',')
+// less orders equal-width tuples lexicographically.
+func (t Tuple) less(u Tuple) bool {
+	for i := range t {
+		if t[i] != u[i] {
+			return t[i] < u[i]
 		}
-		fmt.Fprintf(&b, "%d", int(v))
 	}
-	return b.String()
+	return false
+}
+
+// hash folds the tuple into a 64-bit FNV-1a-style digest for map
+// deduplication. Collisions are possible and harmless: the hash index maps
+// digests to candidate row indices, and lookups verify with Equal.
+func (t Tuple) hash() uint64 {
+	h := uint64(1469598103934665603)
+	for _, v := range t {
+		h ^= uint64(v)
+		h *= 1099511628211
+	}
+	return h
 }
 
 // Instance is a finite instance of the single relation R: a set of tuples.
@@ -155,13 +166,17 @@ func (t Tuple) key() string {
 type Instance struct {
 	schema *Schema
 	rows   []Tuple
-	keys   map[string]int // tuple key -> index in rows
+	// index maps a tuple hash to the indices of rows with that hash; the
+	// chain is scanned with Equal, so hash collisions only cost an extra
+	// comparison. This replaces the old fmt.Fprintf string-key dedup, which
+	// allocated a string per membership test.
+	index map[uint64][]int
 	// nextVal tracks, per attribute, the next unused value, for fresh-value
 	// allocation during chase steps and model construction.
 	nextVal []Value
 	// postings[a][v] lists the indices of tuples with value v in attribute
-	// a — the inverted index behind Matching, which the chase uses for
-	// subsumption checks.
+	// a, in ascending order — the inverted index behind Matching, which the
+	// chase's join and subsumption checks probe.
 	postings []map[Value][]int
 }
 
@@ -173,10 +188,21 @@ func NewInstance(s *Schema) *Instance {
 	}
 	return &Instance{
 		schema:   s,
-		keys:     make(map[string]int),
+		index:    make(map[uint64][]int),
 		nextVal:  make([]Value, s.Width()),
 		postings: postings,
 	}
+}
+
+// find returns the row index holding a tuple equal to t, verifying hash
+// matches with Equal.
+func (in *Instance) find(t Tuple, h uint64) (int, bool) {
+	for _, i := range in.index[h] {
+		if in.rows[i].Equal(t) {
+			return i, true
+		}
+	}
+	return 0, false
 }
 
 // Schema returns the instance's schema.
@@ -199,13 +225,13 @@ func (in *Instance) Add(t Tuple) (int, bool, error) {
 			in.nextVal[a] = v + 1
 		}
 	}
-	k := t.key()
-	if i, ok := in.keys[k]; ok {
+	h := t.hash()
+	if i, ok := in.find(t, h); ok {
 		return i, false, nil
 	}
 	i := len(in.rows)
 	in.rows = append(in.rows, t.Clone())
-	in.keys[k] = i
+	in.index[h] = append(in.index[h], i)
 	for a, v := range t {
 		in.postings[a][v] = append(in.postings[a][v], i)
 	}
@@ -232,7 +258,7 @@ func (in *Instance) Contains(t Tuple) bool {
 	if len(t) != in.schema.Width() {
 		return false
 	}
-	_, ok := in.keys[t.key()]
+	_, ok := in.find(t, t.hash())
 	return ok
 }
 
@@ -257,8 +283,8 @@ func (in *Instance) Clone() *Instance {
 	for i, r := range in.rows {
 		out.rows[i] = r.Clone()
 	}
-	for k, v := range in.keys {
-		out.keys[k] = v
+	for h, list := range in.index {
+		out.index[h] = append([]int(nil), list...)
 	}
 	copy(out.nextVal, in.nextVal)
 	for a := range in.postings {
@@ -279,24 +305,29 @@ func (in *Instance) ActiveDomainSize(a Attr) int {
 	return len(seen)
 }
 
-// String renders the instance as a table, sorted for determinism.
+// String renders the instance as a table, sorted lexicographically (by
+// value, per column) for determinism.
 func (in *Instance) String() string {
 	var b strings.Builder
 	b.WriteString(in.schema.String())
 	b.WriteByte('\n')
-	keys := make([]string, 0, len(in.rows))
-	for k := range in.keys {
-		keys = append(keys, k)
+	order := make([]int, len(in.rows))
+	for i := range order {
+		order[i] = i
 	}
-	sort.Strings(keys)
-	for _, k := range keys {
-		r := in.rows[in.keys[k]]
+	sort.Slice(order, func(i, j int) bool {
+		return in.rows[order[i]].less(in.rows[order[j]])
+	})
+	num := make([]byte, 0, 20)
+	for _, ri := range order {
 		b.WriteString("  (")
-		for i, v := range r {
+		for i, v := range in.rows[ri] {
 			if i > 0 {
 				b.WriteString(", ")
 			}
-			fmt.Fprintf(&b, "%s%d", in.schema.Name(Attr(i)), int(v))
+			b.WriteString(in.schema.Name(Attr(i)))
+			num = strconv.AppendInt(num[:0], int64(v), 10)
+			b.Write(num)
 		}
 		b.WriteString(")\n")
 	}

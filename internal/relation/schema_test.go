@@ -1,6 +1,8 @@
 package relation
 
 import (
+	"fmt"
+	"math/rand"
 	"strings"
 	"testing"
 )
@@ -150,6 +152,66 @@ func TestActiveDomainSizeAndString(t *testing.T) {
 	str := in.String()
 	if !strings.Contains(str, "R(A, B)") || !strings.Contains(str, "A1") {
 		t.Errorf("String = %q", str)
+	}
+}
+
+// The hash-indexed dedup must behave exactly like a set keyed on tuple
+// contents: Add reports new/duplicate correctly and returns the original
+// index for duplicates, Contains agrees, and posting lists stay consistent
+// — checked against a string-keyed reference model over a value domain
+// small enough to force heavy bucket sharing.
+func TestHashDedupMatchesReferenceModel(t *testing.T) {
+	s := MustSchema("A", "B", "C")
+	in := NewInstance(s)
+	ref := make(map[string]int)
+	rng := rand.New(rand.NewSource(53))
+	for step := 0; step < 5000; step++ {
+		tup := Tuple{Value(rng.Intn(6)), Value(rng.Intn(6)), Value(rng.Intn(6))}
+		key := fmt.Sprint(tup)
+		wantIdx, dup := ref[key]
+		if rng.Intn(4) == 0 {
+			if got := in.Contains(tup); got != dup {
+				t.Fatalf("step %d: Contains(%v) = %v, want %v", step, tup, got, dup)
+			}
+			continue
+		}
+		idx, added, err := in.Add(tup)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if added == dup {
+			t.Fatalf("step %d: Add(%v) added=%v, but reference dup=%v", step, tup, added, dup)
+		}
+		if dup && idx != wantIdx {
+			t.Fatalf("step %d: duplicate %v got index %d, want %d", step, tup, idx, wantIdx)
+		}
+		if !dup {
+			ref[key] = idx
+		}
+	}
+	if in.Len() != len(ref) {
+		t.Fatalf("instance has %d tuples, reference %d", in.Len(), len(ref))
+	}
+	// Posting lists partition the rows per attribute.
+	for a := 0; a < s.Width(); a++ {
+		total := 0
+		for v := Value(0); v < 6; v++ {
+			list := in.Matching(Attr(a), v)
+			for k := 1; k < len(list); k++ {
+				if list[k] <= list[k-1] {
+					t.Fatalf("posting list %d/%d not ascending: %v", a, v, list)
+				}
+			}
+			for _, i := range list {
+				if in.Tuple(i)[a] != v {
+					t.Fatalf("posting list %d/%d lists row %d = %v", a, v, i, in.Tuple(i))
+				}
+			}
+			total += len(list)
+		}
+		if total != in.Len() {
+			t.Fatalf("attribute %d posting lists cover %d rows, want %d", a, total, in.Len())
+		}
 	}
 }
 

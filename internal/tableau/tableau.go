@@ -11,7 +11,9 @@ package tableau
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
+	"sync"
 
 	"templatedep/internal/relation"
 )
@@ -51,6 +53,9 @@ type Tableau struct {
 	rows   []VarTuple
 	// varCount[a] is the number of distinct variables in column a.
 	varCount []int
+	// joinPool recycles index-join scratch state (see join.go). A Tableau
+	// is immutable after New, so sharing the pool across goroutines is safe.
+	joinPool sync.Pool
 }
 
 // New builds a tableau from rows, renumbering variables densely per column.
@@ -117,7 +122,8 @@ func (t *Tableau) String() string {
 			if a > 0 {
 				b.WriteString(", ")
 			}
-			fmt.Fprintf(&b, "%s%d", strings.ToLower(t.schema.Name(relation.Attr(a))), int(v))
+			b.WriteString(strings.ToLower(t.schema.Name(relation.Attr(a))))
+			b.WriteString(strconv.Itoa(int(v)))
 		}
 		b.WriteString(")\n")
 	}
@@ -209,8 +215,19 @@ func (t *Tableau) EachHomomorphism(inst *relation.Instance, seed Assignment, yie
 // rows of t into inst. Variables occurring only in later rows stay unbound
 // in the yielded assignment. This is how a TD (whose conclusion is the last
 // row of its combined tableau) matches its antecedents while leaving
-// conclusion-only variables existential.
+// conclusion-only variables existential. It runs the index-driven join of
+// join.go; EachPrefixHomomorphismScan is the naive-scan ablation reference.
 func (t *Tableau) EachPrefixHomomorphism(inst *relation.Instance, seed Assignment, rowLimit int, yield func(Assignment) bool) {
+	if rowLimit < 0 || rowLimit > len(t.rows) {
+		rowLimit = len(t.rows)
+	}
+	t.EachRangeHomomorphism(inst, FullRanges(inst, rowLimit), -1, seed, yield)
+}
+
+// EachPrefixHomomorphismScan is EachPrefixHomomorphism via the naive
+// nested-loop scan, kept as the ablation reference (mirroring the
+// RowSatisfiable/RowSatisfiableScan pair).
+func (t *Tableau) EachPrefixHomomorphismScan(inst *relation.Instance, seed Assignment, rowLimit int, yield func(Assignment) bool) {
 	if rowLimit < 0 || rowLimit > len(t.rows) {
 		rowLimit = len(t.rows)
 	}
@@ -223,9 +240,11 @@ func (t *Tableau) EachPrefixHomomorphism(inst *relation.Instance, seed Assignmen
 
 // EachCandidateHomomorphism enumerates homomorphisms of the first
 // len(candidates) rows, where row i may only map to a tuple in
-// candidates[i]. This is the primitive behind the semi-naive chase: by
-// restricting one row to the newest tuples, only genuinely new triggers are
-// enumerated.
+// candidates[i], by scanning every candidate at every backtracking level.
+// It remains the general API for candidate sets that are not index windows
+// of an instance and the ablation reference for the index-driven join
+// (EachRangeHomomorphism), which the chase and all default entry points use
+// instead.
 func (t *Tableau) EachCandidateHomomorphism(candidates [][]relation.Tuple, seed Assignment, yield func(Assignment) bool) {
 	rowLimit := len(candidates)
 	if rowLimit > len(t.rows) {

@@ -17,6 +17,7 @@ package td
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 
 	"templatedep/internal/relation"
@@ -195,7 +196,8 @@ func (d *TD) Format() string {
 			if a > 0 {
 				b.WriteString(", ")
 			}
-			fmt.Fprintf(&b, "%s%d", varPrefix(s.Name(relation.Attr(a))), int(v))
+			b.WriteString(varPrefix(s.Name(relation.Attr(a))))
+			b.WriteString(strconv.Itoa(int(v)))
 		}
 		b.WriteString(")")
 		return b.String()
