@@ -1,11 +1,32 @@
 #!/usr/bin/env bash
-# Repo CI gate: build, vet, and the full test suite under the race
-# detector. The chase worker-pool tests (TestIntraDependencyPartitioning,
-# TestParallelWorkers) exercise intra-dependency delta partitioning with
-# Workers > 1, so -race covers the concurrent join paths.
+# Repo CI gate: formatting, build, vet, docs freshness, and the full test
+# suite under the race detector. The chase worker-pool tests
+# (TestIntraDependencyPartitioning, TestParallelWorkers) exercise
+# intra-dependency delta partitioning with Workers > 1, so -race covers the
+# concurrent join paths.
 set -euo pipefail
 cd "$(dirname "$0")"
 
+unformatted=$(gofmt -l .)
+if [[ -n "$unformatted" ]]; then
+    echo "gofmt: the following files need formatting:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
 go build ./...
 go vet ./...
+
+# Docs freshness: every exported event type in internal/obs must be
+# documented in docs/OBSERVABILITY.md (both the Go constant and its wire
+# name), so the schema contract cannot silently drift from the code.
+while read -r const wire; do
+    for token in "$const" "$wire"; do
+        if ! grep -q -- "$token" docs/OBSERVABILITY.md; then
+            echo "docs/OBSERVABILITY.md: event type $token (from internal/obs/obs.go) is undocumented" >&2
+            exit 1
+        fi
+    done
+done < <(sed -n 's/^\t\(Ev[A-Za-z0-9]*\) EventType = "\([a-z_]*\)"$/\1 \2/p' internal/obs/obs.go)
+
 go test -race ./...

@@ -1,11 +1,14 @@
 package templatedep_test
 
 import (
+	"bytes"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"templatedep/internal/obs"
 )
 
 // TestCLI builds every command and drives it end to end: the acceptance
@@ -42,12 +45,35 @@ func TestCLI(t *testing.T) {
 			"-schema", "SUPPLIER,STYLE,SIZE",
 			"-dep", "R(a,b,c) & R(a,b',c') -> R(a*,b,c')",
 			"-goal", "R(a,b,c) & R(a,b',c') -> R(a*,b,c')",
-			"-trace")
+			"-proof")
 		if !strings.Contains(out, "verdict: implied") {
 			t.Errorf("output:\n%s", out)
 		}
 		if !strings.Contains(out, "proof trace") {
 			t.Errorf("missing trace:\n%s", out)
+		}
+	})
+
+	t.Run("tdinfer-trace", func(t *testing.T) {
+		trace := filepath.Join(t.TempDir(), "events.jsonl")
+		out := run("tdinfer", 0,
+			"-schema", "SUPPLIER,STYLE,SIZE",
+			"-dep", "R(a,b,c) & R(a,b',c') -> R(a*,b,c')",
+			"-goal", "R(a,b,c) & R(a,b',c') -> R(a*,b,c')",
+			"-trace", trace, "-depstats", "-progress")
+		if !strings.Contains(out, "per-dependency chase work:") {
+			t.Errorf("missing depstats table:\n%s", out)
+		}
+		data, err := os.ReadFile(trace)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tot, err := obs.Replay(bytes.NewReader(data))
+		if err != nil {
+			t.Fatalf("trace does not replay: %v\n%s", err, data)
+		}
+		if tot.Rounds == 0 || tot.Verdicts["chase"] != "implied" || tot.Verdicts["core"] != "implied" {
+			t.Errorf("replay totals %+v from trace:\n%s", tot, data)
 		}
 	})
 
@@ -80,6 +106,24 @@ func TestCLI(t *testing.T) {
 		out = run("sgword", 0, "model", "-preset", "power")
 		if !strings.Contains(out, "model-found") {
 			t.Errorf("output:\n%s", out)
+		}
+	})
+
+	t.Run("sgword-deepen", func(t *testing.T) {
+		// The gap preset sits in neither of the Main Theorem's sets, so
+		// deepening must report unknown honestly within the deadline
+		// instead of grinding a single huge budget.
+		out := run("sgword", 0, "analyze", "-preset", "gap", "-deepen", "250ms", "-progress")
+		if !strings.Contains(out, "verdict: unknown") {
+			t.Errorf("output:\n%s", out)
+		}
+		if !strings.Contains(out, "deepening:") {
+			t.Errorf("missing deepening round count:\n%s", out)
+		}
+		// -progress writes the live line to stderr; CombinedOutput captures
+		// it, so the deepen counter must appear somewhere.
+		if !strings.Contains(out, "deepen ") {
+			t.Errorf("missing progress line:\n%s", out)
 		}
 	})
 

@@ -11,14 +11,23 @@
 // Each certificate is printed: a derivation chain for "derive", a confluent
 // rule system for "complete", a multiplication table plus symbol assignment
 // for "model", and the corresponding TD-level artifacts for "analyze".
+//
+// analyze additionally takes -progress (live one-line status on stderr —
+// useful on slow instances like -preset gap), -trace FILE (the structured
+// JSONL event stream of the whole run), and -deepen DURATION, which
+// switches to iterative deepening: budgets double each round until a verdict
+// or the wall-clock deadline. See docs/OBSERVABILITY.md for the event and
+// trace schema.
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"os"
 
 	"templatedep/internal/core"
+	"templatedep/internal/obs"
 	"templatedep/internal/rewrite"
 	"templatedep/internal/search"
 	"templatedep/internal/words"
@@ -41,6 +50,9 @@ func main() {
 	quotient := fs.Int("quotient", 0, "model: try nilpotent quotients up to this class before the table search (0 = off)")
 	cert := fs.Bool("cert", false, "derive: emit a machine-checkable certificate instead of the pretty chain")
 	checkCert := fs.String("check-cert", "", "derive: validate a certificate file against the presentation and exit")
+	progress := fs.Bool("progress", false, "analyze: live progress line on stderr")
+	deepen := fs.Duration("deepen", 0, "analyze: iterative deepening with this wall-clock deadline (0 = single budgeted run)")
+	traceFile := fs.String("trace", "", "analyze: write the structured event stream to FILE as JSONL (see docs/OBSERVABILITY.md)")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		fatal(err)
 	}
@@ -119,9 +131,54 @@ func main() {
 		budget := core.DefaultBudget()
 		budget.Closure = words.ClosureOptions{MaxWords: *maxWords, MaxLength: *maxLen}
 		budget.ModelSearch = search.Options{MaxOrder: *maxOrder, MaxNodes: *maxNodes, QuotientClasses: *quotient}
-		res, err := core.AnalyzePresentation(p, budget)
-		if err != nil {
-			fatal(err)
+		var sinks []obs.Sink
+		if *traceFile != "" {
+			f, err := os.Create(*traceFile)
+			if err != nil {
+				fatal(err)
+			}
+			w := bufio.NewWriter(f)
+			jl := obs.NewJSONLSink(w)
+			defer func() {
+				if err := jl.Err(); err != nil {
+					fatal(err)
+				}
+				if err := w.Flush(); err != nil {
+					fatal(err)
+				}
+				if err := f.Close(); err != nil {
+					fatal(err)
+				}
+			}()
+			sinks = append(sinks, jl)
+		}
+		if *progress {
+			prog := obs.NewProgressSink(os.Stderr)
+			defer prog.Close()
+			sinks = append(sinks, prog)
+		}
+		budget.Sink = obs.Multi(sinks...)
+		var res *core.PresentationResult
+		var err error
+		if *deepen > 0 {
+			// Deepening starts from the front-end's own small budgets and
+			// doubles them each round, so slow instances (e.g. the gap
+			// preset) report honestly within the deadline instead of
+			// grinding one huge budget.
+			opt := core.DeepeningOptions{Deadline: *deepen}
+			opt.Initial.Sink = budget.Sink
+			opt.Initial.ModelSearch.QuotientClasses = *quotient
+			var rounds int
+			res, rounds, err = core.AnalyzePresentationDeepening(p, opt)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("deepening: %d rounds within %s\n", rounds, *deepen)
+		} else {
+			res, err = core.AnalyzePresentation(p, budget)
+			if err != nil {
+				fatal(err)
+			}
 		}
 		fmt.Printf("verdict: %s\n", res.Verdict)
 		fmt.Printf("reduction: schema width %d, |D| = %d, max antecedents %d\n",

@@ -17,6 +17,7 @@ import (
 
 	"templatedep/internal/chase"
 	"templatedep/internal/diagram"
+	"templatedep/internal/obs"
 	"templatedep/internal/reduction"
 	"templatedep/internal/relation"
 	"templatedep/internal/td"
@@ -32,6 +33,10 @@ type benchResult struct {
 	// workloads (tuples in the final instance per second of chase time);
 	// zero for workloads that do not run the chase.
 	TuplesPerSec float64 `json:"tuples_per_sec,omitempty"`
+	// Counters is the observability counter snapshot of one un-timed run of
+	// the workload (-metrics; chase workloads only). The timed loop always
+	// runs sink-free, so counters never perturb ns_per_op.
+	Counters map[string]int64 `json:"counters,omitempty"`
 }
 
 type benchReport struct {
@@ -42,7 +47,7 @@ type benchReport struct {
 	Results   []benchResult `json:"results"`
 }
 
-func writeBenchJSON(path string) {
+func writeBenchJSON(path string, metrics bool) {
 	// Fail on an unwritable path before spending minutes measuring.
 	f, err := os.Create(path)
 	if err != nil {
@@ -58,13 +63,14 @@ func writeBenchJSON(path string) {
 		GOARCH:    runtime.GOARCH,
 	}
 
-	record := func(name string, tuples int, fn func(b *testing.B)) {
+	record := func(name string, tuples int, counters map[string]int64, fn func(b *testing.B)) {
 		r := testing.Benchmark(fn)
 		br := benchResult{
 			Name:        name,
 			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
 			AllocsPerOp: r.AllocsPerOp(),
 			BytesPerOp:  r.AllocedBytesPerOp(),
+			Counters:    counters,
 		}
 		if tuples > 0 && br.NsPerOp > 0 {
 			br.TuplesPerSec = float64(tuples) * 1e9 / br.NsPerOp
@@ -73,8 +79,23 @@ func writeBenchJSON(path string) {
 		fmt.Printf("%-28s %14.0f ns/op %8d allocs/op\n", name, br.NsPerOp, br.AllocsPerOp)
 	}
 
+	// chaseCounters runs the workload once with a counter sink and returns
+	// the snapshot (nil unless -metrics). The benchmarked options never
+	// carry the sink.
+	chaseCounters := func(deps []*td.TD, goal *td.TD, opt chase.Options) map[string]int64 {
+		if !metrics {
+			return nil
+		}
+		ctrs := obs.NewCounters()
+		opt.Sink = obs.NewCounterSink(ctrs)
+		if _, err := chase.Implies(deps, goal, opt); err != nil {
+			check(err)
+		}
+		return ctrs.Snapshot()
+	}
+
 	// F1: diagram round trip.
-	record("f1/roundtrip", 0, func(b *testing.B) {
+	record("f1/roundtrip", 0, nil, func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			g, d := diagram.Fig1()
@@ -94,7 +115,7 @@ func writeBenchJSON(path string) {
 		for i := range w {
 			w[i] = bSym
 		}
-		record(fmt.Sprintf("f2/bridge_len%d", k), 0, func(b *testing.B) {
+		record(fmt.Sprintf("f2/bridge_len%d", k), 0, nil, func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := twostep.BuildBridge(w); err != nil {
@@ -113,7 +134,7 @@ func writeBenchJSON(path string) {
 		{"chain4", words.ChainPresentation(4)},
 		{"nilpotent4", words.NilpotentSafePresentation(4)},
 	} {
-		record("f3/build_"+tc.name, 0, func(b *testing.B) {
+		record("f3/build_"+tc.name, 0, nil, func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				reduction.MustBuild(tc.p)
@@ -136,7 +157,7 @@ func writeBenchJSON(path string) {
 			res, err := chase.Implies(in.D, in.D0, opt)
 			check(err)
 			tuples := res.Instance.Len()
-			record(fmt.Sprintf("chase/implies_%s/%s", tc.name, join), tuples, func(b *testing.B) {
+			record(fmt.Sprintf("chase/implies_%s/%s", tc.name, join), tuples, chaseCounters(in.D, in.D0, opt), func(b *testing.B) {
 				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
 					if _, err := chase.Implies(in.D, in.D0, opt); err != nil {
@@ -157,7 +178,7 @@ func writeBenchJSON(path string) {
 		res, err := chase.Implies([]*td.TD{joinDep}, goal, opt)
 		check(err)
 		tuples := res.Instance.Len()
-		record(fmt.Sprintf("chase/decide_full/%s", js), tuples, func(b *testing.B) {
+		record(fmt.Sprintf("chase/decide_full/%s", js), tuples, chaseCounters([]*td.TD{joinDep}, goal, opt), func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := chase.Implies([]*td.TD{joinDep}, goal, opt); err != nil {

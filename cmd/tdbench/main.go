@@ -7,6 +7,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"os"
 	"time"
 
 	"templatedep/internal/chase"
@@ -26,10 +27,15 @@ import (
 func main() {
 	quick := flag.Bool("quick", false, "skip the slower experiments (E5 TM pipeline sweep)")
 	benchjson := flag.String("benchjson", "", "measure the F1-F3 and chase workloads and write JSON results to this file instead of running the report")
+	metrics := flag.Bool("metrics", false, "with -benchjson: fold an observability counter snapshot of each chase workload into the JSON (see docs/OBSERVABILITY.md)")
 	flag.Parse()
 
+	if *metrics && *benchjson == "" {
+		fmt.Fprintln(os.Stderr, "tdbench: -metrics requires -benchjson")
+		os.Exit(2)
+	}
 	if *benchjson != "" {
-		writeBenchJSON(*benchjson)
+		writeBenchJSON(*benchjson, *metrics)
 		return
 	}
 

@@ -11,9 +11,15 @@
 //	        -goal "R(a,b,c) & R(a,b',c') -> R(a*,b,c')"
 //
 // Dependencies may also be read one per line from a file via -deps.
+//
+// Observability: -trace FILE writes the structured event stream (JSONL, see
+// docs/OBSERVABILITY.md) of the whole run; -progress keeps a live one-line
+// status on stderr; -depstats prints a per-dependency work table; -proof
+// prints the chase proof trace when the verdict is "implied".
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"os"
@@ -22,6 +28,7 @@ import (
 	"templatedep/internal/chase"
 	"templatedep/internal/core"
 	"templatedep/internal/finitemodel"
+	"templatedep/internal/obs"
 	"templatedep/internal/relation"
 	"templatedep/internal/td"
 )
@@ -39,7 +46,10 @@ func main() {
 		rounds     = flag.Int("rounds", 64, "chase round budget")
 		tuples     = flag.Int("tuples", 100000, "chase tuple budget")
 		fmTuples   = flag.Int("cx-tuples", 4, "counterexample enumeration: max tuples")
-		trace      = flag.Bool("trace", false, "print the chase proof trace")
+		proof      = flag.Bool("proof", false, "print the chase proof trace")
+		traceFile  = flag.String("trace", "", "write the structured event stream to FILE as JSONL (see docs/OBSERVABILITY.md)")
+		progress   = flag.Bool("progress", false, "live progress line on stderr")
+		depStats   = flag.Bool("depstats", false, "print per-dependency chase statistics")
 		deps       depFlags
 	)
 	flag.Var(&deps, "dep", "a TD (repeatable)")
@@ -79,8 +89,38 @@ func main() {
 	}
 
 	budget := core.DefaultBudget()
-	budget.Chase = chase.Options{MaxRounds: *rounds, MaxTuples: *tuples, SemiNaive: true, Trace: *trace}
+	budget.Chase = chase.Options{MaxRounds: *rounds, MaxTuples: *tuples, SemiNaive: true,
+		Trace: *proof, PerDepStats: *depStats}
 	budget.FiniteDB = finitemodel.Options{MaxTuples: *fmTuples}
+
+	var sinks []obs.Sink
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			fatal(err)
+		}
+		w := bufio.NewWriter(f)
+		jl := obs.NewJSONLSink(w)
+		defer func() {
+			if err := jl.Err(); err != nil {
+				fatal(err)
+			}
+			if err := w.Flush(); err != nil {
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+		}()
+		sinks = append(sinks, jl)
+	}
+	var prog *obs.ProgressSink
+	if *progress {
+		prog = obs.NewProgressSink(os.Stderr)
+		defer prog.Close()
+		sinks = append(sinks, prog)
+	}
+	budget.Sink = obs.Multi(sinks...)
 
 	fmt.Printf("schema: %s\n", schema)
 	fmt.Printf("|D| = %d dependencies (all full: %v)\n", len(depSet), chase.AllFull(depSet))
@@ -95,7 +135,14 @@ func main() {
 		st := res.Chase.Stats
 		fmt.Printf("chase: %d rounds, %d tuples added, %d triggers fired, fixpoint=%v\n",
 			st.Rounds, st.TuplesAdded, st.TriggersFired, res.Chase.FixpointReached)
-		if *trace && res.Verdict == core.Implied {
+		if *depStats {
+			fmt.Println("per-dependency chase work:")
+			for i, ds := range st.PerDep {
+				fmt.Printf("  %-12s matched=%-6d fired=%-6d added=%-6d nulls=%d\n",
+					depSet[i].Name(), ds.Matched, ds.Fired, ds.Added, ds.Nulls)
+			}
+		}
+		if *proof && res.Verdict == core.Implied {
 			fmt.Println("proof trace:")
 			for _, f := range res.Chase.Trace {
 				fmt.Printf("  round %d: %s adds %v\n", f.Round, depSet[f.Dep].Name(), f.Tuple)

@@ -1,6 +1,7 @@
 package templatedep_test
 
 import (
+	"reflect"
 	"testing"
 
 	"templatedep/internal/chase"
@@ -39,7 +40,7 @@ func TestImpliesVerdictsIdenticalAcrossJoins(t *testing.T) {
 			if ri.Verdict != rs.Verdict {
 				t.Fatalf("verdicts differ: index %v, scan %v", ri.Verdict, rs.Verdict)
 			}
-			if ri.Stats != rs.Stats {
+			if !reflect.DeepEqual(ri.Stats, rs.Stats) {
 				t.Errorf("stats differ: index %+v, scan %+v", ri.Stats, rs.Stats)
 			}
 			if ri.Instance.Len() != rs.Instance.Len() {

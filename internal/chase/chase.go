@@ -27,10 +27,13 @@
 package chase
 
 import (
+	"context"
 	"fmt"
+	"runtime/pprof"
 	"strconv"
 	"sync"
 
+	"templatedep/internal/obs"
 	"templatedep/internal/relation"
 	"templatedep/internal/tableau"
 	"templatedep/internal/td"
@@ -104,6 +107,20 @@ type Options struct {
 	// KeepHistory records per-round statistics in Result.History; used by
 	// the experiment harness to plot canonical-database growth.
 	KeepHistory bool
+	// Sink receives structured observability events (round boundaries,
+	// per-dependency firings, delta sizes, nulls, the verdict). Nil — the
+	// default — skips every emission; the engine only ever emits from its
+	// sequential merge phase, so the event stream is bit-identical for
+	// every Workers value. See docs/OBSERVABILITY.md for the schema.
+	Sink obs.Sink
+	// PerDepStats populates Stats.PerDep with per-dependency counters.
+	// Off by default so the untraced hot path allocates nothing extra.
+	PerDepStats bool
+	// ProfileLabels tags the run's goroutines with runtime/pprof labels
+	// (chase_phase=collect|apply), so CPU profiles of long runs split by
+	// chase phase. Off by default: label swaps cost a few allocations per
+	// round.
+	ProfileLabels bool
 }
 
 // RoundStats snapshots one fair round for growth analysis.
@@ -111,6 +128,11 @@ type RoundStats struct {
 	Round         int
 	TriggersFired int
 	TuplesAfter   int
+	// TuplesAdded counts tuples new to the instance this round (fired
+	// minus duplicates under the oblivious variant).
+	TuplesAdded int
+	// NullsCreated counts labeled nulls invented this round.
+	NullsCreated int
 }
 
 // DefaultOptions returns sensible interactive defaults (semi-naive
@@ -163,6 +185,25 @@ type Stats struct {
 	TriggersFired     int
 	TuplesAdded       int
 	HomomorphismsSeen int
+	// NullsCreated counts labeled nulls invented for existential
+	// conclusion positions across the whole run.
+	NullsCreated int
+	// PerDep holds per-dependency counters, indexed like the engine's
+	// input set; nil unless Options.PerDepStats was set.
+	PerDep []DepStats
+}
+
+// DepStats are the per-dependency counters of one chase run.
+type DepStats struct {
+	// Matched counts triggers matched (antecedents satisfied, conclusion
+	// missing — or, oblivious, not yet fired).
+	Matched int
+	// Fired counts triggers actually fired.
+	Fired int
+	// Added counts tuples the dependency contributed that were new.
+	Added int
+	// Nulls counts labeled nulls the dependency's conclusions invented.
+	Nulls int
 }
 
 // Result is the outcome of a chase or implication run.
@@ -256,9 +297,26 @@ type collectTask struct {
 func (e *Engine) Chase(start *relation.Instance, goal func(*relation.Instance) bool) Result {
 	inst := start.Clone()
 	res := Result{Instance: inst}
+	sink := e.opt.Sink
+	// All emissions happen on this goroutine, in the sequential sections
+	// of the round, so the stream is deterministic for every Workers
+	// value.
+	emitVerdict := func() {
+		if sink != nil {
+			sink.Event(obs.Event{Type: obs.EvVerdict, Src: "chase",
+				Verdict: res.Verdict.String(), Round: res.Stats.Rounds, Tuples: inst.Len()})
+		}
+	}
+	if e.opt.PerDepStats {
+		res.Stats.PerDep = make([]DepStats, len(e.deps))
+	}
+	if e.opt.ProfileLabels {
+		defer pprof.SetGoroutineLabels(context.Background())
+	}
 	if goal != nil && goal(inst) {
 		res.Verdict = Implied
 		res.FixpointReached = false
+		emitVerdict()
 		return res
 	}
 
@@ -290,6 +348,17 @@ func (e *Engine) Chase(start *relation.Instance, goal func(*relation.Instance) b
 		// dependencies and within a single dependency's delta.
 		useDelta := e.opt.SemiNaive && round > 1
 		deltaLen := lastLen - prevLen
+		if sink != nil {
+			sink.Event(obs.Event{Type: obs.EvRoundStart, Src: "chase", Round: round, Tuples: lastLen})
+			if useDelta {
+				sink.Event(obs.Event{Type: obs.EvDeltaSize, Src: "chase", Round: round, N: deltaLen})
+			}
+		}
+		if e.opt.ProfileLabels {
+			// Worker goroutines spawned below inherit the label.
+			pprof.SetGoroutineLabels(pprof.WithLabels(context.Background(),
+				pprof.Labels("chase_phase", "collect")))
+		}
 		var tasks []collectTask
 		for di, d := range e.deps {
 			k := d.NumAntecedents()
@@ -384,6 +453,11 @@ func (e *Engine) Chase(start *relation.Instance, goal func(*relation.Instance) b
 
 		// Phase 2: sequential, deterministic merge in task order — trigger
 		// checks against the round-start snapshot, then materialization.
+		if e.opt.ProfileLabels {
+			pprof.SetGoroutineLabels(pprof.WithLabels(context.Background(),
+				pprof.Labels("chase_phase", "apply")))
+		}
+		var matchedRound, homsRound, nullsRound, firedRound, addedRound int
 		for ti := range tasks {
 			t := &tasks[ti]
 			if t.homs.n == 0 {
@@ -397,6 +471,7 @@ func (e *Engine) Chase(start *relation.Instance, goal func(*relation.Instance) b
 			for i := 0; i < t.homs.n; i++ {
 				t.homs.load(i, as)
 				res.Stats.HomomorphismsSeen++
+				homsRound++
 				if e.opt.Variant == Oblivious {
 					keyBuf = appendTriggerKey(keyBuf[:0], t.dep, as)
 					if firedKeys[string(keyBuf)] {
@@ -407,8 +482,29 @@ func (e *Engine) Chase(start *relation.Instance, goal func(*relation.Instance) b
 					continue
 				}
 				res.Stats.TriggersMatched++
-				adds = append(adds, pending{dep: t.dep, tup: conclusionTuple(d, as, inst)})
+				matchedRound++
+				tup, nulls := conclusionTuple(d, as, inst)
+				res.Stats.NullsCreated += nulls
+				nullsRound += nulls
+				if res.Stats.PerDep != nil {
+					res.Stats.PerDep[t.dep].Matched++
+					res.Stats.PerDep[t.dep].Nulls += nulls
+				}
+				adds = append(adds, pending{dep: t.dep, tup: tup})
 			}
+		}
+		// emitRoundTail closes the round's event group; it is also called
+		// on early exits so partial rounds replay to the reported Stats.
+		emitRoundTail := func() {
+			if sink == nil {
+				return
+			}
+			if nullsRound > 0 {
+				sink.Event(obs.Event{Type: obs.EvNullsCreated, Src: "chase", Round: round, N: nullsRound})
+			}
+			sink.Event(obs.Event{Type: obs.EvTuplesAdded, Src: "chase", Round: round, N: addedRound})
+			sink.Event(obs.Event{Type: obs.EvRoundEnd, Src: "chase", Round: round,
+				Tuples: inst.Len(), N: firedRound, Matched: matchedRound, Homs: homsRound})
 		}
 
 		if len(adds) == 0 {
@@ -418,12 +514,33 @@ func (e *Engine) Chase(start *relation.Instance, goal func(*relation.Instance) b
 			} else {
 				res.Verdict = NotImplied
 			}
+			emitRoundTail()
+			emitVerdict()
 			return res
+		}
+		// Materialization walks adds in task order, so each dependency's
+		// pending tuples form one contiguous run: per-dependency firing
+		// events aggregate into three scalars and flush at run boundaries,
+		// costing no allocations.
+		curDep, curFired, curAdded := -1, 0, 0
+		flushDep := func() {
+			if sink != nil && curDep >= 0 {
+				sink.Event(obs.Event{Type: obs.EvDepFired, Src: "chase", Round: round,
+					Dep: curDep, N: curFired, Added: curAdded})
+			}
+			curFired, curAdded = 0, 0
 		}
 		for _, p := range adds {
 			if inst.Len() >= e.opt.MaxTuples {
 				res.Verdict = Unknown
+				flushDep()
+				emitRoundTail()
+				emitVerdict()
 				return res
+			}
+			if p.dep != curDep {
+				flushDep()
+				curDep = p.dep
 			}
 			_, added, err := inst.Add(p.tup)
 			if err != nil {
@@ -431,13 +548,25 @@ func (e *Engine) Chase(start *relation.Instance, goal func(*relation.Instance) b
 				panic(err)
 			}
 			res.Stats.TriggersFired++
+			firedRound++
+			curFired++
 			if added {
 				res.Stats.TuplesAdded++
+				addedRound++
+				curAdded++
+			}
+			if res.Stats.PerDep != nil {
+				res.Stats.PerDep[p.dep].Fired++
+				if added {
+					res.Stats.PerDep[p.dep].Added++
+				}
 			}
 			if e.opt.Trace {
 				res.Trace = append(res.Trace, Fired{Dep: p.dep, Round: round, Tuple: p.tup.Clone(), Added: added})
 			}
 		}
+		flushDep()
+		emitRoundTail()
 		prevLen = lastLen
 		lastLen = inst.Len()
 		if e.opt.KeepHistory {
@@ -445,30 +574,36 @@ func (e *Engine) Chase(start *relation.Instance, goal func(*relation.Instance) b
 				Round:         round,
 				TriggersFired: len(adds),
 				TuplesAfter:   inst.Len(),
+				TuplesAdded:   addedRound,
+				NullsCreated:  nullsRound,
 			})
 		}
 		if goal != nil && goal(inst) {
 			res.Verdict = Implied
+			emitVerdict()
 			return res
 		}
 	}
 	res.Verdict = Unknown
+	emitVerdict()
 	return res
 }
 
 // conclusionTuple materializes d's conclusion under as, inventing fresh
-// values for unbound (existential) positions.
-func conclusionTuple(d *td.TD, as tableau.Assignment, inst *relation.Instance) relation.Tuple {
+// values for unbound (existential) positions; nulls reports how many were
+// invented.
+func conclusionTuple(d *td.TD, as tableau.Assignment, inst *relation.Instance) (tup relation.Tuple, nulls int) {
 	concl := d.Conclusion()
-	tup := make(relation.Tuple, len(concl))
+	tup = make(relation.Tuple, len(concl))
 	for a, v := range concl {
 		if bound := as[a][v]; bound != tableau.Unbound {
 			tup[a] = bound
 		} else {
 			tup[a] = inst.FreshValue(relation.Attr(a))
+			nulls++
 		}
 	}
-	return tup
+	return tup, nulls
 }
 
 // appendTriggerKey canonicalizes a trigger for oblivious deduplication by

@@ -1,6 +1,7 @@
 package chase
 
 import (
+	"reflect"
 	"testing"
 
 	"templatedep/internal/relation"
@@ -363,7 +364,7 @@ invent: R(a, b, c) & R(a', b, c') -> R(a*, b, c')
 				t.Fatalf("workers=%d: tuple %d is %v, want %v", workers, i, got.Instance.Tuple(i), tup)
 			}
 		}
-		if got.Stats != ref.Stats {
+		if !reflect.DeepEqual(got.Stats, ref.Stats) {
 			t.Errorf("workers=%d: stats %+v, want %+v", workers, got.Stats, ref.Stats)
 		}
 		if len(got.Trace) != len(ref.Trace) {

@@ -26,6 +26,7 @@ import (
 
 	"templatedep/internal/chase"
 	"templatedep/internal/finitemodel"
+	"templatedep/internal/obs"
 	"templatedep/internal/reduction"
 	"templatedep/internal/relation"
 	"templatedep/internal/rewrite"
@@ -42,6 +43,33 @@ type Budget struct {
 	Closure     words.ClosureOptions
 	ModelSearch search.Options
 	FiniteDB    finitemodel.Options
+	// Sink receives the front-end's own events (which arm is running,
+	// arm outcomes, deepening rounds, the verdict) and is propagated to
+	// every sub-procedure whose options do not already carry a sink, so
+	// one sink observes the whole dual run. See docs/OBSERVABILITY.md.
+	Sink obs.Sink
+}
+
+// withSink propagates b.Sink into sub-procedure options that have none,
+// returning the adjusted copy.
+func (b Budget) withSink() Budget {
+	if b.Sink != nil {
+		if b.Chase.Sink == nil {
+			b.Chase.Sink = b.Sink
+		}
+		if b.ModelSearch.Sink == nil {
+			b.ModelSearch.Sink = b.Sink
+		}
+	}
+	return b
+}
+
+// emit sends e to the budget's sink with Src "core".
+func (b Budget) emit(e obs.Event) {
+	if b.Sink != nil {
+		e.Src = "core"
+		b.Sink.Event(e)
+	}
 }
 
 // DefaultBudget returns moderate budgets suitable for interactive use.
@@ -93,24 +121,33 @@ type InferenceResult struct {
 // for IMPL and, if the chase is inconclusive, the finite-database
 // enumerator for FCEX.
 func Infer(deps []*td.TD, d0 *td.TD, budget Budget) (InferenceResult, error) {
+	budget = budget.withSink()
+	verdict := func(res InferenceResult) (InferenceResult, error) {
+		budget.emit(obs.Event{Type: obs.EvVerdict, Verdict: res.Verdict.String()})
+		return res, nil
+	}
+	budget.emit(obs.Event{Type: obs.EvArmStart, Arm: "chase"})
 	cres, err := chase.Implies(deps, d0, budget.Chase)
 	if err != nil {
 		return InferenceResult{}, err
 	}
+	budget.emit(obs.Event{Type: obs.EvArmResult, Arm: "chase", Verdict: cres.Verdict.String()})
 	switch cres.Verdict {
 	case chase.Implied:
-		return InferenceResult{Verdict: Implied, Chase: &cres}, nil
+		return verdict(InferenceResult{Verdict: Implied, Chase: &cres})
 	case chase.NotImplied:
-		return InferenceResult{Verdict: FiniteCounterexample, Chase: &cres, Counterexample: cres.Instance}, nil
+		return verdict(InferenceResult{Verdict: FiniteCounterexample, Chase: &cres, Counterexample: cres.Instance})
 	}
+	budget.emit(obs.Event{Type: obs.EvArmStart, Arm: "finite-db"})
 	fres, err := finitemodel.FindCounterexample(deps, d0, budget.FiniteDB)
 	if err != nil {
 		return InferenceResult{}, err
 	}
+	budget.emit(obs.Event{Type: obs.EvArmResult, Arm: "finite-db", Verdict: fres.Outcome.String()})
 	if fres.Outcome == finitemodel.Found {
-		return InferenceResult{Verdict: FiniteCounterexample, Chase: &cres, Counterexample: fres.Instance}, nil
+		return verdict(InferenceResult{Verdict: FiniteCounterexample, Chase: &cres, Counterexample: fres.Instance})
 	}
-	return InferenceResult{Verdict: Unknown, Chase: &cres}, nil
+	return verdict(InferenceResult{Verdict: Unknown, Chase: &cres})
 }
 
 // PresentationResult reports a presentation-level run of the paper's
@@ -143,13 +180,20 @@ type PresentationResult struct {
 // (whose success yields, by (B), a finite counterexample database —
 // verified tuple by tuple).
 func AnalyzePresentation(p *words.Presentation, budget Budget) (*PresentationResult, error) {
+	budget = budget.withSink()
 	in, err := reduction.Build(p)
 	if err != nil {
 		return nil, err
 	}
 	res := &PresentationResult{Instance: in}
+	verdict := func() (*PresentationResult, error) {
+		budget.emit(obs.Event{Type: obs.EvVerdict, Verdict: res.Verdict.String()})
+		return res, nil
+	}
 
+	budget.emit(obs.Event{Type: obs.EvArmStart, Arm: "derivation"})
 	dres := words.DeriveGoal(in.Pres, budget.Closure)
+	budget.emit(obs.Event{Type: obs.EvArmResult, Arm: "derivation", Verdict: dres.Verdict.String()})
 	if dres.Verdict == words.Derivable {
 		res.Verdict = Implied
 		res.Derivation = dres.Derivation
@@ -162,7 +206,7 @@ func AnalyzePresentation(p *words.Presentation, budget Budget) (*PresentationRes
 		if cres.Verdict == chase.Implied {
 			res.ChaseProof = &cres
 		}
-		return res, nil
+		return verdict()
 	}
 
 	if dres.Verdict == words.NotDerivable {
@@ -172,17 +216,20 @@ func AnalyzePresentation(p *words.Presentation, budget Budget) (*PresentationRes
 		// can refute derivability even when A0's equational class is
 		// infinite.
 		sys := rewrite.FromPresentation(in.Pres)
-		if cres, err := sys.Complete(rewrite.CompletionOptions{MaxRules: 200, MaxIterations: 25}); err == nil && cres.Confluent {
+		copt := rewrite.CompletionOptions{MaxRules: 200, MaxIterations: 25, Sink: budget.Sink}
+		if cres, err := sys.Complete(copt); err == nil && cres.Confluent {
 			if decided, err := sys.DecideGoal(); err == nil && !decided {
 				res.GoalRefuted = true
 			}
 		}
 	}
 
+	budget.emit(obs.Event{Type: obs.EvArmStart, Arm: "model-search"})
 	sres, err := search.FindCounterModel(p, budget.ModelSearch)
 	if err != nil {
 		return nil, err
 	}
+	budget.emit(obs.Event{Type: obs.EvArmResult, Arm: "model-search", Verdict: sres.Outcome.String()})
 	if sres.Outcome == search.ModelFound {
 		cm, err := in.BuildCounterModel(sres.Interpretation)
 		if err != nil {
@@ -194,10 +241,10 @@ func AnalyzePresentation(p *words.Presentation, budget Budget) (*PresentationRes
 		res.Verdict = FiniteCounterexample
 		res.Witness = sres.Interpretation
 		res.CounterModel = cm
-		return res, nil
+		return verdict()
 	}
 	res.Verdict = Unknown
-	return res, nil
+	return verdict()
 }
 
 // AnalyzeTM encodes a Turing machine's halting on the given input and runs

@@ -1,8 +1,11 @@
 package core
 
 import (
+	"context"
+	"runtime/pprof"
 	"time"
 
+	"templatedep/internal/obs"
 	"templatedep/internal/reduction"
 	"templatedep/internal/search"
 	"templatedep/internal/td"
@@ -38,6 +41,7 @@ func AnalyzePresentationRace(p *words.Presentation, budget Budget) (*RaceResult,
 		return nil, err
 	}
 
+	budget = budget.withSink()
 	type outcome struct {
 		res    *PresentationResult
 		winner string
@@ -45,21 +49,30 @@ func AnalyzePresentationRace(p *words.Presentation, budget Budget) (*RaceResult,
 	}
 	ch := make(chan outcome, 2)
 
-	go func() {
+	// Each arm runs under a pprof label so CPU profiles of long races
+	// split by arm, and announces itself on the sink. Arm events from the
+	// two goroutines interleave nondeterministically — sinks must be
+	// concurrency-safe (see obs.Sink) — but each arm's own events stay
+	// ordered.
+	go pprof.Do(context.Background(), pprof.Labels("race_arm", "derivation"), func(context.Context) {
+		budget.emit(obs.Event{Type: obs.EvArmStart, Arm: "derivation"})
 		dres := words.DeriveGoal(in.Pres, budget.Closure)
+		budget.emit(obs.Event{Type: obs.EvArmResult, Arm: "derivation", Verdict: dres.Verdict.String()})
 		if dres.Verdict != words.Derivable {
 			ch <- outcome{}
 			return
 		}
 		res := &PresentationResult{Instance: in, Verdict: Implied, Derivation: dres.Derivation}
 		ch <- outcome{res: res, winner: "derivation"}
-	}()
-	go func() {
+	})
+	go pprof.Do(context.Background(), pprof.Labels("race_arm", "model-search"), func(context.Context) {
+		budget.emit(obs.Event{Type: obs.EvArmStart, Arm: "model-search"})
 		sres, err := search.FindCounterModel(p, budget.ModelSearch)
 		if err != nil {
 			ch <- outcome{err: err}
 			return
 		}
+		budget.emit(obs.Event{Type: obs.EvArmResult, Arm: "model-search", Verdict: sres.Outcome.String()})
 		if sres.Outcome != search.ModelFound {
 			ch <- outcome{}
 			return
@@ -75,7 +88,7 @@ func AnalyzePresentationRace(p *words.Presentation, budget Budget) (*RaceResult,
 		}
 		res := &PresentationResult{Instance: in, Verdict: FiniteCounterexample, Witness: sres.Interpretation, CounterModel: cm}
 		ch <- outcome{res: res, winner: "model-search"}
-	}()
+	})
 
 	var firstErr error
 	for i := 0; i < 2; i++ {
@@ -133,6 +146,9 @@ func AnalyzePresentationDeepening(p *words.Presentation, opt DeepeningOptions) (
 			return nil, round, err
 		}
 		last = res
+		// The deepen_round event closes the block of arm/sub-procedure
+		// events this round produced (the stream is sequential here).
+		b.emit(obs.Event{Type: obs.EvDeepenRound, Round: round, Verdict: res.Verdict.String()})
 		if res.Verdict != Unknown {
 			return res, round, nil
 		}
@@ -181,6 +197,7 @@ func InferDeepening(deps []*td.TD, d0 *td.TD, opt DeepeningOptions) (InferenceRe
 			return InferenceResult{}, round, err
 		}
 		last = res
+		b.emit(obs.Event{Type: obs.EvDeepenRound, Round: round, Verdict: res.Verdict.String()})
 		if res.Verdict != Unknown || time.Since(start) > opt.Deadline {
 			return res, round, nil
 		}

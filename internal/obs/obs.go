@@ -1,0 +1,163 @@
+// Package obs is the observability layer of the engine: typed structured
+// events, monotonic counters, and the sinks that consume them.
+//
+// The Main Theorem makes Unknown an honest third verdict, so long budgeted
+// runs are the system's normal operating mode. This package exists so a
+// user staring at such a run can see WHY it is burning budget — which
+// dependency fires, how the semi-naive delta grows, whether the
+// counter-model search or the derivation search is advancing — without the
+// engine paying for that visibility when nobody is watching.
+//
+// Design constraints, in order:
+//
+//  1. Zero dependencies: stdlib only, and no imports from the rest of the
+//     repository (every engine package can therefore import obs).
+//  2. Zero overhead when disabled: a nil Sink in an Options struct skips
+//     every emission behind a single pointer check, and an attached no-op
+//     sink costs only the call — Event values are passed on the stack and
+//     never escape. This is pinned by TestNopSinkAllocParity at the repo
+//     root.
+//  3. Deterministic where the engine is deterministic: the chase emits
+//     events only from its sequential merge/apply phase, so the event
+//     stream is bit-identical for every Options.Workers value (pinned by
+//     TestEventStreamWorkerIndependent).
+//
+// The full event and counter schema — every type, field, and unit — is
+// documented in docs/OBSERVABILITY.md, which CI keeps in sync with the
+// EventType constants below.
+package obs
+
+// EventType names a structured event. The string value is the wire name
+// used by JSONLSink and the "type" field consumers dispatch on.
+type EventType string
+
+// Event types emitted by the engine layers. The Src field of an Event
+// tells which layer emitted it ("chase", "search", "rewrite", "core").
+const (
+	// EvRoundStart opens a fair chase round. Fields: Round, Tuples
+	// (instance size entering the round).
+	EvRoundStart EventType = "round_start"
+	// EvDeltaSize reports the semi-naive delta window of a round. Fields:
+	// Round, N (tuples added in the previous round).
+	EvDeltaSize EventType = "delta_size"
+	// EvDepFired aggregates one dependency's firings within one round.
+	// Fields: Round, Dep, N (triggers fired), Added (tuples new to the
+	// instance).
+	EvDepFired EventType = "dep_fired"
+	// EvNullsCreated counts labeled nulls invented in one round. Fields:
+	// Round, N.
+	EvNullsCreated EventType = "nulls_created"
+	// EvTuplesAdded counts tuples materialized in one round. Fields:
+	// Round, N.
+	EvTuplesAdded EventType = "tuples_added"
+	// EvRoundEnd closes a round (also emitted on early exits so partial
+	// rounds replay). Fields: Round, Tuples (instance size after), N
+	// (triggers fired), Matched (triggers matched), Homs (antecedent
+	// homomorphisms enumerated).
+	EvRoundEnd EventType = "round_end"
+	// EvSearchNode reports a batch of expanded backtracking nodes in the
+	// finite-model search. Fields: Order (semigroup order under search), N
+	// (nodes since the previous event).
+	EvSearchNode EventType = "search_node"
+	// EvRuleAdded reports one oriented rule added by Knuth–Bendix
+	// completion. Fields: Iter (completion sweep), Rules (total rules
+	// after the addition).
+	EvRuleAdded EventType = "rule_added"
+	// EvArmStart reports that a dual-semidecision arm began work. Fields:
+	// Arm ("derivation" or "model-search"), Round (deepening round, 0
+	// outside deepening).
+	EvArmStart EventType = "arm_start"
+	// EvArmResult reports an arm's outcome. Fields: Arm, Round, Verdict
+	// (the arm-level outcome string).
+	EvArmResult EventType = "arm_result"
+	// EvDeepenRound closes one iterative-deepening round. Fields: Round,
+	// Verdict (that round's verdict).
+	EvDeepenRound EventType = "deepen_round"
+	// EvVerdict is the final outcome of the emitting layer. Fields:
+	// Verdict, Round (rounds/iterations used), Tuples (final instance
+	// size; chase only), N (nodes visited; search only).
+	EvVerdict EventType = "verdict"
+)
+
+// Event is one structured observation. It is a flat value type — emitters
+// fill only the fields their EventType documents (see the constants above
+// and docs/OBSERVABILITY.md) and sinks must dispatch on Type before
+// reading payload fields. Counts are unitless totals; Tuples counts
+// instance tuples; Homs counts antecedent homomorphisms.
+type Event struct {
+	// Type discriminates the payload.
+	Type EventType `json:"type"`
+	// Src is the emitting layer: "chase", "search", "rewrite", or "core".
+	Src string `json:"src"`
+	// Round is 1-based (chase fair round, deepening round); 0 when not
+	// applicable.
+	Round int `json:"round,omitempty"`
+	// Dep is the dependency index within the engine's input set.
+	Dep int `json:"dep,omitempty"`
+	// N is the count payload of the type (triggers, tuples, nodes, ...).
+	N int `json:"n,omitempty"`
+	// Tuples is an instance size.
+	Tuples int `json:"tuples,omitempty"`
+	// Added counts tuples new to the instance.
+	Added int `json:"added,omitempty"`
+	// Matched counts triggers matched.
+	Matched int `json:"matched,omitempty"`
+	// Homs counts antecedent homomorphisms enumerated.
+	Homs int `json:"homs,omitempty"`
+	// Order is the semigroup order under search.
+	Order int `json:"order,omitempty"`
+	// Iter is a completion sweep index.
+	Iter int `json:"iter,omitempty"`
+	// Rules is the total rewrite-rule count.
+	Rules int `json:"rules,omitempty"`
+	// Arm names a dual-semidecision arm.
+	Arm string `json:"arm,omitempty"`
+	// Verdict is an outcome string of the emitting layer.
+	Verdict string `json:"verdict,omitempty"`
+}
+
+// Sink receives events. Implementations must be safe for concurrent use:
+// the chase emits from a single goroutine (its sequential merge phase, so
+// the stream is deterministic even with Options.Workers > 1), but the
+// racing front-end emits from both arm goroutines at once. Events arrive
+// in program order per emitting goroutine; no cross-goroutine ordering is
+// guaranteed.
+type Sink interface {
+	Event(Event)
+}
+
+// Nop is the explicit no-op Sink. A nil Sink in an Options struct is
+// cheaper still (the emission site is skipped entirely); Nop exists so the
+// "attached but ignoring" path has a benchmarkable implementation.
+type Nop struct{}
+
+// Event discards the event.
+func (Nop) Event(Event) {}
+
+// multi fans events out to several sinks in order.
+type multi []Sink
+
+func (m multi) Event(e Event) {
+	for _, s := range m {
+		s.Event(e)
+	}
+}
+
+// Multi returns a Sink forwarding every event to each of sinks in order.
+// Nil entries are dropped; Multi(nil...) returns nil, and a single sink is
+// returned unwrapped.
+func Multi(sinks ...Sink) Sink {
+	var kept multi
+	for _, s := range sinks {
+		if s != nil {
+			kept = append(kept, s)
+		}
+	}
+	switch len(kept) {
+	case 0:
+		return nil
+	case 1:
+		return kept[0]
+	}
+	return kept
+}

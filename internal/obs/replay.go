@@ -1,0 +1,85 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Totals is the aggregate a JSONL event stream replays to. For a chase
+// trace it must equal the Stats the run itself reported — that invariant
+// is what makes a trace file trustworthy, and it is pinned by
+// TestTraceReplayMatchesStats at the repo root.
+type Totals struct {
+	// Rounds is the highest chase round opened.
+	Rounds int
+	// TriggersMatched sums round_end.matched.
+	TriggersMatched int
+	// TriggersFired sums dep_fired.n.
+	TriggersFired int
+	// TuplesAdded sums tuples_added.n.
+	TuplesAdded int
+	// NullsCreated sums nulls_created.n.
+	NullsCreated int
+	// Homomorphisms sums round_end.homs.
+	Homomorphisms int
+	// SearchNodes sums search_node.n.
+	SearchNodes int
+	// RulesAdded counts rule_added events.
+	RulesAdded int
+	// PerDepFired sums dep_fired.n by dependency index.
+	PerDepFired map[int]int
+	// Verdicts maps emitting layer (event src) to its final verdict
+	// string.
+	Verdicts map[string]string
+	// Events is the total number of lines replayed.
+	Events int
+}
+
+// Replay scans a JSONL event stream (as written by JSONLSink) and folds it
+// into Totals. Unknown event types are counted in Events and otherwise
+// ignored, so streams from newer emitters still replay.
+func Replay(r io.Reader) (Totals, error) {
+	t := Totals{PerDepFired: make(map[int]int), Verdicts: make(map[string]string)}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var e Event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			return t, fmt.Errorf("obs: replay line %d: %w", line, err)
+		}
+		t.Events++
+		switch e.Type {
+		case EvRoundStart:
+			if e.Round > t.Rounds {
+				t.Rounds = e.Round
+			}
+		case EvDepFired:
+			t.TriggersFired += e.N
+			t.PerDepFired[e.Dep] += e.N
+		case EvTuplesAdded:
+			t.TuplesAdded += e.N
+		case EvNullsCreated:
+			t.NullsCreated += e.N
+		case EvRoundEnd:
+			t.TriggersMatched += e.Matched
+			t.Homomorphisms += e.Homs
+		case EvSearchNode:
+			t.SearchNodes += e.N
+		case EvRuleAdded:
+			t.RulesAdded++
+		case EvVerdict:
+			t.Verdicts[e.Src] = e.Verdict
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return t, fmt.Errorf("obs: replay: %w", err)
+	}
+	return t, nil
+}

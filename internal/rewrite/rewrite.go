@@ -19,6 +19,7 @@ import (
 	"sort"
 	"strings"
 
+	"templatedep/internal/obs"
 	"templatedep/internal/words"
 )
 
@@ -181,6 +182,10 @@ type CompletionOptions struct {
 	MaxRules int
 	// MaxIterations caps completion sweeps. <= 0 means 100.
 	MaxIterations int
+	// Sink receives one rule_added event per oriented rule adopted from an
+	// unresolved critical pair, and the final verdict ("confluent" or
+	// "diverged"). Nil disables emission. See docs/OBSERVABILITY.md.
+	Sink obs.Sink
 }
 
 // CompletionResult reports how completion ended.
@@ -202,6 +207,12 @@ func (s *System) Complete(opt CompletionOptions) (CompletionResult, error) {
 		opt.MaxIterations = 100
 	}
 	res := CompletionResult{}
+	verdict := func(v string) {
+		if opt.Sink != nil {
+			opt.Sink.Event(obs.Event{Type: obs.EvVerdict, Src: "rewrite",
+				Verdict: v, Round: res.Iterations, Rules: len(s.Rules)})
+		}
+	}
 	for it := 1; it <= opt.MaxIterations; it++ {
 		res.Iterations = it
 		pairs, err := s.CriticalPairs()
@@ -211,6 +222,7 @@ func (s *System) Complete(opt CompletionOptions) (CompletionResult, error) {
 		if len(pairs) == 0 {
 			res.Confluent = true
 			s.simplify()
+			verdict("confluent")
 			return res, nil
 		}
 		added := 0
@@ -220,18 +232,25 @@ func (s *System) Complete(opt CompletionOptions) (CompletionResult, error) {
 				continue
 			}
 			if len(s.Rules) >= opt.MaxRules {
+				verdict("diverged")
 				return res, fmt.Errorf("rewrite: completion exceeded %d rules", opt.MaxRules)
 			}
 			s.Rules = append(s.Rules, r)
 			added++
+			if opt.Sink != nil {
+				opt.Sink.Event(obs.Event{Type: obs.EvRuleAdded, Src: "rewrite",
+					Iter: it, Rules: len(s.Rules)})
+			}
 		}
 		if added == 0 {
 			// All pairs were trivial after normalization races; re-check.
 			res.Confluent = true
 			s.simplify()
+			verdict("confluent")
 			return res, nil
 		}
 	}
+	verdict("diverged")
 	return res, nil
 }
 

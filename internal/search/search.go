@@ -28,6 +28,7 @@ package search
 import (
 	"fmt"
 
+	"templatedep/internal/obs"
 	"templatedep/internal/semigroup"
 	"templatedep/internal/words"
 )
@@ -44,7 +45,16 @@ type Options struct {
 	// (classes 2..QuotientClasses) BEFORE the table search; witnesses found
 	// this way cost no search nodes. Sound but incomplete, hence opt-in.
 	QuotientClasses int
+	// Sink receives search_node events (batched every nodeEventBatch
+	// expanded nodes, plus a per-order remainder) and the final verdict.
+	// Nil disables emission. See docs/OBSERVABILITY.md.
+	Sink obs.Sink
 }
+
+// nodeEventBatch is the search_node batching interval: one event per this
+// many backtracking nodes keeps sink overhead out of the inner loop while
+// still giving a live progress signal a few times per second.
+const nodeEventBatch = 4096
 
 // DefaultOptions returns generous interactive defaults.
 func DefaultOptions() Options {
@@ -124,13 +134,24 @@ func FindCounterModel(p *words.Presentation, opt Options) (Result, error) {
 		work = norm.Presentation
 	}
 
-	s := &searcher{pres: work, budget: opt.MaxNodes}
+	s := &searcher{pres: work, budget: opt.MaxNodes, sink: opt.Sink}
+	verdict := func(o Outcome) {
+		if s.sink != nil {
+			s.flushNodes()
+			s.sink.Event(obs.Event{Type: obs.EvVerdict, Src: "search", Verdict: o.String(), N: s.nodes})
+		}
+	}
 	for n := opt.MinOrder; n <= opt.MaxOrder; n++ {
+		s.order = n
 		found, err := s.searchOrder(n)
 		if err != nil {
 			return Result{}, err
 		}
+		if s.sink != nil {
+			s.flushNodes()
+		}
 		if s.budget <= 0 && found == nil {
+			verdict(BudgetExhausted)
 			return Result{Outcome: BudgetExhausted, Presentation: p, NodesVisited: s.nodes}, nil
 		}
 		if found != nil {
@@ -141,9 +162,11 @@ func FindCounterModel(p *words.Presentation, opt Options) (Result, error) {
 			if err := in.IsModelOfMainLemmaFailure(p); err != nil {
 				return Result{}, fmt.Errorf("search: internal error: found model fails verification: %w", err)
 			}
+			verdict(ModelFound)
 			return Result{Outcome: ModelFound, Interpretation: in, Presentation: p, NodesVisited: s.nodes}, nil
 		}
 	}
+	verdict(NoModelWithinBounds)
 	return Result{Outcome: NoModelWithinBounds, Presentation: p, NodesVisited: s.nodes}, nil
 }
 
@@ -174,6 +197,34 @@ type searcher struct {
 	pres   *words.Presentation
 	budget int
 	nodes  int
+	// sink, when non-nil, receives batched search_node events; pending
+	// counts nodes expanded since the last emission, order is the
+	// semigroup order currently under search.
+	sink    obs.Sink
+	pending int
+	order   int
+}
+
+// countNode records one expanded backtracking node and emits a batched
+// search_node event when the batch fills.
+func (s *searcher) countNode() {
+	s.nodes++
+	s.budget--
+	if s.sink == nil {
+		return
+	}
+	s.pending++
+	if s.pending >= nodeEventBatch {
+		s.flushNodes()
+	}
+}
+
+// flushNodes emits the partial batch, if any.
+func (s *searcher) flushNodes() {
+	if s.sink != nil && s.pending > 0 {
+		s.sink.Event(obs.Event{Type: obs.EvSearchNode, Src: "search", Order: s.order, N: s.pending})
+		s.pending = 0
+	}
 }
 
 const unset = semigroup.Elem(-1)
@@ -272,8 +323,7 @@ func (s *searcher) searchTable(n int, assign map[words.Symbol]semigroup.Elem) *s
 
 	var try func(ci int) *semigroup.Table
 	try = func(ci int) *semigroup.Table {
-		s.nodes++
-		s.budget--
+		s.countNode()
 		if s.budget <= 0 {
 			return nil
 		}

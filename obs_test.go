@@ -1,0 +1,132 @@
+package templatedep_test
+
+import (
+	"bytes"
+	"testing"
+
+	"templatedep/internal/chase"
+	"templatedep/internal/obs"
+	"templatedep/internal/reduction"
+	"templatedep/internal/relation"
+	"templatedep/internal/td"
+	"templatedep/internal/words"
+)
+
+// A trace file is only trustworthy if it replays to the run it describes:
+// folding the JSONL stream back together must reproduce the Stats the
+// chase itself reported, on the paper's own implication workloads.
+func TestTraceReplayMatchesStats(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		p    *words.Presentation
+	}{
+		{"chain1", words.ChainPresentation(1)},
+		{"chain2", words.ChainPresentation(2)},
+		{"chain3", words.ChainPresentation(3)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			in := reduction.MustBuild(tc.p)
+			var buf bytes.Buffer
+			opt := chase.Options{MaxRounds: 32, MaxTuples: 200000, SemiNaive: true,
+				Sink: obs.NewJSONLSink(&buf)}
+			res, err := chase.Implies(in.D, in.D0, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tot, err := obs.Replay(&buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			st := res.Stats
+			if tot.Rounds != st.Rounds {
+				t.Errorf("rounds: replay %d, stats %d", tot.Rounds, st.Rounds)
+			}
+			if tot.TriggersMatched != st.TriggersMatched {
+				t.Errorf("matched: replay %d, stats %d", tot.TriggersMatched, st.TriggersMatched)
+			}
+			if tot.TriggersFired != st.TriggersFired {
+				t.Errorf("fired: replay %d, stats %d", tot.TriggersFired, st.TriggersFired)
+			}
+			if tot.TuplesAdded != st.TuplesAdded {
+				t.Errorf("added: replay %d, stats %d", tot.TuplesAdded, st.TuplesAdded)
+			}
+			if tot.NullsCreated != st.NullsCreated {
+				t.Errorf("nulls: replay %d, stats %d", tot.NullsCreated, st.NullsCreated)
+			}
+			if tot.Homomorphisms != st.HomomorphismsSeen {
+				t.Errorf("homs: replay %d, stats %d", tot.Homomorphisms, st.HomomorphismsSeen)
+			}
+			if got := tot.Verdicts["chase"]; got != res.Verdict.String() {
+				t.Errorf("verdict: replay %q, run %q", got, res.Verdict)
+			}
+		})
+	}
+}
+
+// The chase emits events only from its sequential merge phase, so the trace
+// must be byte-identical no matter how many workers enumerate triggers —
+// the same guarantee the engine gives for its results, extended to its
+// observability.
+func TestEventStreamWorkerIndependent(t *testing.T) {
+	s := relation.MustSchema("A", "B", "C")
+	deps, err := td.ParseSet(s, `
+join:   R(a, b, c) & R(a, b', c') -> R(a, b, c')
+mirror: R(a, b, c) & R(a', b, c') -> R(a, b, c')
+tail:   R(a, b, c) & R(a', b', c) -> R(a, b', c)
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := func(workers int) []byte {
+		start := relation.NewInstance(s)
+		for i := 0; i < 8; i++ {
+			start.MustAdd(relation.Tuple{relation.Value(i % 2), relation.Value(i % 3), relation.Value(i)})
+		}
+		var buf bytes.Buffer
+		e, err := chase.NewEngine(s, deps, chase.Options{MaxRounds: 50, MaxTuples: 20000,
+			SemiNaive: true, Workers: workers, Sink: obs.NewJSONLSink(&buf)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res := e.Chase(start, nil); !res.FixpointReached {
+			t.Fatal("no fixpoint")
+		}
+		return buf.Bytes()
+	}
+	seq, par := trace(1), trace(4)
+	if !bytes.Equal(seq, par) {
+		t.Errorf("event streams differ between Workers=1 (%d bytes) and Workers=4 (%d bytes):\n--- 1:\n%s--- 4:\n%s",
+			len(seq), len(par), seq, par)
+	}
+}
+
+// Attaching the no-op sink must not change the engine's allocation profile:
+// events are stack values and every aggregation is scalar. Measured on the
+// BenchmarkChaseSchedulers workload.
+func TestNopSinkAllocParity(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation perturbs allocation counts")
+	}
+	s := relation.MustSchema("A", "B", "C")
+	join := td.MustParse(s, "R(a, b, c) & R(a, b', c') -> R(a, b, c')", "join")
+	start := relation.NewInstance(s)
+	for i := 0; i < 6; i++ {
+		start.MustAdd(relation.Tuple{0, relation.Value(i), relation.Value(i)})
+	}
+	run := func(sink obs.Sink) float64 {
+		return testing.AllocsPerRun(10, func() {
+			e, err := chase.NewEngine(s, []*td.TD{join}, chase.Options{MaxRounds: 50,
+				MaxTuples: 10000, SemiNaive: true, Sink: sink})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res := e.Chase(start, nil); !res.FixpointReached {
+				t.Fatal("no fixpoint")
+			}
+		})
+	}
+	bare, nop := run(nil), run(obs.Nop{})
+	if diff := nop - bare; diff > 0.5 || diff < -0.5 {
+		t.Errorf("no-op sink changes allocations: nil sink %.1f allocs, Nop %.1f allocs", bare, nop)
+	}
+}

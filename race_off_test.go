@@ -1,0 +1,5 @@
+//go:build !race
+
+package templatedep_test
+
+const raceEnabled = false

@@ -1,0 +1,7 @@
+//go:build race
+
+package templatedep_test
+
+// raceEnabled reports that this binary was built with -race, which
+// perturbs escape analysis and therefore allocation counts.
+const raceEnabled = true
