@@ -7,6 +7,7 @@ package templatedep_test
 
 import (
 	"fmt"
+	"templatedep/internal/budget"
 	"testing"
 
 	"templatedep/internal/chase"
@@ -108,7 +109,7 @@ func BenchmarkReductionDirectionA(b *testing.B) {
 		b.Run(tc.name, func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				res, err := chase.Implies(in.D, in.D0, chase.Options{MaxRounds: 12, MaxTuples: 60000, SemiNaive: true})
+				res, err := chase.Implies(in.D, in.D0, chase.Options{Governor: budget.New(nil, budget.Limits{Rounds: 12, Tuples: 60000}), SemiNaive: true})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -220,7 +221,7 @@ func BenchmarkTMPipeline(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
-				res := words.DeriveGoal(p, words.ClosureOptions{MaxWords: 200000})
+				res := words.DeriveGoal(p, words.ClosureOptions{Governor: budget.New(nil, budget.Limits{Words: 200000})})
 				if res.Verdict != words.Derivable {
 					b.Fatalf("verdict %v", res.Verdict)
 				}
@@ -311,11 +312,11 @@ func BenchmarkAdjoinIdentity(b *testing.B) {
 // E9: the dual semidecision on the three canonical instances — who
 // terminates on what.
 func BenchmarkDualSemidecision(b *testing.B) {
-	budget := core.DefaultBudget()
-	budget.Chase = chase.Options{MaxRounds: 12, MaxTuples: 60000, SemiNaive: true}
-	budget.Closure = words.ClosureOptions{MaxWords: 3000, MaxLength: 10}
-	budget.ModelSearch = search.Options{MaxOrder: 4, MaxNodes: 300000}
-	budget.FiniteDB = finitemodel.Options{MaxTuples: 2}
+	bud := core.DefaultBudget()
+	bud.Chase = chase.Options{Governor: budget.New(nil, budget.Limits{Rounds: 12, Tuples: 60000}), SemiNaive: true}
+	bud.Closure = words.ClosureOptions{Governor: budget.New(nil, budget.Limits{Words: 3000}), LengthCap: 10}
+	bud.ModelSearch = search.Options{Orders: budget.Range{Lo: 2, Hi: 4}, Governor: budget.New(nil, budget.Limits{Nodes: 300000})}
+	bud.FiniteDB = finitemodel.Options{Sizes: budget.Range{Lo: 1, Hi: 2}}
 	for _, tc := range []struct {
 		name string
 		p    *words.Presentation
@@ -328,7 +329,7 @@ func BenchmarkDualSemidecision(b *testing.B) {
 		b.Run(tc.name, func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				res, err := core.AnalyzePresentation(tc.p, budget)
+				res, err := core.AnalyzePresentation(tc.p, bud)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -356,7 +357,7 @@ func BenchmarkChaseSchedulers(b *testing.B) {
 		b.Run(name, func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				e, err := chase.NewEngine(s, []*td.TD{join}, chase.Options{MaxRounds: 50, MaxTuples: 10000, SemiNaive: semiNaive})
+				e, err := chase.NewEngine(s, []*td.TD{join}, chase.Options{Governor: budget.New(nil, budget.Limits{Rounds: 50, Tuples: 10000}), SemiNaive: semiNaive})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -383,7 +384,7 @@ func BenchmarkChaseVariants(b *testing.B) {
 		b.Run(v.String(), func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				e, err := chase.NewEngine(s, []*td.TD{join}, chase.Options{MaxRounds: 50, MaxTuples: 10000, Variant: v, SemiNaive: true})
+				e, err := chase.NewEngine(s, []*td.TD{join}, chase.Options{Governor: budget.New(nil, budget.Limits{Rounds: 50, Tuples: 10000}), Variant: v, SemiNaive: true})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -416,7 +417,7 @@ tail:   R(a, b, c) & R(a', b', c) -> R(a, b', c)
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				e, err := chase.NewEngine(s, deps, chase.Options{MaxRounds: 50, MaxTuples: 20000, SemiNaive: true, Workers: workers})
+				e, err := chase.NewEngine(s, deps, chase.Options{Governor: budget.New(nil, budget.Limits{Rounds: 50, Tuples: 20000}), SemiNaive: true, Workers: workers})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -447,7 +448,8 @@ func BenchmarkJoinStrategies(b *testing.B) {
 				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
 					res, err := chase.Implies(in.D, in.D0, chase.Options{
-						MaxRounds: 32, MaxTuples: 200000, SemiNaive: true, Join: join,
+						Governor:  budget.New(nil, budget.Limits{Rounds: 32, Tuples: 200000}),
+						SemiNaive: true, Join: join,
 					})
 					if err != nil {
 						b.Fatal(err)
@@ -477,7 +479,8 @@ func BenchmarkJoinClosure(b *testing.B) {
 				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
 					e, err := chase.NewEngine(s, []*td.TD{join}, chase.Options{
-						MaxRounds: 50, MaxTuples: 10000, SemiNaive: true, Join: strat,
+						Governor:  budget.New(nil, budget.Limits{Rounds: 50, Tuples: 10000}),
+						SemiNaive: true, Join: strat,
 					})
 					if err != nil {
 						b.Fatal(err)

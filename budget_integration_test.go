@@ -1,0 +1,195 @@
+package templatedep_test
+
+import (
+	"bytes"
+	"context"
+	"testing"
+	"time"
+
+	"templatedep/internal/budget"
+	"templatedep/internal/chase"
+	"templatedep/internal/eid"
+	"templatedep/internal/obs"
+	"templatedep/internal/reduction"
+	"templatedep/internal/relation"
+	"templatedep/internal/words"
+)
+
+// replayMatches folds a JSONL trace and checks it reproduces the chase's
+// own Stats — the partial-trace contract: however a run was cut short, the
+// trace must still replay to exactly the numbers the run reported.
+func replayMatches(t *testing.T, buf *bytes.Buffer, res chase.Result) obs.Totals {
+	t.Helper()
+	tot, err := obs.Replay(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := res.Stats
+	if tot.Rounds != st.Rounds {
+		t.Errorf("rounds: replay %d, stats %d", tot.Rounds, st.Rounds)
+	}
+	if tot.TriggersMatched != st.TriggersMatched {
+		t.Errorf("matched: replay %d, stats %d", tot.TriggersMatched, st.TriggersMatched)
+	}
+	if tot.TriggersFired != st.TriggersFired {
+		t.Errorf("fired: replay %d, stats %d", tot.TriggersFired, st.TriggersFired)
+	}
+	if tot.TuplesAdded != st.TuplesAdded {
+		t.Errorf("added: replay %d, stats %d", tot.TuplesAdded, st.TuplesAdded)
+	}
+	if tot.Homomorphisms != st.HomomorphismsSeen {
+		t.Errorf("homs: replay %d, stats %d", tot.Homomorphisms, st.HomomorphismsSeen)
+	}
+	if got := tot.Verdicts["chase"]; got != res.Verdict.String() {
+		t.Errorf("verdict: replay %q, run %q", got, res.Verdict)
+	}
+	return tot
+}
+
+// A run cancelled between rounds keeps the completed rounds' statistics and
+// writes a closed trace. The goal callback runs once before the loop and
+// once at the end of every completed round, so cancelling at its third
+// invocation stops the run after exactly two rounds — deterministically,
+// with no timers involved.
+func TestCancelledChaseTraceReplaysToPartialStats(t *testing.T) {
+	in := reduction.MustBuild(words.IdempotentGapPresentation())
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var buf bytes.Buffer
+	e, err := chase.NewEngine(in.Schema, in.D, chase.Options{
+		Governor:  budget.New(ctx, budget.Limits{Rounds: 1000, Tuples: 1_000_000}),
+		SemiNaive: true, Sink: obs.NewJSONLSink(&buf)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	frozen, _ := in.D0.FrozenAntecedents()
+	calls := 0
+	res := e.Chase(frozen, func(*relation.Instance) bool {
+		calls++
+		if calls == 3 {
+			cancel()
+		}
+		return false
+	})
+	if res.Verdict != chase.Unknown {
+		t.Fatalf("verdict %v, want unknown", res.Verdict)
+	}
+	if res.Budget.Code != budget.CodeCancelled {
+		t.Fatalf("budget outcome %v, want cancelled", res.Budget)
+	}
+	if res.Stats.Rounds != 2 {
+		t.Errorf("rounds %d, want 2 (cancelled at the end of round 2)", res.Stats.Rounds)
+	}
+	tot := replayMatches(t, &buf, res)
+	if got := tot.Stops["chase"]; got != "cancelled" {
+		t.Errorf("replay stop %q, want %q", got, "cancelled")
+	}
+}
+
+// A meter-exhausted run reports the spent resource and its trace says so.
+func TestExhaustedChaseTraceReplaysToPartialStats(t *testing.T) {
+	in := reduction.MustBuild(words.IdempotentGapPresentation())
+	var buf bytes.Buffer
+	res, err := chase.Implies(in.D, in.D0, chase.Options{
+		Governor:  budget.New(nil, budget.Limits{Rounds: 3, Tuples: 1_000_000}),
+		SemiNaive: true, Sink: obs.NewJSONLSink(&buf)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != chase.Unknown {
+		t.Fatalf("verdict %v, want unknown", res.Verdict)
+	}
+	if res.Budget != budget.Exhausted(budget.Rounds) {
+		t.Fatalf("budget outcome %v, want exhausted rounds", res.Budget)
+	}
+	if res.Stats.Rounds != 3 {
+		t.Errorf("rounds %d, want 3", res.Stats.Rounds)
+	}
+	tot := replayMatches(t, &buf, res)
+	if got := tot.Stops["chase"]; got != "exhausted:rounds" {
+		t.Errorf("replay stop %q, want %q", got, "exhausted:rounds")
+	}
+}
+
+// A wall-clock deadline can fire anywhere — between rounds, inside trigger
+// enumeration, inside the merge, inside materialization. Wherever it lands,
+// the run must return promptly with a deadline outcome and a trace that
+// still replays to the reported partial Stats.
+func TestDeadlineMidRoundTraceStaysClosed(t *testing.T) {
+	in := reduction.MustBuild(words.IdempotentGapPresentation())
+	g, cancel := budget.ForDuration(30*time.Millisecond, budget.Limits{Rounds: 1_000_000})
+	defer cancel()
+	var buf bytes.Buffer
+	start := time.Now()
+	res, err := chase.Implies(in.D, in.D0, chase.Options{
+		Governor: g, SemiNaive: true, Sink: obs.NewJSONLSink(&buf)})
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != chase.Unknown {
+		t.Fatalf("verdict %v, want unknown", res.Verdict)
+	}
+	if res.Budget.Code != budget.CodeDeadline {
+		t.Fatalf("budget outcome %v, want deadline", res.Budget)
+	}
+	// The gap instance diverges, so only the in-round checkpoints can stop
+	// the run; a generous CI margin still catches a return to per-round-only
+	// polling, under which a deep round takes minutes.
+	if elapsed > 5*time.Second {
+		t.Errorf("deadline overshoot: 30ms budget took %v", elapsed)
+	}
+	tot := replayMatches(t, &buf, res)
+	if got := tot.Stops["chase"]; got != "deadline" {
+		t.Errorf("replay stop %q, want %q", got, "deadline")
+	}
+}
+
+// TDs are single-conclusion EIDs, so on a TD instance the two chase engines
+// must agree under identical governors: same verdict, same round and tuple
+// counts, and isomorphic result instances (fresh-null naming may differ).
+func TestEIDChaseMatchesTDChaseUnderIdenticalGovernors(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		p      *words.Presentation
+		limits budget.Limits
+	}{
+		{"twostep", words.TwoStepPresentation(), budget.Limits{Rounds: 12, Tuples: 1_000_000}},
+		{"chain2", words.ChainPresentation(2), budget.Limits{Rounds: 12, Tuples: 1_000_000}},
+		{"gap", words.IdempotentGapPresentation(), budget.Limits{Rounds: 3, Tuples: 1_000_000}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			in := reduction.MustBuild(tc.p)
+			tres, err := chase.Implies(in.D, in.D0, chase.Options{
+				Governor: budget.New(nil, tc.limits), SemiNaive: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			deps := make([]*eid.EID, len(in.D))
+			for i, d := range in.D {
+				deps[i] = eid.FromTD(d)
+			}
+			eres, err := eid.Implies(deps, eid.FromTD(in.D0), eid.Options{
+				Governor: budget.New(nil, tc.limits)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tres.Verdict.String() != eres.Verdict.String() {
+				t.Fatalf("verdicts differ: td %v, eid %v", tres.Verdict, eres.Verdict)
+			}
+			if tres.Budget != eres.Budget {
+				t.Errorf("budget outcomes differ: td %v, eid %v", tres.Budget, eres.Budget)
+			}
+			if tres.Stats.Rounds != eres.Rounds {
+				t.Errorf("rounds differ: td %d, eid %d", tres.Stats.Rounds, eres.Rounds)
+			}
+			if tres.Stats.TuplesAdded != eres.TuplesAdded {
+				t.Errorf("tuples added differ: td %d, eid %d", tres.Stats.TuplesAdded, eres.TuplesAdded)
+			}
+			if !relation.Isomorphic(tres.Instance, eres.Instance) {
+				t.Errorf("result instances not isomorphic: td %d tuples, eid %d tuples",
+					tres.Instance.Len(), eres.Instance.Len())
+			}
+		})
+	}
+}

@@ -29,4 +29,37 @@ while read -r const wire; do
     done
 done < <(sed -n 's/^\t\(Ev[A-Za-z0-9]*\) EventType = "\([a-z_]*\)"$/\1 \2/p' internal/obs/obs.go)
 
+# Same freshness bar for the governor vocabulary: every resource meter and
+# stop reason internal/budget can put on the wire must appear in the event
+# schema docs.
+for token in rounds tuples nodes words rules context deadline; do
+    if ! grep -q -- "$token" docs/OBSERVABILITY.md; then
+        echo "docs/OBSERVABILITY.md: budget resource/reason \"$token\" (from internal/budget) is undocumented" >&2
+        exit 1
+    fi
+done
+
 go test -race ./...
+
+# Governance smoke: a wall-clock budget on the undecidable gap preset must
+# come back promptly (bounded cancellation latency), exit 0 with an honest
+# "unknown", and leave a trace that replays (the JSONL parses and carries
+# the chase's deadline stop marker).
+smoke=$(mktemp -d)
+trap 'rm -rf "$smoke"' EXIT
+go build -o "$smoke/tdinfer" ./cmd/tdinfer
+out=$("$smoke/tdinfer" -preset gap -deadline 100ms -rounds 100000 \
+    -tuples 10000000 -trace "$smoke/gap.jsonl")
+grep -q "verdict: unknown" <<<"$out" || {
+    echo "ci: gap smoke: expected unknown verdict, got:" >&2
+    echo "$out" >&2
+    exit 1
+}
+grep -q '"type":"cancelled","src":"chase".*"resource":"deadline"' "$smoke/gap.jsonl" || {
+    echo "ci: gap smoke: trace has no chase deadline stop event" >&2
+    exit 1
+}
+grep -q '"type":"verdict","src":"core","verdict":"unknown"' "$smoke/gap.jsonl" || {
+    echo "ci: gap smoke: trace does not close with an unknown core verdict" >&2
+    exit 1
+}

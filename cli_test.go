@@ -77,6 +77,43 @@ func TestCLI(t *testing.T) {
 		}
 	})
 
+	// The governance contract end to end: a wall-clock budget on the
+	// undecidable gap instance exits 0 with an honest unknown verdict,
+	// partial chase statistics, and a trace that still replays cleanly.
+	t.Run("tdinfer-deadline", func(t *testing.T) {
+		trace := filepath.Join(t.TempDir(), "gap.jsonl")
+		out := run("tdinfer", 0,
+			"-preset", "gap", "-deadline", "100ms",
+			"-rounds", "100000", "-tuples", "10000000",
+			"-trace", trace)
+		if !strings.Contains(out, "verdict: unknown") {
+			t.Errorf("output:\n%s", out)
+		}
+		if !strings.Contains(out, "chase stopped by budget: deadline") {
+			t.Errorf("missing budget stop line:\n%s", out)
+		}
+		if !strings.Contains(out, "deadline 100ms reached") {
+			t.Errorf("missing deadline notice:\n%s", out)
+		}
+		data, err := os.ReadFile(trace)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tot, err := obs.Replay(bytes.NewReader(data))
+		if err != nil {
+			t.Fatalf("partial trace does not replay: %v\n%s", err, data)
+		}
+		if tot.Stops["chase"] != "deadline" {
+			t.Errorf("replay stops %v, want chase stopped by deadline", tot.Stops)
+		}
+		if tot.Verdicts["chase"] != "unknown" || tot.Verdicts["core"] != "unknown" {
+			t.Errorf("replay verdicts %v, want unknown from chase and core", tot.Verdicts)
+		}
+		if tot.Rounds == 0 || tot.TuplesAdded == 0 {
+			t.Errorf("replay totals %+v: expected partial chase progress before the deadline", tot)
+		}
+	})
+
 	t.Run("tdreduce", func(t *testing.T) {
 		out := run("tdreduce", 0, "-preset", "power")
 		for _, want := range []string{"D1[0:", "D4[", "D0:", "max antecedents = 5"} {

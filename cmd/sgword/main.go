@@ -22,10 +22,13 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
+	"templatedep/internal/budget"
 	"templatedep/internal/core"
 	"templatedep/internal/obs"
 	"templatedep/internal/rewrite"
@@ -57,6 +60,11 @@ func main() {
 		fatal(err)
 	}
 
+	// Ctrl-C cancels the root context; every semi-procedure notices at its
+	// next governor checkpoint and reports unknown with partial counts.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	p, err := load(*specFile, *preset)
 	if err != nil {
 		fatal(err)
@@ -81,7 +89,10 @@ func main() {
 				d.From.Format(p.Alphabet), d.To.Format(p.Alphabet), d.Len())
 			return
 		}
-		opts := words.ClosureOptions{MaxWords: *maxWords, MaxLength: *maxLen}
+		opts := words.ClosureOptions{
+			Governor:  budget.New(ctx, budget.Limits{Words: *maxWords}),
+			LengthCap: *maxLen,
+		}
 		var res words.Result
 		if *bidi {
 			res = words.DeriveGoalBidirectional(p, opts)
@@ -96,17 +107,25 @@ func main() {
 			return
 		}
 		fmt.Printf("verdict: %s (%d words explored)\n", res.Verdict, res.WordsExplored)
+		if res.Budget.Stopped() {
+			fmt.Printf("search stopped by budget: %s (partial results)\n", res.Budget)
+		}
 		if res.Derivation != nil {
 			fmt.Println("derivation:")
 			fmt.Print(res.Derivation.Format(p))
 		}
 	case "complete":
 		s := rewrite.FromPresentation(p)
-		res, err := s.Complete(rewrite.CompletionOptions{MaxRules: *maxRules})
+		res, err := s.Complete(rewrite.CompletionOptions{
+			Governor: budget.New(ctx, budget.Limits{Rules: *maxRules, Rounds: rewrite.DefaultLimits.Rounds}),
+		})
 		if err != nil {
 			fatal(err)
 		}
 		fmt.Printf("confluent: %v after %d iterations, %d rules\n", res.Confluent, res.Iterations, len(s.Rules))
+		if res.Budget.Stopped() {
+			fmt.Printf("completion stopped by budget: %s\n", res.Budget)
+		}
 		if res.Confluent {
 			ok, err := s.DecideGoal()
 			if err != nil {
@@ -115,11 +134,15 @@ func main() {
 			fmt.Printf("goal decided: %v\nrules:\n%s", ok, s.Format())
 		}
 	case "model":
-		res, err := search.FindCounterModel(p, search.Options{MaxOrder: *maxOrder, MaxNodes: *maxNodes, QuotientClasses: *quotient})
+		res, err := search.FindCounterModel(p, search.Options{
+			Orders:          budget.Range{Lo: search.DefaultOrders.Lo, Hi: *maxOrder},
+			Governor:        budget.New(ctx, budget.Limits{Nodes: *maxNodes}),
+			QuotientClasses: *quotient,
+		})
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Printf("outcome: %s (%d nodes)\n", res.Outcome, res.NodesVisited)
+		fmt.Printf("outcome: %s (%d nodes)\n", res.Status(), res.NodesVisited)
 		if res.Interpretation != nil {
 			fmt.Printf("witness semigroup:\n%s", res.Interpretation.Table.String())
 			fmt.Println("assignment:")
@@ -128,9 +151,18 @@ func main() {
 			}
 		}
 	case "analyze":
-		budget := core.DefaultBudget()
-		budget.Closure = words.ClosureOptions{MaxWords: *maxWords, MaxLength: *maxLen}
-		budget.ModelSearch = search.Options{MaxOrder: *maxOrder, MaxNodes: *maxNodes, QuotientClasses: *quotient}
+		g := budget.New(ctx, budget.Limits{})
+		b := core.DefaultBudget()
+		b.Governor = g
+		b.Closure = words.ClosureOptions{
+			Governor:  g.Child(budget.Limits{Words: *maxWords}),
+			LengthCap: *maxLen,
+		}
+		b.ModelSearch = search.Options{
+			Orders:          budget.Range{Lo: search.DefaultOrders.Lo, Hi: *maxOrder},
+			Governor:        g.Child(budget.Limits{Nodes: *maxNodes}),
+			QuotientClasses: *quotient,
+		}
 		var sinks []obs.Sink
 		if *traceFile != "" {
 			f, err := os.Create(*traceFile)
@@ -157,16 +189,19 @@ func main() {
 			defer prog.Close()
 			sinks = append(sinks, prog)
 		}
-		budget.Sink = obs.Multi(sinks...)
+		b.Sink = obs.Multi(sinks...)
 		var res *core.PresentationResult
 		var err error
 		if *deepen > 0 {
 			// Deepening starts from the front-end's own small budgets and
 			// doubles them each round, so slow instances (e.g. the gap
 			// preset) report honestly within the deadline instead of
-			// grinding one huge budget.
-			opt := core.DeepeningOptions{Deadline: *deepen}
-			opt.Initial.Sink = budget.Sink
+			// grinding one huge budget. The governor carries both the
+			// deadline and the SIGINT context.
+			dctx, dcancel := context.WithTimeout(ctx, *deepen)
+			defer dcancel()
+			opt := core.DeepeningOptions{Governor: budget.New(dctx, budget.Limits{Rounds: 16})}
+			opt.Initial.Sink = b.Sink
 			opt.Initial.ModelSearch.QuotientClasses = *quotient
 			var rounds int
 			res, rounds, err = core.AnalyzePresentationDeepening(p, opt)
@@ -175,7 +210,7 @@ func main() {
 			}
 			fmt.Printf("deepening: %d rounds within %s\n", rounds, *deepen)
 		} else {
-			res, err = core.AnalyzePresentation(p, budget)
+			res, err = core.AnalyzePresentation(p, b)
 			if err != nil {
 				fatal(err)
 			}

@@ -15,6 +15,7 @@ import (
 	"testing"
 	"time"
 
+	"templatedep/internal/budget"
 	"templatedep/internal/chase"
 	"templatedep/internal/diagram"
 	"templatedep/internal/obs"
@@ -153,7 +154,7 @@ func writeBenchJSON(path string, metrics bool) {
 	} {
 		in := reduction.MustBuild(tc.p)
 		for _, join := range []chase.JoinStrategy{chase.JoinIndex, chase.JoinScan} {
-			opt := chase.Options{MaxRounds: 32, MaxTuples: 200000, SemiNaive: true, Join: join}
+			opt := chase.Options{Governor: budget.New(nil, budget.Limits{Rounds: 32, Tuples: 200000}), SemiNaive: true, Join: join}
 			res, err := chase.Implies(in.D, in.D0, opt)
 			check(err)
 			tuples := res.Instance.Len()

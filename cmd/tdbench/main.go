@@ -10,6 +10,7 @@ import (
 	"os"
 	"time"
 
+	"templatedep/internal/budget"
 	"templatedep/internal/chase"
 	"templatedep/internal/core"
 	"templatedep/internal/diagram"
@@ -115,7 +116,7 @@ func e1() {
 		in := reduction.MustBuild(tc.p)
 		dres := words.DeriveGoal(in.Pres, words.DefaultClosureOptions())
 		start := time.Now()
-		cres, err := chase.Implies(in.D, in.D0, chase.Options{MaxRounds: 32, MaxTuples: 200000, SemiNaive: true})
+		cres, err := chase.Implies(in.D, in.D0, chase.Options{Governor: budget.New(nil, budget.Limits{Rounds: 32, Tuples: 200000}), SemiNaive: true})
 		check(err)
 		fmt.Printf("%-10s %-12d %-9s %-8d %-8d %-10s\n",
 			tc.name, dres.Derivation.Len(), cres.Verdict, cres.Stats.Rounds, cres.Instance.Len(),
@@ -125,7 +126,7 @@ func e1() {
 
 	// Growth curve for chain3: canonical-database size per round.
 	in := reduction.MustBuild(words.ChainPresentation(3))
-	gres, err := chase.Implies(in.D, in.D0, chase.Options{MaxRounds: 32, MaxTuples: 200000, SemiNaive: true, KeepHistory: true})
+	gres, err := chase.Implies(in.D, in.D0, chase.Options{Governor: budget.New(nil, budget.Limits{Rounds: 32, Tuples: 200000}), SemiNaive: true, KeepHistory: true})
 	check(err)
 	fmt.Print("chain3 growth (round: tuples):")
 	for _, h := range gres.History {
@@ -195,7 +196,7 @@ func e5() {
 		check(err)
 		p, err := tm.EncodePresentation(tc.m, tc.input)
 		check(err)
-		res := words.DeriveGoal(p, words.ClosureOptions{MaxWords: 500000})
+		res := words.DeriveGoal(p, words.ClosureOptions{Governor: budget.New(nil, budget.Limits{Words: 500000})})
 		steps := -1
 		if res.Derivation != nil {
 			steps = res.Derivation.Len()
@@ -258,11 +259,11 @@ func e8() {
 
 func e9() {
 	header("E9 (inseparability)", "dual semidecision: who terminates on what")
-	budget := core.DefaultBudget()
-	budget.Chase = chase.Options{MaxRounds: 12, MaxTuples: 60000, SemiNaive: true}
-	budget.Closure = words.ClosureOptions{MaxWords: 3000, MaxLength: 10}
-	budget.ModelSearch = search.Options{MaxOrder: 4, MaxNodes: 300000}
-	budget.FiniteDB = finitemodel.Options{MaxTuples: 2}
+	b := core.DefaultBudget()
+	b.Chase = chase.Options{Governor: budget.New(nil, budget.Limits{Rounds: 12, Tuples: 60000}), SemiNaive: true}
+	b.Closure = words.ClosureOptions{Governor: budget.New(nil, budget.Limits{Words: 3000}), LengthCap: 10}
+	b.ModelSearch = search.Options{Orders: budget.Range{Lo: 2, Hi: 4}, Governor: budget.New(nil, budget.Limits{Nodes: 300000})}
+	b.FiniteDB = finitemodel.Options{Sizes: budget.Range{Lo: 1, Hi: 2}}
 	fmt.Printf("%-12s %-24s %-12s\n", "instance", "verdict", "time")
 	for _, tc := range []struct {
 		name string
@@ -275,7 +276,7 @@ func e9() {
 		{"gap", words.IdempotentGapPresentation()},
 	} {
 		start := time.Now()
-		res, err := core.AnalyzePresentation(tc.p, budget)
+		res, err := core.AnalyzePresentation(tc.p, b)
 		check(err)
 		fmt.Printf("%-12s %-24s %-12s\n", tc.name, res.Verdict, time.Since(start).Round(time.Millisecond))
 	}

@@ -13,6 +13,7 @@ import (
 	"os"
 	"strings"
 
+	"templatedep/internal/budget"
 	"templatedep/internal/chase"
 	"templatedep/internal/relation"
 	"templatedep/internal/tableau"
@@ -73,7 +74,7 @@ func main() {
 	fmt.Printf("%d of %d dependencies violated\n", violations, len(deps))
 
 	if *repair {
-		e, err := chase.NewEngine(schema, deps, chase.Options{MaxRounds: *rounds, MaxTuples: 100000, SemiNaive: true})
+		e, err := chase.NewEngine(schema, deps, chase.Options{Governor: budget.New(nil, budget.Limits{Rounds: *rounds, Tuples: 100000}), SemiNaive: true})
 		if err != nil {
 			fatal(err)
 		}

@@ -10,7 +10,15 @@
 //	        -dep "R(a,b,c) & R(a,b',c') -> R(a*,b,c')" \
 //	        -goal "R(a,b,c) & R(a,b',c') -> R(a*,b,c')"
 //
-// Dependencies may also be read one per line from a file via -deps.
+// Dependencies may also be read one per line from a file via -deps, or the
+// whole instance generated from a semigroup presentation preset via
+// -preset (power|twostep|gap|chain:N|nilpotent:M) through the
+// Gurevich–Lewis reduction.
+//
+// Resource governance: -rounds/-tuples meter the chase, -deadline bounds
+// wall-clock time, and Ctrl-C interrupts the run at the next governor
+// checkpoint. An interrupted run exits 0 with an honest "unknown" verdict,
+// partial statistics, and (with -trace) a well-formed replayable trace.
 //
 // Observability: -trace FILE writes the structured event stream (JSONL, see
 // docs/OBSERVABILITY.md) of the whole run; -progress keeps a live one-line
@@ -20,17 +28,22 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"time"
 
+	"templatedep/internal/budget"
 	"templatedep/internal/chase"
 	"templatedep/internal/core"
-	"templatedep/internal/finitemodel"
 	"templatedep/internal/obs"
+	"templatedep/internal/reduction"
 	"templatedep/internal/relation"
 	"templatedep/internal/td"
+	"templatedep/internal/words"
 )
 
 type depFlags []string
@@ -40,12 +53,14 @@ func (d *depFlags) Set(s string) error { *d = append(*d, s); return nil }
 
 func main() {
 	var (
-		schemaFlag = flag.String("schema", "", "comma-separated attribute names (required)")
+		schemaFlag = flag.String("schema", "", "comma-separated attribute names")
 		depsFile   = flag.String("deps", "", "file with one TD per line (optional)")
-		goalFlag   = flag.String("goal", "", "goal TD D0 (required)")
+		goalFlag   = flag.String("goal", "", "goal TD D0")
+		preset     = flag.String("preset", "", "build D and D0 from a presentation preset via the reduction: power|twostep|gap|chain:N|nilpotent:M")
 		rounds     = flag.Int("rounds", 64, "chase round budget")
 		tuples     = flag.Int("tuples", 100000, "chase tuple budget")
 		fmTuples   = flag.Int("cx-tuples", 4, "counterexample enumeration: max tuples")
+		deadline   = flag.Duration("deadline", 0, "wall-clock budget for the whole run (0 = none)")
 		proof      = flag.Bool("proof", false, "print the chase proof trace")
 		traceFile  = flag.String("trace", "", "write the structured event stream to FILE as JSONL (see docs/OBSERVABILITY.md)")
 		progress   = flag.Bool("progress", false, "live progress line on stderr")
@@ -55,43 +70,74 @@ func main() {
 	flag.Var(&deps, "dep", "a TD (repeatable)")
 	flag.Parse()
 
-	if *schemaFlag == "" || *goalFlag == "" {
-		fmt.Fprintln(os.Stderr, "tdinfer: -schema and -goal are required")
+	if *preset == "" && (*schemaFlag == "" || *goalFlag == "") {
+		fmt.Fprintln(os.Stderr, "tdinfer: either -preset or both -schema and -goal are required")
 		flag.Usage()
 		os.Exit(2)
 	}
-	schema, err := relation.NewSchema(strings.Split(*schemaFlag, ","))
-	if err != nil {
-		fatal(err)
-	}
-	var depSet []*td.TD
-	if *depsFile != "" {
-		data, err := os.ReadFile(*depsFile)
+	var (
+		schema *relation.Schema
+		depSet []*td.TD
+		goal   *td.TD
+		err    error
+	)
+	if *preset != "" {
+		p, err := words.Preset(*preset)
 		if err != nil {
 			fatal(err)
 		}
-		ds, err := td.ParseSet(schema, string(data))
+		in, err := reduction.Build(p)
 		if err != nil {
 			fatal(err)
 		}
-		depSet = append(depSet, ds...)
-	}
-	for i, s := range deps {
-		d, err := td.Parse(schema, s, fmt.Sprintf("dep%d", i+1))
+		schema, depSet, goal = in.Schema, in.D, in.D0
+	} else {
+		schema, err = relation.NewSchema(strings.Split(*schemaFlag, ","))
 		if err != nil {
 			fatal(err)
 		}
-		depSet = append(depSet, d)
-	}
-	goal, err := td.Parse(schema, *goalFlag, "D0")
-	if err != nil {
-		fatal(err)
+		if *depsFile != "" {
+			data, err := os.ReadFile(*depsFile)
+			if err != nil {
+				fatal(err)
+			}
+			ds, err := td.ParseSet(schema, string(data))
+			if err != nil {
+				fatal(err)
+			}
+			depSet = append(depSet, ds...)
+		}
+		for i, s := range deps {
+			d, err := td.Parse(schema, s, fmt.Sprintf("dep%d", i+1))
+			if err != nil {
+				fatal(err)
+			}
+			depSet = append(depSet, d)
+		}
+		goal, err = td.Parse(schema, *goalFlag, "D0")
+		if err != nil {
+			fatal(err)
+		}
 	}
 
-	budget := core.DefaultBudget()
-	budget.Chase = chase.Options{MaxRounds: *rounds, MaxTuples: *tuples, SemiNaive: true,
-		Trace: *proof, PerDepStats: *depStats}
-	budget.FiniteDB = finitemodel.Options{MaxTuples: *fmTuples}
+	// Ctrl-C cancels the governor's context; every semi-procedure notices
+	// at its next checkpoint and returns partial results with an honest
+	// "unknown" verdict. A second Ctrl-C kills the process the usual way.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *deadline)
+		defer cancel()
+	}
+
+	b := core.DefaultBudget()
+	b.Governor = budget.New(ctx, budget.Limits{})
+	b.Chase = chase.Options{
+		Governor:  b.Governor.Child(budget.Limits{Rounds: *rounds, Tuples: *tuples}),
+		SemiNaive: true, Trace: *proof, PerDepStats: *depStats,
+	}
+	b.FiniteDB.Sizes = budget.Range{Lo: 1, Hi: *fmTuples}
 
 	var sinks []obs.Sink
 	if *traceFile != "" {
@@ -120,13 +166,14 @@ func main() {
 		defer prog.Close()
 		sinks = append(sinks, prog)
 	}
-	budget.Sink = obs.Multi(sinks...)
+	b.Sink = obs.Multi(sinks...)
 
 	fmt.Printf("schema: %s\n", schema)
 	fmt.Printf("|D| = %d dependencies (all full: %v)\n", len(depSet), chase.AllFull(depSet))
 	fmt.Printf("D0:  %s\n\n", goal.Format())
 
-	res, err := core.Infer(depSet, goal, budget)
+	start := time.Now()
+	res, err := core.Infer(depSet, goal, b)
 	if err != nil {
 		fatal(err)
 	}
@@ -135,6 +182,9 @@ func main() {
 		st := res.Chase.Stats
 		fmt.Printf("chase: %d rounds, %d tuples added, %d triggers fired, fixpoint=%v\n",
 			st.Rounds, st.TuplesAdded, st.TriggersFired, res.Chase.FixpointReached)
+		if res.Chase.Budget.Stopped() {
+			fmt.Printf("chase stopped by budget: %s (partial results above)\n", res.Chase.Budget)
+		}
 		if *depStats {
 			fmt.Println("per-dependency chase work:")
 			for i, ds := range st.PerDep {
@@ -153,7 +203,14 @@ func main() {
 		fmt.Printf("finite counterexample (%d tuples):\n%s", res.Counterexample.Len(), res.Counterexample.String())
 	}
 	if res.Verdict == core.Unknown {
-		fmt.Println("inconclusive within budget — raise -rounds / -tuples / -cx-tuples.")
+		switch ctx.Err() {
+		case context.Canceled:
+			fmt.Printf("interrupted after %v — partial results only.\n", time.Since(start).Round(time.Millisecond))
+		case context.DeadlineExceeded:
+			fmt.Printf("deadline %v reached — partial results only.\n", *deadline)
+		default:
+			fmt.Println("inconclusive within budget — raise -rounds / -tuples / -cx-tuples.")
+		}
 		fmt.Println("(TD inference is undecidable; no budget eliminates this outcome in general.)")
 	}
 }

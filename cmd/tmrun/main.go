@@ -9,12 +9,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
 
+	"templatedep/internal/budget"
 	"templatedep/internal/reduction"
 	"templatedep/internal/tm"
 	"templatedep/internal/words"
@@ -29,6 +32,11 @@ func main() {
 		maxWords = flag.Int("max-words", 500000, "derivation search word budget for -analyze")
 	)
 	flag.Parse()
+
+	// Ctrl-C cancels the governor's context; the derivation search notices
+	// at its next dequeued word and reports unknown with partial counts.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	m, err := machineByName(*machine)
 	if err != nil {
@@ -65,8 +73,14 @@ func main() {
 	}
 	fmt.Printf("reduction: %d attributes, |D| = %d, max antecedents %d\n",
 		in.Schema.Width(), len(in.D), in.MaxAntecedents())
-	res := words.DeriveGoal(in.Pres, words.ClosureOptions{MaxWords: *maxWords, MaxLength: 16})
+	res := words.DeriveGoal(in.Pres, words.ClosureOptions{
+		Governor:  budget.New(ctx, budget.Limits{Words: *maxWords}),
+		LengthCap: 16,
+	})
 	fmt.Printf("word problem A0 = 0: %s (%d words explored)\n", res.Verdict, res.WordsExplored)
+	if res.Budget.Stopped() {
+		fmt.Printf("search stopped by budget: %s (partial results)\n", res.Budget)
+	}
 	if res.Verdict == words.Derivable {
 		fmt.Printf("derivation (%d steps) certifies, via Reduction Theorem (A), that D |= D0\n", res.Derivation.Len())
 	}

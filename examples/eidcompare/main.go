@@ -10,6 +10,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"templatedep/internal/budget"
 
 	"templatedep/internal/eid"
 	"templatedep/internal/relation"
@@ -38,7 +39,7 @@ func main() {
 		fmt.Printf("EID implies %s: %s\n", goal.Name(), res.Verdict)
 	}
 	// ...but not conversely.
-	res, err := eid.Implies([]*eid.EID{projA, projB}, paperEID, eid.Options{MaxRounds: 8, MaxTuples: 5000})
+	res, err := eid.Implies([]*eid.EID{projA, projB}, paperEID, eid.Options{Governor: budget.New(nil, budget.Limits{Rounds: 8, Tuples: 5000})})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -11,6 +11,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"templatedep/internal/budget"
 
 	"templatedep/internal/chase"
 	"templatedep/internal/relation"
@@ -82,7 +83,7 @@ swap:    R(w, p, c) & R(w, p', c') -> R(w, p', c)
 	}
 	fmt.Printf("adding embedded dependency: %s\n", emb.Format())
 	opt := chase.DefaultOptions()
-	opt.MaxRounds = 8
+	opt.Governor = budget.New(nil, budget.Limits{Rounds: 8, Tuples: chase.DefaultLimits.Tuples})
 	res, err := chase.Implies(append(a, emb), constraints[2], opt)
 	if err != nil {
 		log.Fatal(err)

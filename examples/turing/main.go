@@ -9,6 +9,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"templatedep/internal/budget"
 
 	"templatedep/internal/reduction"
 	"templatedep/internal/tm"
@@ -21,7 +22,7 @@ func main() {
 	run("run-forever", tm.RunForever(), nil, 20000)
 }
 
-func run(name string, m *tm.TM, input []int, budget int) {
+func run(name string, m *tm.TM, input []int, wordCap int) {
 	fmt.Printf("=== %s ===\n", name)
 	halted, steps, _, err := m.Run(input, 1000)
 	if err != nil {
@@ -43,7 +44,7 @@ func run(name string, m *tm.TM, input []int, budget int) {
 	fmt.Printf("TD instance: %d attributes, |D| = %d dependencies, max antecedents %d\n",
 		in.Schema.Width(), len(in.D), in.MaxAntecedents())
 
-	res := words.DeriveGoal(in.Pres, words.ClosureOptions{MaxWords: budget, MaxLength: 14})
+	res := words.DeriveGoal(in.Pres, words.ClosureOptions{Governor: budget.New(nil, budget.Limits{Words: wordCap}), LengthCap: 14})
 	fmt.Printf("word problem: %s (%d words explored)\n", res.Verdict, res.WordsExplored)
 	if res.Verdict == words.Derivable {
 		fmt.Printf("derivation has %d steps; by Reduction Theorem (A), D logically implies D0\n",

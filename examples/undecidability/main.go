@@ -9,6 +9,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"templatedep/internal/budget"
 
 	"templatedep/internal/chase"
 	"templatedep/internal/core"
@@ -16,9 +17,9 @@ import (
 )
 
 func main() {
-	budget := core.DefaultBudget()
-	budget.Chase = chase.Options{MaxRounds: 12, MaxTuples: 60000, SemiNaive: true}
-	budget.Closure = words.ClosureOptions{MaxWords: 5000, MaxLength: 10}
+	b := core.DefaultBudget()
+	b.Chase = chase.Options{Governor: budget.New(nil, budget.Limits{Rounds: 12, Tuples: 60000}), SemiNaive: true}
+	b.Closure = words.ClosureOptions{Governor: budget.New(nil, budget.Limits{Words: 5000}), LengthCap: 10}
 
 	cases := []struct {
 		name string
@@ -38,7 +39,7 @@ func main() {
 		fmt.Printf("presentation:\n%s", words.FormatSpec(c.p, true))
 		fmt.Printf("why: %s\n", c.why)
 
-		res, err := core.AnalyzePresentation(c.p, budget)
+		res, err := core.AnalyzePresentation(c.p, b)
 		if err != nil {
 			log.Fatal(err)
 		}

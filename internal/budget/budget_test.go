@@ -1,0 +1,126 @@
+package budget
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestChargeEnforcesLimit(t *testing.T) {
+	g := New(nil, Limits{Rounds: 3})
+	for i := 1; i <= 3; i++ {
+		if o := g.Charge(Rounds, 1); o.Stopped() {
+			t.Fatalf("round %d refused under limit 3: %s", i, o)
+		}
+	}
+	o := g.Charge(Rounds, 1)
+	if o != Exhausted(Rounds) {
+		t.Fatalf("round 4 under limit 3: got %v, want exhausted:rounds", o)
+	}
+	if o.String() != "exhausted:rounds" {
+		t.Errorf("String() = %q", o.String())
+	}
+	if o.Reason() != "rounds" {
+		t.Errorf("Reason() = %q", o.Reason())
+	}
+	if g.Used(Rounds) != 4 {
+		t.Errorf("Used(Rounds) = %d, want 4 (refused charges still settle)", g.Used(Rounds))
+	}
+}
+
+func TestZeroLimitIsUnbounded(t *testing.T) {
+	g := New(nil, Limits{})
+	for i := 0; i < 1000; i++ {
+		if o := g.Charge(Nodes, 1000); o.Stopped() {
+			t.Fatalf("ungoverned meter stopped: %s", o)
+		}
+	}
+	if g.Limit(Nodes) != 0 {
+		t.Errorf("Limit(Nodes) = %d, want 0", g.Limit(Nodes))
+	}
+}
+
+func TestCancellationBeatsExhaustion(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	g := New(ctx, Limits{Words: 1})
+	cancel()
+	o := g.Charge(Words, 5)
+	if o.Code != CodeCancelled {
+		t.Fatalf("cancelled context charge: got %v, want cancelled", o)
+	}
+	if o.String() != "cancelled" || o.Reason() != "context" {
+		t.Errorf("String/Reason = %q/%q", o.String(), o.Reason())
+	}
+	if got := g.Interrupted(); got.Code != CodeCancelled {
+		t.Errorf("Interrupted = %v, want cancelled", got)
+	}
+}
+
+func TestDeadlineOutcome(t *testing.T) {
+	g, cancel := ForDuration(time.Nanosecond, Limits{})
+	defer cancel()
+	deadline := time.Now().Add(time.Second)
+	for {
+		if o := g.Interrupted(); o.Stopped() {
+			if o.Code != CodeDeadline {
+				t.Fatalf("expired timer: got %v, want deadline", o)
+			}
+			if o.String() != "deadline" || o.Reason() != "deadline" {
+				t.Errorf("String/Reason = %q/%q", o.String(), o.Reason())
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("deadline never observed")
+		}
+	}
+}
+
+func TestChildSharesContextNotMeters(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	parent := New(ctx, Limits{Rounds: 1})
+	parent.Charge(Rounds, 1)
+	child := parent.Child(Limits{Rounds: 2})
+	if child.Used(Rounds) != 0 {
+		t.Fatalf("child inherited meter usage: %d", child.Used(Rounds))
+	}
+	if o := child.Charge(Rounds, 1); o.Stopped() {
+		t.Fatalf("fresh child meter refused first charge: %s", o)
+	}
+	cancel()
+	if o := child.Interrupted(); o.Code != CodeCancelled {
+		t.Fatalf("cancelling parent context did not reach child: %v", o)
+	}
+}
+
+func TestResolve(t *testing.T) {
+	def := Limits{Words: 42}
+	g := Resolve(nil, def)
+	if g.Limit(Words) != 42 {
+		t.Errorf("Resolve(nil) limit = %d, want 42", g.Limit(Words))
+	}
+	own := New(nil, Limits{Words: 7})
+	if Resolve(own, def) != own {
+		t.Error("Resolve must return a non-nil governor unchanged")
+	}
+}
+
+func TestResourceNames(t *testing.T) {
+	want := map[Resource]string{Rounds: "rounds", Tuples: "tuples", Nodes: "nodes", Words: "words", Rules: "rules"}
+	rs := Resources()
+	if len(rs) != len(want) {
+		t.Fatalf("Resources() has %d entries, want %d", len(rs), len(want))
+	}
+	for _, r := range rs {
+		if r.String() != want[r] {
+			t.Errorf("%d.String() = %q, want %q", r, r.String(), want[r])
+		}
+	}
+}
+
+func TestOutcomeZeroValueIsOK(t *testing.T) {
+	var o Outcome
+	if o.Stopped() || o.String() != "ok" || o.Reason() != "" {
+		t.Errorf("zero Outcome: Stopped=%v String=%q Reason=%q", o.Stopped(), o.String(), o.Reason())
+	}
+}

@@ -33,6 +33,7 @@ import (
 	"strconv"
 	"sync"
 
+	"templatedep/internal/budget"
 	"templatedep/internal/obs"
 	"templatedep/internal/relation"
 	"templatedep/internal/tableau"
@@ -81,10 +82,11 @@ func (j JoinStrategy) String() string {
 
 // Options bounds and configures a chase run.
 type Options struct {
-	// MaxRounds caps the number of fair rounds. <= 0 means 64.
-	MaxRounds int
-	// MaxTuples caps the instance size. <= 0 means 100000.
-	MaxTuples int
+	// Governor bounds the run: its rounds meter caps fair rounds, its
+	// tuples meter caps the instance size, and its context is checked once
+	// per round so cancellation latency is one round. Nil resolves to a
+	// fresh governor with DefaultLimits per run.
+	Governor *budget.Governor
 	// Variant selects restricted (default) or oblivious stepping.
 	Variant Variant
 	// SemiNaive enables delta-driven trigger enumeration: after the first
@@ -135,10 +137,20 @@ type RoundStats struct {
 	NullsCreated int
 }
 
+// DefaultLimits are the meter caps an ungoverned chase runs under: 64 fair
+// rounds and a 100000-tuple instance.
+var DefaultLimits = budget.Limits{Rounds: 64, Tuples: 100000}
+
+// interruptBatch is how many homomorphisms (buffered, merged, or
+// materialized) pass between context polls inside a round. One poll per
+// batch keeps the inner loops free of governor traffic while bounding
+// cancellation latency even when a single round diverges.
+const interruptBatch = 4096
+
 // DefaultOptions returns sensible interactive defaults (semi-naive
-// restricted chase).
+// restricted chase under DefaultLimits).
 func DefaultOptions() Options {
-	return Options{MaxRounds: 64, MaxTuples: 100000, SemiNaive: true}
+	return Options{SemiNaive: true}
 }
 
 // Verdict is the three-valued outcome of an implication check.
@@ -214,7 +226,11 @@ type Result struct {
 	// FixpointReached reports that no trigger was applicable in the last
 	// round: the instance satisfies every dependency.
 	FixpointReached bool
-	Stats           Stats
+	// Budget reports how the governor cut the run short; the zero value
+	// (ok) means the run completed on its own. Stats and Instance are valid
+	// — partial — either way.
+	Budget budget.Outcome
+	Stats  Stats
 	// Trace is non-nil when Options.Trace was set.
 	Trace []Fired
 	// History is non-nil when Options.KeepHistory was set.
@@ -233,12 +249,6 @@ type Engine struct {
 
 // NewEngine validates that all dependencies share the schema.
 func NewEngine(schema *relation.Schema, deps []*td.TD, opt Options) (*Engine, error) {
-	if opt.MaxRounds <= 0 {
-		opt.MaxRounds = 64
-	}
-	if opt.MaxTuples <= 0 {
-		opt.MaxTuples = 100000
-	}
 	widths := make([]int, len(deps))
 	for i, d := range deps {
 		if !d.Schema().Equal(schema) {
@@ -298,6 +308,12 @@ func (e *Engine) Chase(start *relation.Instance, goal func(*relation.Instance) b
 	inst := start.Clone()
 	res := Result{Instance: inst}
 	sink := e.opt.Sink
+	// Resolved per run, not per engine, so a reused engine never carries an
+	// exhausted meter pool between chases. The tuple cap is fetched once
+	// and compared against inst.Len() in the materialization loop — the hot
+	// path never touches the governor.
+	g := budget.Resolve(e.opt.Governor, DefaultLimits)
+	tupleCap := g.Limit(budget.Tuples)
 	// All emissions happen on this goroutine, in the sequential sections
 	// of the round, so the stream is deterministic for every Workers
 	// value.
@@ -306,6 +322,19 @@ func (e *Engine) Chase(start *relation.Instance, goal func(*relation.Instance) b
 			sink.Event(obs.Event{Type: obs.EvVerdict, Src: "chase",
 				Verdict: res.Verdict.String(), Round: res.Stats.Rounds, Tuples: inst.Len()})
 		}
+	}
+	// emitStop reports a budget stop (exhaustion or cancellation) just
+	// before the verdict, so a cut-short trace still explains itself.
+	emitStop := func() {
+		if sink == nil || !res.Budget.Stopped() {
+			return
+		}
+		typ := obs.EvBudgetExhausted
+		if res.Budget.Code != budget.CodeExhausted {
+			typ = obs.EvCancelled
+		}
+		sink.Event(obs.Event{Type: typ, Src: "chase",
+			Round: res.Stats.Rounds, Resource: res.Budget.Reason()})
 	}
 	if e.opt.PerDepStats {
 		res.Stats.PerDep = make([]DepStats, len(e.deps))
@@ -333,7 +362,18 @@ func (e *Engine) Chase(start *relation.Instance, goal func(*relation.Instance) b
 	// homomorphisms, reused across rounds.
 	scratch := make([]tableau.Assignment, len(e.deps))
 
-	for round := 1; round <= e.opt.MaxRounds; round++ {
+	for round := 1; ; round++ {
+		// One governor checkpoint per fair round: the charge refuses the
+		// round when the rounds meter is spent or the context is done, so a
+		// cancelled run stops within one round and Stats still counts only
+		// completed rounds.
+		if o := g.Charge(budget.Rounds, 1); o.Stopped() {
+			res.Verdict = Unknown
+			res.Budget = o
+			emitStop()
+			emitVerdict()
+			return res
+		}
 		res.Stats.Rounds = round
 		type pending struct {
 			dep int
@@ -398,6 +438,16 @@ func (e *Engine) Chase(start *relation.Instance, goal func(*relation.Instance) b
 			t.homs.width = e.widths[t.dep]
 			emit := func(as tableau.Assignment) bool {
 				t.homs.add(as)
+				// A single round's enumeration is unbounded on divergent
+				// instances, so cancellation latency cannot be per-round
+				// only: every batch of buffered homomorphisms polls the
+				// context (cheap, lock-free, safe from worker goroutines)
+				// and aborts this task's join. Aborted buffers are
+				// discarded before any event is emitted, so the trace
+				// stays closed.
+				if t.homs.n%interruptBatch == 0 && g.Interrupted().Stopped() {
+					return false
+				}
 				return true
 			}
 			if e.opt.Join == JoinScan {
@@ -458,6 +508,36 @@ func (e *Engine) Chase(start *relation.Instance, goal func(*relation.Instance) b
 				pprof.Labels("chase_phase", "apply")))
 		}
 		var matchedRound, homsRound, nullsRound, firedRound, addedRound int
+		// emitRoundTail closes the round's event group; it is also called
+		// on early exits so partial rounds replay to the reported Stats.
+		emitRoundTail := func() {
+			if sink == nil {
+				return
+			}
+			if nullsRound > 0 {
+				sink.Event(obs.Event{Type: obs.EvNullsCreated, Src: "chase", Round: round, N: nullsRound})
+			}
+			sink.Event(obs.Event{Type: obs.EvTuplesAdded, Src: "chase", Round: round, N: addedRound})
+			sink.Event(obs.Event{Type: obs.EvRoundEnd, Src: "chase", Round: round,
+				Tuples: inst.Len(), N: firedRound, Matched: matchedRound, Homs: homsRound})
+		}
+		// stopMidRound abandons the round in flight: whatever was already
+		// counted is flushed as a well-formed round tail, then the stop and
+		// verdict events close the trace, so a cancelled run still replays
+		// to exactly the Stats it reports.
+		stopMidRound := func(o budget.Outcome) Result {
+			res.Verdict = Unknown
+			res.Budget = o
+			emitRoundTail()
+			emitStop()
+			emitVerdict()
+			return res
+		}
+		if o := g.Interrupted(); o.Stopped() {
+			return stopMidRound(o)
+		}
+		var stopped budget.Outcome
+	merge:
 		for ti := range tasks {
 			t := &tasks[ti]
 			if t.homs.n == 0 {
@@ -472,6 +552,12 @@ func (e *Engine) Chase(start *relation.Instance, goal func(*relation.Instance) b
 				t.homs.load(i, as)
 				res.Stats.HomomorphismsSeen++
 				homsRound++
+				if homsRound%interruptBatch == 0 {
+					if o := g.Interrupted(); o.Stopped() {
+						stopped = o
+						break merge
+					}
+				}
 				if e.opt.Variant == Oblivious {
 					keyBuf = appendTriggerKey(keyBuf[:0], t.dep, as)
 					if firedKeys[string(keyBuf)] {
@@ -493,18 +579,8 @@ func (e *Engine) Chase(start *relation.Instance, goal func(*relation.Instance) b
 				adds = append(adds, pending{dep: t.dep, tup: tup})
 			}
 		}
-		// emitRoundTail closes the round's event group; it is also called
-		// on early exits so partial rounds replay to the reported Stats.
-		emitRoundTail := func() {
-			if sink == nil {
-				return
-			}
-			if nullsRound > 0 {
-				sink.Event(obs.Event{Type: obs.EvNullsCreated, Src: "chase", Round: round, N: nullsRound})
-			}
-			sink.Event(obs.Event{Type: obs.EvTuplesAdded, Src: "chase", Round: round, N: addedRound})
-			sink.Event(obs.Event{Type: obs.EvRoundEnd, Src: "chase", Round: round,
-				Tuples: inst.Len(), N: firedRound, Matched: matchedRound, Homs: homsRound})
+		if stopped.Stopped() {
+			return stopMidRound(stopped)
 		}
 
 		if len(adds) == 0 {
@@ -530,13 +606,19 @@ func (e *Engine) Chase(start *relation.Instance, goal func(*relation.Instance) b
 			}
 			curFired, curAdded = 0, 0
 		}
-		for _, p := range adds {
-			if inst.Len() >= e.opt.MaxTuples {
-				res.Verdict = Unknown
+		for ai, p := range adds {
+			if tupleCap > 0 && inst.Len() >= tupleCap {
+				res.Budget = budget.Exhausted(budget.Tuples)
+				g.Add(budget.Tuples, addedRound)
 				flushDep()
-				emitRoundTail()
-				emitVerdict()
-				return res
+				return stopMidRound(res.Budget)
+			}
+			if ai%interruptBatch == interruptBatch-1 {
+				if o := g.Interrupted(); o.Stopped() {
+					g.Add(budget.Tuples, addedRound)
+					flushDep()
+					return stopMidRound(o)
+				}
 			}
 			if p.dep != curDep {
 				flushDep()
@@ -567,6 +649,7 @@ func (e *Engine) Chase(start *relation.Instance, goal func(*relation.Instance) b
 		}
 		flushDep()
 		emitRoundTail()
+		g.Add(budget.Tuples, addedRound)
 		prevLen = lastLen
 		lastLen = inst.Len()
 		if e.opt.KeepHistory {
@@ -584,9 +667,6 @@ func (e *Engine) Chase(start *relation.Instance, goal func(*relation.Instance) b
 			return res
 		}
 	}
-	res.Verdict = Unknown
-	emitVerdict()
-	return res
 }
 
 // conclusionTuple materializes d's conclusion under as, inventing fresh

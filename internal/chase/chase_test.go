@@ -2,6 +2,7 @@ package chase
 
 import (
 	"reflect"
+	"templatedep/internal/budget"
 	"testing"
 
 	"templatedep/internal/relation"
@@ -115,7 +116,8 @@ func TestEmbeddedFires(t *testing.T) {
 func TestBudgetUnknown(t *testing.T) {
 	_, fig1 := td.GarmentExample()
 	opt := DefaultOptions()
-	opt.MaxTuples = 2 // frozen antecedents already have 2 tuples
+	// frozen antecedents already have 2 tuples
+	opt.Governor = budget.New(nil, budget.Limits{Rounds: DefaultLimits.Rounds, Tuples: 2})
 	res, err := Implies([]*td.TD{fig1}, fig1, opt)
 	if err != nil {
 		t.Fatal(err)
@@ -129,9 +131,7 @@ func TestMaxRoundsUnknown(t *testing.T) {
 	s := threeCol()
 	join := td.MustParse(s, "R(a, b, c) & R(a, b', c') -> R(a, b, c')", "join")
 	goal := td.MustParse(s, "R(a, b, c) & R(a, b', c') & R(a, b'', c'') -> R(a, b, c'')", "goal")
-	opt := DefaultOptions()
-	opt.MaxRounds = 0 // clamps to default; use 1 explicitly below
-	e, err := NewEngine(s, []*td.TD{join}, Options{MaxRounds: 1, MaxTuples: 3, SemiNaive: true})
+	e, err := NewEngine(s, []*td.TD{join}, Options{Governor: budget.New(nil, budget.Limits{Rounds: 1, Tuples: 3}), SemiNaive: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,7 +143,6 @@ func TestMaxRoundsUnknown(t *testing.T) {
 	if res.Verdict == NotImplied {
 		t.Errorf("verdict %v; a budget cut must not claim NotImplied", res.Verdict)
 	}
-	_ = opt
 }
 
 func TestRestrictedVsObliviousAgree(t *testing.T) {
@@ -176,7 +175,7 @@ func TestSemiNaiveMatchesNaive(t *testing.T) {
 	start.MustAdd(relation.Tuple{7, 1, 2})
 
 	run := func(semiNaive bool) *relation.Instance {
-		e, err := NewEngine(s, []*td.TD{join}, Options{MaxRounds: 50, MaxTuples: 1000, SemiNaive: semiNaive})
+		e, err := NewEngine(s, []*td.TD{join}, Options{Governor: budget.New(nil, budget.Limits{Rounds: 50, Tuples: 1000}), SemiNaive: semiNaive})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -260,7 +259,7 @@ func TestKeepHistory(t *testing.T) {
 	start.MustAdd(relation.Tuple{0, 0, 0})
 	start.MustAdd(relation.Tuple{0, 1, 1})
 	start.MustAdd(relation.Tuple{0, 2, 2})
-	e, err := NewEngine(s, []*td.TD{join}, Options{MaxRounds: 20, MaxTuples: 1000, SemiNaive: true, KeepHistory: true})
+	e, err := NewEngine(s, []*td.TD{join}, Options{Governor: budget.New(nil, budget.Limits{Rounds: 20, Tuples: 1000}), SemiNaive: true, KeepHistory: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -298,7 +297,7 @@ mirror: R(a, b, c) & R(a', b, c') -> R(a, b, c')
 	start.MustAdd(relation.Tuple{0, 1, 1})
 	start.MustAdd(relation.Tuple{7, 1, 2})
 	run := func(workers int) Result {
-		e, err := NewEngine(s, deps, Options{MaxRounds: 50, MaxTuples: 10000, SemiNaive: true, Workers: workers})
+		e, err := NewEngine(s, deps, Options{Governor: budget.New(nil, budget.Limits{Rounds: 50, Tuples: 10000}), SemiNaive: true, Workers: workers})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -344,7 +343,8 @@ invent: R(a, b, c) & R(a', b, c') -> R(a*, b, c')
 	}
 	run := func(workers int) Result {
 		e, err := NewEngine(s, deps, Options{
-			MaxRounds: 4, MaxTuples: 4000, SemiNaive: true, Workers: workers, Trace: true,
+			Governor:  budget.New(nil, budget.Limits{Rounds: 4, Tuples: 4000}),
+			SemiNaive: true, Workers: workers, Trace: true,
 		})
 		if err != nil {
 			t.Fatal(err)
@@ -482,7 +482,7 @@ func TestRestrictedTerminatesWhereObliviousDiverges(t *testing.T) {
 		t.Error("restricted fixpoint violates the dependency")
 	}
 
-	eO, err := NewEngine(s, []*td.TD{dep}, Options{MaxRounds: 10, MaxTuples: 10000, Variant: Oblivious, SemiNaive: true})
+	eO, err := NewEngine(s, []*td.TD{dep}, Options{Governor: budget.New(nil, budget.Limits{Rounds: 10, Tuples: 10000}), Variant: Oblivious, SemiNaive: true})
 	if err != nil {
 		t.Fatal(err)
 	}

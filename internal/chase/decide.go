@@ -3,6 +3,7 @@ package chase
 import (
 	"fmt"
 
+	"templatedep/internal/budget"
 	"templatedep/internal/td"
 )
 
@@ -40,8 +41,10 @@ func Decide(deps []*td.TD, d0 *td.TD, maxTuples int) (bool, error) {
 	}
 	// Rounds are bounded by tuples added + 1.
 	res, err := Implies(deps, d0, Options{
-		MaxRounds: bound + 1,
-		MaxTuples: bound + frozen.Len() + 1,
+		Governor: budget.New(nil, budget.Limits{
+			Rounds: bound + 1,
+			Tuples: bound + frozen.Len() + 1,
+		}),
 		SemiNaive: true,
 	})
 	if err != nil {

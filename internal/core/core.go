@@ -24,6 +24,7 @@ package core
 import (
 	"fmt"
 
+	"templatedep/internal/budget"
 	"templatedep/internal/chase"
 	"templatedep/internal/finitemodel"
 	"templatedep/internal/obs"
@@ -43,6 +44,12 @@ type Budget struct {
 	Closure     words.ClosureOptions
 	ModelSearch search.Options
 	FiniteDB    finitemodel.Options
+	// Governor is the run-wide governor: its context (cancellation,
+	// deadline) is inherited by every sub-procedure whose options do not
+	// already carry a governor, via child governors metering under each
+	// engine's default limits. One SIGINT or deadline therefore stops the
+	// whole dual run, while each arm keeps its own meters.
+	Governor *budget.Governor
 	// Sink receives the front-end's own events (which arm is running,
 	// arm outcomes, deepening rounds, the verdict) and is propagated to
 	// every sub-procedure whose options do not already carry a sink, so
@@ -62,6 +69,40 @@ func (b Budget) withSink() Budget {
 		}
 	}
 	return b
+}
+
+// withGovernor derives child governors from b.Governor for sub-procedures
+// that have none: children share the parent context but meter
+// independently under each engine's default limits, replacing the old
+// per-engine Max* knobs with one cancellation root.
+func (b Budget) withGovernor() Budget {
+	if b.Governor == nil {
+		return b
+	}
+	if b.Chase.Governor == nil {
+		b.Chase.Governor = b.Governor.Child(chase.DefaultLimits)
+	}
+	if b.Closure.Governor == nil {
+		b.Closure.Governor = b.Governor.Child(words.DefaultLimits)
+	}
+	if b.ModelSearch.Governor == nil {
+		b.ModelSearch.Governor = b.Governor.Child(search.DefaultLimits)
+	}
+	if b.FiniteDB.Governor == nil {
+		b.FiniteDB.Governor = b.Governor.Child(finitemodel.DefaultLimits)
+	}
+	return b
+}
+
+// completionGovernor builds the governor for the bounded Knuth–Bendix
+// fallback: tighter than rewrite.DefaultLimits because completion is a
+// side-check here, inheriting the run's context when one exists.
+func (b Budget) completionGovernor() *budget.Governor {
+	l := budget.Limits{Rules: 200, Rounds: 25}
+	if b.Governor != nil {
+		return b.Governor.Child(l)
+	}
+	return budget.New(nil, l)
 }
 
 // emit sends e to the budget's sink with Src "core".
@@ -120,31 +161,31 @@ type InferenceResult struct {
 // Infer runs the dual semidecision for an arbitrary TD instance: the chase
 // for IMPL and, if the chase is inconclusive, the finite-database
 // enumerator for FCEX.
-func Infer(deps []*td.TD, d0 *td.TD, budget Budget) (InferenceResult, error) {
-	budget = budget.withSink()
+func Infer(deps []*td.TD, d0 *td.TD, b Budget) (InferenceResult, error) {
+	b = b.withSink().withGovernor()
 	verdict := func(res InferenceResult) (InferenceResult, error) {
-		budget.emit(obs.Event{Type: obs.EvVerdict, Verdict: res.Verdict.String()})
+		b.emit(obs.Event{Type: obs.EvVerdict, Verdict: res.Verdict.String()})
 		return res, nil
 	}
-	budget.emit(obs.Event{Type: obs.EvArmStart, Arm: "chase"})
-	cres, err := chase.Implies(deps, d0, budget.Chase)
+	b.emit(obs.Event{Type: obs.EvArmStart, Arm: "chase"})
+	cres, err := chase.Implies(deps, d0, b.Chase)
 	if err != nil {
 		return InferenceResult{}, err
 	}
-	budget.emit(obs.Event{Type: obs.EvArmResult, Arm: "chase", Verdict: cres.Verdict.String()})
+	b.emit(obs.Event{Type: obs.EvArmResult, Arm: "chase", Verdict: cres.Verdict.String()})
 	switch cres.Verdict {
 	case chase.Implied:
 		return verdict(InferenceResult{Verdict: Implied, Chase: &cres})
 	case chase.NotImplied:
 		return verdict(InferenceResult{Verdict: FiniteCounterexample, Chase: &cres, Counterexample: cres.Instance})
 	}
-	budget.emit(obs.Event{Type: obs.EvArmStart, Arm: "finite-db"})
-	fres, err := finitemodel.FindCounterexample(deps, d0, budget.FiniteDB)
+	b.emit(obs.Event{Type: obs.EvArmStart, Arm: "finite-db"})
+	fres, err := finitemodel.FindCounterexample(deps, d0, b.FiniteDB)
 	if err != nil {
 		return InferenceResult{}, err
 	}
-	budget.emit(obs.Event{Type: obs.EvArmResult, Arm: "finite-db", Verdict: fres.Outcome.String()})
-	if fres.Outcome == finitemodel.Found {
+	b.emit(obs.Event{Type: obs.EvArmResult, Arm: "finite-db", Verdict: fres.Status()})
+	if fres.Instance != nil {
 		return verdict(InferenceResult{Verdict: FiniteCounterexample, Chase: &cres, Counterexample: fres.Instance})
 	}
 	return verdict(InferenceResult{Verdict: Unknown, Chase: &cres})
@@ -179,27 +220,27 @@ type PresentationResult struct {
 // when the chase budget allows) and the finite-cancellation-model search
 // (whose success yields, by (B), a finite counterexample database —
 // verified tuple by tuple).
-func AnalyzePresentation(p *words.Presentation, budget Budget) (*PresentationResult, error) {
-	budget = budget.withSink()
+func AnalyzePresentation(p *words.Presentation, b Budget) (*PresentationResult, error) {
+	b = b.withSink().withGovernor()
 	in, err := reduction.Build(p)
 	if err != nil {
 		return nil, err
 	}
 	res := &PresentationResult{Instance: in}
 	verdict := func() (*PresentationResult, error) {
-		budget.emit(obs.Event{Type: obs.EvVerdict, Verdict: res.Verdict.String()})
+		b.emit(obs.Event{Type: obs.EvVerdict, Verdict: res.Verdict.String()})
 		return res, nil
 	}
 
-	budget.emit(obs.Event{Type: obs.EvArmStart, Arm: "derivation"})
-	dres := words.DeriveGoal(in.Pres, budget.Closure)
-	budget.emit(obs.Event{Type: obs.EvArmResult, Arm: "derivation", Verdict: dres.Verdict.String()})
+	b.emit(obs.Event{Type: obs.EvArmStart, Arm: "derivation"})
+	dres := words.DeriveGoal(in.Pres, b.Closure)
+	b.emit(obs.Event{Type: obs.EvArmResult, Arm: "derivation", Verdict: dres.Verdict.String()})
 	if dres.Verdict == words.Derivable {
 		res.Verdict = Implied
 		res.Derivation = dres.Derivation
 		// Confirm with a traced chase run and validate the trace
 		// independently before exposing it as a proof.
-		cres, err := chase.ProveImplies(in.D, in.D0, budget.Chase)
+		cres, err := chase.ProveImplies(in.D, in.D0, b.Chase)
 		if err != nil {
 			return nil, err
 		}
@@ -216,7 +257,7 @@ func AnalyzePresentation(p *words.Presentation, budget Budget) (*PresentationRes
 		// can refute derivability even when A0's equational class is
 		// infinite.
 		sys := rewrite.FromPresentation(in.Pres)
-		copt := rewrite.CompletionOptions{MaxRules: 200, MaxIterations: 25, Sink: budget.Sink}
+		copt := rewrite.CompletionOptions{Governor: b.completionGovernor(), Sink: b.Sink}
 		if cres, err := sys.Complete(copt); err == nil && cres.Confluent {
 			if decided, err := sys.DecideGoal(); err == nil && !decided {
 				res.GoalRefuted = true
@@ -224,13 +265,13 @@ func AnalyzePresentation(p *words.Presentation, budget Budget) (*PresentationRes
 		}
 	}
 
-	budget.emit(obs.Event{Type: obs.EvArmStart, Arm: "model-search"})
-	sres, err := search.FindCounterModel(p, budget.ModelSearch)
+	b.emit(obs.Event{Type: obs.EvArmStart, Arm: "model-search"})
+	sres, err := search.FindCounterModel(p, b.ModelSearch)
 	if err != nil {
 		return nil, err
 	}
-	budget.emit(obs.Event{Type: obs.EvArmResult, Arm: "model-search", Verdict: sres.Outcome.String()})
-	if sres.Outcome == search.ModelFound {
+	b.emit(obs.Event{Type: obs.EvArmResult, Arm: "model-search", Verdict: sres.Status()})
+	if sres.Interpretation != nil {
 		cm, err := in.BuildCounterModel(sres.Interpretation)
 		if err != nil {
 			return nil, err
@@ -249,10 +290,10 @@ func AnalyzePresentation(p *words.Presentation, budget Budget) (*PresentationRes
 
 // AnalyzeTM encodes a Turing machine's halting on the given input and runs
 // the presentation pipeline: a halting machine yields Verdict Implied.
-func AnalyzeTM(m *tm.TM, input []int, budget Budget) (*PresentationResult, error) {
+func AnalyzeTM(m *tm.TM, input []int, b Budget) (*PresentationResult, error) {
 	p, err := tm.EncodePresentation(m, input)
 	if err != nil {
 		return nil, err
 	}
-	return AnalyzePresentation(p, budget)
+	return AnalyzePresentation(p, b)
 }

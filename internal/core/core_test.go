@@ -1,6 +1,7 @@
 package core
 
 import (
+	"templatedep/internal/budget"
 	"testing"
 
 	"templatedep/internal/chase"
@@ -50,8 +51,8 @@ func TestInferCounterexampleViaEnumerator(t *testing.T) {
 	join := td.MustParse(s, "R(a, b, c) & R(a, b', c') -> R(a, b, c')", "join")
 	goal := td.MustParse(s, "R(a, b, c) & R(a', b', c') -> R(a, b, c')", "goal")
 	b := DefaultBudget()
-	b.Chase = chase.Options{MaxRounds: 1, MaxTuples: 3, SemiNaive: true}
-	b.FiniteDB = finitemodel.Options{MaxTuples: 3}
+	b.Chase = chase.Options{Governor: budget.New(nil, budget.Limits{Rounds: 1, Tuples: 3}), SemiNaive: true}
+	b.FiniteDB = finitemodel.Options{Governor: budget.New(nil, budget.Limits{Tuples: 3})}
 	res, err := Infer([]*td.TD{join}, goal, b)
 	if err != nil {
 		t.Fatal(err)
@@ -67,8 +68,8 @@ func TestInferCounterexampleViaEnumerator(t *testing.T) {
 func TestInferUnknown(t *testing.T) {
 	_, fig1 := td.GarmentExample()
 	b := DefaultBudget()
-	b.Chase = chase.Options{MaxRounds: 1, MaxTuples: 2, SemiNaive: true} // cannot finish
-	b.FiniteDB = finitemodel.Options{MaxTuples: 1, MaxNodes: 5}
+	b.Chase = chase.Options{Governor: budget.New(nil, budget.Limits{Rounds: 1, Tuples: 2}), SemiNaive: true} // cannot finish
+	b.FiniteDB = finitemodel.Options{Sizes: budget.Range{Lo: 1, Hi: 1}, Governor: budget.New(nil, budget.Limits{Nodes: 5})}
 	res, err := Infer([]*td.TD{fig1}, fig1, b)
 	if err != nil {
 		t.Fatal(err)
@@ -80,7 +81,7 @@ func TestInferUnknown(t *testing.T) {
 
 func TestAnalyzePresentationImplied(t *testing.T) {
 	b := DefaultBudget()
-	b.Chase = chase.Options{MaxRounds: 12, MaxTuples: 60000, SemiNaive: true}
+	b.Chase = chase.Options{Governor: budget.New(nil, budget.Limits{Rounds: 12, Tuples: 60000}), SemiNaive: true}
 	res, err := AnalyzePresentation(words.TwoStepPresentation(), b)
 	if err != nil {
 		t.Fatal(err)
@@ -125,8 +126,8 @@ func TestGoalRefutedFlag(t *testing.T) {
 	// gap: the class is infinite, but Knuth–Bendix completion succeeds and
 	// decides the word problem negatively.
 	b := DefaultBudget()
-	b.Closure = words.ClosureOptions{MaxWords: 200, MaxLength: 8}
-	b.ModelSearch = search.Options{MaxOrder: 3, MaxNodes: 100000}
+	b.Closure = words.ClosureOptions{Governor: budget.New(nil, budget.Limits{Words: 200}), LengthCap: 8}
+	b.ModelSearch = search.Options{Orders: budget.Range{Lo: 2, Hi: 3}, Governor: budget.New(nil, budget.Limits{Nodes: 100000})}
 	res2, err := AnalyzePresentation(words.IdempotentGapPresentation(), b)
 	if err != nil {
 		t.Fatal(err)
@@ -151,8 +152,8 @@ func TestAnalyzePresentationUnknownGap(t *testing.T) {
 	// The idempotent-gap instance lies in NEITHER set; with finite budgets
 	// the result must be Unknown.
 	b := DefaultBudget()
-	b.Closure = words.ClosureOptions{MaxWords: 300, MaxLength: 8}
-	b.ModelSearch = search.Options{MaxOrder: 4, MaxNodes: 200000}
+	b.Closure = words.ClosureOptions{Governor: budget.New(nil, budget.Limits{Words: 300}), LengthCap: 8}
+	b.ModelSearch = search.Options{Orders: budget.Range{Lo: 2, Hi: 4}, Governor: budget.New(nil, budget.Limits{Nodes: 200000})}
 	res, err := AnalyzePresentation(words.IdempotentGapPresentation(), b)
 	if err != nil {
 		t.Fatal(err)
@@ -164,10 +165,10 @@ func TestAnalyzePresentationUnknownGap(t *testing.T) {
 
 func TestAnalyzeTMHalting(t *testing.T) {
 	b := DefaultBudget()
-	b.Closure = words.ClosureOptions{MaxWords: 200000}
+	b.Closure = words.ClosureOptions{Governor: budget.New(nil, budget.Limits{Words: 200000})}
 	// Skip the chase confirmation for the TM instance (its schema is wide);
 	// the derivation alone certifies direction (A).
-	b.Chase = chase.Options{MaxRounds: 1, MaxTuples: 50, SemiNaive: true}
+	b.Chase = chase.Options{Governor: budget.New(nil, budget.Limits{Rounds: 1, Tuples: 50}), SemiNaive: true}
 	res, err := AnalyzeTM(tm.WriteOneAndHalt(), nil, b)
 	if err != nil {
 		t.Fatal(err)

@@ -5,6 +5,8 @@ import (
 	"runtime/pprof"
 	"time"
 
+	"templatedep/internal/budget"
+	"templatedep/internal/chase"
 	"templatedep/internal/obs"
 	"templatedep/internal/reduction"
 	"templatedep/internal/search"
@@ -18,7 +20,7 @@ import (
 //   - AnalyzePresentationRace runs the two semi-procedures CONCURRENTLY and
 //     returns as soon as either certifies an answer;
 //   - AnalyzePresentationDeepening runs rounds of geometrically increasing
-//     budgets until an answer or a wall-clock deadline — complete in the
+//     budgets until an answer or the governor stops it — complete in the
 //     limit: every instance in either of the Main Theorem's two sets is
 //     eventually decided, and (necessarily) instances in neither set run
 //     until the deadline.
@@ -34,14 +36,34 @@ type RaceResult struct {
 // AnalyzePresentationRace runs the derivability search and the
 // counter-model search in parallel goroutines and returns the first
 // definitive answer (or Unknown when both budgets exhaust). The reduction
-// instance is built once, up front.
-func AnalyzePresentationRace(p *words.Presentation, budget Budget) (*RaceResult, error) {
+// instance is built once, up front. Both arms run under a shared cancel
+// context derived from b.Governor, so the first definitive answer cancels
+// the losing arm at its next checkpoint instead of letting it burn its
+// whole budget.
+func AnalyzePresentationRace(p *words.Presentation, b Budget) (*RaceResult, error) {
 	in, err := reduction.Build(p)
 	if err != nil {
 		return nil, err
 	}
 
-	budget = budget.withSink()
+	b = b.withSink()
+	parent := context.Background()
+	if b.Governor != nil {
+		parent = b.Governor.Context()
+	}
+	ctx, cancel := context.WithCancel(parent)
+	defer cancel()
+	// Rebuild each arm's governor on the race context, keeping whatever
+	// meter limits the caller configured (or the engine defaults).
+	armLimits := func(g *budget.Governor, def budget.Limits) budget.Limits {
+		if g != nil {
+			return g.Limits()
+		}
+		return def
+	}
+	b.Closure.Governor = budget.New(ctx, armLimits(b.Closure.Governor, words.DefaultLimits))
+	b.ModelSearch.Governor = budget.New(ctx, armLimits(b.ModelSearch.Governor, search.DefaultLimits))
+
 	type outcome struct {
 		res    *PresentationResult
 		winner string
@@ -54,10 +76,10 @@ func AnalyzePresentationRace(p *words.Presentation, budget Budget) (*RaceResult,
 	// two goroutines interleave nondeterministically — sinks must be
 	// concurrency-safe (see obs.Sink) — but each arm's own events stay
 	// ordered.
-	go pprof.Do(context.Background(), pprof.Labels("race_arm", "derivation"), func(context.Context) {
-		budget.emit(obs.Event{Type: obs.EvArmStart, Arm: "derivation"})
-		dres := words.DeriveGoal(in.Pres, budget.Closure)
-		budget.emit(obs.Event{Type: obs.EvArmResult, Arm: "derivation", Verdict: dres.Verdict.String()})
+	go pprof.Do(ctx, pprof.Labels("race_arm", "derivation"), func(context.Context) {
+		b.emit(obs.Event{Type: obs.EvArmStart, Arm: "derivation"})
+		dres := words.DeriveGoal(in.Pres, b.Closure)
+		b.emit(obs.Event{Type: obs.EvArmResult, Arm: "derivation", Verdict: dres.Verdict.String()})
 		if dres.Verdict != words.Derivable {
 			ch <- outcome{}
 			return
@@ -65,15 +87,15 @@ func AnalyzePresentationRace(p *words.Presentation, budget Budget) (*RaceResult,
 		res := &PresentationResult{Instance: in, Verdict: Implied, Derivation: dres.Derivation}
 		ch <- outcome{res: res, winner: "derivation"}
 	})
-	go pprof.Do(context.Background(), pprof.Labels("race_arm", "model-search"), func(context.Context) {
-		budget.emit(obs.Event{Type: obs.EvArmStart, Arm: "model-search"})
-		sres, err := search.FindCounterModel(p, budget.ModelSearch)
+	go pprof.Do(ctx, pprof.Labels("race_arm", "model-search"), func(context.Context) {
+		b.emit(obs.Event{Type: obs.EvArmStart, Arm: "model-search"})
+		sres, err := search.FindCounterModel(p, b.ModelSearch)
 		if err != nil {
 			ch <- outcome{err: err}
 			return
 		}
-		budget.emit(obs.Event{Type: obs.EvArmResult, Arm: "model-search", Verdict: sres.Outcome.String()})
-		if sres.Outcome != search.ModelFound {
+		b.emit(obs.Event{Type: obs.EvArmResult, Arm: "model-search", Verdict: sres.Status()})
+		if sres.Interpretation == nil {
 			ch <- outcome{}
 			return
 		}
@@ -97,6 +119,8 @@ func AnalyzePresentationRace(p *words.Presentation, budget Budget) (*RaceResult,
 			firstErr = o.err
 		}
 		if o.res != nil {
+			// The deferred cancel stops the losing arm; its buffered send
+			// cannot block.
 			return &RaceResult{PresentationResult: o.res, Winner: o.winner}, nil
 		}
 	}
@@ -106,41 +130,61 @@ func AnalyzePresentationRace(p *words.Presentation, budget Budget) (*RaceResult,
 	return &RaceResult{PresentationResult: &PresentationResult{Instance: in, Verdict: Unknown}}, nil
 }
 
-// DeepeningOptions configures AnalyzePresentationDeepening.
+// DeepeningOptions configures the iterative-deepening front-ends.
 type DeepeningOptions struct {
-	// Initial is the budget of the first round; every later round doubles
-	// the word, node, and order budgets (orders grow by 1 per round).
+	// Initial seeds the first round. Per-round budgets are derived from
+	// Governor as child governors, so any governors inside Initial only
+	// contribute their meter limits as starting points; every later round
+	// doubles the word and node budgets (semigroup orders grow by 1 per
+	// round, chase rounds by 4).
 	Initial Budget
-	// Deadline bounds the total wall-clock time. <= 0 means 2 seconds.
-	Deadline time.Duration
-	// MaxRounds caps deepening rounds. <= 0 means 16.
-	MaxRounds int
+	// Governor bounds the whole deepening run: its rounds meter caps the
+	// number of deepening rounds and its context is shared with every
+	// per-round child budget, so a deadline or SIGINT interrupts an arm
+	// mid-search instead of waiting for the round to finish. Nil means a
+	// 2-second deadline and 16 rounds.
+	Governor *budget.Governor
+}
+
+// resolveDeepening applies the DeepeningOptions defaults, returning the
+// run governor and a cancel func releasing its timer (a no-op for
+// caller-supplied governors).
+func resolveDeepening(opt DeepeningOptions) (*budget.Governor, context.CancelFunc) {
+	if opt.Governor != nil {
+		return opt.Governor, func() {}
+	}
+	return budget.ForDuration(2*time.Second, budget.Limits{Rounds: 16})
 }
 
 // AnalyzePresentationDeepening alternates the two semi-procedures with
 // geometrically increasing budgets. It is complete in the limit (modulo the
-// deadline): if the instance lies in either of the Main Theorem's sets, a
-// large enough round certifies it.
+// governor's deadline): if the instance lies in either of the Main
+// Theorem's sets, a large enough round certifies it.
 func AnalyzePresentationDeepening(p *words.Presentation, opt DeepeningOptions) (*PresentationResult, int, error) {
-	if opt.Deadline <= 0 {
-		opt.Deadline = 2 * time.Second
-	}
-	if opt.MaxRounds <= 0 {
-		opt.MaxRounds = 16
-	}
+	g, release := resolveDeepening(opt)
+	defer release()
 	b := opt.Initial
-	if b.Closure.MaxWords <= 0 {
-		b.Closure.MaxWords = 64
+	wordCap, nodeCap, chaseRounds, orderHi := 64, 512, 4, search.DefaultOrders.Lo
+	if ig := b.Closure.Governor; ig != nil && ig.Limit(budget.Words) > 0 {
+		wordCap = ig.Limit(budget.Words)
 	}
-	if b.ModelSearch.MaxNodes <= 0 {
-		b.ModelSearch.MaxNodes = 512
+	if ig := b.ModelSearch.Governor; ig != nil && ig.Limit(budget.Nodes) > 0 {
+		nodeCap = ig.Limit(budget.Nodes)
 	}
-	if b.ModelSearch.MaxOrder <= 0 {
-		b.ModelSearch.MaxOrder = 2
+	if b.ModelSearch.Orders.Hi > 0 {
+		orderHi = b.ModelSearch.Orders.Hi
 	}
-	start := time.Now()
 	var last *PresentationResult
-	for round := 1; round <= opt.MaxRounds; round++ {
+	rounds := 0
+	for round := 1; ; round++ {
+		if o := g.Charge(budget.Rounds, 1); o.Stopped() {
+			return last, rounds, nil
+		}
+		rounds = round
+		b.Closure.Governor = g.Child(budget.Limits{Words: wordCap})
+		b.ModelSearch.Governor = g.Child(budget.Limits{Nodes: nodeCap})
+		b.ModelSearch.Orders = budget.Range{Lo: search.DefaultOrders.Lo, Hi: orderHi}
+		b.Chase.Governor = g.Child(budget.Limits{Rounds: chaseRounds, Tuples: chase.DefaultLimits.Tuples})
 		res, err := AnalyzePresentation(p, b)
 		if err != nil {
 			return nil, round, err
@@ -152,59 +196,66 @@ func AnalyzePresentationDeepening(p *words.Presentation, opt DeepeningOptions) (
 		if res.Verdict != Unknown {
 			return res, round, nil
 		}
-		if time.Since(start) > opt.Deadline {
+		// Governor checkpoint between rounds: with the context also
+		// threaded into every arm, overshoot past a deadline is bounded by
+		// one arm checkpoint, not a whole round.
+		if g.Interrupted().Stopped() {
 			return res, round, nil
 		}
-		b.Closure.MaxWords *= 2
-		b.ModelSearch.MaxNodes *= 2
-		b.ModelSearch.MaxOrder++
-		b.Chase.MaxRounds += 4
+		wordCap *= 2
+		nodeCap *= 2
+		orderHi++
+		chaseRounds += 4
 	}
-	return last, opt.MaxRounds, nil
 }
 
 // InferDeepening is the TD-level counterpart of
 // AnalyzePresentationDeepening: it alternates the chase and the
 // finite-database enumerator with geometrically increasing budgets until an
-// answer or the deadline. Complete in the limit on both of the Main
-// Theorem's sets.
+// answer or the governor stops it. Complete in the limit on both of the
+// Main Theorem's sets.
 func InferDeepening(deps []*td.TD, d0 *td.TD, opt DeepeningOptions) (InferenceResult, int, error) {
-	if opt.Deadline <= 0 {
-		opt.Deadline = 2 * time.Second
-	}
-	if opt.MaxRounds <= 0 {
-		opt.MaxRounds = 16
-	}
+	g, release := resolveDeepening(opt)
+	defer release()
 	b := opt.Initial
-	if b.Chase.MaxRounds <= 0 {
-		b.Chase.MaxRounds = 2
-	}
-	if b.Chase.MaxTuples <= 0 {
-		b.Chase.MaxTuples = 32
-	}
 	b.Chase.SemiNaive = true
-	if b.FiniteDB.MaxTuples <= 0 {
-		b.FiniteDB.MaxTuples = 1
+	chaseRounds, chaseTuples, fdbSize, fdbNodes := 2, 32, 1, 1024
+	if ig := b.Chase.Governor; ig != nil {
+		if n := ig.Limit(budget.Rounds); n > 0 {
+			chaseRounds = n
+		}
+		if n := ig.Limit(budget.Tuples); n > 0 {
+			chaseTuples = n
+		}
 	}
-	if b.FiniteDB.MaxNodes <= 0 {
-		b.FiniteDB.MaxNodes = 1024
+	if b.FiniteDB.Sizes.Hi > 0 {
+		fdbSize = b.FiniteDB.Sizes.Hi
 	}
-	start := time.Now()
+	if ig := b.FiniteDB.Governor; ig != nil && ig.Limit(budget.Nodes) > 0 {
+		fdbNodes = ig.Limit(budget.Nodes)
+	}
 	var last InferenceResult
-	for round := 1; round <= opt.MaxRounds; round++ {
+	rounds := 0
+	for round := 1; ; round++ {
+		if o := g.Charge(budget.Rounds, 1); o.Stopped() {
+			return last, rounds, nil
+		}
+		rounds = round
+		b.Chase.Governor = g.Child(budget.Limits{Rounds: chaseRounds, Tuples: chaseTuples})
+		b.FiniteDB.Governor = g.Child(budget.Limits{Nodes: fdbNodes})
+		b.FiniteDB.Sizes = budget.Range{Lo: 1, Hi: fdbSize}
 		res, err := Infer(deps, d0, b)
 		if err != nil {
 			return InferenceResult{}, round, err
 		}
 		last = res
 		b.emit(obs.Event{Type: obs.EvDeepenRound, Round: round, Verdict: res.Verdict.String()})
-		if res.Verdict != Unknown || time.Since(start) > opt.Deadline {
+		if res.Verdict != Unknown || g.Interrupted().Stopped() {
 			return res, round, nil
 		}
-		b.Chase.MaxRounds *= 2
-		b.Chase.MaxTuples *= 4
-		b.FiniteDB.MaxTuples++
-		b.FiniteDB.MaxNodes *= 4
+		chaseRounds *= 2
+		chaseTuples *= 4
+		fdbSize++
+		fdbNodes *= 4
 	}
-	return last, opt.MaxRounds, nil
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"templatedep/internal/budget"
 	"testing"
 	"time"
 
@@ -25,7 +26,7 @@ func TestRaceImplied(t *testing.T) {
 func TestRaceCounterexample(t *testing.T) {
 	// Make the derivation side exhaust fast so the model search wins.
 	b := DefaultBudget()
-	b.Closure = words.ClosureOptions{MaxWords: 10, MaxLength: 4}
+	b.Closure = words.ClosureOptions{Governor: budget.New(nil, budget.Limits{Words: 10}), LengthCap: 4}
 	res, err := AnalyzePresentationRace(words.PowerPresentation(), b)
 	if err != nil {
 		t.Fatal(err)
@@ -40,8 +41,8 @@ func TestRaceCounterexample(t *testing.T) {
 
 func TestRaceUnknown(t *testing.T) {
 	b := DefaultBudget()
-	b.Closure = words.ClosureOptions{MaxWords: 50, MaxLength: 6}
-	b.ModelSearch = search.Options{MaxOrder: 3, MaxNodes: 10000}
+	b.Closure = words.ClosureOptions{Governor: budget.New(nil, budget.Limits{Words: 50}), LengthCap: 6}
+	b.ModelSearch = search.Options{Orders: budget.Range{Lo: 2, Hi: 3}, Governor: budget.New(nil, budget.Limits{Nodes: 10000})}
 	res, err := AnalyzePresentationRace(words.IdempotentGapPresentation(), b)
 	if err != nil {
 		t.Fatal(err)
@@ -61,7 +62,9 @@ func TestDeepeningFindsAnswersFromTinyBudgets(t *testing.T) {
 		{"power", words.PowerPresentation(), FiniteCounterexample},
 		{"chain2", words.ChainPresentation(2), Implied},
 	} {
-		res, rounds, err := AnalyzePresentationDeepening(tc.p, DeepeningOptions{Deadline: 10 * time.Second})
+		g, cancel := budget.ForDuration(10*time.Second, budget.Limits{Rounds: 16})
+		res, rounds, err := AnalyzePresentationDeepening(tc.p, DeepeningOptions{Governor: g})
+		cancel()
 		if err != nil {
 			t.Fatalf("%s: %v", tc.name, err)
 		}
@@ -75,7 +78,9 @@ func TestInferDeepening(t *testing.T) {
 	s, fig1 := td.GarmentExample()
 	_ = s
 	// Self-implication: found at some deepening round.
-	res, rounds, err := InferDeepening([]*td.TD{fig1}, fig1, DeepeningOptions{Deadline: 5 * time.Second})
+	g1, cancel1 := budget.ForDuration(5*time.Second, budget.Limits{Rounds: 16})
+	defer cancel1()
+	res, rounds, err := InferDeepening([]*td.TD{fig1}, fig1, DeepeningOptions{Governor: g1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,7 +89,9 @@ func TestInferDeepening(t *testing.T) {
 	}
 	// Non-implication: the chase fixpoint (or enumerator) refutes.
 	cross := td.MustParse(fig1.Schema(), "R(a, b, c) & R(a', b', c') -> R(a*, b, c')", "cross")
-	res2, _, err := InferDeepening([]*td.TD{fig1}, cross, DeepeningOptions{Deadline: 5 * time.Second})
+	g2, cancel2 := budget.ForDuration(5*time.Second, budget.Limits{Rounds: 16})
+	defer cancel2()
+	res2, _, err := InferDeepening([]*td.TD{fig1}, cross, DeepeningOptions{Governor: g2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,9 +100,46 @@ func TestInferDeepening(t *testing.T) {
 	}
 }
 
+// Regression: a race deadline must not overshoot by more than one
+// checkpoint batch. Before the governor refactor, each arm polled its own
+// deadline only between rounds, so on the divergent gap instance a single
+// deep round (minutes of trigger enumeration) could hold the race open far
+// past its budget. The arms now poll the shared context inside their loops
+// — per dequeued word, per 4096 search nodes, per 4096 chase
+// homomorphisms — so the whole race returns within one batch of the
+// deadline. The wall-clock bound below is a generous CI margin, still far
+// below the minutes a per-round-only poll would take.
+func TestRaceDeadlineOvershootBounded(t *testing.T) {
+	g, cancel := budget.ForDuration(150*time.Millisecond, budget.Limits{})
+	defer cancel()
+	b := DefaultBudget()
+	b.Governor = g
+	// Per-arm budgets so large that only the deadline can stop the run. On
+	// the gap presentation the model-search arm refutes its whole order
+	// range structurally (zero nodes), so the derivation arm — exploring
+	// the infinite class A0, A0·A0, ... — is the one that must notice the
+	// deadline.
+	b.Closure = words.ClosureOptions{Governor: g.Child(budget.Limits{Words: 1 << 30}), LengthCap: 1 << 30}
+	b.ModelSearch = search.Options{Orders: budget.Range{Lo: 2, Hi: 64}, Governor: g.Child(budget.Limits{})}
+	start := time.Now()
+	res, err := AnalyzePresentationRace(words.IdempotentGapPresentation(), b)
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != Unknown || res.Winner != "" {
+		t.Errorf("verdict %v winner %q, want unknown with no winner", res.Verdict, res.Winner)
+	}
+	if elapsed > 5*time.Second {
+		t.Errorf("deadline overshoot: 150ms budget took %v", elapsed)
+	}
+}
+
 func TestDeepeningGapStaysUnknown(t *testing.T) {
+	g, cancel := budget.ForDuration(300*time.Millisecond, budget.Limits{Rounds: 6})
+	defer cancel()
 	res, rounds, err := AnalyzePresentationDeepening(words.IdempotentGapPresentation(),
-		DeepeningOptions{Deadline: 300 * time.Millisecond, MaxRounds: 6})
+		DeepeningOptions{Governor: g})
 	if err != nil {
 		t.Fatal(err)
 	}

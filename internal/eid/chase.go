@@ -3,6 +3,7 @@ package eid
 import (
 	"fmt"
 
+	"templatedep/internal/budget"
 	"templatedep/internal/relation"
 	"templatedep/internal/tableau"
 )
@@ -16,14 +17,18 @@ import (
 
 // Options bounds an EID chase run.
 type Options struct {
-	// MaxRounds caps fair rounds. <= 0 means 64.
-	MaxRounds int
-	// MaxTuples caps the instance size. <= 0 means 100000.
-	MaxTuples int
+	// Governor bounds the run exactly like the TD engine's: rounds and
+	// tuples meters, context checked once per fair round. Nil resolves to
+	// DefaultLimits.
+	Governor *budget.Governor
 }
 
+// DefaultLimits mirror the TD chase defaults: 64 fair rounds, 100000
+// tuples.
+var DefaultLimits = budget.Limits{Rounds: 64, Tuples: 100000}
+
 // DefaultOptions returns moderate defaults.
-func DefaultOptions() Options { return Options{MaxRounds: 64, MaxTuples: 100000} }
+func DefaultOptions() Options { return Options{} }
 
 // Verdict is the three-valued implication outcome.
 type Verdict int
@@ -54,19 +59,18 @@ type Result struct {
 	Verdict         Verdict
 	Instance        *relation.Instance
 	FixpointReached bool
-	Rounds          int
-	TuplesAdded     int
+	// Budget reports how the governor cut the run short; zero (ok) means
+	// the chase finished on its own.
+	Budget      budget.Outcome
+	Rounds      int
+	TuplesAdded int
 }
 
 // Chase closes start (cloned) under the EIDs, evaluating goal after every
 // round when non-nil.
 func Chase(deps []*EID, start *relation.Instance, goal func(*relation.Instance) bool, opt Options) (Result, error) {
-	if opt.MaxRounds <= 0 {
-		opt.MaxRounds = 64
-	}
-	if opt.MaxTuples <= 0 {
-		opt.MaxTuples = 100000
-	}
+	g := budget.Resolve(opt.Governor, DefaultLimits)
+	tupleCap := g.Limit(budget.Tuples)
 	for i, d := range deps {
 		if !d.Schema().Equal(start.Schema()) {
 			return Result{}, fmt.Errorf("eid: dependency %d has a different schema", i)
@@ -84,11 +88,29 @@ func Chase(deps []*EID, start *relation.Instance, goal func(*relation.Instance) 
 	for i, d := range deps {
 		bound[i] = tableau.NewAssignment(d.tab)
 	}
-	for round := 1; round <= opt.MaxRounds; round++ {
+	for round := 1; ; round++ {
+		if o := g.Charge(budget.Rounds, 1); o.Stopped() {
+			res.Verdict = Unknown
+			res.Budget = o
+			return res, nil
+		}
 		res.Rounds = round
 		var adds []relation.Tuple
+		// Mirrors the TD chase's in-round checkpoints: one round can
+		// diverge on an unbounded instance, so every batch of enumerated
+		// triggers polls the context and aborts the join.
+		const interruptBatch = 4096
+		seen := 0
+		var stopped budget.Outcome
 		for di, d := range deps {
 			d.tab.EachPrefixHomomorphism(inst, nil, d.numAnte, func(as tableau.Assignment) bool {
+				seen++
+				if seen%interruptBatch == 0 {
+					if o := g.Interrupted(); o.Stopped() {
+						stopped = o
+						return false
+					}
+				}
 				if d.tab.HasHomomorphism(inst, as) {
 					return true // conclusion already jointly witnessed
 				}
@@ -110,6 +132,14 @@ func Chase(deps []*EID, start *relation.Instance, goal func(*relation.Instance) 
 				}
 				return true
 			})
+			if stopped.Stopped() {
+				break
+			}
+		}
+		if stopped.Stopped() {
+			res.Verdict = Unknown
+			res.Budget = stopped
+			return res, nil
 		}
 		if len(adds) == 0 {
 			res.FixpointReached = true
@@ -120,24 +150,35 @@ func Chase(deps []*EID, start *relation.Instance, goal func(*relation.Instance) 
 			}
 			return res, nil
 		}
-		for _, tup := range adds {
-			if inst.Len() >= opt.MaxTuples {
+		addedRound := 0
+		for ai, tup := range adds {
+			if tupleCap > 0 && inst.Len() >= tupleCap {
 				res.Verdict = Unknown
+				res.Budget = budget.Exhausted(budget.Tuples)
+				g.Add(budget.Tuples, addedRound)
 				return res, nil
+			}
+			if ai%interruptBatch == interruptBatch-1 {
+				if o := g.Interrupted(); o.Stopped() {
+					res.Verdict = Unknown
+					res.Budget = o
+					g.Add(budget.Tuples, addedRound)
+					return res, nil
+				}
 			}
 			if _, added, err := inst.Add(tup); err != nil {
 				return Result{}, err
 			} else if added {
 				res.TuplesAdded++
+				addedRound++
 			}
 		}
+		g.Add(budget.Tuples, addedRound)
 		if goal != nil && goal(inst) {
 			res.Verdict = Implied
 			return res, nil
 		}
 	}
-	res.Verdict = Unknown
-	return res, nil
 }
 
 // Implies semidecides whether deps logically imply goal, by chasing the

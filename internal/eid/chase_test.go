@@ -1,6 +1,7 @@
 package eid
 
 import (
+	"templatedep/internal/budget"
 	"testing"
 
 	"templatedep/internal/relation"
@@ -39,7 +40,7 @@ func TestTDProjectionsDoNotImplyEID(t *testing.T) {
 	s, e := PaperExample()
 	projA := FromTD(td.MustParse(s, "R(a, b, c) & R(a, b', c') -> R(x, b, c)", "projA"))
 	projB := FromTD(td.MustParse(s, "R(a, b, c) & R(a, b', c') -> R(y, b, c')", "projB"))
-	res, err := Implies([]*EID{projA, projB}, e, Options{MaxRounds: 8, MaxTuples: 5000})
+	res, err := Implies([]*EID{projA, projB}, e, Options{Governor: budget.New(nil, budget.Limits{Rounds: 8, Tuples: 5000})})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,7 +85,7 @@ func TestEIDChaseClosureSatisfies(t *testing.T) {
 
 func TestEIDChaseBudgets(t *testing.T) {
 	_, e := PaperExample()
-	res, err := Implies([]*EID{e}, e, Options{MaxRounds: 64, MaxTuples: 2})
+	res, err := Implies([]*EID{e}, e, Options{Governor: budget.New(nil, budget.Limits{Rounds: 64, Tuples: 2})})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -18,67 +18,80 @@ package finitemodel
 import (
 	"fmt"
 
+	"templatedep/internal/budget"
 	"templatedep/internal/relation"
 	"templatedep/internal/td"
 )
 
 // Options bounds the enumeration.
 type Options struct {
-	// MaxTuples caps the instance size. <= 0 means 4.
-	MaxTuples int
-	// MaxValuesPerColumn caps the active domain per attribute; <= 0 means
-	// MaxTuples (more values than tuples never helps: each tuple
+	// Sizes is the inclusive window of instance sizes (tuple counts)
+	// enumerated — a structural coordinate, not a meter. A zero Lo means
+	// 1; a zero (or too-small) Hi means DefaultSizes.Hi.
+	Sizes budget.Range
+	// ValuesPerColumn caps the active domain per attribute; <= 0 means
+	// Sizes.Hi (more values than tuples never helps: each tuple
 	// contributes one value per column).
-	MaxValuesPerColumn int
-	// MaxNodes caps search nodes. <= 0 means 2,000,000.
-	MaxNodes int
+	ValuesPerColumn int
+	// Governor bounds the enumeration: its nodes meter caps search nodes,
+	// and its context is polled every checkInterval nodes. Nil resolves to
+	// DefaultLimits.
+	Governor *budget.Governor
 }
+
+// DefaultSizes is the size window an unconfigured enumeration covers —
+// conservative, for narrow schemas.
+var DefaultSizes = budget.Range{Lo: 1, Hi: 4}
+
+// DefaultLimits is the node budget an ungoverned enumeration runs under.
+var DefaultLimits = budget.Limits{Nodes: 2_000_000}
 
 // DefaultOptions returns conservative defaults for narrow schemas.
-func DefaultOptions() Options { return Options{MaxTuples: 4} }
+func DefaultOptions() Options { return Options{Sizes: DefaultSizes} }
 
-// Outcome reports how the search ended.
-type Outcome int
-
-const (
-	// ExhaustedWithinBounds means no counterexample exists within the
-	// bounds (not a proof that none exists at all).
-	ExhaustedWithinBounds Outcome = iota
-	// Found means a counterexample database was found.
-	Found
-	// BudgetExhausted means MaxNodes ran out first.
-	BudgetExhausted
-)
-
-func (o Outcome) String() string {
-	switch o {
-	case Found:
-		return "found"
-	case BudgetExhausted:
-		return "budget-exhausted"
-	default:
-		return "exhausted-within-bounds"
-	}
-}
+// checkInterval is how many search nodes pass between governor
+// checkpoints: the same batch width as the model search's event batching,
+// keeping the inner loop free of context polls.
+const checkInterval = 4096
 
 // Result is the outcome of FindCounterexample.
 type Result struct {
-	Outcome      Outcome
-	Instance     *relation.Instance // non-nil iff Outcome == Found
+	// Instance is the counterexample database; nil when none was found.
+	Instance *relation.Instance
+	// NodesVisited counts enumeration nodes explored.
 	NodesVisited int
+	// Budget reports how the governor cut the search short; zero (ok)
+	// means the size window was covered.
+	Budget budget.Outcome
+}
+
+// Status renders the outcome for display and events: "found",
+// "exhausted-within-bounds" (the window was covered with no counterexample
+// — not a proof that none exists at all), or the budget stop.
+func (r Result) Status() string {
+	switch {
+	case r.Instance != nil:
+		return "found"
+	case r.Budget.Stopped():
+		return r.Budget.String()
+	}
+	return "exhausted-within-bounds"
 }
 
 // FindCounterexample searches for a finite instance satisfying every
 // dependency in deps and violating d0.
 func FindCounterexample(deps []*td.TD, d0 *td.TD, opt Options) (Result, error) {
-	if opt.MaxTuples <= 0 {
-		opt.MaxTuples = 4
+	if opt.Sizes.Lo <= 0 {
+		opt.Sizes.Lo = 1
 	}
-	if opt.MaxValuesPerColumn <= 0 || opt.MaxValuesPerColumn > opt.MaxTuples {
-		opt.MaxValuesPerColumn = opt.MaxTuples
+	if opt.Sizes.Hi < opt.Sizes.Lo {
+		opt.Sizes.Hi = DefaultSizes.Hi
+		if opt.Sizes.Hi < opt.Sizes.Lo {
+			opt.Sizes.Hi = opt.Sizes.Lo
+		}
 	}
-	if opt.MaxNodes <= 0 {
-		opt.MaxNodes = 2_000_000
+	if opt.ValuesPerColumn <= 0 || opt.ValuesPerColumn > opt.Sizes.Hi {
+		opt.ValuesPerColumn = opt.Sizes.Hi
 	}
 	schema := d0.Schema()
 	for i, d := range deps {
@@ -86,20 +99,43 @@ func FindCounterexample(deps []*td.TD, d0 *td.TD, opt Options) (Result, error) {
 			return Result{}, fmt.Errorf("finitemodel: dependency %d has a different schema", i)
 		}
 	}
-	s := &searcher{schema: schema, deps: deps, d0: d0, opt: opt}
-	for n := 1; n <= opt.MaxTuples; n++ {
+	g := budget.Resolve(opt.Governor, DefaultLimits)
+	// A procedure whose governor is already stopped must refuse to start:
+	// without this, a run cancelled during an earlier stage could still
+	// produce a fresh (if genuine) answer from the first node batch,
+	// making the overall verdict depend on checkpoint timing.
+	if o := g.Interrupted(); o.Stopped() {
+		return Result{Budget: o}, nil
+	}
+	s := &searcher{schema: schema, deps: deps, d0: d0, opt: opt,
+		gov: g, remaining: g.Limit(budget.Nodes)}
+	if s.remaining <= 0 {
+		s.remaining = int(^uint(0) >> 1)
+	}
+	settle := func() {
+		g.Add(budget.Nodes, s.nodes-s.settled)
+		s.settled = s.nodes
+	}
+	for n := opt.Sizes.Lo; n <= opt.Sizes.Hi; n++ {
 		inst, err := s.searchSize(n)
 		if err != nil {
 			return Result{}, err
 		}
 		if inst != nil {
-			return Result{Outcome: Found, Instance: inst, NodesVisited: s.nodes}, nil
+			settle()
+			return Result{Instance: inst, NodesVisited: s.nodes}, nil
 		}
-		if s.nodes >= s.opt.MaxNodes {
-			return Result{Outcome: BudgetExhausted, NodesVisited: s.nodes}, nil
+		if s.remaining <= 0 {
+			out := s.stop
+			if !out.Stopped() {
+				out = budget.Exhausted(budget.Nodes)
+			}
+			settle()
+			return Result{NodesVisited: s.nodes, Budget: out}, nil
 		}
 	}
-	return Result{Outcome: ExhaustedWithinBounds, NodesVisited: s.nodes}, nil
+	settle()
+	return Result{NodesVisited: s.nodes}, nil
 }
 
 type searcher struct {
@@ -107,7 +143,13 @@ type searcher struct {
 	deps   []*td.TD
 	d0     *td.TD
 	opt    Options
-	nodes  int
+	gov    *budget.Governor
+	// remaining mirrors the governor's nodes limit; a context stop zeroes
+	// it at the next checkInterval boundary.
+	remaining int
+	nodes     int
+	settled   int
+	stop      budget.Outcome
 }
 
 // searchSize enumerates canonical instances with exactly n tuples.
@@ -142,7 +184,16 @@ func (s *searcher) searchSize(n int) (*relation.Instance, error) {
 
 	fill = func(ti, col int, tup relation.Tuple, usedDelta []int) (*relation.Instance, error) {
 		s.nodes++
-		if s.nodes >= s.opt.MaxNodes {
+		s.remaining--
+		if s.nodes%checkInterval == 0 {
+			s.gov.Add(budget.Nodes, s.nodes-s.settled)
+			s.settled = s.nodes
+			if o := s.gov.Interrupted(); o.Stopped() {
+				s.stop = o
+				s.remaining = 0
+			}
+		}
+		if s.remaining <= 0 {
 			return nil, nil
 		}
 		if col == width {
@@ -154,8 +205,8 @@ func (s *searcher) searchSize(n int) (*relation.Instance, error) {
 			return place(ti + 1)
 		}
 		limit := used[col]
-		if limit >= s.opt.MaxValuesPerColumn {
-			limit = s.opt.MaxValuesPerColumn - 1
+		if limit >= s.opt.ValuesPerColumn {
+			limit = s.opt.ValuesPerColumn - 1
 		}
 		for v := 0; v <= limit; v++ {
 			tup[col] = relation.Value(v)

@@ -3,6 +3,7 @@ package finitemodel
 import (
 	"fmt"
 	"math/rand"
+	"templatedep/internal/budget"
 	"testing/quick"
 
 	"templatedep/internal/chase"
@@ -21,8 +22,8 @@ func TestFindCounterexampleBasic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.Outcome != Found {
-		t.Fatalf("outcome %v after %d nodes", res.Outcome, res.NodesVisited)
+	if res.Instance == nil {
+		t.Fatalf("outcome %v after %d nodes", res.Status(), res.NodesVisited)
 	}
 	if res.Instance.Len() != 2 {
 		t.Errorf("counterexample size %d, want 2", res.Instance.Len())
@@ -36,12 +37,12 @@ func TestFindCounterexampleRespectsD(t *testing.T) {
 	s := relation.MustSchema("A", "B", "C")
 	join := td.MustParse(s, "R(a, b, c) & R(a, b', c') -> R(a, b, c')", "join")
 	goal := td.MustParse(s, "R(a, b, c) & R(a', b', c') -> R(a, b, c')", "goal")
-	res, err := FindCounterexample([]*td.TD{join}, goal, Options{MaxTuples: 3})
+	res, err := FindCounterexample([]*td.TD{join}, goal, Options{Sizes: budget.Range{Lo: 1, Hi: 3}})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.Outcome != Found {
-		t.Fatalf("outcome %v", res.Outcome)
+	if res.Instance == nil {
+		t.Fatalf("outcome %v", res.Status())
 	}
 	if ok, _ := join.Satisfies(res.Instance); !ok {
 		t.Error("counterexample violates a member of D")
@@ -55,11 +56,11 @@ func TestNoCounterexampleForImpliedGoal(t *testing.T) {
 	s := relation.MustSchema("A", "B", "C")
 	join := td.MustParse(s, "R(a, b, c) & R(a, b', c') -> R(a, b, c')", "join")
 	goal := td.MustParse(s, "R(a, b, c) & R(a, b', c') & R(a, b'', c'') -> R(a, b, c'')", "goal")
-	res, err := FindCounterexample([]*td.TD{join}, goal, Options{MaxTuples: 3, MaxNodes: 5_000_000})
+	res, err := FindCounterexample([]*td.TD{join}, goal, Options{Sizes: budget.Range{Lo: 1, Hi: 3}, Governor: budget.New(nil, budget.Limits{Nodes: 5_000_000})})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.Outcome == Found {
+	if res.Instance != nil {
 		t.Fatalf("found impossible counterexample:\n%s", res.Instance.String())
 	}
 }
@@ -67,23 +68,23 @@ func TestNoCounterexampleForImpliedGoal(t *testing.T) {
 func TestNoCounterexampleForTrivialGoal(t *testing.T) {
 	s := relation.MustSchema("A", "B")
 	triv := td.MustParse(s, "R(a, b) -> R(a, b)", "")
-	res, err := FindCounterexample(nil, triv, Options{MaxTuples: 3})
+	res, err := FindCounterexample(nil, triv, Options{Sizes: budget.Range{Lo: 1, Hi: 3}})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.Outcome != ExhaustedWithinBounds {
-		t.Errorf("outcome %v", res.Outcome)
+	if got := res.Status(); got != "exhausted-within-bounds" {
+		t.Errorf("outcome %v", got)
 	}
 }
 
 func TestBudget(t *testing.T) {
 	_, fig1 := td.GarmentExample()
-	res, err := FindCounterexample(nil, fig1, Options{MaxTuples: 4, MaxNodes: 3})
+	res, err := FindCounterexample(nil, fig1, Options{Sizes: budget.Range{Lo: 1, Hi: 4}, Governor: budget.New(nil, budget.Limits{Nodes: 3})})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.Outcome != BudgetExhausted {
-		t.Errorf("outcome %v", res.Outcome)
+	if res.Budget != budget.Exhausted(budget.Nodes) {
+		t.Errorf("outcome %v", res.Status())
 	}
 }
 
@@ -127,16 +128,16 @@ func TestAgreesWithDecideProperty(t *testing.T) {
 			t.Log(err)
 			return false
 		}
-		res, err := FindCounterexample([]*td.TD{dep}, goal, Options{MaxTuples: 4, MaxNodes: 3_000_000})
+		res, err := FindCounterexample([]*td.TD{dep}, goal, Options{Sizes: budget.Range{Lo: 1, Hi: 4}, Governor: budget.New(nil, budget.Limits{Nodes: 3_000_000})})
 		if err != nil {
 			t.Log(err)
 			return false
 		}
-		if decided && res.Outcome == Found {
+		if decided && res.Instance != nil {
 			t.Logf("seed %d: implied but counterexample found:\n%s", seed, res.Instance.String())
 			return false
 		}
-		if !decided && cres.Instance.Len() <= 4 && res.Outcome != Found {
+		if !decided && cres.Instance.Len() <= 4 && res.Instance == nil {
 			t.Logf("seed %d: not implied with %d-tuple chase witness, enumerator found nothing",
 				seed, cres.Instance.Len())
 			return false
@@ -154,11 +155,11 @@ func TestAgreesWithChaseOnSmallCases(t *testing.T) {
 	s := relation.MustSchema("A", "B")
 	full := td.MustParse(s, "R(a, b) & R(a', b) -> R(a, b)", "") // trivial
 	goal := td.MustParse(s, "R(a, b) & R(a', b') -> R(a, b')", "cross")
-	res, err := FindCounterexample([]*td.TD{full}, goal, Options{MaxTuples: 2})
+	res, err := FindCounterexample([]*td.TD{full}, goal, Options{Sizes: budget.Range{Lo: 1, Hi: 2}})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.Outcome != Found {
-		t.Fatalf("outcome %v; {(0,0),(1,1)} should be a counterexample", res.Outcome)
+	if res.Instance == nil {
+		t.Fatalf("outcome %v; {(0,0),(1,1)} should be a counterexample", res.Status())
 	}
 }

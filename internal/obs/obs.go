@@ -73,6 +73,17 @@ const (
 	// EvDeepenRound closes one iterative-deepening round. Fields: Round,
 	// Verdict (that round's verdict).
 	EvDeepenRound EventType = "deepen_round"
+	// EvBudgetExhausted reports that the emitting layer stopped because a
+	// governor meter reached its limit. Emitted before the layer's verdict
+	// event so partial traces stay closed. Fields: Round (progress at the
+	// stop), Resource (the exhausted meter: "rounds", "tuples", "nodes",
+	// "words", or "rules").
+	EvBudgetExhausted EventType = "budget_exhausted"
+	// EvCancelled reports that the emitting layer stopped because its
+	// governor's context ended. Emitted before the layer's verdict event.
+	// Fields: Round (progress at the stop), Resource ("context" for
+	// cancellation, "deadline" for an expired deadline).
+	EvCancelled EventType = "cancelled"
 	// EvVerdict is the final outcome of the emitting layer. Fields:
 	// Verdict, Round (rounds/iterations used), Tuples (final instance
 	// size; chase only), N (nodes visited; search only).
@@ -112,6 +123,9 @@ type Event struct {
 	Rules int `json:"rules,omitempty"`
 	// Arm names a dual-semidecision arm.
 	Arm string `json:"arm,omitempty"`
+	// Resource is the budget detail of a stop event: a meter name for
+	// budget_exhausted, "context" or "deadline" for cancelled.
+	Resource string `json:"resource,omitempty"`
 	// Verdict is an outcome string of the emitting layer.
 	Verdict string `json:"verdict,omitempty"`
 }

@@ -24,6 +24,8 @@ func allEvents() []Event {
 		{Type: EvArmStart, Src: "core", Arm: "derivation", Round: 1},
 		{Type: EvArmResult, Src: "core", Arm: "derivation", Round: 1, Verdict: "not-derivable"},
 		{Type: EvDeepenRound, Src: "core", Round: 1, Verdict: "unknown"},
+		{Type: EvBudgetExhausted, Src: "search", Round: 0, Resource: "nodes"},
+		{Type: EvCancelled, Src: "words", Round: 0, Resource: "deadline"},
 		{Type: EvVerdict, Src: "chase", Verdict: "implied", Round: 1, Tuples: 10},
 	}
 }
@@ -105,6 +107,7 @@ func TestReplay(t *testing.T) {
 		RulesAdded:      1,
 		PerDepFired:     map[int]int{0: 4, 2: 5},
 		Verdicts:        map[string]string{"chase": "implied"},
+		Stops:           map[string]string{"search": "exhausted:nodes", "words": "deadline"},
 		Events:          len(allEvents()),
 	}
 	if !reflect.DeepEqual(tot, want) {

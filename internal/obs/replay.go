@@ -33,6 +33,10 @@ type Totals struct {
 	// Verdicts maps emitting layer (event src) to its final verdict
 	// string.
 	Verdicts map[string]string
+	// Stops maps emitting layer to how its budget cut the run short:
+	// "exhausted:<resource>" from budget_exhausted, "cancelled" or
+	// "deadline" from cancelled. Layers that ran to completion are absent.
+	Stops map[string]string
 	// Events is the total number of lines replayed.
 	Events int
 }
@@ -41,7 +45,8 @@ type Totals struct {
 // into Totals. Unknown event types are counted in Events and otherwise
 // ignored, so streams from newer emitters still replay.
 func Replay(r io.Reader) (Totals, error) {
-	t := Totals{PerDepFired: make(map[int]int), Verdicts: make(map[string]string)}
+	t := Totals{PerDepFired: make(map[int]int), Verdicts: make(map[string]string),
+		Stops: make(map[string]string)}
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
 	line := 0
@@ -74,6 +79,14 @@ func Replay(r io.Reader) (Totals, error) {
 			t.SearchNodes += e.N
 		case EvRuleAdded:
 			t.RulesAdded++
+		case EvBudgetExhausted:
+			t.Stops[e.Src] = "exhausted:" + e.Resource
+		case EvCancelled:
+			if e.Resource == "deadline" {
+				t.Stops[e.Src] = "deadline"
+			} else {
+				t.Stops[e.Src] = "cancelled"
+			}
 		case EvVerdict:
 			t.Verdicts[e.Src] = e.Verdict
 		}

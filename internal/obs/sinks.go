@@ -84,6 +84,9 @@ func (s *JSONLSink) Event(e Event) {
 	case EvDeepenRound:
 		appendInt("round", e.Round)
 		b = appendStr(b, "verdict", e.Verdict)
+	case EvBudgetExhausted, EvCancelled:
+		appendInt("round", e.Round)
+		b = appendStr(b, "resource", e.Resource)
 	case EvVerdict:
 		b = appendStr(b, "verdict", e.Verdict)
 		appendInt("round", e.Round)
@@ -234,6 +237,10 @@ func (s *CounterSink) Event(e Event) {
 		s.C.Add("core.arm."+e.Arm+".runs", 1)
 	case EvDeepenRound:
 		s.C.Add("core.deepen_rounds", 1)
+	case EvBudgetExhausted:
+		s.C.Add(e.Src+".budget_exhausted", 1)
+	case EvCancelled:
+		s.C.Add(e.Src+".cancelled", 1)
 	case EvVerdict:
 		s.C.Add(e.Src+".verdicts", 1)
 	}

@@ -1,6 +1,7 @@
 package reduction
 
 import (
+	"templatedep/internal/budget"
 	"testing"
 
 	"templatedep/internal/chase"
@@ -23,7 +24,7 @@ func TestDirectionAInductionInvariant(t *testing.T) {
 		t.Fatal("setup: goal not derivable")
 	}
 
-	cres, err := chase.Implies(in.D, in.D0, chase.Options{MaxRounds: 12, MaxTuples: 60000, SemiNaive: true})
+	cres, err := chase.Implies(in.D, in.D0, chase.Options{Governor: budget.New(nil, budget.Limits{Rounds: 12, Tuples: 60000}), SemiNaive: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,7 +85,7 @@ func TestDirectionAInductionInvariant(t *testing.T) {
 func TestNonDerivableWordHasNoBridge(t *testing.T) {
 	p := words.TwoStepPresentation()
 	in := MustBuild(p)
-	cres, err := chase.Implies(in.D, in.D0, chase.Options{MaxRounds: 4, MaxTuples: 60000, SemiNaive: true})
+	cres, err := chase.Implies(in.D, in.D0, chase.Options{Governor: budget.New(nil, budget.Limits{Rounds: 4, Tuples: 60000}), SemiNaive: true})
 	if err != nil {
 		t.Fatal(err)
 	}

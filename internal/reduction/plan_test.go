@@ -1,6 +1,7 @@
 package reduction
 
 import (
+	"templatedep/internal/budget"
 	"testing"
 
 	"templatedep/internal/chase"
@@ -41,7 +42,8 @@ func TestChasePlanIsTraceSubsequence(t *testing.T) {
 			t.Fatalf("%s: %v", tc.name, err)
 		}
 		res, err := chase.Implies(in.D, in.D0, chase.Options{
-			MaxRounds: 32, MaxTuples: 200000, SemiNaive: true, Trace: true,
+			Governor:  budget.New(nil, budget.Limits{Rounds: 32, Tuples: 200000}),
+			SemiNaive: true, Trace: true,
 		})
 		if err != nil {
 			t.Fatalf("%s: %v", tc.name, err)

@@ -2,6 +2,7 @@ package reduction
 
 import (
 	"math/rand"
+	"templatedep/internal/budget"
 	"testing"
 
 	"templatedep/internal/chase"
@@ -41,7 +42,7 @@ func TestDirectionARandomizedDerivable(t *testing.T) {
 		p = p.WithZeroEquations()
 
 		// Sanity: the goal must still be derivable.
-		dres := words.DeriveGoal(p, words.ClosureOptions{MaxWords: 5000, MaxLength: 8})
+		dres := words.DeriveGoal(p, words.ClosureOptions{Governor: budget.New(nil, budget.Limits{Words: 5000}), LengthCap: 8})
 		if dres.Verdict != words.Derivable {
 			t.Fatalf("trial %d: goal lost derivability (%v)?", trial, dres.Verdict)
 		}
@@ -50,7 +51,7 @@ func TestDirectionARandomizedDerivable(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := chase.Implies(in.D, in.D0, chase.Options{MaxRounds: 16, MaxTuples: 150000, SemiNaive: true, Workers: 4})
+		res, err := chase.Implies(in.D, in.D0, chase.Options{Governor: budget.New(nil, budget.Limits{Rounds: 16, Tuples: 150000}), SemiNaive: true, Workers: 4})
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -19,6 +19,7 @@ import (
 	"sort"
 	"strings"
 
+	"templatedep/internal/budget"
 	"templatedep/internal/obs"
 	"templatedep/internal/words"
 )
@@ -178,15 +179,19 @@ func (s *System) CriticalPairs() ([][2]words.Word, error) {
 
 // CompletionOptions bounds Knuth–Bendix completion.
 type CompletionOptions struct {
-	// MaxRules caps the rule count. <= 0 means 500.
-	MaxRules int
-	// MaxIterations caps completion sweeps. <= 0 means 100.
-	MaxIterations int
+	// Governor bounds completion: its rules meter caps the rule count, its
+	// rounds meter caps completion sweeps, and its context is checked once
+	// per sweep. Nil resolves to DefaultLimits.
+	Governor *budget.Governor
 	// Sink receives one rule_added event per oriented rule adopted from an
 	// unresolved critical pair, and the final verdict ("confluent" or
 	// "diverged"). Nil disables emission. See docs/OBSERVABILITY.md.
 	Sink obs.Sink
 }
+
+// DefaultLimits bound an ungoverned completion: 500 rules across 100
+// sweeps.
+var DefaultLimits = budget.Limits{Rules: 500, Rounds: 100}
 
 // CompletionResult reports how completion ended.
 type CompletionResult struct {
@@ -195,25 +200,43 @@ type CompletionResult struct {
 	Confluent bool
 	// Iterations is the number of sweeps performed.
 	Iterations int
+	// Budget reports how the governor cut completion short (rule or sweep
+	// budget, cancellation); zero (ok) with Confluent false never happens
+	// — an ok non-confluent return is reported as exhausted sweeps.
+	Budget budget.Outcome
 }
 
 // Complete runs Knuth–Bendix completion in place, adding oriented rules for
-// unresolved critical pairs until none remain or budgets run out.
+// unresolved critical pairs until none remain or budgets run out. A budget
+// stop is not an error: it is reported in CompletionResult.Budget (the
+// system simply diverged within bounds, which undecidability guarantees
+// must sometimes happen).
 func (s *System) Complete(opt CompletionOptions) (CompletionResult, error) {
-	if opt.MaxRules <= 0 {
-		opt.MaxRules = 500
-	}
-	if opt.MaxIterations <= 0 {
-		opt.MaxIterations = 100
-	}
+	g := budget.Resolve(opt.Governor, DefaultLimits)
 	res := CompletionResult{}
 	verdict := func(v string) {
 		if opt.Sink != nil {
+			if res.Budget.Stopped() {
+				typ := obs.EvBudgetExhausted
+				if res.Budget.Code != budget.CodeExhausted {
+					typ = obs.EvCancelled
+				}
+				opt.Sink.Event(obs.Event{Type: typ, Src: "rewrite",
+					Round: res.Iterations, Resource: res.Budget.Reason()})
+			}
 			opt.Sink.Event(obs.Event{Type: obs.EvVerdict, Src: "rewrite",
 				Verdict: v, Round: res.Iterations, Rules: len(s.Rules)})
 		}
 	}
-	for it := 1; it <= opt.MaxIterations; it++ {
+	// Seed rules count against the rule meter, so the cap is on the total
+	// system size, as it was when it capped len(s.Rules) directly.
+	g.Add(budget.Rules, len(s.Rules))
+	for it := 1; ; it++ {
+		if o := g.Charge(budget.Rounds, 1); o.Stopped() {
+			res.Budget = o
+			verdict("diverged")
+			return res, nil
+		}
 		res.Iterations = it
 		pairs, err := s.CriticalPairs()
 		if err != nil {
@@ -231,9 +254,10 @@ func (s *System) Complete(opt CompletionOptions) (CompletionResult, error) {
 			if !ok {
 				continue
 			}
-			if len(s.Rules) >= opt.MaxRules {
+			if o := g.Charge(budget.Rules, 1); o.Stopped() {
+				res.Budget = o
 				verdict("diverged")
-				return res, fmt.Errorf("rewrite: completion exceeded %d rules", opt.MaxRules)
+				return res, nil
 			}
 			s.Rules = append(s.Rules, r)
 			added++
@@ -250,8 +274,6 @@ func (s *System) Complete(opt CompletionOptions) (CompletionResult, error) {
 			return res, nil
 		}
 	}
-	verdict("diverged")
-	return res, nil
 }
 
 // simplify removes rules whose left side is reducible by the others and

@@ -3,6 +3,7 @@ package rewrite
 import (
 	"math/rand"
 	"strings"
+	"templatedep/internal/budget"
 	"testing"
 	"testing/quick"
 
@@ -125,7 +126,7 @@ func TestRewriteAgreesWithClosure(t *testing.T) {
 		rng := rand.New(rand.NewSource(seed))
 		p := words.RandomPresentation(rng, 2, 3)
 		s := FromPresentation(p)
-		res, err := s.Complete(CompletionOptions{MaxRules: 200, MaxIterations: 30})
+		res, err := s.Complete(CompletionOptions{Governor: budget.New(nil, budget.Limits{Rules: 200, Rounds: 30})})
 		if err != nil || !res.Confluent {
 			return true // completion inconclusive; nothing to compare
 		}
@@ -133,7 +134,7 @@ func TestRewriteAgreesWithClosure(t *testing.T) {
 		if err != nil {
 			return true
 		}
-		cl := words.DeriveGoal(p, words.ClosureOptions{MaxWords: 3000, MaxLength: 10})
+		cl := words.DeriveGoal(p, words.ClosureOptions{Governor: budget.New(nil, budget.Limits{Words: 3000}), LengthCap: 10})
 		switch cl.Verdict {
 		case words.Derivable:
 			if !decided {

@@ -28,6 +28,7 @@ package search
 import (
 	"fmt"
 
+	"templatedep/internal/budget"
 	"templatedep/internal/obs"
 	"templatedep/internal/semigroup"
 	"templatedep/internal/words"
@@ -35,12 +36,15 @@ import (
 
 // Options bounds the model search.
 type Options struct {
-	// MinOrder and MaxOrder bound the semigroup order tried (inclusive).
-	// Defaults: 2 and 6.
-	MinOrder, MaxOrder int
-	// MaxNodes caps the total number of backtracking nodes across all
-	// orders and assignments. <= 0 means 5,000,000.
-	MaxNodes int
+	// Orders is the inclusive window of semigroup orders tried — a
+	// structural coordinate, not a meter. A zero Lo means 2 (the smallest
+	// identity-free order of interest); a Hi below Lo is raised to Lo.
+	Orders budget.Range
+	// Governor bounds the search: its nodes meter caps the total number of
+	// backtracking nodes across all orders and assignments, and its
+	// context is checked every nodeEventBatch nodes, keeping the inner
+	// loop free of governor traffic. Nil resolves to DefaultLimits.
+	Governor *budget.Governor
 	// QuotientClasses > 0 tries the nilpotent-quotient construction
 	// (classes 2..QuotientClasses) BEFORE the table search; witnesses found
 	// this way cost no search nodes. Sound but incomplete, hence opt-in.
@@ -56,45 +60,43 @@ type Options struct {
 // still giving a live progress signal a few times per second.
 const nodeEventBatch = 4096
 
+// DefaultOrders is the order window an unconfigured search covers.
+var DefaultOrders = budget.Range{Lo: 2, Hi: 6}
+
+// DefaultLimits is the node budget an ungoverned search runs under.
+var DefaultLimits = budget.Limits{Nodes: 5_000_000}
+
 // DefaultOptions returns generous interactive defaults.
 func DefaultOptions() Options {
-	return Options{MinOrder: 2, MaxOrder: 6, MaxNodes: 5_000_000}
-}
-
-// Outcome reports how a search ended.
-type Outcome int
-
-const (
-	// NoModelWithinBounds means the space up to MaxOrder was exhausted:
-	// no counterexample of that size exists (NOT a proof that none exists).
-	NoModelWithinBounds Outcome = iota
-	// ModelFound means a witness was found.
-	ModelFound
-	// BudgetExhausted means MaxNodes was hit before the space was covered.
-	BudgetExhausted
-)
-
-func (o Outcome) String() string {
-	switch o {
-	case ModelFound:
-		return "model-found"
-	case BudgetExhausted:
-		return "budget-exhausted"
-	default:
-		return "no-model-within-bounds"
-	}
+	return Options{Orders: DefaultOrders}
 }
 
 // Result is the outcome of FindCounterModel.
 type Result struct {
-	Outcome Outcome
 	// Interpretation witnesses Main Lemma failure for the ORIGINAL
-	// presentation; non-nil iff Outcome == ModelFound.
+	// presentation; nil when no model was found.
 	Interpretation *semigroup.Interpretation
 	// Presentation is the presentation the witness interprets (the input).
 	Presentation *words.Presentation
 	// NodesVisited counts backtracking nodes explored.
 	NodesVisited int
+	// Budget reports how the governor cut the search short; zero (ok)
+	// means the order window was covered.
+	Budget budget.Outcome
+}
+
+// Status renders the search outcome for display and events: "model-found",
+// "no-model-within-bounds" (the window was covered without a witness — NOT
+// a proof that none exists), or the budget stop ("exhausted:nodes",
+// "cancelled", "deadline").
+func (r Result) Status() string {
+	switch {
+	case r.Interpretation != nil:
+		return "model-found"
+	case r.Budget.Stopped():
+		return r.Budget.String()
+	}
+	return "no-model-within-bounds"
 }
 
 // FindCounterModel searches for a finite cancellation counterexample to the
@@ -102,14 +104,11 @@ type Result struct {
 // first; a witness for the normalized form is mapped back to the original
 // alphabet through the normalization's aliases.
 func FindCounterModel(p *words.Presentation, opt Options) (Result, error) {
-	if opt.MinOrder < 2 {
-		opt.MinOrder = 2
+	if opt.Orders.Lo < 2 {
+		opt.Orders.Lo = 2
 	}
-	if opt.MaxOrder < opt.MinOrder {
-		opt.MaxOrder = opt.MinOrder
-	}
-	if opt.MaxNodes <= 0 {
-		opt.MaxNodes = 5_000_000
+	if opt.Orders.Hi < opt.Orders.Lo {
+		opt.Orders.Hi = opt.Orders.Lo
 	}
 	p = p.WithZeroEquations()
 
@@ -119,7 +118,7 @@ func FindCounterModel(p *words.Presentation, opt Options) (Result, error) {
 			return Result{}, err
 		}
 		if ok {
-			return Result{Outcome: ModelFound, Interpretation: wit, Presentation: p}, nil
+			return Result{Interpretation: wit, Presentation: p}, nil
 		}
 	}
 
@@ -134,14 +133,38 @@ func FindCounterModel(p *words.Presentation, opt Options) (Result, error) {
 		work = norm.Presentation
 	}
 
-	s := &searcher{pres: work, budget: opt.MaxNodes, sink: opt.Sink}
-	verdict := func(o Outcome) {
+	g := budget.Resolve(opt.Governor, DefaultLimits)
+	s := &searcher{pres: work, gov: g, remaining: g.Limit(budget.Nodes), sink: opt.Sink}
+	if s.remaining <= 0 {
+		// Ungoverned nodes meter: only the context can stop the search.
+		s.remaining = int(^uint(0) >> 1)
+	}
+	// finish settles the meter and closes the trace: a budget stop event
+	// when the governor cut the run, then the verdict, so partial traces
+	// stay well formed.
+	finish := func(r Result) Result {
+		g.Add(budget.Nodes, s.nodes-s.settled)
+		s.settled = s.nodes
 		if s.sink != nil {
 			s.flushNodes()
-			s.sink.Event(obs.Event{Type: obs.EvVerdict, Src: "search", Verdict: o.String(), N: s.nodes})
+			if r.Budget.Stopped() {
+				typ := obs.EvBudgetExhausted
+				if r.Budget.Code != budget.CodeExhausted {
+					typ = obs.EvCancelled
+				}
+				s.sink.Event(obs.Event{Type: typ, Src: "search", Resource: r.Budget.Reason()})
+			}
+			s.sink.Event(obs.Event{Type: obs.EvVerdict, Src: "search", Verdict: r.Status(), N: s.nodes})
 		}
+		return r
 	}
-	for n := opt.MinOrder; n <= opt.MaxOrder; n++ {
+	// Refuse to start under an already-stopped governor, so a run cancelled
+	// during an earlier stage cannot race the first node batch for an
+	// answer (the overall verdict must not depend on checkpoint timing).
+	if o := g.Interrupted(); o.Stopped() {
+		return finish(Result{Presentation: p, Budget: o}), nil
+	}
+	for n := opt.Orders.Lo; n <= opt.Orders.Hi; n++ {
 		s.order = n
 		found, err := s.searchOrder(n)
 		if err != nil {
@@ -150,9 +173,12 @@ func FindCounterModel(p *words.Presentation, opt Options) (Result, error) {
 		if s.sink != nil {
 			s.flushNodes()
 		}
-		if s.budget <= 0 && found == nil {
-			verdict(BudgetExhausted)
-			return Result{Outcome: BudgetExhausted, Presentation: p, NodesVisited: s.nodes}, nil
+		if s.remaining <= 0 && found == nil {
+			out := s.stop
+			if !out.Stopped() {
+				out = budget.Exhausted(budget.Nodes)
+			}
+			return finish(Result{Presentation: p, NodesVisited: s.nodes, Budget: out}), nil
 		}
 		if found != nil {
 			in, err := mapBack(p, norm, found)
@@ -162,12 +188,10 @@ func FindCounterModel(p *words.Presentation, opt Options) (Result, error) {
 			if err := in.IsModelOfMainLemmaFailure(p); err != nil {
 				return Result{}, fmt.Errorf("search: internal error: found model fails verification: %w", err)
 			}
-			verdict(ModelFound)
-			return Result{Outcome: ModelFound, Interpretation: in, Presentation: p, NodesVisited: s.nodes}, nil
+			return finish(Result{Interpretation: in, Presentation: p, NodesVisited: s.nodes}), nil
 		}
 	}
-	verdict(NoModelWithinBounds)
-	return Result{Outcome: NoModelWithinBounds, Presentation: p, NodesVisited: s.nodes}, nil
+	return finish(Result{Presentation: p, NodesVisited: s.nodes}), nil
 }
 
 // mapBack restricts a witness for the normalized presentation to the
@@ -194,9 +218,17 @@ func mapBack(orig *words.Presentation, norm *words.Normalization, in *semigroup.
 
 // searcher holds the state shared across orders.
 type searcher struct {
-	pres   *words.Presentation
-	budget int
-	nodes  int
+	pres *words.Presentation
+	gov  *budget.Governor
+	// remaining is the node countdown mirroring the governor's nodes
+	// limit; the inner loop exits on remaining <= 0, and a context stop is
+	// injected by zeroing it at the next batch boundary.
+	remaining int
+	nodes     int
+	// settled is how many nodes have been reported to the governor.
+	settled int
+	// stop records a context stop observed at a batch checkpoint.
+	stop budget.Outcome
 	// sink, when non-nil, receives batched search_node events; pending
 	// counts nodes expanded since the last emission, order is the
 	// semigroup order currently under search.
@@ -206,10 +238,20 @@ type searcher struct {
 }
 
 // countNode records one expanded backtracking node and emits a batched
-// search_node event when the batch fills.
+// search_node event when the batch fills. Every nodeEventBatch nodes it
+// also settles the governor meter and polls the context — the bounded
+// cancellation latency of the search is one batch.
 func (s *searcher) countNode() {
 	s.nodes++
-	s.budget--
+	s.remaining--
+	if s.nodes%nodeEventBatch == 0 {
+		s.gov.Add(budget.Nodes, s.nodes-s.settled)
+		s.settled = s.nodes
+		if o := s.gov.Interrupted(); o.Stopped() {
+			s.stop = o
+			s.remaining = 0
+		}
+	}
 	if s.sink == nil {
 		return
 	}
@@ -247,7 +289,7 @@ func (s *searcher) searchOrder(n int) (*semigroup.Interpretation, error) {
 
 	var tryAssign func(i int) (*semigroup.Interpretation, error)
 	tryAssign = func(i int) (*semigroup.Interpretation, error) {
-		if s.budget <= 0 {
+		if s.remaining <= 0 {
 			return nil, nil
 		}
 		if i == len(free) {
@@ -324,7 +366,7 @@ func (s *searcher) searchTable(n int, assign map[words.Symbol]semigroup.Elem) *s
 	var try func(ci int) *semigroup.Table
 	try = func(ci int) *semigroup.Table {
 		s.countNode()
-		if s.budget <= 0 {
+		if s.remaining <= 0 {
 			return nil
 		}
 		if ci == len(cells) {
@@ -345,7 +387,7 @@ func (s *searcher) searchTable(n int, assign map[words.Symbol]semigroup.Elem) *s
 				if tb := try(ci + 1); tb != nil {
 					return tb
 				}
-				if s.budget <= 0 {
+				if s.remaining <= 0 {
 					mul[idx] = unset
 					return nil
 				}

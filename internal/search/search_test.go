@@ -1,6 +1,7 @@
 package search
 
 import (
+	"templatedep/internal/budget"
 	"testing"
 
 	"templatedep/internal/semigroup"
@@ -14,8 +15,8 @@ func TestFindCounterModelPower(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.Outcome != ModelFound {
-		t.Fatalf("outcome %v after %d nodes", res.Outcome, res.NodesVisited)
+	if res.Interpretation == nil {
+		t.Fatalf("outcome %v after %d nodes", res.Status(), res.NodesVisited)
 	}
 	if got := res.Interpretation.Table.Size(); got != 2 {
 		t.Errorf("model order %d, want minimal 2", got)
@@ -32,8 +33,8 @@ func TestFindCounterModelNilpotentSafe(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.Outcome != ModelFound {
-		t.Fatalf("outcome %v", res.Outcome)
+	if res.Interpretation == nil {
+		t.Fatalf("outcome %v", res.Status())
 	}
 	if err := res.Interpretation.IsModelOfMainLemmaFailure(res.Presentation); err != nil {
 		t.Error(err)
@@ -42,11 +43,11 @@ func TestFindCounterModelNilpotentSafe(t *testing.T) {
 
 func TestFindCounterModelDerivableHasNone(t *testing.T) {
 	// TwoStep: A0 = 0 is derivable, so NO model of any size can falsify it.
-	res, err := FindCounterModel(words.TwoStepPresentation(), Options{MaxOrder: 3, MaxNodes: 2_000_000})
+	res, err := FindCounterModel(words.TwoStepPresentation(), Options{Orders: budget.Range{Lo: 2, Hi: 3}, Governor: budget.New(nil, budget.Limits{Nodes: 2_000_000})})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.Outcome == ModelFound {
+	if res.Interpretation != nil {
 		t.Fatalf("found impossible counterexample:\n%s", res.Interpretation.Table.String())
 	}
 }
@@ -55,22 +56,22 @@ func TestFindCounterModelIdempotentGap(t *testing.T) {
 	// {A0·A0 = A0}: not derivable, but condition (ii) excludes every finite
 	// cancellation counterexample without identity. The search must exhaust
 	// its bounds without a model.
-	res, err := FindCounterModel(words.IdempotentGapPresentation(), Options{MaxOrder: 4, MaxNodes: 4_000_000})
+	res, err := FindCounterModel(words.IdempotentGapPresentation(), Options{Orders: budget.Range{Lo: 2, Hi: 4}, Governor: budget.New(nil, budget.Limits{Nodes: 4_000_000})})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.Outcome != NoModelWithinBounds {
-		t.Fatalf("outcome %v, want NoModelWithinBounds", res.Outcome)
+	if got := res.Status(); got != "no-model-within-bounds" {
+		t.Fatalf("outcome %v, want no-model-within-bounds", got)
 	}
 }
 
 func TestFindCounterModelChain(t *testing.T) {
 	// Chain presentations are derivable; no counterexample may be found.
-	res, err := FindCounterModel(words.ChainPresentation(2), Options{MaxOrder: 3, MaxNodes: 3_000_000})
+	res, err := FindCounterModel(words.ChainPresentation(2), Options{Orders: budget.Range{Lo: 2, Hi: 3}, Governor: budget.New(nil, budget.Limits{Nodes: 3_000_000})})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.Outcome == ModelFound {
+	if res.Interpretation != nil {
 		t.Fatal("found impossible counterexample for a derivable instance")
 	}
 }
@@ -83,12 +84,12 @@ func TestFindCounterModelBudget(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := FindCounterModel(p, Options{MinOrder: 3, MaxOrder: 3, MaxNodes: 3})
+	res, err := FindCounterModel(p, Options{Orders: budget.Range{Lo: 3, Hi: 3}, Governor: budget.New(nil, budget.Limits{Nodes: 3})})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.Outcome != BudgetExhausted {
-		t.Fatalf("outcome %v (nodes %d), want BudgetExhausted", res.Outcome, res.NodesVisited)
+	if res.Budget != budget.Exhausted(budget.Nodes) {
+		t.Fatalf("outcome %v (nodes %d), want exhausted:nodes", res.Status(), res.NodesVisited)
 	}
 }
 
@@ -106,8 +107,8 @@ func TestFindCounterModelNormalizesLongEquations(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.Outcome != ModelFound {
-		t.Fatalf("outcome %v", res.Outcome)
+	if res.Interpretation == nil {
+		t.Fatalf("outcome %v", res.Status())
 	}
 	// The verified witness must be over the ORIGINAL alphabet.
 	for _, s := range a.Symbols() {
@@ -127,8 +128,8 @@ func TestQuotientFastPath(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.Outcome != ModelFound {
-		t.Fatalf("outcome %v", res.Outcome)
+	if res.Interpretation == nil {
+		t.Fatalf("outcome %v", res.Status())
 	}
 	if res.NodesVisited != 0 {
 		t.Errorf("quotient path should cost no search nodes, used %d", res.NodesVisited)
@@ -138,12 +139,12 @@ func TestQuotientFastPath(t *testing.T) {
 	}
 	// The fast path must not produce false positives on derivable input:
 	// the table search still runs (and finds nothing).
-	opt2 := Options{MaxOrder: 3, MaxNodes: 2_000_000, QuotientClasses: 3}
+	opt2 := Options{Orders: budget.Range{Lo: 2, Hi: 3}, Governor: budget.New(nil, budget.Limits{Nodes: 2_000_000}), QuotientClasses: 3}
 	res2, err := FindCounterModel(words.TwoStepPresentation(), opt2)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res2.Outcome == ModelFound {
+	if res2.Interpretation != nil {
 		t.Fatal("impossible witness for a derivable presentation")
 	}
 }
@@ -157,8 +158,8 @@ func TestFoundModelsHaveCancellation(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if res.Outcome != ModelFound {
-			t.Fatalf("outcome %v", res.Outcome)
+		if res.Interpretation == nil {
+			t.Fatalf("outcome %v", res.Status())
 		}
 		if err := semigroup.CheckCancellation(res.Interpretation.Table); err != nil {
 			t.Error(err)

@@ -1,6 +1,7 @@
 package tm
 
 import (
+	"templatedep/internal/budget"
 	"testing"
 
 	"templatedep/internal/words"
@@ -107,7 +108,7 @@ func TestEncodeHaltingDerivable(t *testing.T) {
 		if err := p.CheckZeroEquations(); err != nil {
 			t.Fatalf("%s: %v", tc.name, err)
 		}
-		res := words.DeriveGoal(p, words.ClosureOptions{MaxWords: 200000})
+		res := words.DeriveGoal(p, words.ClosureOptions{Governor: budget.New(nil, budget.Limits{Words: 200000})})
 		if res.Verdict != words.Derivable {
 			t.Fatalf("%s: verdict %v (explored %d)", tc.name, res.Verdict, res.WordsExplored)
 		}
@@ -123,7 +124,7 @@ func TestEncodeScanWithInput(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res := words.DeriveGoal(p, words.ClosureOptions{MaxWords: 500000})
+	res := words.DeriveGoal(p, words.ClosureOptions{Governor: budget.New(nil, budget.Limits{Words: 500000})})
 	if res.Verdict != words.Derivable {
 		t.Fatalf("verdict %v (explored %d)", res.Verdict, res.WordsExplored)
 	}
@@ -134,7 +135,7 @@ func TestEncodeNonHaltingNotQuicklyDerivable(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res := words.DeriveGoal(p, words.ClosureOptions{MaxWords: 20000, MaxLength: 12})
+	res := words.DeriveGoal(p, words.ClosureOptions{Governor: budget.New(nil, budget.Limits{Words: 20000}), LengthCap: 12})
 	if res.Verdict == words.Derivable {
 		t.Fatal("non-halting machine's goal became derivable")
 	}

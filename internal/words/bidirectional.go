@@ -1,5 +1,7 @@
 package words
 
+import "templatedep/internal/budget"
+
 // DeriveBidirectional searches for a derivation of from = to by expanding
 // breadth-first frontiers from BOTH endpoints and meeting in the middle.
 // Because single-replacement rewriting is symmetric (each equation applies
@@ -15,9 +17,8 @@ package words
 // ablation benchmark BenchmarkSearchStrategies measures both regimes; the
 // two searches always agree on verdicts.
 func DeriveBidirectional(p *Presentation, from, to Word, opt ClosureOptions) Result {
-	if opt.MaxWords <= 0 {
-		opt.MaxWords = 100000
-	}
+	g := budget.Resolve(opt.Governor, DefaultLimits)
+	wordCap := g.Limit(budget.Words)
 	if from.IsEmpty() || to.IsEmpty() {
 		return Result{Verdict: NotDerivable}
 	}
@@ -69,6 +70,7 @@ func DeriveBidirectional(p *Presentation, from, to Word, opt ClosureOptions) Res
 		steps := buildForward(meet)
 		steps = append(steps, buildBackward(meet)...)
 		d := &Derivation{From: from, To: to, Steps: steps}
+		g.Add(budget.Words, totalVisited())
 		return Result{Verdict: Derivable, Derivation: d, WordsExplored: totalVisited(), Truncated: truncated}
 	}
 
@@ -86,7 +88,7 @@ func DeriveBidirectional(p *Presentation, from, to Word, opt ClosureOptions) Res
 					if !dirForward {
 						src, dst = dst, src
 					}
-					if len(dst) > len(src) && opt.MaxLength > 0 && len(w)-len(src)+len(dst) > opt.MaxLength {
+					if len(dst) > len(src) && opt.LengthCap > 0 && len(w)-len(src)+len(dst) > opt.LengthCap {
 						if len(w.Occurrences(src)) > 0 {
 							truncated = true
 						}
@@ -102,7 +104,7 @@ func DeriveBidirectional(p *Presentation, from, to Word, opt ClosureOptions) Res
 						if _, met := other[nk]; met {
 							return nk, true
 						}
-						if totalVisited() >= opt.MaxWords {
+						if wordCap > 0 && totalVisited() >= wordCap {
 							return "", false
 						}
 						*queue = append(*queue, nk)
@@ -114,8 +116,14 @@ func DeriveBidirectional(p *Presentation, from, to Word, opt ClosureOptions) Res
 	}
 
 	for len(queueF) > 0 || len(queueB) > 0 {
-		if totalVisited() >= opt.MaxWords {
-			return Result{Verdict: Unknown, WordsExplored: totalVisited(), Truncated: truncated}
+		if o := g.Interrupted(); o.Stopped() {
+			g.Add(budget.Words, totalVisited())
+			return Result{Verdict: Unknown, WordsExplored: totalVisited(), Truncated: truncated, Budget: o}
+		}
+		if wordCap > 0 && totalVisited() >= wordCap {
+			g.Add(budget.Words, totalVisited())
+			return Result{Verdict: Unknown, WordsExplored: totalVisited(), Truncated: truncated,
+				Budget: budget.Exhausted(budget.Words)}
 		}
 		// Expand the smaller live frontier first.
 		if len(queueF) > 0 && (len(queueF) <= len(queueB) || len(queueB) == 0) {
@@ -127,8 +135,10 @@ func DeriveBidirectional(p *Presentation, from, to Word, opt ClosureOptions) Res
 				return finish(meet)
 			}
 		}
-		if totalVisited() >= opt.MaxWords {
-			return Result{Verdict: Unknown, WordsExplored: totalVisited(), Truncated: truncated}
+		if wordCap > 0 && totalVisited() >= wordCap {
+			g.Add(budget.Words, totalVisited())
+			return Result{Verdict: Unknown, WordsExplored: totalVisited(), Truncated: truncated,
+				Budget: budget.Exhausted(budget.Words)}
 		}
 		if len(queueF) == 0 && len(queueB) == 0 {
 			break
@@ -137,12 +147,14 @@ func DeriveBidirectional(p *Presentation, from, to Word, opt ClosureOptions) Res
 		// disjoint as far as explored; only definitive when untruncated and
 		// that side's class was fully enumerated.
 		if len(queueF) == 0 || len(queueB) == 0 {
+			g.Add(budget.Words, totalVisited())
 			if !truncated {
 				return Result{Verdict: NotDerivable, WordsExplored: totalVisited()}
 			}
 			return Result{Verdict: Unknown, WordsExplored: totalVisited(), Truncated: true}
 		}
 	}
+	g.Add(budget.Words, totalVisited())
 	if truncated {
 		return Result{Verdict: Unknown, WordsExplored: totalVisited(), Truncated: true}
 	}

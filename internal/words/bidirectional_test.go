@@ -2,6 +2,7 @@ package words
 
 import (
 	"math/rand"
+	"templatedep/internal/budget"
 	"testing"
 	"testing/quick"
 )
@@ -48,7 +49,7 @@ func TestBidirectionalNotDerivable(t *testing.T) {
 
 func TestBidirectionalBudget(t *testing.T) {
 	p := IdempotentGapPresentation()
-	res := DeriveGoalBidirectional(p, ClosureOptions{MaxWords: 100})
+	res := DeriveGoalBidirectional(p, ClosureOptions{Governor: budget.New(nil, budget.Limits{Words: 100})})
 	if res.Verdict != Unknown {
 		t.Fatalf("verdict %v", res.Verdict)
 	}
@@ -163,8 +164,8 @@ func TestBidirectionalAgreesWithUnidirectional(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
 		p := RandomPresentation(rng, 2+rng.Intn(2), 2+rng.Intn(3))
-		uni := DeriveGoal(p, ClosureOptions{MaxWords: 1500, MaxLength: 8})
-		bi := DeriveGoalBidirectional(p, ClosureOptions{MaxWords: 1500, MaxLength: 8})
+		uni := DeriveGoal(p, ClosureOptions{Governor: budget.New(nil, budget.Limits{Words: 1500}), LengthCap: 8})
+		bi := DeriveGoalBidirectional(p, ClosureOptions{Governor: budget.New(nil, budget.Limits{Words: 1500}), LengthCap: 8})
 		if uni.Verdict == Derivable && bi.Verdict == NotDerivable {
 			t.Logf("seed %d: uni derivable, bi not", seed)
 			return false

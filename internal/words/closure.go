@@ -1,8 +1,9 @@
 package words
 
 import (
-	"errors"
 	"fmt"
+
+	"templatedep/internal/budget"
 )
 
 // The equational-closure solver is a semidecision procedure for the uniform
@@ -45,20 +46,28 @@ func (v Verdict) String() string {
 
 // ClosureOptions bounds the breadth-first closure search.
 type ClosureOptions struct {
-	// MaxWords caps the number of distinct words enumerated. <= 0 means the
-	// default of 100000.
-	MaxWords int
-	// MaxLength caps the length of words explored; replacements that would
+	// Governor bounds the search: its words meter caps the number of
+	// distinct words enumerated, and its context is checked once per
+	// dequeued word, so cancellation latency is one BFS expansion. Nil
+	// resolves to DefaultLimits.
+	Governor *budget.Governor
+	// LengthCap caps the length of words explored; replacements that would
 	// produce a longer word are not followed. <= 0 means unbounded. Note
 	// that a length cap makes the explored class an under-approximation,
 	// so exhaustion under a cap yields Unknown, not NotDerivable, unless no
-	// expansion was ever cut off.
-	MaxLength int
+	// expansion was ever cut off. It is a structural window, not a meter:
+	// it shapes WHICH words are reachable, not how many the budget admits.
+	LengthCap int
 }
+
+// DefaultLimits is the single definition of the closure search's default
+// word budget, shared by Derive, DeriveBidirectional, and
+// EquivalenceClass.
+var DefaultLimits = budget.Limits{Words: 100000}
 
 // DefaultClosureOptions are generous defaults for interactive use.
 func DefaultClosureOptions() ClosureOptions {
-	return ClosureOptions{MaxWords: 100000, MaxLength: 0}
+	return ClosureOptions{}
 }
 
 // Step records one rewrite in a derivation: equation Eq of the presentation
@@ -139,9 +148,6 @@ func (d *Derivation) Format(p *Presentation) string {
 	return out
 }
 
-// ErrBudget is wrapped by errors reporting budget exhaustion.
-var ErrBudget = errors.New("words: search budget exhausted")
-
 // Result is the outcome of a Derive call.
 type Result struct {
 	Verdict Verdict
@@ -149,15 +155,22 @@ type Result struct {
 	Derivation *Derivation
 	// WordsExplored is the number of distinct words enumerated.
 	WordsExplored int
-	// Truncated reports that some expansion was skipped due to MaxLength,
+	// Truncated reports that some expansion was skipped due to LengthCap,
 	// which downgrades exhaustion to Unknown.
 	Truncated bool
+	// Budget reports how the governor cut the search short; zero (ok)
+	// means the search ended on its own.
+	Budget budget.Outcome
 }
 
 // Derive searches for an equational derivation of from = to under p.
 func Derive(p *Presentation, from, to Word, opt ClosureOptions) Result {
-	if opt.MaxWords <= 0 {
-		opt.MaxWords = 100000
+	g := budget.Resolve(opt.Governor, DefaultLimits)
+	wordCap := g.Limit(budget.Words)
+	// Refuse to start under an already-stopped governor (see the chase and
+	// search entry checks: verdicts must not depend on checkpoint timing).
+	if o := g.Interrupted(); o.Stopped() {
+		return Result{Verdict: Unknown, Budget: o}
 	}
 	if from.IsEmpty() || to.IsEmpty() {
 		return Result{Verdict: NotDerivable}
@@ -191,6 +204,10 @@ func Derive(p *Presentation, from, to Word, opt ClosureOptions) Result {
 	}
 
 	for len(queue) > 0 {
+		if o := g.Interrupted(); o.Stopped() {
+			g.Add(budget.Words, len(visited))
+			return Result{Verdict: Unknown, WordsExplored: len(visited), Truncated: truncated, Budget: o}
+		}
 		k := queue[0]
 		queue = queue[1:]
 		w := KeyToWord(k)
@@ -200,7 +217,7 @@ func Derive(p *Presentation, from, to Word, opt ClosureOptions) Result {
 				if !dirForward {
 					src, dst = dst, src
 				}
-				if len(dst) > len(src) && opt.MaxLength > 0 && len(w)-len(src)+len(dst) > opt.MaxLength {
+				if len(dst) > len(src) && opt.LengthCap > 0 && len(w)-len(src)+len(dst) > opt.LengthCap {
 					if len(w.Occurrences(src)) > 0 {
 						truncated = true
 					}
@@ -214,6 +231,7 @@ func Derive(p *Presentation, from, to Word, opt ClosureOptions) Result {
 					}
 					visited[nk] = edge{prevKey: k, step: Step{Eq: ei, Pos: pos, Forward: dirForward, Result: nw}}
 					if nk == target {
+						g.Add(budget.Words, len(visited))
 						return Result{
 							Verdict:       Derivable,
 							Derivation:    reconstruct(nk),
@@ -221,14 +239,17 @@ func Derive(p *Presentation, from, to Word, opt ClosureOptions) Result {
 							Truncated:     truncated,
 						}
 					}
-					if len(visited) >= opt.MaxWords {
-						return Result{Verdict: Unknown, WordsExplored: len(visited), Truncated: truncated}
+					if wordCap > 0 && len(visited) >= wordCap {
+						g.Add(budget.Words, len(visited))
+						return Result{Verdict: Unknown, WordsExplored: len(visited), Truncated: truncated,
+							Budget: budget.Exhausted(budget.Words)}
 					}
 					queue = append(queue, nk)
 				}
 			}
 		}
 	}
+	g.Add(budget.Words, len(visited))
 	if truncated {
 		return Result{Verdict: Unknown, WordsExplored: len(visited), Truncated: true}
 	}
@@ -244,13 +265,16 @@ func DeriveGoal(p *Presentation, opt ClosureOptions) Result {
 // the budget. The boolean result reports whether the class was fully
 // enumerated (no budget or length truncation).
 func EquivalenceClass(p *Presentation, from Word, opt ClosureOptions) ([]Word, bool) {
-	if opt.MaxWords <= 0 {
-		opt.MaxWords = 100000
-	}
+	g := budget.Resolve(opt.Governor, DefaultLimits)
+	wordCap := g.Limit(budget.Words)
 	visited := map[string]bool{from.Key(): true}
 	queue := []Word{from}
 	complete := true
 	for len(queue) > 0 {
+		if g.Interrupted().Stopped() {
+			complete = false
+			break
+		}
 		w := queue[0]
 		queue = queue[1:]
 		for _, eq := range p.Equations {
@@ -259,7 +283,7 @@ func EquivalenceClass(p *Presentation, from Word, opt ClosureOptions) ([]Word, b
 				if !dirForward {
 					src, dst = dst, src
 				}
-				if len(dst) > len(src) && opt.MaxLength > 0 && len(w)-len(src)+len(dst) > opt.MaxLength {
+				if len(dst) > len(src) && opt.LengthCap > 0 && len(w)-len(src)+len(dst) > opt.LengthCap {
 					if len(w.Occurrences(src)) > 0 {
 						complete = false
 					}
@@ -271,7 +295,7 @@ func EquivalenceClass(p *Presentation, from Word, opt ClosureOptions) ([]Word, b
 					if visited[nk] {
 						continue
 					}
-					if len(visited) >= opt.MaxWords {
+					if wordCap > 0 && len(visited) >= wordCap {
 						complete = false
 						continue
 					}
@@ -281,6 +305,7 @@ func EquivalenceClass(p *Presentation, from Word, opt ClosureOptions) ([]Word, b
 			}
 		}
 	}
+	g.Add(budget.Words, len(visited))
 	out := make([]Word, 0, len(visited))
 	for k := range visited {
 		out = append(out, KeyToWord(k))

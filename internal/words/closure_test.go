@@ -3,6 +3,7 @@ package words
 import (
 	"math/rand"
 	"strings"
+	"templatedep/internal/budget"
 	"testing"
 	"testing/quick"
 )
@@ -64,7 +65,7 @@ func TestDeriveIdempotentGapUnknown(t *testing.T) {
 	// A0 = A0·A0 = A0·A0·A0 = ...: infinite class, never reaching 0. A
 	// budgeted search must return Unknown.
 	p := IdempotentGapPresentation()
-	res := DeriveGoal(p, ClosureOptions{MaxWords: 200})
+	res := DeriveGoal(p, ClosureOptions{Governor: budget.New(nil, budget.Limits{Words: 200})})
 	if res.Verdict != Unknown {
 		t.Fatalf("verdict %v", res.Verdict)
 	}
@@ -75,7 +76,7 @@ func TestDeriveIdempotentGapUnknown(t *testing.T) {
 
 func TestDeriveLengthCapTruncates(t *testing.T) {
 	p := IdempotentGapPresentation()
-	res := DeriveGoal(p, ClosureOptions{MaxWords: 100000, MaxLength: 4})
+	res := DeriveGoal(p, ClosureOptions{Governor: budget.New(nil, budget.Limits{Words: 100000}), LengthCap: 4})
 	if res.Verdict != Unknown || !res.Truncated {
 		t.Fatalf("verdict %v truncated %v, want Unknown+truncated", res.Verdict, res.Truncated)
 	}
@@ -151,7 +152,7 @@ func TestEquivalenceClassBudget(t *testing.T) {
 	// enumeration must report incompleteness while still containing the
 	// near neighbourhood of A0.
 	p := TwoStepPresentation()
-	cls, complete := EquivalenceClass(p, W(p.Alphabet.A0()), ClosureOptions{MaxWords: 50})
+	cls, complete := EquivalenceClass(p, W(p.Alphabet.A0()), ClosureOptions{Governor: budget.New(nil, budget.Limits{Words: 50})})
 	if complete {
 		t.Error("infinite class reported complete")
 	}
@@ -174,7 +175,7 @@ func TestEquivalenceClassFinite(t *testing.T) {
 	// A presentation with only contracting equations in reach: class of A0
 	// under PowerPresentation is the singleton {A0}.
 	p := PowerPresentation()
-	cls, complete := EquivalenceClass(p, W(p.Alphabet.A0()), ClosureOptions{MaxWords: 1000})
+	cls, complete := EquivalenceClass(p, W(p.Alphabet.A0()), ClosureOptions{Governor: budget.New(nil, budget.Limits{Words: 1000})})
 	if !complete || len(cls) != 1 {
 		t.Errorf("class = %v (complete=%v), want singleton", cls, complete)
 	}
@@ -186,7 +187,7 @@ func TestDeriveProperty(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
 		p := RandomPresentation(rng, 2+rng.Intn(2), 2+rng.Intn(3))
-		res := DeriveGoal(p, ClosureOptions{MaxWords: 1500, MaxLength: 8})
+		res := DeriveGoal(p, ClosureOptions{Governor: budget.New(nil, budget.Limits{Words: 1500}), LengthCap: 8})
 		if res.Verdict == Derivable {
 			if err := res.Derivation.Validate(p); err != nil {
 				t.Logf("seed %d: %v", seed, err)
@@ -205,8 +206,8 @@ func TestDeriveSymmetry(t *testing.T) {
 	p := ChainPresentation(2)
 	a0 := W(p.Alphabet.A0())
 	z := W(p.Alphabet.Zero())
-	fwd := Derive(p, a0, z, ClosureOptions{MaxWords: 20000})
-	bwd := Derive(p, z, a0, ClosureOptions{MaxWords: 20000})
+	fwd := Derive(p, a0, z, ClosureOptions{Governor: budget.New(nil, budget.Limits{Words: 20000})})
+	bwd := Derive(p, z, a0, ClosureOptions{Governor: budget.New(nil, budget.Limits{Words: 20000})})
 	if fwd.Verdict != Derivable || bwd.Verdict != Derivable {
 		t.Fatalf("fwd %v bwd %v", fwd.Verdict, bwd.Verdict)
 	}

@@ -1,6 +1,9 @@
 package words
 
-import "testing"
+import (
+	"templatedep/internal/budget"
+	"testing"
+)
 
 // FuzzParseSpec exercises the presentation spec parser: no panics, and
 // accepted specs round-trip through FormatSpec.
@@ -48,7 +51,7 @@ func FuzzDerive(f *testing.F) {
 		if err != nil {
 			return
 		}
-		res := Derive(p, from, to, ClosureOptions{MaxWords: 300, MaxLength: 8})
+		res := Derive(p, from, to, ClosureOptions{Governor: budget.New(nil, budget.Limits{Words: 300}), LengthCap: 8})
 		if res.Verdict == Derivable {
 			if err := res.Derivation.Validate(p); err != nil {
 				t.Fatal(err)

@@ -2,6 +2,7 @@ package words
 
 import (
 	"math/rand"
+	"templatedep/internal/budget"
 	"testing"
 )
 
@@ -28,7 +29,7 @@ func TestNilpotentSafePresentation(t *testing.T) {
 	if !p.IsTwoOne() {
 		t.Error("not (2,1)")
 	}
-	res := DeriveGoal(p, ClosureOptions{MaxWords: 5000})
+	res := DeriveGoal(p, ClosureOptions{Governor: budget.New(nil, budget.Limits{Words: 5000})})
 	// Definitional equations only: A0's class is infinite? A0 matches RHS
 	// of no equation and LHS of none alone; expansions: B1 -> A0 A0 only
 	// applies to words containing B1. The class of A0 is {A0}: definite no.
@@ -44,7 +45,7 @@ func TestPowerAndTwoStepAndGap(t *testing.T) {
 	if got := DeriveGoal(TwoStepPresentation(), DefaultClosureOptions()).Verdict; got != Derivable {
 		t.Errorf("two-step: %v", got)
 	}
-	if got := DeriveGoal(IdempotentGapPresentation(), ClosureOptions{MaxWords: 300}).Verdict; got != Unknown {
+	if got := DeriveGoal(IdempotentGapPresentation(), ClosureOptions{Governor: budget.New(nil, budget.Limits{Words: 300})}).Verdict; got != Unknown {
 		t.Errorf("gap: %v", got)
 	}
 }

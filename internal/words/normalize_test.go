@@ -2,6 +2,7 @@ package words
 
 import (
 	"math/rand"
+	"templatedep/internal/budget"
 	"testing"
 	"testing/quick"
 )
@@ -175,8 +176,8 @@ func TestNormalizePreservesDerivability(t *testing.T) {
 			t.Logf("seed %d: %v", seed, err)
 			return false
 		}
-		before := DeriveGoal(p, ClosureOptions{MaxWords: 1500, MaxLength: 8})
-		after := DeriveGoal(n.Presentation, ClosureOptions{MaxWords: 3000, MaxLength: 10})
+		before := DeriveGoal(p, ClosureOptions{Governor: budget.New(nil, budget.Limits{Words: 1500}), LengthCap: 8})
+		after := DeriveGoal(n.Presentation, ClosureOptions{Governor: budget.New(nil, budget.Limits{Words: 3000}), LengthCap: 10})
 		if before.Verdict == Derivable && after.Verdict == NotDerivable {
 			t.Logf("seed %d: derivable became not-derivable", seed)
 			return false
