@@ -2,8 +2,10 @@
 # Repo CI gate: formatting, build, vet, docs freshness, and the full test
 # suite under the race detector. The chase worker-pool tests
 # (TestIntraDependencyPartitioning, TestParallelWorkers) exercise
-# intra-dependency delta partitioning with Workers > 1, so -race covers the
-# concurrent join paths.
+# intra-dependency delta partitioning with Workers > 1, and the parallel
+# counter-model search tests (TestParallelDeterministicWitness,
+# TestParallelDeterministicCounterexample) run the psearch worker pool with
+# Workers up to 4, so -race covers every concurrent path.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -41,6 +43,12 @@ done
 
 go test -race ./...
 
+# The parallel-search determinism contract under the race detector,
+# explicitly: the shared worker-pool core and both engines built on it.
+# Redundant with the full -race sweep above, but cheap, and it keeps the
+# contract's coverage visible even if the sweep's scope ever changes.
+go test -race -count=1 ./internal/psearch ./internal/search ./internal/finitemodel
+
 # Governance smoke: a wall-clock budget on the undecidable gap preset must
 # come back promptly (bounded cancellation latency), exit 0 with an honest
 # "unknown", and leave a trace that replays (the JSONL parses and carries
@@ -63,3 +71,11 @@ grep -q '"type":"verdict","src":"core","verdict":"unknown"' "$smoke/gap.jsonl" |
     echo "ci: gap smoke: trace does not close with an unknown core verdict" >&2
     exit 1
 }
+
+# Bench smoke: the search benchmark emitter must produce a report that
+# parses and carries every ablation arm (serial/parallel-4 x
+# symmetry/none) with identical verdicts. -searchquick times one run per
+# arm, so this checks structure, not statistics.
+go build -o "$smoke/tdbench" ./cmd/tdbench
+"$smoke/tdbench" -searchjson "$smoke/BENCH_search.json" -searchquick >/dev/null
+"$smoke/tdbench" -checksearch "$smoke/BENCH_search.json"

@@ -31,6 +31,7 @@ import (
 	"templatedep/internal/budget"
 	"templatedep/internal/core"
 	"templatedep/internal/obs"
+	"templatedep/internal/psearch"
 	"templatedep/internal/rewrite"
 	"templatedep/internal/search"
 	"templatedep/internal/words"
@@ -43,7 +44,7 @@ func main() {
 	sub := os.Args[1]
 	fs := flag.NewFlagSet(sub, flag.ExitOnError)
 	specFile := fs.String("spec", "", "presentation spec file")
-	preset := fs.String("preset", "", "preset presentation: power|twostep|gap|chain:N|nilpotent:M")
+	preset := fs.String("preset", "", "preset presentation: power|twostep|gap|chain:N|nilpotent:M|tower:K")
 	maxWords := fs.Int("max-words", 100000, "closure search: word budget")
 	maxLen := fs.Int("max-length", 0, "closure search: word length cap (0 = unbounded)")
 	maxOrder := fs.Int("max-order", 6, "model search: largest semigroup order")
@@ -51,6 +52,8 @@ func main() {
 	maxRules := fs.Int("max-rules", 500, "completion: rule budget")
 	bidi := fs.Bool("bidirectional", false, "derive: meet-in-the-middle search")
 	quotient := fs.Int("quotient", 0, "model: try nilpotent quotients up to this class before the table search (0 = off)")
+	workers := fs.Int("workers", 1, "model/analyze: worker goroutines for the model search (results are identical for every value)")
+	pruneFlag := fs.String("prune", "symmetry", "model/analyze: symmetry breaking in the model search: symmetry|none")
 	cert := fs.Bool("cert", false, "derive: emit a machine-checkable certificate instead of the pretty chain")
 	checkCert := fs.String("check-cert", "", "derive: validate a certificate file against the presentation and exit")
 	progress := fs.Bool("progress", false, "analyze: live progress line on stderr")
@@ -66,6 +69,10 @@ func main() {
 	defer stop()
 
 	p, err := load(*specFile, *preset)
+	if err != nil {
+		fatal(err)
+	}
+	prune, err := psearch.ParsePrune(*pruneFlag)
 	if err != nil {
 		fatal(err)
 	}
@@ -138,6 +145,8 @@ func main() {
 			Orders:          budget.Range{Lo: search.DefaultOrders.Lo, Hi: *maxOrder},
 			Governor:        budget.New(ctx, budget.Limits{Nodes: *maxNodes}),
 			QuotientClasses: *quotient,
+			Workers:         *workers,
+			Prune:           prune,
 		})
 		if err != nil {
 			fatal(err)
@@ -162,7 +171,11 @@ func main() {
 			Orders:          budget.Range{Lo: search.DefaultOrders.Lo, Hi: *maxOrder},
 			Governor:        g.Child(budget.Limits{Nodes: *maxNodes}),
 			QuotientClasses: *quotient,
+			Workers:         *workers,
+			Prune:           prune,
 		}
+		b.FiniteDB.Workers = *workers
+		b.FiniteDB.Prune = prune
 		var sinks []obs.Sink
 		if *traceFile != "" {
 			f, err := os.Create(*traceFile)

@@ -29,14 +29,29 @@ func main() {
 	quick := flag.Bool("quick", false, "skip the slower experiments (E5 TM pipeline sweep)")
 	benchjson := flag.String("benchjson", "", "measure the F1-F3 and chase workloads and write JSON results to this file instead of running the report")
 	metrics := flag.Bool("metrics", false, "with -benchjson: fold an observability counter snapshot of each chase workload into the JSON (see docs/OBSERVABILITY.md)")
+	searchjson := flag.String("searchjson", "", "measure the counter-model search workloads under the serial/parallel and symmetry/none ablations and write JSON results to this file")
+	searchquick := flag.Bool("searchquick", false, "with -searchjson: one timed run per arm instead of a full benchmark loop (CI smoke)")
+	checksearch := flag.String("checksearch", "", "validate a -searchjson report (parses, all ablation arms present, verdicts identical) and exit")
 	flag.Parse()
 
 	if *metrics && *benchjson == "" {
 		fmt.Fprintln(os.Stderr, "tdbench: -metrics requires -benchjson")
 		os.Exit(2)
 	}
+	if *searchquick && *searchjson == "" {
+		fmt.Fprintln(os.Stderr, "tdbench: -searchquick requires -searchjson")
+		os.Exit(2)
+	}
+	if *checksearch != "" {
+		checkSearchJSON(*checksearch)
+		return
+	}
 	if *benchjson != "" {
 		writeBenchJSON(*benchjson, *metrics)
+		return
+	}
+	if *searchjson != "" {
+		writeSearchJSON(*searchjson, *searchquick)
 		return
 	}
 

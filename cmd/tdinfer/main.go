@@ -12,7 +12,7 @@
 //
 // Dependencies may also be read one per line from a file via -deps, or the
 // whole instance generated from a semigroup presentation preset via
-// -preset (power|twostep|gap|chain:N|nilpotent:M) through the
+// -preset (power|twostep|gap|chain:N|nilpotent:M|tower:K) through the
 // Gurevich–Lewis reduction.
 //
 // Resource governance: -rounds/-tuples meter the chase, -deadline bounds
@@ -40,6 +40,7 @@ import (
 	"templatedep/internal/chase"
 	"templatedep/internal/core"
 	"templatedep/internal/obs"
+	"templatedep/internal/psearch"
 	"templatedep/internal/reduction"
 	"templatedep/internal/relation"
 	"templatedep/internal/td"
@@ -56,10 +57,12 @@ func main() {
 		schemaFlag = flag.String("schema", "", "comma-separated attribute names")
 		depsFile   = flag.String("deps", "", "file with one TD per line (optional)")
 		goalFlag   = flag.String("goal", "", "goal TD D0")
-		preset     = flag.String("preset", "", "build D and D0 from a presentation preset via the reduction: power|twostep|gap|chain:N|nilpotent:M")
+		preset     = flag.String("preset", "", "build D and D0 from a presentation preset via the reduction: power|twostep|gap|chain:N|nilpotent:M|tower:K")
 		rounds     = flag.Int("rounds", 64, "chase round budget")
 		tuples     = flag.Int("tuples", 100000, "chase tuple budget")
 		fmTuples   = flag.Int("cx-tuples", 4, "counterexample enumeration: max tuples")
+		workers    = flag.Int("workers", 1, "worker goroutines for the chase and the counterexample enumeration (results are identical for every value)")
+		pruneFlag  = flag.String("prune", "symmetry", "counterexample enumeration symmetry breaking: symmetry|none")
 		deadline   = flag.Duration("deadline", 0, "wall-clock budget for the whole run (0 = none)")
 		proof      = flag.Bool("proof", false, "print the chase proof trace")
 		traceFile  = flag.String("trace", "", "write the structured event stream to FILE as JSONL (see docs/OBSERVABILITY.md)")
@@ -138,6 +141,13 @@ func main() {
 		SemiNaive: true, Trace: *proof, PerDepStats: *depStats,
 	}
 	b.FiniteDB.Sizes = budget.Range{Lo: 1, Hi: *fmTuples}
+	b.Chase.Workers = *workers
+	b.FiniteDB.Workers = *workers
+	prune, err := psearch.ParsePrune(*pruneFlag)
+	if err != nil {
+		fatal(err)
+	}
+	b.FiniteDB.Prune = prune
 
 	var sinks []obs.Sink
 	if *traceFile != "" {

@@ -67,6 +67,9 @@ func (b Budget) withSink() Budget {
 		if b.ModelSearch.Sink == nil {
 			b.ModelSearch.Sink = b.Sink
 		}
+		if b.FiniteDB.Sink == nil {
+			b.FiniteDB.Sink = b.Sink
+		}
 	}
 	return b
 }

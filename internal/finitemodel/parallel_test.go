@@ -1,0 +1,147 @@
+package finitemodel
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"templatedep/internal/budget"
+	"templatedep/internal/obs"
+	"templatedep/internal/psearch"
+	"templatedep/internal/reduction"
+	"templatedep/internal/relation"
+	"templatedep/internal/td"
+	"templatedep/internal/words"
+)
+
+// The parallel determinism contract for the instance enumerator: every
+// Workers value returns the same counterexample, the same committed node
+// ledger, and a trace that replays to the same totals. The gap reduction
+// is the workload — its 6-column schema makes the per-size decision trees
+// deep enough to split.
+func TestParallelDeterministicCounterexample(t *testing.T) {
+	in, err := reduction.Build(words.IdempotentGapPresentation())
+	if err != nil {
+		t.Fatal(err)
+	}
+	type run struct {
+		inst   string
+		nodes  int
+		totals obs.Totals
+	}
+	do := func(workers int) run {
+		var buf bytes.Buffer
+		res, err := FindCounterexample(in.D, in.D0, Options{
+			Sizes:    budget.Range{Lo: 1, Hi: 2},
+			Workers:  workers,
+			Governor: budget.New(nil, budget.Limits{Nodes: 1_000_000}),
+			Sink:     obs.NewJSONLSink(&buf),
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if res.Instance == nil {
+			t.Fatalf("workers=%d: no counterexample (%s)", workers, res.Status())
+		}
+		totals, err := obs.Replay(&buf)
+		if err != nil {
+			t.Fatalf("workers=%d: replay: %v", workers, err)
+		}
+		return run{inst: res.Instance.String(), nodes: res.NodesVisited, totals: totals}
+	}
+	base := do(1)
+	if base.totals.SearchNodes != base.nodes {
+		t.Errorf("serial trace replays %d nodes, result ledger says %d", base.totals.SearchNodes, base.nodes)
+	}
+	if v := base.totals.Verdicts["finitemodel"]; v != "found" {
+		t.Errorf("trace verdict %q, want found", v)
+	}
+	for _, workers := range []int{2, 4} {
+		got := do(workers)
+		if got.inst != base.inst {
+			t.Errorf("workers=%d: counterexample differs\n got %s\nwant %s", workers, got.inst, base.inst)
+		}
+		if got.nodes != base.nodes {
+			t.Errorf("workers=%d: %d nodes visited, serial visited %d", workers, got.nodes, base.nodes)
+		}
+		if !reflect.DeepEqual(got.totals, base.totals) {
+			t.Errorf("workers=%d: replayed totals differ\n got %+v\nwant %+v", workers, got.totals, base.totals)
+		}
+	}
+}
+
+// Disabling symmetry pruning must change only the node count (the
+// exhaustive run revisits permuted instances), never the verdict.
+func TestPruneAblationSoundness(t *testing.T) {
+	in, err := reduction.Build(words.IdempotentGapPresentation())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var nodes [2]int
+	for i, prune := range []psearch.Prune{psearch.PruneSymmetry, psearch.PruneNone} {
+		res, err := FindCounterexample(in.D, in.D0, Options{
+			Sizes:    budget.Range{Lo: 1, Hi: 2},
+			Prune:    prune,
+			Governor: budget.New(nil, budget.Limits{Nodes: 1_000_000}),
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", prune, err)
+		}
+		if res.Instance == nil {
+			t.Fatalf("%s: no counterexample (%s)", prune, res.Status())
+		}
+		nodes[i] = res.NodesVisited
+	}
+	if nodes[0] >= nodes[1] {
+		t.Errorf("symmetry pruning visited %d nodes, exhaustive run %d — pruning should strictly reduce the gap tree",
+			nodes[0], nodes[1])
+	}
+	// The non-existence side: an implied goal yields no counterexample in
+	// either mode.
+	s := relation.MustSchema("A", "B", "C")
+	join := td.MustParse(s, "R(a, b, c) & R(a, b', c') -> R(a, b, c')", "join")
+	goal := td.MustParse(s, "R(a, b, c) & R(a, b', c') & R(a, b'', c'') -> R(a, b, c'')", "goal")
+	for _, prune := range []psearch.Prune{psearch.PruneSymmetry, psearch.PruneNone} {
+		res, err := FindCounterexample([]*td.TD{join}, goal, Options{
+			Sizes:    budget.Range{Lo: 1, Hi: 3},
+			Prune:    prune,
+			Governor: budget.New(nil, budget.Limits{Nodes: 10_000_000}),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Instance != nil {
+			t.Errorf("%s: found impossible counterexample", prune)
+		}
+	}
+}
+
+// lexLess edge cases (satellite): zero-length tuples, equal tuples, and
+// mismatched lengths must keep the order strict and total.
+func TestLexLessEdgeCases(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		a, b relation.Tuple
+		want bool
+	}{
+		{"both empty", relation.Tuple{}, relation.Tuple{}, false},
+		{"nil vs nil", nil, nil, false},
+		{"empty vs nonempty", relation.Tuple{}, relation.Tuple{0}, true},
+		{"nonempty vs empty", relation.Tuple{0}, relation.Tuple{}, false},
+		{"equal", relation.Tuple{1, 2}, relation.Tuple{1, 2}, false},
+		{"less in first", relation.Tuple{0, 9}, relation.Tuple{1, 0}, true},
+		{"less in last", relation.Tuple{1, 1}, relation.Tuple{1, 2}, true},
+		{"greater", relation.Tuple{2, 0}, relation.Tuple{1, 9}, false},
+		{"prefix shorter first", relation.Tuple{1}, relation.Tuple{1, 0}, true},
+		{"prefix longer second", relation.Tuple{1, 0}, relation.Tuple{1}, false},
+		{"all zero", relation.Tuple{0, 0, 0}, relation.Tuple{0, 0, 0}, false},
+	} {
+		if got := lexLess(tc.a, tc.b); got != tc.want {
+			t.Errorf("%s: lexLess(%v, %v) = %v, want %v", tc.name, tc.a, tc.b, got, tc.want)
+		}
+		// Strictness: a < b and b < a never both hold.
+		if lexLess(tc.a, tc.b) && lexLess(tc.b, tc.a) {
+			t.Errorf("%s: order not antisymmetric", tc.name)
+		}
+	}
+}

@@ -32,7 +32,8 @@ package obs
 type EventType string
 
 // Event types emitted by the engine layers. The Src field of an Event
-// tells which layer emitted it ("chase", "search", "rewrite", "core").
+// tells which layer emitted it ("chase", "search", "finitemodel",
+// "rewrite", "core").
 const (
 	// EvRoundStart opens a fair chase round. Fields: Round, Tuples
 	// (instance size entering the round).
@@ -55,10 +56,23 @@ const (
 	// (triggers fired), Matched (triggers matched), Homs (antecedent
 	// homomorphisms enumerated).
 	EvRoundEnd EventType = "round_end"
-	// EvSearchNode reports a batch of expanded backtracking nodes in the
-	// finite-model search. Fields: Order (semigroup order under search), N
-	// (nodes since the previous event).
+	// EvSearchNode reports a batch of committed backtracking nodes in a
+	// finite-model search (Src "search" for the semigroup engine, Src
+	// "finitemodel" for the instance engine). Fields: Order (semigroup
+	// order or instance size under search), N (nodes since the previous
+	// event). Speculative nodes of parallel runs are never reported, so
+	// the sum is identical for every Workers value.
 	EvSearchNode EventType = "search_node"
+	// EvSearchSplit reports that one wave of a finite-model search's
+	// backtracking tree was split into independent subtree tasks. Fields:
+	// Order, N (tasks in the wave), Depth (prefix depth of the split).
+	EvSearchSplit EventType = "search_split"
+	// EvSearchSteal reports one subtree task pulled and run by a worker,
+	// emitted post-hoc in task order for tasks up to and including the
+	// wave's winner. Fields: Order, Task (index within the wave), Worker
+	// (goroutine that ran it — the ONE scheduling-dependent field of the
+	// schema, excluded from replay totals), N (nodes the task explored).
+	EvSearchSteal EventType = "search_steal"
 	// EvRuleAdded reports one oriented rule added by Knuth–Bendix
 	// completion. Fields: Iter (completion sweep), Rules (total rules
 	// after the addition).
@@ -98,7 +112,8 @@ const (
 type Event struct {
 	// Type discriminates the payload.
 	Type EventType `json:"type"`
-	// Src is the emitting layer: "chase", "search", "rewrite", or "core".
+	// Src is the emitting layer: "chase", "search", "finitemodel",
+	// "rewrite", or "core".
 	Src string `json:"src"`
 	// Round is 1-based (chase fair round, deepening round); 0 when not
 	// applicable.
@@ -115,8 +130,16 @@ type Event struct {
 	Matched int `json:"matched,omitempty"`
 	// Homs counts antecedent homomorphisms enumerated.
 	Homs int `json:"homs,omitempty"`
-	// Order is the semigroup order under search.
+	// Order is the semigroup order (or instance size) under search.
 	Order int `json:"order,omitempty"`
+	// Depth is the prefix depth of a search split.
+	Depth int `json:"depth,omitempty"`
+	// Task is a subtree task index within a search split wave.
+	Task int `json:"task,omitempty"`
+	// Worker is the 0-based goroutine that ran a subtree task. It is the
+	// only scheduling-dependent field in the schema and is never folded
+	// into replay totals.
+	Worker int `json:"worker,omitempty"`
 	// Iter is a completion sweep index.
 	Iter int `json:"iter,omitempty"`
 	// Rules is the total rewrite-rule count.

@@ -24,8 +24,16 @@ type Totals struct {
 	NullsCreated int
 	// Homomorphisms sums round_end.homs.
 	Homomorphisms int
-	// SearchNodes sums search_node.n.
+	// SearchNodes sums search_node.n (committed nodes across every search
+	// layer — deterministic for any Workers value).
 	SearchNodes int
+	// SearchSplits counts search_split events.
+	SearchSplits int
+	// SearchSteals counts search_steal events. Task node counts are NOT
+	// summed here — they are already covered by search_node — and the
+	// worker attribute is deliberately never folded (it is the one
+	// scheduling-dependent field of the schema).
+	SearchSteals int
 	// RulesAdded counts rule_added events.
 	RulesAdded int
 	// PerDepFired sums dep_fired.n by dependency index.
@@ -77,6 +85,10 @@ func Replay(r io.Reader) (Totals, error) {
 			t.Homomorphisms += e.Homs
 		case EvSearchNode:
 			t.SearchNodes += e.N
+		case EvSearchSplit:
+			t.SearchSplits++
+		case EvSearchSteal:
+			t.SearchSteals++
 		case EvRuleAdded:
 			t.RulesAdded++
 		case EvBudgetExhausted:

@@ -1,0 +1,149 @@
+package psearch
+
+import (
+	"context"
+	"testing"
+
+	"templatedep/internal/budget"
+)
+
+// linear builds a run function that explores counts[t] nodes in task t and
+// reports a witness when wit[t] is set.
+func linear(counts []int, wit map[int]bool) func(int, *Ctx) bool {
+	return func(t int, ctx *Ctx) bool {
+		for i := 0; i < counts[t]; i++ {
+			if !ctx.Node() {
+				return false
+			}
+		}
+		return wit[t]
+	}
+}
+
+func TestWinnerDeterministicAcrossWorkers(t *testing.T) {
+	counts := []int{100, 250, 50, 400, 10, 75, 300, 20}
+	wit := map[int]bool{5: true, 6: true}
+	want := 100 + 250 + 50 + 400 + 10 + 75 // tasks 0..5
+	for _, workers := range []int{1, 2, 4, 8} {
+		rep := Explore(len(counts), Options{Workers: workers, Batch: 8}, linear(counts, wit))
+		if rep.Winner != 5 {
+			t.Errorf("workers=%d: winner %d, want 5", workers, rep.Winner)
+		}
+		if rep.Committed != want {
+			t.Errorf("workers=%d: committed %d, want %d", workers, rep.Committed, want)
+		}
+		if rep.Stop.Stopped() {
+			t.Errorf("workers=%d: unexpected stop %v", workers, rep.Stop)
+		}
+		if workers == 1 && rep.Speculative != 0 {
+			t.Errorf("serial run has %d speculative nodes", rep.Speculative)
+		}
+	}
+}
+
+func TestSerialSkipsTasksAfterWinner(t *testing.T) {
+	counts := []int{10, 10, 10, 10}
+	rep := Explore(len(counts), Options{Workers: 1, Batch: 4}, linear(counts, map[int]bool{1: true}))
+	if rep.Winner != 1 {
+		t.Fatalf("winner %d", rep.Winner)
+	}
+	for _, tt := range []int{2, 3} {
+		if rep.Tasks[tt].Ran {
+			t.Errorf("task %d ran after the winner", tt)
+		}
+		if !rep.Tasks[tt].Aborted {
+			t.Errorf("task %d not marked aborted", tt)
+		}
+	}
+	if rep.Committed != 20 || rep.Speculative != 0 {
+		t.Errorf("committed %d speculative %d", rep.Committed, rep.Speculative)
+	}
+}
+
+func TestParallelAbortsHigherTasksAfterWin(t *testing.T) {
+	// Task 0 wins immediately; the huge task 3 must be cut off at a
+	// checkpoint instead of running to completion.
+	counts := []int{1, 1, 1, 1 << 20}
+	var rep Report
+	for i := 0; i < 10; i++ { // scheduling-dependent: try a few times
+		rep = Explore(len(counts), Options{Workers: 4, Batch: 16}, linear(counts, map[int]bool{0: true}))
+		if rep.Winner != 0 {
+			t.Fatalf("winner %d, want 0", rep.Winner)
+		}
+		if rep.Committed != 1 {
+			t.Fatalf("committed %d, want 1", rep.Committed)
+		}
+		if rep.Tasks[3].Ran && rep.Tasks[3].Nodes == counts[3] {
+			t.Fatalf("task 3 ran to completion (%d nodes) despite task 0 winning", rep.Tasks[3].Nodes)
+		}
+	}
+}
+
+func TestBudgetExhaustionStopsExploration(t *testing.T) {
+	g := budget.New(nil, budget.Limits{})
+	counts := []int{1000, 1000}
+	rep := Explore(len(counts), Options{Workers: 1, Governor: g, Allowance: 100, Batch: 10},
+		linear(counts, nil))
+	if rep.Winner != -1 {
+		t.Errorf("winner %d", rep.Winner)
+	}
+	if rep.Stop != budget.Exhausted(budget.Nodes) {
+		t.Errorf("stop %v, want exhausted:nodes", rep.Stop)
+	}
+	if rep.Committed > 110+1 { // one batch of slack past the share
+		t.Errorf("explored %d nodes on a 100-node allowance", rep.Committed)
+	}
+	if got := g.Used(budget.Nodes); got != rep.Committed {
+		t.Errorf("parent meter %d, committed %d", got, rep.Committed)
+	}
+}
+
+func TestWitnessSuppressedWhenLowerTaskStopped(t *testing.T) {
+	// Worker shares: 2 workers x 50 nodes. Task 0 burns past its share and
+	// stops; task 1 finds a witness instantly. The witness must be
+	// suppressed: the serial search would have stopped inside task 0.
+	g := budget.New(nil, budget.Limits{})
+	counts := []int{1000, 1}
+	rep := Explore(len(counts), Options{Workers: 2, Governor: g, Allowance: 100, Batch: 10},
+		linear(counts, map[int]bool{1: true}))
+	if rep.Winner != -1 {
+		t.Errorf("winner %d, want suppressed (-1)", rep.Winner)
+	}
+	if !rep.Stop.Stopped() {
+		t.Error("no stop outcome reported")
+	}
+}
+
+func TestCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	g := budget.New(ctx, budget.Limits{})
+	rep := Explore(2, Options{Workers: 1, Governor: g, Batch: 4}, linear([]int{100, 100}, nil))
+	if rep.Stop.Code != budget.CodeCancelled {
+		t.Errorf("stop %v, want cancelled", rep.Stop)
+	}
+	if rep.Winner != -1 {
+		t.Errorf("winner %d", rep.Winner)
+	}
+}
+
+func TestPruneVocabulary(t *testing.T) {
+	if PruneSymmetry.String() != "symmetry" || PruneNone.String() != "none" {
+		t.Fatal("prune spellings changed")
+	}
+	for _, s := range []string{"symmetry", "none", ""} {
+		if _, err := ParsePrune(s); err != nil {
+			t.Errorf("ParsePrune(%q): %v", s, err)
+		}
+	}
+	if _, err := ParsePrune("bogus"); err == nil {
+		t.Error("ParsePrune accepted garbage")
+	}
+}
+
+func TestZeroTasks(t *testing.T) {
+	rep := Explore(0, Options{}, func(int, *Ctx) bool { t.Fatal("run called"); return false })
+	if rep.Winner != -1 || rep.Committed != 0 || rep.Stop.Stopped() {
+		t.Errorf("unexpected report %+v", rep)
+	}
+}

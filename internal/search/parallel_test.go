@@ -1,0 +1,165 @@
+package search
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"templatedep/internal/budget"
+	"templatedep/internal/obs"
+	"templatedep/internal/psearch"
+	"templatedep/internal/semigroup"
+	"templatedep/internal/words"
+)
+
+// The parallel determinism contract: every Workers value returns the same
+// witness (same order, same table, same assignment), the same committed
+// node ledger, and a trace that replays to the same totals. tower:2 is the
+// workload because it does real search work (hundreds of nodes over four
+// orders) before the witness at order 5.
+func TestParallelDeterministicWitness(t *testing.T) {
+	p := words.PowerTowerPresentation(2)
+	type run struct {
+		table  [][]semigroup.Elem
+		assign map[words.Symbol]semigroup.Elem
+		nodes  int
+		totals obs.Totals
+	}
+	do := func(workers int) run {
+		var buf bytes.Buffer
+		sink := obs.NewJSONLSink(&buf)
+		res, err := FindCounterModel(p, Options{
+			Orders:   budget.Range{Lo: 2, Hi: 5},
+			Workers:  workers,
+			Governor: budget.New(nil, budget.Limits{Nodes: 1_000_000}),
+			Sink:     sink,
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if res.Interpretation == nil {
+			t.Fatalf("workers=%d: no model (%s)", workers, res.Status())
+		}
+		totals, err := obs.Replay(&buf)
+		if err != nil {
+			t.Fatalf("workers=%d: replay: %v", workers, err)
+		}
+		tb := res.Interpretation.Table
+		rows := make([][]semigroup.Elem, tb.Size())
+		for x := 0; x < tb.Size(); x++ {
+			rows[x] = make([]semigroup.Elem, tb.Size())
+			for y := 0; y < tb.Size(); y++ {
+				rows[x][y] = tb.Mul(semigroup.Elem(x), semigroup.Elem(y))
+			}
+		}
+		return run{table: rows, assign: res.Interpretation.Assign, nodes: res.NodesVisited, totals: totals}
+	}
+	base := do(1)
+	if base.totals.SearchNodes != base.nodes {
+		t.Errorf("serial trace replays %d nodes, result ledger says %d", base.totals.SearchNodes, base.nodes)
+	}
+	for _, workers := range []int{2, 4} {
+		got := do(workers)
+		if !reflect.DeepEqual(got.table, base.table) {
+			t.Errorf("workers=%d: witness table differs\n got %v\nwant %v", workers, got.table, base.table)
+		}
+		if !reflect.DeepEqual(got.assign, base.assign) {
+			t.Errorf("workers=%d: witness assignment differs: %v vs %v", workers, got.assign, base.assign)
+		}
+		if got.nodes != base.nodes {
+			t.Errorf("workers=%d: %d nodes visited, serial visited %d", workers, got.nodes, base.nodes)
+		}
+		if !reflect.DeepEqual(got.totals, base.totals) {
+			t.Errorf("workers=%d: replayed totals differ\n got %+v\nwant %+v", workers, got.totals, base.totals)
+		}
+	}
+}
+
+// Symmetry pruning must change only the node count, never the verdict.
+func TestPruneAblationSoundness(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		p    *words.Presentation
+		hi   int
+		want string
+	}{
+		{"tower2", words.PowerTowerPresentation(2), 5, "model-found"},
+		{"power", words.PowerPresentation(), 4, "model-found"},
+		{"gap", words.IdempotentGapPresentation(), 5, "no-model-within-bounds"},
+	} {
+		var nodes [2]int
+		for i, prune := range []psearch.Prune{psearch.PruneSymmetry, psearch.PruneNone} {
+			res, err := FindCounterModel(tc.p, Options{
+				Orders:   budget.Range{Lo: 2, Hi: tc.hi},
+				Prune:    prune,
+				Governor: budget.New(nil, budget.Limits{Nodes: 1_000_000}),
+			})
+			if err != nil {
+				t.Fatalf("%s/%s: %v", tc.name, prune, err)
+			}
+			if got := res.Status(); got != tc.want {
+				t.Errorf("%s/%s: verdict %s, want %s", tc.name, prune, got, tc.want)
+			}
+			nodes[i] = res.NodesVisited
+		}
+		if nodes[0] > nodes[1] {
+			t.Errorf("%s: symmetry pruning visited MORE nodes (%d) than the exhaustive run (%d)",
+				tc.name, nodes[0], nodes[1])
+		}
+	}
+}
+
+// SplitDepth is a load-balancing knob, never a semantic one.
+func TestSplitDepthInvariance(t *testing.T) {
+	p := words.PowerTowerPresentation(2)
+	var base Result
+	for i, depth := range []int{0, 1, 3} {
+		res, err := FindCounterModel(p, Options{
+			Orders:     budget.Range{Lo: 2, Hi: 5},
+			Workers:    4,
+			SplitDepth: depth,
+			Governor:   budget.New(nil, budget.Limits{Nodes: 1_000_000}),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Interpretation == nil {
+			t.Fatalf("depth=%d: no model", depth)
+		}
+		if i == 0 {
+			base = res
+			continue
+		}
+		if res.Interpretation.Table.Size() != base.Interpretation.Table.Size() {
+			t.Errorf("depth=%d: witness order %d, want %d", depth,
+				res.Interpretation.Table.Size(), base.Interpretation.Table.Size())
+		}
+	}
+}
+
+// injectiveOffZero edge cases (satellite): the zero-length table and the
+// all-zero row are both injective-off-zero — zero entries are exempt from
+// condition (i) — while a repeated nonzero entry in a row or column is
+// not. Unset cells never count.
+func TestInjectiveOffZeroEdgeCases(t *testing.T) {
+	u := unset
+	for _, tc := range []struct {
+		name string
+		n    int
+		mul  []semigroup.Elem
+		want bool
+	}{
+		{"empty table", 0, nil, true},
+		{"single zero cell", 1, []semigroup.Elem{0}, true},
+		{"all-zero row", 2, []semigroup.Elem{0, 0, 0, 1}, true},
+		{"all unset", 2, []semigroup.Elem{u, u, u, u}, true},
+		{"repeated nonzero in row", 2, []semigroup.Elem{1, 1, u, u}, false},
+		{"repeated nonzero in column", 2, []semigroup.Elem{1, u, 1, u}, false},
+		{"repeated zero in column ok", 2, []semigroup.Elem{0, 1, 0, u}, true},
+		{"unset does not collide", 2, []semigroup.Elem{u, 1, u, u}, true},
+	} {
+		if got := injectiveOffZero(tc.mul, tc.n); got != tc.want {
+			t.Errorf("%s: injectiveOffZero = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}

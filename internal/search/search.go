@@ -23,6 +23,16 @@
 //     zero;
 //   - associativity is pruned on every fully determined triple and
 //     re-verified at the leaves.
+//
+// Two orthogonal accelerations sit on top (see DESIGN.md §8). Symmetry
+// breaking (Options.Prune, on by default) exploits that any witness can be
+// relabeled by a permutation fixing 0 and 1: free symbols are assigned in
+// canonical first-occurrence order, and free cells only receive values at
+// most one above the largest element designated so far (the least-number
+// heuristic). Parallelism (Options.Workers) splits each order's
+// backtracking tree at a prefix depth into independent subtree tasks run
+// through internal/psearch, first witness wins with a deterministic
+// lex-least tie-break, so the result is identical for every Workers value.
 package search
 
 import (
@@ -30,6 +40,7 @@ import (
 
 	"templatedep/internal/budget"
 	"templatedep/internal/obs"
+	"templatedep/internal/psearch"
 	"templatedep/internal/semigroup"
 	"templatedep/internal/words"
 )
@@ -41,24 +52,49 @@ type Options struct {
 	// identity-free order of interest); a Hi below Lo is raised to Lo.
 	Orders budget.Range
 	// Governor bounds the search: its nodes meter caps the total number of
-	// backtracking nodes across all orders and assignments, and its
-	// context is checked every nodeEventBatch nodes, keeping the inner
-	// loop free of governor traffic. Nil resolves to DefaultLimits.
+	// backtracking nodes across all orders and assignments (committed and
+	// speculative alike), and its context is checked every nodeEventBatch
+	// nodes, keeping the inner loop free of governor traffic. Nil resolves
+	// to DefaultLimits.
 	Governor *budget.Governor
 	// QuotientClasses > 0 tries the nilpotent-quotient construction
 	// (classes 2..QuotientClasses) BEFORE the table search; witnesses found
 	// this way cost no search nodes. Sound but incomplete, hence opt-in.
 	QuotientClasses int
-	// Sink receives search_node events (batched every nodeEventBatch
-	// expanded nodes, plus a per-order remainder) and the final verdict.
-	// Nil disables emission. See docs/OBSERVABILITY.md.
+	// Sink receives search_split, search_steal, and search_node events
+	// (one aggregate per split wave) plus the final verdict. Nil disables
+	// emission. See docs/OBSERVABILITY.md.
 	Sink obs.Sink
+	// Workers is the number of goroutines exploring subtree tasks; <= 1
+	// searches serially. The witness, the node ledger, and the replayed
+	// trace totals are identical for every value — only the worker
+	// attribute of search_steal events depends on scheduling — as long as
+	// the node budget is not exhausted mid-run (per-worker budget shares
+	// may stop a parallel run at a different point than a serial one).
+	Workers int
+	// SplitDepth forces the table-cell prefix depth at which each order's
+	// tree is split into subtree tasks; 0 grows the split adaptively until
+	// at least taskTarget subtrees exist. The depth never affects results,
+	// only load balance.
+	SplitDepth int
+	// Prune selects symmetry breaking: psearch.PruneSymmetry (the zero
+	// value) enables canonical assignment enumeration and least-number
+	// value capping; psearch.PruneNone searches exhaustively — the
+	// ablation baseline kept for benchmarks and soundness tests.
+	Prune psearch.Prune
 }
 
-// nodeEventBatch is the search_node batching interval: one event per this
-// many backtracking nodes keeps sink overhead out of the inner loop while
-// still giving a live progress signal a few times per second.
+// nodeEventBatch is the generation-phase governor checkpoint interval,
+// matching psearch.DefaultBatch so cancellation latency is one batch
+// everywhere.
 const nodeEventBatch = 4096
+
+// taskTarget is how many subtree tasks an adaptive split aims for: enough
+// granularity to keep any worker count busy, small enough that the split
+// frontier (one table copy per task) stays negligible. Fixed — never
+// derived from Workers — so the committed node ledger is identical for
+// every Workers value.
+const taskTarget = 64
 
 // DefaultOrders is the order window an unconfigured search covers.
 var DefaultOrders = budget.Range{Lo: 2, Hi: 6}
@@ -78,8 +114,15 @@ type Result struct {
 	Interpretation *semigroup.Interpretation
 	// Presentation is the presentation the witness interprets (the input).
 	Presentation *words.Presentation
-	// NodesVisited counts backtracking nodes explored.
+	// NodesVisited counts committed backtracking nodes: split-prefix nodes
+	// plus every task up to and including the winning subtree — exactly
+	// the nodes a serial run explores, whatever Workers is.
 	NodesVisited int
+	// SpeculativeNodes counts nodes parallel workers explored in subtrees
+	// beyond the winning one — work a serial run would not have done. They
+	// are charged to the governor but excluded from NodesVisited and from
+	// the event stream, keeping both deterministic. Zero when Workers <= 1.
+	SpeculativeNodes int
 	// Budget reports how the governor cut the search short; zero (ok)
 	// means the order window was covered.
 	Budget budget.Outcome
@@ -134,8 +177,9 @@ func FindCounterModel(p *words.Presentation, opt Options) (Result, error) {
 	}
 
 	g := budget.Resolve(opt.Governor, DefaultLimits)
-	s := &searcher{pres: work, gov: g, remaining: g.Limit(budget.Nodes), sink: opt.Sink}
-	if s.remaining <= 0 {
+	s := &searcher{pres: work, gov: g, opt: opt, sink: opt.Sink,
+		limited: g.Limit(budget.Nodes) > 0, remaining: g.Limit(budget.Nodes)}
+	if !s.limited {
 		// Ungoverned nodes meter: only the context can stop the search.
 		s.remaining = int(^uint(0) >> 1)
 	}
@@ -143,10 +187,9 @@ func FindCounterModel(p *words.Presentation, opt Options) (Result, error) {
 	// when the governor cut the run, then the verdict, so partial traces
 	// stay well formed.
 	finish := func(r Result) Result {
-		g.Add(budget.Nodes, s.nodes-s.settled)
-		s.settled = s.nodes
+		s.settleGen()
+		r.SpeculativeNodes = s.spec
 		if s.sink != nil {
-			s.flushNodes()
 			if r.Budget.Stopped() {
 				typ := obs.EvBudgetExhausted
 				if r.Budget.Code != budget.CodeExhausted {
@@ -169,9 +212,6 @@ func FindCounterModel(p *words.Presentation, opt Options) (Result, error) {
 		found, err := s.searchOrder(n)
 		if err != nil {
 			return Result{}, err
-		}
-		if s.sink != nil {
-			s.flushNodes()
 		}
 		if s.remaining <= 0 && found == nil {
 			out := s.stop
@@ -220,63 +260,82 @@ func mapBack(orig *words.Presentation, norm *words.Normalization, in *semigroup.
 type searcher struct {
 	pres *words.Presentation
 	gov  *budget.Governor
-	// remaining is the node countdown mirroring the governor's nodes
-	// limit; the inner loop exits on remaining <= 0, and a context stop is
-	// injected by zeroing it at the next batch boundary.
+	opt  Options
+	// limited reports whether the governor's nodes meter has a cap;
+	// remaining is the countdown mirroring it (committed, speculative, and
+	// split-generation nodes all count). A context stop zeroes it at the
+	// next batch boundary.
+	limited   bool
 	remaining int
-	nodes     int
-	// settled is how many nodes have been reported to the governor.
-	settled int
-	// stop records a context stop observed at a batch checkpoint.
+	// nodes is the committed ledger (generation + tasks up to the winner);
+	// spec counts parallel overshoot.
+	nodes int
+	spec  int
+	// genUnsettled is how many generation-phase nodes have not yet been
+	// reported to the governor (task nodes are settled by psearch).
+	genUnsettled int
+	// stop records a context stop observed at a checkpoint.
 	stop budget.Outcome
-	// sink, when non-nil, receives batched search_node events; pending
-	// counts nodes expanded since the last emission, order is the
-	// semigroup order currently under search.
-	sink    obs.Sink
-	pending int
-	order   int
+	// sink, when non-nil, receives the per-wave event groups; lastEmitted
+	// tracks the committed count already covered by search_node events.
+	sink        obs.Sink
+	lastEmitted int
+	order       int
 }
 
-// countNode records one expanded backtracking node and emits a batched
-// search_node event when the batch fills. Every nodeEventBatch nodes it
-// also settles the governor meter and polls the context — the bounded
-// cancellation latency of the search is one batch.
-func (s *searcher) countNode() {
+// countGen records one node expanded during split generation (assignment
+// pinning prefixes and frontier deepening — the part of the tree above the
+// subtree tasks). Every nodeEventBatch nodes it settles the governor meter
+// and polls the context. Returns false when the search must stop.
+func (s *searcher) countGen() bool {
 	s.nodes++
 	s.remaining--
-	if s.nodes%nodeEventBatch == 0 {
-		s.gov.Add(budget.Nodes, s.nodes-s.settled)
-		s.settled = s.nodes
+	s.genUnsettled++
+	if s.genUnsettled >= nodeEventBatch {
+		s.settleGen()
 		if o := s.gov.Interrupted(); o.Stopped() {
 			s.stop = o
 			s.remaining = 0
 		}
 	}
-	if s.sink == nil {
-		return
-	}
-	s.pending++
-	if s.pending >= nodeEventBatch {
-		s.flushNodes()
-	}
+	return s.remaining > 0
 }
 
-// flushNodes emits the partial batch, if any.
-func (s *searcher) flushNodes() {
-	if s.sink != nil && s.pending > 0 {
-		s.sink.Event(obs.Event{Type: obs.EvSearchNode, Src: "search", Order: s.order, N: s.pending})
-		s.pending = 0
-	}
+func (s *searcher) settleGen() {
+	s.gov.Add(budget.Nodes, s.genUnsettled)
+	s.genUnsettled = 0
 }
 
 const unset = semigroup.Elem(-1)
 
+// tableState is one node of the split frontier: a symbol assignment, a
+// partially filled table, and the index of the first undecided free cell.
+// The frontier states become the independent subtree tasks.
+type tableState struct {
+	assign map[words.Symbol]semigroup.Elem
+	cells  []int
+	mul    []semigroup.Elem
+	ci     int
+	// maxEl is the largest designated element so far — 0, 1, the
+	// assignment images, and every coordinate or value of a decided free
+	// cell — the least-number heuristic's bound.
+	maxEl int
+	// table is set by a winning task's leaf verification.
+	table *semigroup.Table
+}
+
 // searchOrder looks for a model of exactly order n. Returns the witness
 // interpretation over the searcher's (normalized) presentation, or nil.
+//
+// The order's backtracking tree is searched in waves: symbol assignments
+// are enumerated in canonical order, each consistent pinned table becomes
+// a frontier root, and once taskTarget roots accumulate (or the
+// enumeration ends) the wave is deepened and explored in parallel. Waves
+// keep memory bounded on presentations with many symbols while preserving
+// the serial visit order across wave boundaries.
 func (s *searcher) searchOrder(n int) (*semigroup.Interpretation, error) {
 	a := s.pres.Alphabet
 	syms := a.Symbols()
-	// Assignment: zero symbol -> 0, A0 -> 1, others enumerated.
 	free := make([]words.Symbol, 0, len(syms))
 	for _, sym := range syms {
 		if sym != a.Zero() && sym != a.A0() {
@@ -287,38 +346,63 @@ func (s *searcher) searchOrder(n int) (*semigroup.Interpretation, error) {
 	assign[a.Zero()] = 0
 	assign[a.A0()] = 1
 
-	var tryAssign func(i int) (*semigroup.Interpretation, error)
-	tryAssign = func(i int) (*semigroup.Interpretation, error) {
+	var roots []*tableState
+	var witness *tableState
+
+	// enumAssign walks free-symbol assignments; under PruneSymmetry the
+	// image of each next symbol is capped one above the largest image so
+	// far (first-occurrence order — any assignment is a relabeling of a
+	// canonical one by a permutation fixing 0 and 1). Returns false to
+	// abort the enumeration (witness found or budget stop).
+	var enumAssign func(i, maxImg int) bool
+	enumAssign = func(i, maxImg int) bool {
 		if s.remaining <= 0 {
-			return nil, nil
+			return false
 		}
 		if i == len(free) {
-			tb := s.searchTable(n, assign)
-			if tb == nil {
-				return nil, nil
+			if st := s.pinTable(n, assign); st != nil {
+				roots = append(roots, st)
+				if len(roots) >= taskTarget {
+					return s.runWave(n, &roots, &witness)
+				}
 			}
-			cp := make(map[words.Symbol]semigroup.Elem, len(assign))
-			for k, v := range assign {
-				cp[k] = v
-			}
-			return semigroup.NewInterpretation(tb, a, cp)
+			return true
 		}
-		for e := 0; e < n; e++ {
+		hi := n - 1
+		if s.opt.Prune == psearch.PruneSymmetry && maxImg+1 < hi {
+			hi = maxImg + 1
+		}
+		for e := 0; e <= hi; e++ {
 			assign[free[i]] = semigroup.Elem(e)
-			in, err := tryAssign(i + 1)
-			if err != nil || in != nil {
-				return in, err
+			nm := maxImg
+			if e > nm {
+				nm = e
+			}
+			if !enumAssign(i+1, nm) {
+				return false
 			}
 		}
 		delete(assign, free[i])
+		return true
+	}
+	if enumAssign(0, 1) && len(roots) > 0 {
+		s.runWave(n, &roots, &witness)
+	}
+	s.flushNodes(n)
+	if witness == nil {
 		return nil, nil
 	}
-	return tryAssign(0)
+	cp := make(map[words.Symbol]semigroup.Elem, len(witness.assign))
+	for k, v := range witness.assign {
+		cp[k] = v
+	}
+	return semigroup.NewInterpretation(witness.table, a, cp)
 }
 
-// searchTable backtracks over the n×n multiplication table under the given
-// symbol assignment, returning a verified table or nil.
-func (s *searcher) searchTable(n int, assign map[words.Symbol]semigroup.Elem) *semigroup.Table {
+// pinTable builds the pinned table for one assignment: zero row and
+// column, plus the cells forced by (2,1) equations. Returns nil when the
+// pins contradict each other or the cancellation conditions.
+func (s *searcher) pinTable(n int, assign map[words.Symbol]semigroup.Elem) *tableState {
 	mul := make([]semigroup.Elem, n*n)
 	for i := range mul {
 		mul[i] = unset
@@ -326,12 +410,10 @@ func (s *searcher) searchTable(n int, assign map[words.Symbol]semigroup.Elem) *s
 	at := func(x, y semigroup.Elem) semigroup.Elem { return mul[int(x)*n+int(y)] }
 	set := func(x, y, v semigroup.Elem) { mul[int(x)*n+int(y)] = v }
 
-	// Pin the zero row and column.
 	for i := 0; i < n; i++ {
 		set(semigroup.Elem(i), 0, 0)
 		set(0, semigroup.Elem(i), 0)
 	}
-	// Pin cells from (2,1) equations.
 	for _, e := range s.pres.Equations {
 		if !e.IsTwoOne() {
 			continue // non-(2,1) presentations were normalized upstream
@@ -350,59 +432,216 @@ func (s *searcher) searchTable(n int, assign map[words.Symbol]semigroup.Elem) *s
 		}
 		set(x, y, v)
 	}
-	// Row/column injectivity-off-zero for pinned cells.
-	if !s.injectiveOffZero(mul, n) {
+	if !injectiveOffZero(mul, n) {
 		return nil
 	}
 
-	// Collect free cells in row-major order.
 	var cells []int
 	for i := range mul {
 		if mul[i] == unset {
 			cells = append(cells, i)
 		}
 	}
-
-	var try func(ci int) *semigroup.Table
-	try = func(ci int) *semigroup.Table {
-		s.countNode()
-		if s.remaining <= 0 {
-			return nil
+	// Assignment images (and the pinned cells, whose coordinates and
+	// values are assignment images) are designated; 1 is always present.
+	maxEl := 1
+	for _, v := range assign {
+		if int(v) > maxEl {
+			maxEl = int(v)
 		}
-		if ci == len(cells) {
-			return s.verifyLeaf(mul, n, assign)
-		}
-		idx := cells[ci]
-		x, y := semigroup.Elem(idx/n), semigroup.Elem(idx%n)
-		for v := 0; v < n; v++ {
-			val := semigroup.Elem(v)
-			if val == x && x != 0 {
-				continue // condition (ii): x·y = x
-			}
-			if val == y && y != 0 {
-				continue // condition (ii): x·y = y
-			}
-			mul[idx] = val
-			if s.cellConsistent(mul, n, x, y) {
-				if tb := try(ci + 1); tb != nil {
-					return tb
-				}
-				if s.remaining <= 0 {
-					mul[idx] = unset
-					return nil
-				}
-			}
-			mul[idx] = unset
-		}
-		return nil
 	}
-	return try(0)
+	cp := make(map[words.Symbol]semigroup.Elem, len(assign))
+	for k, v := range assign {
+		cp[k] = v
+	}
+	return &tableState{assign: cp, cells: cells, mul: mul, maxEl: maxEl}
+}
+
+// branch enumerates the consistent values for free cell ci of state st in
+// ascending order — the one place the child-generation rule (condition
+// (ii), least-number cap, local consistency) is written, so the split
+// frontier and the task walks prune identically. visit receives the value
+// and the updated designated-element bound; returning false stops the
+// enumeration. st.mul is restored before branch returns.
+func (s *searcher) branch(st *tableState, n, ci, maxEl int, visit func(v semigroup.Elem, maxEl int) bool) bool {
+	idx := st.cells[ci]
+	x, y := idx/n, idx%n
+	hi := n - 1
+	if s.opt.Prune == psearch.PruneSymmetry {
+		m := maxEl
+		if x > m {
+			m = x
+		}
+		if y > m {
+			m = y
+		}
+		// Least-number heuristic: a value above every designated element
+		// +1 is a relabeling of the +1 case by a transposition fixing the
+		// designated set.
+		if m+1 < hi {
+			hi = m + 1
+		}
+	}
+	for v := 0; v <= hi; v++ {
+		val := semigroup.Elem(v)
+		if int(val) == x && x != 0 {
+			continue // condition (ii): x·y = x
+		}
+		if int(val) == y && y != 0 {
+			continue // condition (ii): x·y = y
+		}
+		st.mul[idx] = val
+		if cellConsistent(st.mul, n, semigroup.Elem(x), semigroup.Elem(y)) {
+			nm := maxEl
+			if x > nm {
+				nm = x
+			}
+			if y > nm {
+				nm = y
+			}
+			if v > nm {
+				nm = v
+			}
+			if !visit(val, nm) {
+				st.mul[idx] = unset
+				return false
+			}
+		}
+		st.mul[idx] = unset
+	}
+	return true
+}
+
+// runWave deepens the accumulated frontier roots into subtree tasks and
+// explores them through psearch. On return *roots is cleared; *witness is
+// set when a task verified a model. Returns false to stop the assignment
+// enumeration (witness found or budget stop).
+func (s *searcher) runWave(n int, roots *[]*tableState, witness **tableState) bool {
+	frontier := *roots
+	*roots = nil
+	depth := 0
+	for s.remaining > 0 {
+		if s.opt.SplitDepth > 0 {
+			if depth >= s.opt.SplitDepth {
+				break
+			}
+		} else if len(frontier) >= taskTarget {
+			break
+		}
+		expandable := false
+		next := make([]*tableState, 0, len(frontier))
+		for _, st := range frontier {
+			if st.ci == len(st.cells) {
+				next = append(next, st)
+				continue
+			}
+			expandable = true
+			if !s.countGen() {
+				return false
+			}
+			s.branch(st, n, st.ci, st.maxEl, func(v semigroup.Elem, maxEl int) bool {
+				child := &tableState{assign: st.assign, cells: st.cells,
+					mul: append([]semigroup.Elem(nil), st.mul...), ci: st.ci + 1, maxEl: maxEl}
+				next = append(next, child)
+				return true
+			})
+		}
+		if !expandable {
+			break
+		}
+		frontier = next
+		depth++
+	}
+	if s.remaining <= 0 {
+		return false
+	}
+	if len(frontier) == 0 {
+		// The whole subtree died during frontier generation: there is
+		// nothing to dispatch, so no split/steal events — but the
+		// generation nodes were counted and must reach the stream.
+		s.flushNodes(n)
+		return true
+	}
+
+	allowance := 0
+	if s.limited {
+		allowance = s.remaining
+	}
+	rep := psearch.Explore(len(frontier), psearch.Options{
+		Workers: s.opt.Workers, Governor: s.gov, Allowance: allowance,
+	}, func(t int, ctx *psearch.Ctx) bool {
+		return s.runTask(frontier[t], n, ctx)
+	})
+	s.nodes += rep.Committed
+	s.spec += rep.Speculative
+	s.remaining -= rep.Committed + rep.Speculative
+
+	if s.sink != nil {
+		s.sink.Event(obs.Event{Type: obs.EvSearchSplit, Src: "search",
+			Order: n, N: len(frontier), Depth: depth})
+		upto := len(frontier) - 1
+		if rep.Winner >= 0 {
+			upto = rep.Winner
+		}
+		for t := 0; t <= upto; t++ {
+			s.sink.Event(obs.Event{Type: obs.EvSearchSteal, Src: "search",
+				Order: n, Task: t, Worker: rep.Tasks[t].Worker, N: rep.Tasks[t].Nodes})
+		}
+		s.flushNodes(n)
+	}
+
+	if rep.Winner >= 0 {
+		*witness = frontier[rep.Winner]
+		return false
+	}
+	if rep.Stop.Stopped() {
+		s.stop = rep.Stop
+		s.remaining = 0
+		return false
+	}
+	return true
+}
+
+// flushNodes emits the committed nodes not yet covered by a search_node
+// event (one aggregate per wave, plus the order's remainder).
+func (s *searcher) flushNodes(order int) {
+	if s.sink != nil && s.nodes > s.lastEmitted {
+		s.sink.Event(obs.Event{Type: obs.EvSearchNode, Src: "search", Order: order, N: s.nodes - s.lastEmitted})
+		s.lastEmitted = s.nodes
+	}
+}
+
+// runTask explores one subtree task: depth-first over the remaining free
+// cells, reporting every node to ctx. Returns true when a verified model
+// was found (stored in st.table).
+func (s *searcher) runTask(st *tableState, n int, ctx *psearch.Ctx) bool {
+	var dfs func(ci, maxEl int) bool
+	dfs = func(ci, maxEl int) bool {
+		if !ctx.Node() {
+			return false
+		}
+		if ci == len(st.cells) {
+			if tb := s.verifyLeaf(st.mul, n, st.assign); tb != nil {
+				st.table = tb
+				return true
+			}
+			return false
+		}
+		s.branch(st, n, ci, maxEl, func(_ semigroup.Elem, nm int) bool {
+			if dfs(ci+1, nm) {
+				return false // witness found: stop branching
+			}
+			return !ctx.Halted()
+		})
+		return st.table != nil
+	}
+	return dfs(st.ci, st.maxEl)
 }
 
 // cellConsistent checks local constraints after setting cell (x, y):
 // injectivity off zero in row x and column y, and associativity on every
 // triple that the new cell completes.
-func (s *searcher) cellConsistent(mul []semigroup.Elem, n int, x, y semigroup.Elem) bool {
+func cellConsistent(mul []semigroup.Elem, n int, x, y semigroup.Elem) bool {
 	v := mul[int(x)*n+int(y)]
 	if v != 0 {
 		for yy := 0; yy < n; yy++ {
@@ -446,8 +685,11 @@ func (s *searcher) cellConsistent(mul []semigroup.Elem, n int, x, y semigroup.El
 }
 
 // injectiveOffZero verifies condition-(i) injectivity on the current
-// (partially filled) table.
-func (s *searcher) injectiveOffZero(mul []semigroup.Elem, n int) bool {
+// (partially filled) table: no nonzero value repeats within a row or a
+// column. Zero entries are exempt (condition (i) only constrains products
+// off the zero ideal), so an all-zero row is fine; n = 0 is vacuously
+// injective.
+func injectiveOffZero(mul []semigroup.Elem, n int) bool {
 	for x := 0; x < n; x++ {
 		seenRow := make(map[semigroup.Elem]bool)
 		seenCol := make(map[semigroup.Elem]bool)
@@ -469,7 +711,8 @@ func (s *searcher) injectiveOffZero(mul []semigroup.Elem, n int) bool {
 	return true
 }
 
-// verifyLeaf runs the full, authoritative checks on a complete table.
+// verifyLeaf runs the full, authoritative checks on a complete table. It
+// only reads s.pres, so concurrent tasks may call it safely.
 func (s *searcher) verifyLeaf(mul []semigroup.Elem, n int, assign map[words.Symbol]semigroup.Elem) *semigroup.Table {
 	rows := make([][]semigroup.Elem, n)
 	for i := 0; i < n; i++ {

@@ -29,8 +29,14 @@ func Preset(name string) (*Presentation, error) {
 			return nil, fmt.Errorf("words: bad nilpotent preset %q", name)
 		}
 		return NilpotentSafePresentation(m), nil
+	case strings.HasPrefix(name, "tower:"):
+		k, err := strconv.Atoi(strings.TrimPrefix(name, "tower:"))
+		if err != nil {
+			return nil, fmt.Errorf("words: bad tower preset %q", name)
+		}
+		return PowerTowerPresentation(k), nil
 	default:
-		return nil, fmt.Errorf("words: unknown preset %q (try power, twostep, gap, chain:N, nilpotent:M)", name)
+		return nil, fmt.Errorf("words: unknown preset %q (try power, twostep, gap, chain:N, nilpotent:M, tower:K)", name)
 	}
 }
 
@@ -160,6 +166,42 @@ func TwoStepPresentation() *Presentation {
 func IdempotentGapPresentation() *Presentation {
 	a := MustAlphabet([]string{"A0", "0"}, "A0", "0")
 	p, err := NewPresentation(a, []Equation{Eq(W(a.A0(), a.A0()), W(a.A0()))})
+	if err != nil {
+		panic(err)
+	}
+	return p.WithZeroEquations()
+}
+
+// PowerTowerPresentation returns the presentation {cK·cK = c(K-1), ...,
+// c2·c2 = c1, c1·c1 = A0} + zero equations over {A0, c1..cK, 0}: A0 is
+// forced to be the 2^K-th power of cK. The goal A0 = 0 is NOT derivable —
+// the nilpotent cyclic semigroup N(2^K + 1) interprets cK as its generator
+// and falsifies it — but every equation pins a NONZERO product (cK·cK =
+// c(K-1) with c(K-1) ≠ 0 in any witness interpreting A0 ≠ 0 forces the
+// whole power chain nonzero), so the all-zero table never satisfies the
+// presentation with the pins, and the model search must genuinely explore
+// tables up to order 2^K + 1. This is the stress workload for the parallel
+// search benchmarks: unlike power/nilpotent:M (witness at tiny order,
+// found within a handful of nodes) the search does exponential work below
+// the witness order.
+func PowerTowerPresentation(k int) *Presentation {
+	if k < 1 {
+		k = 1
+	}
+	names := []string{"A0"}
+	for i := 1; i <= k; i++ {
+		names = append(names, fmt.Sprintf("c%d", i))
+	}
+	names = append(names, "0")
+	a := MustAlphabet(names, "A0", "0")
+	var eqs []Equation
+	prev := a.A0()
+	for i := 1; i <= k; i++ {
+		c := a.MustSymbol(fmt.Sprintf("c%d", i))
+		eqs = append(eqs, Eq(W(c, c), W(prev)))
+		prev = c
+	}
+	p, err := NewPresentation(a, eqs)
 	if err != nil {
 		panic(err)
 	}

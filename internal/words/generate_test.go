@@ -50,6 +50,34 @@ func TestPowerAndTwoStepAndGap(t *testing.T) {
 	}
 }
 
+func TestPowerTowerPresentation(t *testing.T) {
+	p := PowerTowerPresentation(2)
+	if !p.IsTwoOne() {
+		t.Error("not (2,1)")
+	}
+	if err := p.CheckZeroEquations(); err != nil {
+		t.Error(err)
+	}
+	// Alphabet: A0, c1, c2, 0.
+	if p.Alphabet.Size() != 4 {
+		t.Errorf("alphabet size %d", p.Alphabet.Size())
+	}
+	// Definitional chain downward: A0's equational class stays {A0}.
+	res := DeriveGoal(p, ClosureOptions{Governor: budget.New(nil, budget.Limits{Words: 5000})})
+	if res.Verdict != NotDerivable {
+		t.Errorf("verdict %v, want NotDerivable", res.Verdict)
+	}
+	if PowerTowerPresentation(0).Alphabet.Size() != 3 {
+		t.Error("clamp failed")
+	}
+	if _, err := Preset("tower:2"); err != nil {
+		t.Errorf("preset: %v", err)
+	}
+	if _, err := Preset("tower:x"); err == nil {
+		t.Error("bad tower preset accepted")
+	}
+}
+
 func TestRandomPresentationReproducible(t *testing.T) {
 	p1 := RandomPresentation(rand.New(rand.NewSource(42)), 3, 5)
 	p2 := RandomPresentation(rand.New(rand.NewSource(42)), 3, 5)
