@@ -1,13 +1,61 @@
 #!/usr/bin/env bash
-# Repo CI gate: formatting, build, vet, docs freshness, and the full test
-# suite under the race detector. The chase worker-pool tests
-# (TestIntraDependencyPartitioning, TestParallelWorkers) exercise
-# intra-dependency delta partitioning with Workers > 1, and the parallel
-# counter-model search tests (TestParallelDeterministicWitness,
-# TestParallelDeterministicCounterexample) run the psearch worker pool with
-# Workers up to 4, so -race covers every concurrent path.
+# Repo CI gate, as a staged pipeline. Each stage is named and timed, and
+# the script always ends with a per-stage pass/fail summary — on failure
+# the summary shows exactly which stage died and how long it ran.
+#
+# Stages:
+#   static   — gofmt, build, vet, docs-freshness greps
+#   unit     — full test suite, -count=1 (no cached results)
+#   race     — full suite under the race detector (chase worker pool,
+#              psearch pool, and the serving layer's singleflight/drain
+#              paths are all concurrent code)
+#   smoke    — end-to-end binaries: tdinfer governed run on the
+#              undecidable gap preset; tdserve under a duplicate-heavy
+#              tdbench -loadjson burst with graceful-drain assertions
+#   bench    — structural validation of the benchmark emitters: a fresh
+#              -searchjson report and the committed BENCH_chase.json
 set -euo pipefail
 cd "$(dirname "$0")"
+
+CURRENT_STAGE=""
+STAGE_START=0
+SUMMARY=()
+smoke=$(mktemp -d)
+srv_pid=""
+
+stage() {
+    local now=$SECONDS
+    if [[ -n "$CURRENT_STAGE" ]]; then
+        SUMMARY+=("$(printf '%-8s ok    %4ds' "$CURRENT_STAGE" $((now - STAGE_START)))")
+    fi
+    CURRENT_STAGE="$1"
+    STAGE_START=$now
+    if [[ -n "$1" ]]; then
+        echo "=== stage: $1"
+    fi
+}
+
+on_exit() {
+    local rc=$?
+    if [[ -n "$srv_pid" ]] && kill -0 "$srv_pid" 2>/dev/null; then
+        kill "$srv_pid" 2>/dev/null || true
+    fi
+    rm -rf "$smoke"
+    if [[ $rc -ne 0 && -n "$CURRENT_STAGE" ]]; then
+        SUMMARY+=("$(printf '%-8s FAIL  %4ds' "$CURRENT_STAGE" $((SECONDS - STAGE_START)))")
+    fi
+    echo
+    echo "ci summary:"
+    printf '  %s\n' "${SUMMARY[@]}"
+    if [[ $rc -eq 0 ]]; then
+        echo "  all stages passed"
+    else
+        echo "  FAILED (exit $rc)"
+    fi
+}
+trap on_exit EXIT
+
+stage static
 
 unformatted=$(gofmt -l .)
 if [[ -n "$unformatted" ]]; then
@@ -41,20 +89,35 @@ for token in rounds tuples nodes words rules context deadline; do
     fi
 done
 
-go test -race ./...
+# And for the serving layer's counter vocabulary: every serve.* counter
+# the server bumps must appear in the schema docs.
+for token in serve.requests serve.cache_hits serve.cache_misses serve.dedups serve.shutdowns; do
+    if ! grep -q -- "$token" docs/OBSERVABILITY.md; then
+        echo "docs/OBSERVABILITY.md: serve counter \"$token\" (from internal/serve) is undocumented" >&2
+        exit 1
+    fi
+done
 
-# The parallel-search determinism contract under the race detector,
-# explicitly: the shared worker-pool core and both engines built on it.
-# Redundant with the full -race sweep above, but cheap, and it keeps the
-# contract's coverage visible even if the sweep's scope ever changes.
-go test -race -count=1 ./internal/psearch ./internal/search ./internal/finitemodel
+stage unit
+
+go test -count=1 ./...
+
+stage race
+
+# The full suite again under the race detector. The chase worker-pool
+# tests (TestIntraDependencyPartitioning, TestParallelWorkers), the
+# parallel counter-model search tests (TestParallelDeterministicWitness,
+# TestParallelDeterministicCounterexample), and the serving layer's
+# singleflight/drain tests all run real concurrency, so this sweep covers
+# every concurrent path in the repo.
+go test -race -count=1 ./...
+
+stage smoke
 
 # Governance smoke: a wall-clock budget on the undecidable gap preset must
 # come back promptly (bounded cancellation latency), exit 0 with an honest
 # "unknown", and leave a trace that replays (the JSONL parses and carries
 # the chase's deadline stop marker).
-smoke=$(mktemp -d)
-trap 'rm -rf "$smoke"' EXIT
 go build -o "$smoke/tdinfer" ./cmd/tdinfer
 out=$("$smoke/tdinfer" -preset gap -deadline 100ms -rounds 100000 \
     -tuples 10000000 -trace "$smoke/gap.jsonl")
@@ -72,10 +135,63 @@ grep -q '"type":"verdict","src":"core","verdict":"unknown"' "$smoke/gap.jsonl" |
     exit 1
 }
 
-# Bench smoke: the search benchmark emitter must produce a report that
-# parses and carries every ablation arm (serial/parallel-4 x
-# symmetry/none) with identical verdicts. -searchquick times one run per
-# arm, so this checks structure, not statistics.
+# Serve smoke: start tdserve, fire a duplicate-heavy burst through
+# tdbench -loadjson (which itself fails on a zero hit rate or on verdict /
+# canonical-key inconsistency across repeats), then SIGTERM and assert a
+# clean drain: the "drained." line prints and the trace's final event is
+# the single serve_shutdown.
 go build -o "$smoke/tdbench" ./cmd/tdbench
+go build -o "$smoke/tdserve" ./cmd/tdserve
+"$smoke/tdserve" -addr 127.0.0.1:0 -request-timeout 2s \
+    -trace "$smoke/serve.jsonl" >"$smoke/serve.out" 2>&1 &
+srv_pid=$!
+serve_addr=""
+for _ in $(seq 1 50); do
+    serve_addr=$(sed -n 's/^tdserve: listening on //p' "$smoke/serve.out")
+    [[ -n "$serve_addr" ]] && break
+    sleep 0.1
+done
+[[ -n "$serve_addr" ]] || {
+    echo "ci: serve smoke: tdserve never reported its address:" >&2
+    cat "$smoke/serve.out" >&2
+    exit 1
+}
+"$smoke/tdbench" -loadjson "$smoke/load.json" -loadserver "http://$serve_addr" \
+    -loadn 40 -loadc 8
+kill -TERM "$srv_pid"
+wait "$srv_pid" || {
+    echo "ci: serve smoke: tdserve exited nonzero:" >&2
+    cat "$smoke/serve.out" >&2
+    exit 1
+}
+srv_pid=""
+grep -q '^tdserve: drained\.' "$smoke/serve.out" || {
+    echo "ci: serve smoke: no drained line in tdserve output:" >&2
+    cat "$smoke/serve.out" >&2
+    exit 1
+}
+[[ "$(grep -c '"type":"serve_shutdown"' "$smoke/serve.jsonl")" == 1 ]] || {
+    echo "ci: serve smoke: expected exactly one serve_shutdown event" >&2
+    exit 1
+}
+tail -1 "$smoke/serve.jsonl" | grep -q '"type":"serve_shutdown"' || {
+    echo "ci: serve smoke: trace does not end with serve_shutdown:" >&2
+    tail -3 "$smoke/serve.jsonl" >&2
+    exit 1
+}
+
+stage bench
+
+# The search benchmark emitter must produce a report that parses and
+# carries every ablation arm (serial/parallel-4 x symmetry/none) with
+# identical verdicts. -searchquick times one run per arm, so this checks
+# structure, not statistics.
 "$smoke/tdbench" -searchjson "$smoke/BENCH_search.json" -searchquick >/dev/null
 "$smoke/tdbench" -checksearch "$smoke/BENCH_search.json"
+
+# The committed chase benchmark snapshot must stay structurally valid:
+# parses, every workload present, and the index/scan join arms of each
+# chase workload agree on the verdict.
+"$smoke/tdbench" -checkbench BENCH_chase.json
+
+stage ""

@@ -1,11 +1,15 @@
 package templatedep_test
 
 import (
+	"bufio"
 	"bytes"
+	"encoding/json"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"testing"
 
 	"templatedep/internal/obs"
@@ -233,6 +237,95 @@ func TestCLI(t *testing.T) {
 		out := run("tmrun", 0, "-machine", "write-one", "-analyze")
 		if !strings.Contains(out, "halted=true") || !strings.Contains(out, "derivable") {
 			t.Errorf("output:\n%s", out)
+		}
+	})
+
+	// The service lifecycle across a real process boundary: start tdserve
+	// on an ephemeral port, get a cold verdict and a renamed cache hit over
+	// HTTP, SIGTERM it, and require a clean drain whose trace ends with the
+	// single serve_shutdown event and replays to the printed counters.
+	t.Run("tdserve", func(t *testing.T) {
+		trace := filepath.Join(t.TempDir(), "serve.jsonl")
+		cmd := exec.Command(filepath.Join(bin, "tdserve"),
+			"-addr", "127.0.0.1:0", "-request-timeout", "5s", "-trace", trace)
+		stdout, err := cmd.StdoutPipe()
+		if err != nil {
+			t.Fatal(err)
+		}
+		cmd.Stderr = cmd.Stdout
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		defer cmd.Process.Kill()
+
+		sc := bufio.NewScanner(stdout)
+		var lines []string
+		readLine := func() string {
+			if !sc.Scan() {
+				t.Fatalf("tdserve stdout closed early; got:\n%s", strings.Join(lines, "\n"))
+			}
+			lines = append(lines, sc.Text())
+			return sc.Text()
+		}
+		addr, ok := strings.CutPrefix(readLine(), "tdserve: listening on ")
+		if !ok {
+			t.Fatalf("unexpected first line:\n%s", strings.Join(lines, "\n"))
+		}
+
+		post := func(body string) map[string]any {
+			t.Helper()
+			res, err := http.Post("http://"+addr+"/infer", "application/json", strings.NewReader(body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer res.Body.Close()
+			if res.StatusCode != http.StatusOK {
+				t.Fatalf("status %d", res.StatusCode)
+			}
+			var m map[string]any
+			if err := json.NewDecoder(res.Body).Decode(&m); err != nil {
+				t.Fatal(err)
+			}
+			return m
+		}
+		cold := post(`{"preset":"power"}`)
+		if cold["source"] != "cold" || cold["verdict"] != "finite-counterexample" {
+			t.Errorf("cold response: %v", cold)
+		}
+		// The power presentation under renamed symbols, zero equations left
+		// implicit: canonicalization must route it to the same cache line.
+		hit := post(`{"alphabet":["A0","Q","Z"],"a0":"A0","zero":"Z","equations":["A0 A0 = Q"]}`)
+		if hit["source"] != "cache" || hit["key"] != cold["key"] || hit["verdict"] != cold["verdict"] {
+			t.Errorf("renamed twin response: %v (cold was %v)", hit, cold)
+		}
+
+		if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+			t.Fatal(err)
+		}
+		for sc.Scan() {
+			lines = append(lines, sc.Text())
+		}
+		if err := cmd.Wait(); err != nil {
+			t.Fatalf("tdserve exit: %v; output:\n%s", err, strings.Join(lines, "\n"))
+		}
+		out := strings.Join(lines, "\n")
+		if !strings.Contains(out, "tdserve: drained. requests=2 cold=1 cache_hits=1 dedups=0") {
+			t.Errorf("drain summary:\n%s", out)
+		}
+		data, err := os.ReadFile(trace)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tot, err := obs.Replay(bytes.NewReader(data))
+		if err != nil {
+			t.Fatalf("serve trace does not replay: %v\n%s", err, data)
+		}
+		if tot.ServeRequests != 2 || tot.ServeMisses != 1 || tot.ServeCacheHits != 1 || tot.ServeShutdowns != 1 {
+			t.Errorf("replay totals %+v from trace:\n%s", tot, data)
+		}
+		tl := strings.TrimSpace(string(data))
+		if last := tl[strings.LastIndexByte(tl, '\n')+1:]; !strings.Contains(last, `"type":"serve_shutdown"`) {
+			t.Errorf("trace does not end with serve_shutdown: %s", last)
 		}
 	})
 }

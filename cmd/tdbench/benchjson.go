@@ -34,6 +34,10 @@ type benchResult struct {
 	// workloads (tuples in the final instance per second of chase time);
 	// zero for workloads that do not run the chase.
 	TuplesPerSec float64 `json:"tuples_per_sec,omitempty"`
+	// Verdict is the chase verdict of the workload (chase workloads only).
+	// -checkbench requires the index and scan arms of each workload to
+	// agree on it: a join-strategy ablation must never flip an answer.
+	Verdict string `json:"verdict,omitempty"`
 	// Counters is the observability counter snapshot of one un-timed run of
 	// the workload (-metrics; chase workloads only). The timed loop always
 	// runs sink-free, so counters never perturb ns_per_op.
@@ -64,13 +68,14 @@ func writeBenchJSON(path string, metrics bool) {
 		GOARCH:    runtime.GOARCH,
 	}
 
-	record := func(name string, tuples int, counters map[string]int64, fn func(b *testing.B)) {
+	record := func(name string, tuples int, verdict string, counters map[string]int64, fn func(b *testing.B)) {
 		r := testing.Benchmark(fn)
 		br := benchResult{
 			Name:        name,
 			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
 			AllocsPerOp: r.AllocsPerOp(),
 			BytesPerOp:  r.AllocedBytesPerOp(),
+			Verdict:     verdict,
 			Counters:    counters,
 		}
 		if tuples > 0 && br.NsPerOp > 0 {
@@ -96,7 +101,7 @@ func writeBenchJSON(path string, metrics bool) {
 	}
 
 	// F1: diagram round trip.
-	record("f1/roundtrip", 0, nil, func(b *testing.B) {
+	record("f1/roundtrip", 0, "", nil, func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			g, d := diagram.Fig1()
@@ -116,7 +121,7 @@ func writeBenchJSON(path string, metrics bool) {
 		for i := range w {
 			w[i] = bSym
 		}
-		record(fmt.Sprintf("f2/bridge_len%d", k), 0, nil, func(b *testing.B) {
+		record(fmt.Sprintf("f2/bridge_len%d", k), 0, "", nil, func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := twostep.BuildBridge(w); err != nil {
@@ -135,7 +140,7 @@ func writeBenchJSON(path string, metrics bool) {
 		{"chain4", words.ChainPresentation(4)},
 		{"nilpotent4", words.NilpotentSafePresentation(4)},
 	} {
-		record("f3/build_"+tc.name, 0, nil, func(b *testing.B) {
+		record("f3/build_"+tc.name, 0, "", nil, func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				reduction.MustBuild(tc.p)
@@ -158,7 +163,7 @@ func writeBenchJSON(path string, metrics bool) {
 			res, err := chase.Implies(in.D, in.D0, opt)
 			check(err)
 			tuples := res.Instance.Len()
-			record(fmt.Sprintf("chase/implies_%s/%s", tc.name, join), tuples, chaseCounters(in.D, in.D0, opt), func(b *testing.B) {
+			record(fmt.Sprintf("chase/implies_%s/%s", tc.name, join), tuples, res.Verdict.String(), chaseCounters(in.D, in.D0, opt), func(b *testing.B) {
 				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
 					if _, err := chase.Implies(in.D, in.D0, opt); err != nil {
@@ -179,7 +184,7 @@ func writeBenchJSON(path string, metrics bool) {
 		res, err := chase.Implies([]*td.TD{joinDep}, goal, opt)
 		check(err)
 		tuples := res.Instance.Len()
-		record(fmt.Sprintf("chase/decide_full/%s", js), tuples, chaseCounters([]*td.TD{joinDep}, goal, opt), func(b *testing.B) {
+		record(fmt.Sprintf("chase/decide_full/%s", js), tuples, res.Verdict.String(), chaseCounters([]*td.TD{joinDep}, goal, opt), func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := chase.Implies([]*td.TD{joinDep}, goal, opt); err != nil {
@@ -194,4 +199,70 @@ func writeBenchJSON(path string, metrics bool) {
 	out = append(out, '\n')
 	check(os.WriteFile(path, out, 0o644))
 	fmt.Printf("\nwrote %d results to %s\n", len(rep.Results), path)
+}
+
+// benchExpectedPlain lists the non-chase workloads writeBenchJSON emits;
+// benchExpectedChase lists the chase workloads, each present once per join
+// strategy. -checkbench validates against these, so renaming a workload in
+// the generator without updating the committed report (or vice versa) is a
+// CI failure, not a silent drift.
+var benchExpectedPlain = []string{
+	"f1/roundtrip",
+	"f2/bridge_len1", "f2/bridge_len4", "f2/bridge_len16", "f2/bridge_len64",
+	"f3/build_power", "f3/build_chain4", "f3/build_nilpotent4",
+}
+
+var benchExpectedChase = []string{
+	"chase/implies_chain1", "chase/implies_chain2", "chase/implies_chain3",
+	"chase/decide_full",
+}
+
+// checkBenchJSON validates a BENCH_chase.json structurally, mirroring
+// -checksearch: the report must parse, every expected workload must be
+// present (chase workloads under BOTH join strategies), measurements must
+// be positive, and the index and scan arms of each chase workload must
+// report the same verdict — the soundness requirement of the join
+// ablation.
+func checkBenchJSON(path string) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tdbench: %v\n", err)
+		os.Exit(1)
+	}
+	var rep benchReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		fmt.Fprintf(os.Stderr, "tdbench: %s: %v\n", path, err)
+		os.Exit(1)
+	}
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "tdbench: %s: %s\n", path, fmt.Sprintf(format, args...))
+		os.Exit(1)
+	}
+	byName := make(map[string]benchResult, len(rep.Results))
+	for _, r := range rep.Results {
+		if r.NsPerOp <= 0 {
+			fail("workload %s: non-positive ns_per_op", r.Name)
+		}
+		byName[r.Name] = r
+	}
+	for _, name := range benchExpectedPlain {
+		if _, ok := byName[name]; !ok {
+			fail("missing workload %s", name)
+		}
+	}
+	for _, base := range benchExpectedChase {
+		idx, okIdx := byName[base+"/index"]
+		scn, okScn := byName[base+"/scan"]
+		if !okIdx || !okScn {
+			fail("workload %s missing a join arm (index present: %v, scan present: %v)", base, okIdx, okScn)
+		}
+		if idx.Verdict == "" || scn.Verdict == "" {
+			fail("workload %s: missing verdict (regenerate with a current tdbench)", base)
+		}
+		if idx.Verdict != scn.Verdict {
+			fail("workload %s: join strategies disagree (index=%s scan=%s)", base, idx.Verdict, scn.Verdict)
+		}
+	}
+	fmt.Printf("%s: %d results, all %d+%d workloads present, join-arm verdicts identical\n",
+		path, len(rep.Results), len(benchExpectedPlain), len(benchExpectedChase))
 }

@@ -1,0 +1,221 @@
+// Load harness for the inference service: `tdbench -loadjson FILE` hammers
+// a running tdserve with a duplicate-heavy mix of problems from a pool of
+// concurrent workers, then writes a JSON report with client-observed
+// latency percentiles and the cache/dedup hit rate. The workload is mostly
+// repeats by construction — N requests round-robin over a handful of
+// problems, one of which is a symbol-renamed twin of another — so a
+// healthy server must answer most of it from the canonical cache or by
+// collapsing in-flight duplicates. The harness exits nonzero when the
+// cache never hits, or when repeats of one problem disagree on the
+// verdict or canonical key: the service-level form of the engines'
+// determinism guarantee.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"templatedep/internal/serve"
+)
+
+// loadProblems is the request mix. The last entry is the power preset
+// under renamed symbols and without its zero equations spelled out — it
+// must land on the same cache line as {"preset":"power"}, exercising
+// canonicalization end to end over HTTP.
+func loadProblems() []serve.Request {
+	reqs := []serve.Request{
+		{Preset: "power"},
+		{Preset: "twostep"},
+		{Preset: "gap"},
+		{Preset: "chain:2"},
+		{Preset: "nilpotent:2"},
+		{Alphabet: []string{"A0", "Q", "Z"}, A0: "A0", Zero: "Z", Equations: []string{"A0 A0 = Q"}},
+	}
+	return reqs
+}
+
+type loadResult struct {
+	// Problem is the index into the request mix; Key/Verdict are as
+	// reported by the server; Source is "cold", "cache", or "dedup".
+	Problem   int     `json:"problem"`
+	Key       string  `json:"key"`
+	Source    string  `json:"source"`
+	Verdict   string  `json:"verdict"`
+	LatencyMS float64 `json:"latency_ms"`
+}
+
+type loadReport struct {
+	Generated string  `json:"generated"`
+	GoVersion string  `json:"go_version"`
+	Server    string  `json:"server"`
+	Requests  int     `json:"requests"`
+	Workers   int     `json:"workers"`
+	Problems  int     `json:"problems"`
+	Cold      int     `json:"cold"`
+	CacheHits int     `json:"cache_hits"`
+	Dedups    int     `json:"dedups"`
+	HitRate   float64 `json:"hit_rate"`
+	P50MS     float64 `json:"p50_ms"`
+	P90MS     float64 `json:"p90_ms"`
+	P99MS     float64 `json:"p99_ms"`
+	MaxMS     float64 `json:"max_ms"`
+	// Results carries one row per request only when the run is small
+	// enough to be worth inlining (<= 64 requests); summaries above are
+	// always present.
+	Results []loadResult `json:"results,omitempty"`
+}
+
+func writeLoadJSON(path, server string, n, c int) {
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "tdbench: load: %s\n", fmt.Sprintf(format, args...))
+		os.Exit(1)
+	}
+	if n <= 0 || c <= 0 {
+		fail("-loadn and -loadc must be positive")
+	}
+	// Fail on an unwritable path before hammering the server.
+	f, err := os.Create(path)
+	if err != nil {
+		fail("%v", err)
+	}
+	f.Close()
+
+	problems := loadProblems()
+	bodies := make([][]byte, len(problems))
+	for i, p := range problems {
+		b, err := json.Marshal(p)
+		if err != nil {
+			fail("marshal problem %d: %v", i, err)
+		}
+		bodies[i] = b
+	}
+
+	client := &http.Client{Timeout: 60 * time.Second}
+	url := server + "/infer"
+	results := make([]loadResult, n)
+	var wg sync.WaitGroup
+	errCh := make(chan error, c)
+	jobs := make(chan int)
+	for w := 0; w < c; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				pi := i % len(problems)
+				start := time.Now()
+				httpRes, err := client.Post(url, "application/json", bytes.NewReader(bodies[pi]))
+				if err != nil {
+					select {
+					case errCh <- err:
+					default:
+					}
+					return
+				}
+				var res serve.Response
+				decErr := json.NewDecoder(httpRes.Body).Decode(&res)
+				httpRes.Body.Close()
+				if decErr != nil || httpRes.StatusCode != http.StatusOK {
+					select {
+					case errCh <- fmt.Errorf("request %d (problem %d): status %d, decode err %v", i, pi, httpRes.StatusCode, decErr):
+					default:
+					}
+					return
+				}
+				results[i] = loadResult{
+					Problem:   pi,
+					Key:       res.Key,
+					Source:    res.Source,
+					Verdict:   res.Verdict.String(),
+					LatencyMS: float64(time.Since(start).Microseconds()) / 1e3,
+				}
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		fail("%v", err)
+	default:
+	}
+
+	// Consistency sweep: all repeats of one problem must report the same
+	// key and verdict, cold or cached. The renamed twin (last problem)
+	// must additionally share problem 0's key — that is the
+	// canonicalization contract observed from outside the process.
+	firstFor := make(map[int]loadResult)
+	rep := loadReport{
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		Server:    server,
+		Requests:  n,
+		Workers:   c,
+		Problems:  len(problems),
+	}
+	latencies := make([]float64, 0, n)
+	for i, r := range results {
+		if first, ok := firstFor[r.Problem]; ok {
+			if r.Verdict != first.Verdict {
+				fail("problem %d: verdict flipped across repeats (%q then %q at request %d)", r.Problem, first.Verdict, r.Verdict, i)
+			}
+			if r.Key != first.Key {
+				fail("problem %d: canonical key changed across repeats (%q then %q at request %d)", r.Problem, first.Key, r.Key, i)
+			}
+		} else {
+			firstFor[r.Problem] = r
+		}
+		switch r.Source {
+		case "cold":
+			rep.Cold++
+		case "cache":
+			rep.CacheHits++
+		case "dedup":
+			rep.Dedups++
+		default:
+			fail("request %d: unknown source %q", i, r.Source)
+		}
+		latencies = append(latencies, r.LatencyMS)
+	}
+	if n > len(problems) && rep.CacheHits+rep.Dedups == 0 {
+		fail("sent %d requests over %d problems but observed zero cache hits and zero dedups — the verdict cache is not working", n, len(problems))
+	}
+	if twin, ok := firstFor[len(problems)-1]; ok {
+		if power, ok2 := firstFor[0]; ok2 && twin.Key != power.Key {
+			fail("renamed twin keyed %q but preset power keyed %q — canonicalization broken over HTTP", twin.Key, power.Key)
+		}
+	}
+
+	rep.HitRate = float64(rep.CacheHits+rep.Dedups) / float64(n)
+	sort.Float64s(latencies)
+	pct := func(p float64) float64 {
+		idx := int(p * float64(len(latencies)-1))
+		return latencies[idx]
+	}
+	rep.P50MS, rep.P90MS, rep.P99MS = pct(0.50), pct(0.90), pct(0.99)
+	rep.MaxMS = latencies[len(latencies)-1]
+	if n <= 64 {
+		rep.Results = results
+	}
+
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fail("%v", err)
+	}
+	out = append(out, '\n')
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		fail("%v", err)
+	}
+	fmt.Printf("load: %d requests x %d workers over %d problems: cold=%d cache=%d dedup=%d hit_rate=%.2f p50=%.1fms p99=%.1fms max=%.1fms\n",
+		n, c, len(problems), rep.Cold, rep.CacheHits, rep.Dedups, rep.HitRate, rep.P50MS, rep.P99MS, rep.MaxMS)
+	fmt.Printf("wrote %s\n", path)
+}

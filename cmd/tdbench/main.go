@@ -32,6 +32,11 @@ func main() {
 	searchjson := flag.String("searchjson", "", "measure the counter-model search workloads under the serial/parallel and symmetry/none ablations and write JSON results to this file")
 	searchquick := flag.Bool("searchquick", false, "with -searchjson: one timed run per arm instead of a full benchmark loop (CI smoke)")
 	checksearch := flag.String("checksearch", "", "validate a -searchjson report (parses, all ablation arms present, verdicts identical) and exit")
+	checkbench := flag.String("checkbench", "", "validate a -benchjson report (parses, all workloads present, join-arm verdicts identical) and exit")
+	loadjson := flag.String("loadjson", "", "hammer a running tdserve with a duplicate-heavy workload and write JSON results to this file")
+	loadserver := flag.String("loadserver", "http://127.0.0.1:8080", "with -loadjson: base URL of the tdserve instance")
+	loadn := flag.Int("loadn", 200, "with -loadjson: total requests to send")
+	loadc := flag.Int("loadc", 8, "with -loadjson: concurrent client workers")
 	flag.Parse()
 
 	if *metrics && *benchjson == "" {
@@ -44,6 +49,14 @@ func main() {
 	}
 	if *checksearch != "" {
 		checkSearchJSON(*checksearch)
+		return
+	}
+	if *checkbench != "" {
+		checkBenchJSON(*checkbench)
+		return
+	}
+	if *loadjson != "" {
+		writeLoadJSON(*loadjson, *loadserver, *loadn, *loadc)
 		return
 	}
 	if *benchjson != "" {

@@ -189,6 +189,26 @@ func ForDuration(d time.Duration, l Limits) (*Governor, context.CancelFunc) {
 	return New(ctx, l), cancel
 }
 
+// ForRequest derives a request-scoped governor from a server-wide parent
+// context: the returned governor's context is a child of parent — so
+// cancelling the server's root context stops every in-flight request at
+// its next checkpoint — with its own deadline when d > 0, metering under
+// l. This is how a long-running service turns one set of server-wide
+// limits into per-request governors: no request can exceed its own
+// meters, and no request outlives the server. The cancel function must be
+// called when the request finishes to release the timer.
+func ForRequest(parent context.Context, d time.Duration, l Limits) (*Governor, context.CancelFunc) {
+	if parent == nil {
+		parent = context.Background()
+	}
+	if d > 0 {
+		ctx, cancel := context.WithTimeout(parent, d)
+		return New(ctx, l), cancel
+	}
+	ctx, cancel := context.WithCancel(parent)
+	return New(ctx, l), cancel
+}
+
 // Resolve is the engine-side entry point: a nil governor resolves to a
 // fresh one over context.Background() carrying the engine's default limits,
 // so ungoverned callers keep the historical bounded behaviour. Engines call

@@ -150,6 +150,26 @@ func (v Verdict) String() string {
 	}
 }
 
+// MarshalText renders the verdict as its String form, so JSON documents
+// (the serving layer's responses, load reports) carry "implied" rather
+// than an opaque integer.
+func (v Verdict) MarshalText() ([]byte, error) { return []byte(v.String()), nil }
+
+// UnmarshalText parses the String form back.
+func (v *Verdict) UnmarshalText(text []byte) error {
+	switch string(text) {
+	case "implied":
+		*v = Implied
+	case "finite-counterexample":
+		*v = FiniteCounterexample
+	case "unknown":
+		*v = Unknown
+	default:
+		return fmt.Errorf("core: unknown verdict %q", text)
+	}
+	return nil
+}
+
 // InferenceResult reports a TD-level dual semidecision run.
 type InferenceResult struct {
 	Verdict Verdict

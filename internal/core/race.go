@@ -39,7 +39,8 @@ type RaceResult struct {
 // instance is built once, up front. Both arms run under a shared cancel
 // context derived from b.Governor, so the first definitive answer cancels
 // the losing arm at its next checkpoint instead of letting it burn its
-// whole budget.
+// whole budget; the cancelled arm is then joined, so no goroutine or event
+// emission outlives the call.
 func AnalyzePresentationRace(p *words.Presentation, b Budget) (*RaceResult, error) {
 	in, err := reduction.Build(p)
 	if err != nil {
@@ -112,17 +113,26 @@ func AnalyzePresentationRace(p *words.Presentation, b Budget) (*RaceResult, erro
 		ch <- outcome{res: res, winner: "model-search"}
 	})
 
+	// The first definitive answer cancels the other arm, but the race still
+	// JOINS it before returning: the loser stops at its next governor
+	// checkpoint (bounded latency), and once this function returns, no arm
+	// goroutine is left running or emitting events. Long-running callers
+	// (the serving layer) depend on that — abandoned arms would otherwise
+	// accumulate and could write to a trace while it is being flushed.
 	var firstErr error
+	var won *RaceResult
 	for i := 0; i < 2; i++ {
 		o := <-ch
 		if o.err != nil && firstErr == nil {
 			firstErr = o.err
 		}
-		if o.res != nil {
-			// The deferred cancel stops the losing arm; its buffered send
-			// cannot block.
-			return &RaceResult{PresentationResult: o.res, Winner: o.winner}, nil
+		if o.res != nil && won == nil {
+			won = &RaceResult{PresentationResult: o.res, Winner: o.winner}
+			cancel()
 		}
+	}
+	if won != nil {
+		return won, nil
 	}
 	if firstErr != nil {
 		return nil, firstErr

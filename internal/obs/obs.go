@@ -33,7 +33,7 @@ type EventType string
 
 // Event types emitted by the engine layers. The Src field of an Event
 // tells which layer emitted it ("chase", "search", "finitemodel",
-// "rewrite", "core").
+// "rewrite", "core", "serve").
 const (
 	// EvRoundStart opens a fair chase round. Fields: Round, Tuples
 	// (instance size entering the round).
@@ -102,6 +102,23 @@ const (
 	// Verdict, Round (rounds/iterations used), Tuples (final instance
 	// size; chase only), N (nodes visited; search only).
 	EvVerdict EventType = "verdict"
+	// EvServeRequest closes one inference-service request (Src "serve").
+	// Fields: Req, Key, Source ("cold" for a fresh engine run, "cache" for
+	// an LRU verdict-cache answer, "dedup" for a request collapsed into an
+	// identical in-flight run), Verdict.
+	EvServeRequest EventType = "serve_request"
+	// EvServeCacheHit reports that a request was answered from the
+	// service's canonical verdict cache, emitted before the request's
+	// serve_request line. Fields: Req, Key.
+	EvServeCacheHit EventType = "serve_cache_hit"
+	// EvServeDedup reports that a request joined an identical in-flight
+	// run instead of starting its own (singleflight), emitted before the
+	// request's serve_request line. Fields: Req, Key.
+	EvServeDedup EventType = "serve_dedup"
+	// EvServeShutdown reports that the service drained and stopped.
+	// Fields: N (engine runs that were in flight when the drain began —
+	// each completed, and closed its trace, before this line was written).
+	EvServeShutdown EventType = "serve_shutdown"
 )
 
 // Event is one structured observation. It is a flat value type — emitters
@@ -113,7 +130,7 @@ type Event struct {
 	// Type discriminates the payload.
 	Type EventType `json:"type"`
 	// Src is the emitting layer: "chase", "search", "finitemodel",
-	// "rewrite", or "core".
+	// "rewrite", "core", or "serve".
 	Src string `json:"src"`
 	// Round is 1-based (chase fair round, deepening round); 0 when not
 	// applicable.
@@ -151,6 +168,19 @@ type Event struct {
 	Resource string `json:"resource,omitempty"`
 	// Verdict is an outcome string of the emitting layer.
 	Verdict string `json:"verdict,omitempty"`
+	// Req is the serving layer's per-request trace ID. The service stamps
+	// it on every event emitted within a request — its own serve_* events
+	// and the engine events of the run it triggered — so one JSONL stream
+	// from a concurrent server can be split back into per-request traces.
+	// Empty outside the serving layer (and absent from those wire lines).
+	Req string `json:"req,omitempty"`
+	// Key is the canonical cache-key digest of a serve request: identical
+	// for requests that are equal up to symbol renaming and equation
+	// order.
+	Key string `json:"key,omitempty"`
+	// Source tells how a serve request was answered: "cold", "cache", or
+	// "dedup".
+	Source string `json:"source,omitempty"`
 }
 
 // Sink receives events. Implementations must be safe for concurrent use:

@@ -36,6 +36,20 @@ type Totals struct {
 	SearchSteals int
 	// RulesAdded counts rule_added events.
 	RulesAdded int
+	// ServeRequests counts serve_request events (one per request the
+	// inference service answered).
+	ServeRequests int
+	// ServeMisses counts serve_request events with source "cold" — the
+	// requests that actually ran an engine.
+	ServeMisses int
+	// ServeCacheHits counts serve_cache_hit events.
+	ServeCacheHits int
+	// ServeDedups counts serve_dedup events (requests collapsed into an
+	// identical in-flight run).
+	ServeDedups int
+	// ServeShutdowns counts serve_shutdown events (1 for a trace of one
+	// complete server lifetime).
+	ServeShutdowns int
 	// PerDepFired sums dep_fired.n by dependency index.
 	PerDepFired map[int]int
 	// Verdicts maps emitting layer (event src) to its final verdict
@@ -91,6 +105,17 @@ func Replay(r io.Reader) (Totals, error) {
 			t.SearchSteals++
 		case EvRuleAdded:
 			t.RulesAdded++
+		case EvServeRequest:
+			t.ServeRequests++
+			if e.Source == "cold" {
+				t.ServeMisses++
+			}
+		case EvServeCacheHit:
+			t.ServeCacheHits++
+		case EvServeDedup:
+			t.ServeDedups++
+		case EvServeShutdown:
+			t.ServeShutdowns++
 		case EvBudgetExhausted:
 			t.Stops[e.Src] = "exhausted:" + e.Resource
 		case EvCancelled:

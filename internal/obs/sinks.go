@@ -41,6 +41,13 @@ func (s *JSONLSink) Event(e Event) {
 	b = append(b, `","src":"`...)
 	b = append(b, e.Src...)
 	b = append(b, '"')
+	// The request ID is the one cross-cutting field: the serving layer
+	// stamps it on every event of a request, whatever the type, so it is
+	// written right after src whenever present. Engine streams emitted
+	// outside the service never set it, keeping their bytes unchanged.
+	if e.Req != "" {
+		b = appendStr(b, "req", e.Req)
+	}
 	appendInt := func(key string, v int) {
 		b = append(b, ',', '"')
 		b = append(b, key...)
@@ -100,6 +107,14 @@ func (s *JSONLSink) Event(e Event) {
 		b = appendStr(b, "verdict", e.Verdict)
 		appendInt("round", e.Round)
 		appendInt("tuples", e.Tuples)
+		appendInt("n", e.N)
+	case EvServeRequest:
+		b = appendStr(b, "key", e.Key)
+		b = appendStr(b, "source", e.Source)
+		b = appendStr(b, "verdict", e.Verdict)
+	case EvServeCacheHit, EvServeDedup:
+		b = appendStr(b, "key", e.Key)
+	case EvServeShutdown:
 		appendInt("n", e.N)
 	default:
 		// Unknown types round-trip through encoding/json so custom
@@ -258,6 +273,19 @@ func (s *CounterSink) Event(e Event) {
 		s.C.Add(e.Src+".cancelled", 1)
 	case EvVerdict:
 		s.C.Add(e.Src+".verdicts", 1)
+	case EvServeRequest:
+		s.C.Add("serve.requests", 1)
+		// A "cold" request is the one that actually ran an engine — the
+		// cache-miss count of the serving layer.
+		if e.Source == "cold" {
+			s.C.Add("serve.cache_misses", 1)
+		}
+	case EvServeCacheHit:
+		s.C.Add("serve.cache_hits", 1)
+	case EvServeDedup:
+		s.C.Add("serve.dedups", 1)
+	case EvServeShutdown:
+		s.C.Add("serve.shutdowns", 1)
 	}
 }
 

@@ -1,0 +1,142 @@
+package serve
+
+import (
+	"strings"
+	"testing"
+
+	"templatedep/internal/relation"
+	"templatedep/internal/td"
+	"templatedep/internal/words"
+)
+
+// mustPres builds a presentation from an alphabet spec and equation lines.
+func mustPres(t *testing.T, names []string, a0, zero string, eqs ...string) *words.Presentation {
+	t.Helper()
+	a, err := words.NewAlphabet(names, a0, zero)
+	if err != nil {
+		t.Fatalf("alphabet: %v", err)
+	}
+	parsed := make([]words.Equation, 0, len(eqs))
+	for _, line := range eqs {
+		e, err := words.ParseEquation(a, line)
+		if err != nil {
+			t.Fatalf("equation %q: %v", line, err)
+		}
+		parsed = append(parsed, e)
+	}
+	p, err := words.NewPresentation(a, parsed)
+	if err != nil {
+		t.Fatalf("presentation: %v", err)
+	}
+	return p
+}
+
+func TestCanonPresentationInvariantUnderRenaming(t *testing.T) {
+	// B and C renamed to Y and X (and declared in a different order).
+	p1 := mustPres(t, []string{"A0", "Z", "B", "C"}, "A0", "Z",
+		"A0 B = C", "C C = Z", "B A0 = B")
+	p2 := mustPres(t, []string{"X", "A0", "Y", "Z"}, "A0", "Z",
+		"A0 Y = X", "X X = Z", "Y A0 = Y")
+	k1, k2 := CanonPresentation(p1), CanonPresentation(p2)
+	if k1 != k2 {
+		t.Fatalf("renamed presentations got different keys:\n  %s\n  %s", k1, k2)
+	}
+	if !strings.HasPrefix(k1, "pres:") {
+		t.Fatalf("expected canonical (not fallback) key, got %s", k1)
+	}
+}
+
+func TestCanonPresentationInvariantUnderEquationOrderAndOrientation(t *testing.T) {
+	p1 := mustPres(t, []string{"A0", "Z", "B"}, "A0", "Z",
+		"A0 A0 = B", "B B = Z")
+	p2 := mustPres(t, []string{"A0", "Z", "B"}, "A0", "Z",
+		"Z = B B", "B = A0 A0") // reversed orientations, swapped order
+	if k1, k2 := CanonPresentation(p1), CanonPresentation(p2); k1 != k2 {
+		t.Fatalf("reordered/flipped presentations got different keys:\n  %s\n  %s", k1, k2)
+	}
+}
+
+func TestCanonPresentationSeparatesDistinctProblems(t *testing.T) {
+	p1 := mustPres(t, []string{"A0", "Z", "B"}, "A0", "Z", "A0 A0 = B")
+	p2 := mustPres(t, []string{"A0", "Z", "B"}, "A0", "Z", "A0 A0 = Z")
+	if k1, k2 := CanonPresentation(p1), CanonPresentation(p2); k1 == k2 {
+		t.Fatalf("distinct problems share key %s", k1)
+	}
+	// Swapping the roles of the distinguished symbols must also separate:
+	// A0 and 0 are pinned, not interchangeable.
+	p3 := mustPres(t, []string{"A0", "Z", "B"}, "A0", "Z", "B B = A0")
+	p4 := mustPres(t, []string{"A0", "Z", "B"}, "A0", "Z", "B B = Z")
+	if k3, k4 := CanonPresentation(p3), CanonPresentation(p4); k3 == k4 {
+		t.Fatalf("A0/zero roles collapsed into one key %s", k3)
+	}
+}
+
+func TestCanonPresentationSymmetricSymbols(t *testing.T) {
+	// B and C are fully interchangeable; the individualization search must
+	// still produce one canonical key for every labeling.
+	p1 := mustPres(t, []string{"A0", "Z", "B", "C"}, "A0", "Z",
+		"B B = Z", "C C = Z")
+	p2 := mustPres(t, []string{"A0", "Z", "C", "B"}, "A0", "Z",
+		"C C = Z", "B B = Z")
+	k1, k2 := CanonPresentation(p1), CanonPresentation(p2)
+	if k1 != k2 {
+		t.Fatalf("symmetric presentations got different keys:\n  %s\n  %s", k1, k2)
+	}
+	if !strings.HasPrefix(k1, "pres:") {
+		t.Fatalf("symmetric case fell back unexpectedly: %s", k1)
+	}
+}
+
+func TestCanonPresentationPresetsDistinct(t *testing.T) {
+	// Every preset family member must get its own key.
+	names := []string{"power", "twostep", "gap", "chain:3", "chain:4", "nilpotent:2"}
+	seen := make(map[string]string)
+	for _, n := range names {
+		p, err := words.Preset(n)
+		if err != nil {
+			t.Fatalf("preset %s: %v", n, err)
+		}
+		k := CanonPresentation(p)
+		if prev, ok := seen[k]; ok {
+			t.Fatalf("presets %s and %s share key %s", prev, n, k)
+		}
+		seen[k] = n
+	}
+}
+
+func TestCanonInferenceInvariance(t *testing.T) {
+	schema := relation.MustSchema("A", "B")
+	parse := func(s, name string) *td.TD {
+		d, err := td.Parse(schema, s, name)
+		if err != nil {
+			t.Fatalf("parse %q: %v", s, err)
+		}
+		return d
+	}
+	d1 := parse("R(x,y) & R(x,y2) -> R(x,y3)", "t")
+	d2 := parse("R(x,y) & R(x2,y) -> R(x3,y)", "s")
+	goal := parse("R(a,b) & R(a,b2) -> R(a2,b)", "g")
+
+	k1 := CanonInference([]*td.TD{d1, d2}, goal)
+	// Dependency order, duplicates, names, and variable names must not
+	// matter.
+	d1r := parse("R(u,v) & R(u,v2) -> R(u,v3)", "renamed")
+	k2 := CanonInference([]*td.TD{d2, d1r, d2}, goal)
+	if k1 != k2 {
+		t.Fatalf("equivalent TD instances got different keys:\n  %s\n  %s", k1, k2)
+	}
+	k3 := CanonInference([]*td.TD{d1}, goal)
+	if k1 == k3 {
+		t.Fatalf("different dependency sets share key %s", k1)
+	}
+}
+
+func TestKeyDigestStable(t *testing.T) {
+	a, b := keyDigest("pres:x"), keyDigest("pres:x")
+	if a != b || len(a) != 16 {
+		t.Fatalf("digest not stable/16-hex: %q vs %q", a, b)
+	}
+	if keyDigest("pres:y") == a {
+		t.Fatalf("distinct forms share digest")
+	}
+}

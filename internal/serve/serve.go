@@ -1,0 +1,596 @@
+// Package serve is the long-running inference service over internal/core:
+// an HTTP/JSON front-end that answers TD-implication queries with the same
+// dual-semidecision engines as the CLIs, but amortizes work across
+// requests.
+//
+// Undecidability shapes the serving economics. A single query may burn its
+// entire budget and still answer Unknown — that is the honest outcome the
+// Main Theorem forces — so repeated work is the one cost a service CAN
+// eliminate. Two layers do so:
+//
+//   - a bounded LRU verdict cache keyed by the CANONICAL form of the
+//     problem (canon.go), so a repeat query — even renamed or reordered —
+//     is answered without touching an engine;
+//   - a singleflight table collapsing identical in-flight queries: N
+//     concurrent requests for one problem run ONE chase, and the other
+//     N−1 wait for its verdict.
+//
+// Each cold request runs under a governor derived from the server-wide
+// limits via budget.ForRequest: its context is a child of the server's
+// root context, so draining cancels every in-flight engine at its next
+// checkpoint, and engines close their traces on the way out (the
+// partial-trace contract of internal/obs). Every event a request causes is
+// stamped with a per-request trace ID, making one server trace separable
+// into per-request sub-traces.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"templatedep/internal/budget"
+	"templatedep/internal/chase"
+	"templatedep/internal/core"
+	"templatedep/internal/finitemodel"
+	"templatedep/internal/obs"
+	"templatedep/internal/relation"
+	"templatedep/internal/search"
+	"templatedep/internal/td"
+	"templatedep/internal/words"
+)
+
+// Runner executes one cold inference. The server owns timing, caching, and
+// deduplication; the runner only turns a problem and a budget into a
+// verdict. Injectable so lifecycle tests can gate and count engine runs.
+type Runner func(ctx context.Context, p *Problem, b core.Budget) (CachedVerdict, error)
+
+// Config configures a Server. The zero value serves with engine-default
+// budgets, a 1024-entry cache, and no event sink.
+type Config struct {
+	// Limits are the server-wide per-request meter limits. Each request
+	// derives its arm governors from them; zero fields fall back to the
+	// owning engine's defaults, so Limits{} means "the budgets tdinfer
+	// would use".
+	Limits budget.Limits
+	// RequestTimeout bounds each cold run's wall clock (0 = meters only).
+	RequestTimeout time.Duration
+	// MaxInflight caps concurrent engine runs; excess cold requests wait
+	// for a slot (0 = unlimited). Cache hits and deduplicated followers
+	// never consume a slot.
+	MaxInflight int
+	// CacheSize bounds the verdict cache (entries; 0 = 1024).
+	CacheSize int
+	// Sink receives every event of every request, each stamped with the
+	// request's trace ID.
+	Sink obs.Sink
+	// Counters, when set, additionally folds every event through a
+	// CounterSink — the source of /metrics.
+	Counters *obs.Counters
+	// Runner overrides the engine entry point (nil = CoreRunner).
+	Runner Runner
+}
+
+const defaultCacheSize = 1024
+
+// Problem is a parsed, canonicalized request.
+type Problem struct {
+	// Mode is "presentation" or "td".
+	Mode string
+	// Pres is set in presentation mode.
+	Pres *words.Presentation
+	// Deps and Goal are set in td mode.
+	Deps []*td.TD
+	Goal *td.TD
+	// Key is the full canonical form — the cache and singleflight key.
+	Key string
+	// Hash is the short digest of Key used on the wire and in events.
+	Hash string
+}
+
+// Request is the JSON body of POST /infer. Exactly one problem form must
+// be present: a preset name, an explicit presentation, or a TD instance.
+type Request struct {
+	// Preset names a built-in presentation family (words.Preset).
+	Preset string `json:"preset,omitempty"`
+	// Alphabet/A0/Zero/Equations spell out a presentation. Equations use
+	// the "x y = z" notation of the CLIs.
+	Alphabet  []string `json:"alphabet,omitempty"`
+	A0        string   `json:"a0,omitempty"`
+	Zero      string   `json:"zero,omitempty"`
+	Equations []string `json:"equations,omitempty"`
+	// Schema/Deps/Goal spell out a TD instance in td.Parse notation.
+	Schema []string `json:"schema,omitempty"`
+	Deps   []string `json:"deps,omitempty"`
+	Goal   string   `json:"goal,omitempty"`
+}
+
+// Response is the JSON body of a successful POST /infer.
+type Response struct {
+	// Req is the request's trace ID — grep the server's JSONL trace for
+	// this value to see everything the request caused.
+	Req string `json:"req"`
+	// Key is the canonical problem digest; equal keys got equal verdicts.
+	Key string `json:"key"`
+	// Mode is "presentation" or "td".
+	Mode string `json:"mode"`
+	// Source says how the verdict was obtained: "cold" (an engine ran),
+	// "cache" (verdict cache), or "dedup" (collapsed into an identical
+	// in-flight run).
+	Source string `json:"source"`
+	// Verdict is "implied", "finite-counterexample", or "unknown".
+	Verdict core.Verdict `json:"verdict"`
+	// Winner names the arm that settled the cold run, when one did.
+	Winner string `json:"winner,omitempty"`
+	// Stop reports how the cold run's budget cut it short, if it did.
+	Stop string `json:"stop,omitempty"`
+	// ElapsedMS is this request's wall clock; ColdMS is the engine wall
+	// clock of the run that produced the verdict (equal for cold
+	// requests, the amount saved for cache/dedup ones).
+	ElapsedMS float64 `json:"elapsed_ms"`
+	ColdMS    float64 `json:"cold_ms"`
+}
+
+// call is one in-flight cold run; followers for the same key block on done.
+type call struct {
+	done chan struct{}
+	val  CachedVerdict
+	err  error
+	// dups counts followers collapsed into this run (observable by tests
+	// and the dedup events).
+	dups atomic.Int64
+}
+
+// Server answers inference requests. Create with New, serve via Handler,
+// stop via BeginDrain + Shutdown.
+type Server struct {
+	cfg        Config
+	base       []obs.Sink
+	rootCtx    context.Context
+	rootCancel context.CancelFunc
+	sem        chan struct{}
+
+	mu       sync.Mutex
+	cache    *lru
+	inflight map[string]*call
+	draining bool
+	drainN   int
+
+	// wg tracks cold engine runs; Shutdown waits on it.
+	wg           sync.WaitGroup
+	reqSeq       atomic.Int64
+	engineNow    atomic.Int64
+	enginePeak   atomic.Int64
+	requestsSeen atomic.Int64
+}
+
+// New builds a Server from cfg.
+func New(cfg Config) *Server {
+	if cfg.CacheSize <= 0 {
+		cfg.CacheSize = defaultCacheSize
+	}
+	if cfg.Runner == nil {
+		cfg.Runner = CoreRunner
+	}
+	var base []obs.Sink
+	if cfg.Sink != nil {
+		base = append(base, cfg.Sink)
+	}
+	if cfg.Counters != nil {
+		base = append(base, obs.NewCounterSink(cfg.Counters))
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:        cfg,
+		base:       base,
+		rootCtx:    ctx,
+		rootCancel: cancel,
+		cache:      newLRU(cfg.CacheSize),
+		inflight:   make(map[string]*call),
+	}
+	if cfg.MaxInflight > 0 {
+		s.sem = make(chan struct{}, cfg.MaxInflight)
+	}
+	return s
+}
+
+// emit fans a serve-layer event (no request attribution) to every sink.
+func (s *Server) emit(e obs.Event) {
+	e.Src = "serve"
+	for _, d := range s.base {
+		d.Event(e)
+	}
+}
+
+// reqSink stamps the request trace ID on every event passing through,
+// whatever layer emitted it, and fans out to the server's sinks. This is
+// what makes a multi-request server trace separable: grep for one req
+// value and the lines are exactly that request's sub-trace.
+type reqSink struct {
+	id  string
+	dst []obs.Sink
+}
+
+func (r reqSink) Event(e obs.Event) {
+	e.Req = r.id
+	for _, d := range r.dst {
+		d.Event(e)
+	}
+}
+
+// pick resolves one meter limit: the server-wide value when set, the
+// owning engine's default otherwise.
+func pick(cfgv, def int) int {
+	if cfgv > 0 {
+		return cfgv
+	}
+	return def
+}
+
+// budgetFor builds the per-request core budget: one request-scoped
+// governor rooted at the server context (budget.ForRequest), one child
+// governor per arm carrying the derived limits, and the request-stamping
+// sink threaded through every layer.
+func (s *Server) budgetFor(sink obs.Sink) (core.Budget, *budget.Governor, context.CancelFunc) {
+	l := s.cfg.Limits
+	g, cancel := budget.ForRequest(s.rootCtx, s.cfg.RequestTimeout, l)
+	b := core.Budget{Governor: g, Sink: sink}
+	b.Chase = chase.DefaultOptions()
+	b.Chase.Governor = g.Child(budget.Limits{
+		Rounds: pick(l.Rounds, chase.DefaultLimits.Rounds),
+		Tuples: pick(l.Tuples, chase.DefaultLimits.Tuples),
+	})
+	b.Closure.Governor = g.Child(budget.Limits{
+		Words: pick(l.Words, words.DefaultLimits.Words),
+	})
+	b.ModelSearch.Governor = g.Child(budget.Limits{
+		Nodes: pick(l.Nodes, search.DefaultLimits.Nodes),
+	})
+	b.FiniteDB.Governor = g.Child(budget.Limits{
+		Nodes: pick(l.Nodes, finitemodel.DefaultLimits.Nodes),
+	})
+	return b, g, cancel
+}
+
+// CoreRunner is the production Runner: the racing front-end for
+// presentations (first definitive arm wins), the sequential dual run for
+// TD instances.
+func CoreRunner(_ context.Context, p *Problem, b core.Budget) (CachedVerdict, error) {
+	if p.Pres != nil {
+		res, err := core.AnalyzePresentationRace(p.Pres, b)
+		if err != nil {
+			return CachedVerdict{}, err
+		}
+		return CachedVerdict{Verdict: res.Verdict, Winner: res.Winner}, nil
+	}
+	res, err := core.Infer(p.Deps, p.Goal, b)
+	if err != nil {
+		return CachedVerdict{}, err
+	}
+	winner := ""
+	switch res.Verdict {
+	case core.Implied:
+		winner = "chase"
+	case core.FiniteCounterexample:
+		winner = "finite-db"
+	}
+	return CachedVerdict{Verdict: res.Verdict, Winner: winner}, nil
+}
+
+// ParseRequest validates a wire request and canonicalizes it into a
+// Problem.
+func ParseRequest(req Request) (*Problem, error) {
+	forms := 0
+	if req.Preset != "" {
+		forms++
+	}
+	if len(req.Equations) > 0 || len(req.Alphabet) > 0 {
+		forms++
+	}
+	if req.Goal != "" || len(req.Schema) > 0 || len(req.Deps) > 0 {
+		forms++
+	}
+	if forms != 1 {
+		return nil, fmt.Errorf("serve: request must carry exactly one of preset, equations, or schema/deps/goal (got %d forms)", forms)
+	}
+	switch {
+	case req.Preset != "":
+		p, err := words.Preset(req.Preset)
+		if err != nil {
+			return nil, fmt.Errorf("serve: %w", err)
+		}
+		return presentationProblem(p), nil
+	case len(req.Equations) > 0 || len(req.Alphabet) > 0:
+		a, err := words.NewAlphabet(req.Alphabet, req.A0, req.Zero)
+		if err != nil {
+			return nil, fmt.Errorf("serve: %w", err)
+		}
+		eqs := make([]words.Equation, 0, len(req.Equations))
+		for _, line := range req.Equations {
+			e, err := words.ParseEquation(a, line)
+			if err != nil {
+				return nil, fmt.Errorf("serve: %w", err)
+			}
+			eqs = append(eqs, e)
+		}
+		p, err := words.NewPresentation(a, eqs)
+		if err != nil {
+			return nil, fmt.Errorf("serve: %w", err)
+		}
+		return presentationProblem(p), nil
+	default:
+		if req.Goal == "" || len(req.Schema) == 0 {
+			return nil, fmt.Errorf("serve: td requests need schema and goal")
+		}
+		schema, err := relation.NewSchema(req.Schema)
+		if err != nil {
+			return nil, fmt.Errorf("serve: %w", err)
+		}
+		deps, err := td.ParseSet(schema, strings.Join(req.Deps, "\n"))
+		if err != nil {
+			return nil, fmt.Errorf("serve: %w", err)
+		}
+		goal, err := td.Parse(schema, req.Goal, "D0")
+		if err != nil {
+			return nil, fmt.Errorf("serve: %w", err)
+		}
+		key := CanonInference(deps, goal)
+		return &Problem{Mode: "td", Deps: deps, Goal: goal, Key: key, Hash: keyDigest(key)}, nil
+	}
+}
+
+func presentationProblem(p *words.Presentation) *Problem {
+	// Key the zero-completed form: the reduction applies WithZeroEquations
+	// before chasing, so requests that differ only in whether they spell
+	// the zero equations out pose the same problem and must share a line.
+	key := CanonPresentation(p.WithZeroEquations())
+	return &Problem{Mode: "presentation", Pres: p, Key: key, Hash: keyDigest(key)}
+}
+
+// ErrDraining is returned (as 503 on the wire) once BeginDrain was called.
+var ErrDraining = errors.New("serve: draining")
+
+// Infer answers one parsed problem: cache, then singleflight, then a cold
+// governed run. It is the transport-independent core of the HTTP handler.
+func (s *Server) Infer(p *Problem) (Response, error) {
+	start := time.Now()
+	id := "r" + strconv.FormatInt(s.reqSeq.Add(1), 10)
+	s.requestsSeen.Add(1)
+	sink := reqSink{id: id, dst: s.base}
+	resp := Response{Req: id, Key: p.Hash, Mode: p.Mode}
+	finish := func(src string, v CachedVerdict) (Response, error) {
+		resp.Source = src
+		resp.Verdict = v.Verdict
+		resp.Winner = v.Winner
+		resp.Stop = v.Stop
+		resp.ColdMS = v.ColdMS
+		resp.ElapsedMS = float64(time.Since(start)) / float64(time.Millisecond)
+		sink.Event(obs.Event{Type: obs.EvServeRequest, Src: "serve",
+			Key: p.Hash, Source: src, Verdict: v.Verdict.String()})
+		return resp, nil
+	}
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return Response{}, ErrDraining
+	}
+	if v, ok := s.cache.Get(p.Key); ok {
+		s.mu.Unlock()
+		sink.Event(obs.Event{Type: obs.EvServeCacheHit, Src: "serve", Key: p.Hash})
+		return finish("cache", v)
+	}
+	if c, ok := s.inflight[p.Key]; ok {
+		c.dups.Add(1)
+		s.mu.Unlock()
+		<-c.done
+		if c.err != nil {
+			return Response{}, c.err
+		}
+		sink.Event(obs.Event{Type: obs.EvServeDedup, Src: "serve", Key: p.Hash})
+		return finish("dedup", c.val)
+	}
+	c := &call{done: make(chan struct{})}
+	s.inflight[p.Key] = c
+	s.wg.Add(1)
+	s.mu.Unlock()
+
+	// The leader stays on the drain WaitGroup through its event emission,
+	// so a graceful Shutdown's serve_shutdown line lands after every cold
+	// request's serve_request line.
+	defer s.wg.Done()
+	c.val, c.err = s.runCold(p, sink)
+	s.mu.Lock()
+	delete(s.inflight, p.Key)
+	if c.err == nil {
+		s.cache.Put(p.Key, c.val)
+	}
+	s.mu.Unlock()
+	close(c.done)
+	if c.err != nil {
+		return Response{}, c.err
+	}
+	return finish("cold", c.val)
+}
+
+// runCold executes the engines for one leader request.
+func (s *Server) runCold(p *Problem, sink obs.Sink) (CachedVerdict, error) {
+	if s.sem != nil {
+		select {
+		case s.sem <- struct{}{}:
+			defer func() { <-s.sem }()
+		case <-s.rootCtx.Done():
+			return CachedVerdict{}, s.rootCtx.Err()
+		}
+	}
+	n := s.engineNow.Add(1)
+	for {
+		peak := s.enginePeak.Load()
+		if n <= peak || s.enginePeak.CompareAndSwap(peak, n) {
+			break
+		}
+	}
+	defer s.engineNow.Add(-1)
+
+	b, g, cancel := s.budgetFor(sink)
+	defer cancel()
+	t0 := time.Now()
+	v, err := s.cfg.Runner(g.Context(), p, b)
+	if err != nil {
+		return CachedVerdict{}, err
+	}
+	v.ColdMS = float64(time.Since(t0)) / float64(time.Millisecond)
+	if o := g.Interrupted(); o.Stopped() {
+		v.Stop = o.String()
+	}
+	return v, nil
+}
+
+// BeginDrain flips the server into draining mode: subsequent requests are
+// refused with ErrDraining while in-flight ones run to completion. Returns
+// the number of engine runs that were in flight at the flip (idempotent —
+// repeat calls return the first flip's count).
+func (s *Server) BeginDrain() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.draining {
+		s.draining = true
+		s.drainN = int(s.engineNow.Load())
+	}
+	return s.drainN
+}
+
+// Shutdown drains the server: it waits for every in-flight engine run to
+// finish, cancelling the server root context if ctx expires first so
+// governed engines stop at their next checkpoint (closing their traces —
+// the partial-trace contract), then emits the serve_shutdown event. The
+// returned error is ctx's error when the drain needed the cancellation
+// push, nil for a fully graceful drain.
+func (s *Server) Shutdown(ctx context.Context) error {
+	n := s.BeginDrain()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		s.rootCancel()
+		<-done
+		err = ctx.Err()
+	}
+	s.rootCancel()
+	s.emit(obs.Event{Type: obs.EvServeShutdown, N: n})
+	return err
+}
+
+// Stats is the /metrics gauge block (counters live in Config.Counters).
+type Stats struct {
+	Requests     int64 `json:"requests"`
+	CacheEntries int   `json:"cache_entries"`
+	Inflight     int64 `json:"inflight"`
+	InflightPeak int64 `json:"inflight_peak"`
+	Draining     bool  `json:"draining"`
+}
+
+// Stats snapshots the server gauges.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	entries := s.cache.Len()
+	draining := s.draining
+	s.mu.Unlock()
+	return Stats{
+		Requests:     s.requestsSeen.Load(),
+		CacheEntries: entries,
+		Inflight:     s.engineNow.Load(),
+		InflightPeak: s.enginePeak.Load(),
+		Draining:     draining,
+	}
+}
+
+// dupsFor reports how many followers are collapsed into the in-flight run
+// for key (testing hook for the singleflight path).
+func (s *Server) dupsFor(key string) int {
+	s.mu.Lock()
+	c := s.inflight[key]
+	s.mu.Unlock()
+	if c == nil {
+		return 0
+	}
+	return int(c.dups.Load())
+}
+
+// Handler returns the HTTP surface: POST /infer, GET /healthz, GET
+// /metrics.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/infer", s.handleInfer)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}
+
+func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req Request
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	p, err := ParseRequest(req)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	resp, err := s.Infer(p)
+	switch {
+	case errors.Is(err, ErrDraining):
+		writeErr(w, http.StatusServiceUnavailable, err.Error())
+	case err != nil:
+		writeErr(w, http.StatusInternalServerError, err.Error())
+	default:
+		writeJSON(w, http.StatusOK, resp)
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	st := s.Stats()
+	status := "ok"
+	if st.Draining {
+		status = "draining"
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"status": status})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	out := map[string]any{"gauges": s.Stats()}
+	if s.cfg.Counters != nil {
+		out["counters"] = s.cfg.Counters.Snapshot()
+	}
+	writeJSON(w, http.StatusOK, out)
+}
