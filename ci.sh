@@ -91,7 +91,7 @@ done
 
 # And for the serving layer's counter vocabulary: every serve.* counter
 # the server bumps must appear in the schema docs.
-for token in serve.requests serve.cache_hits serve.cache_misses serve.dedups serve.shutdowns; do
+for token in serve.requests serve.cache_hits serve.cache_misses serve.dedups serve.warm serve.shutdowns; do
     if ! grep -q -- "$token" docs/OBSERVABILITY.md; then
         echo "docs/OBSERVABILITY.md: serve counter \"$token\" (from internal/serve) is undocumented" >&2
         exit 1
@@ -105,11 +105,13 @@ go test -count=1 ./...
 stage race
 
 # The full suite again under the race detector. The chase worker-pool
-# tests (TestIntraDependencyPartitioning, TestParallelWorkers), the
-# parallel counter-model search tests (TestParallelDeterministicWitness,
+# tests (TestIntraDependencyPartitioning, TestParallelWorkers, the
+# Workers=4 arms of TestWarmVsColdIdentical), the parallel counter-model
+# search tests (TestParallelDeterministicWitness,
 # TestParallelDeterministicCounterexample), and the serving layer's
-# singleflight/drain tests all run real concurrency, so this sweep covers
-# every concurrent path in the repo.
+# singleflight/drain/state-flight tests all run real concurrency, so this
+# sweep covers every concurrent path in the repo, including the parallel
+# chase round pool and the warm-start state cache.
 go test -race -count=1 ./...
 
 stage smoke
@@ -132,6 +134,23 @@ grep -q '"type":"cancelled","src":"chase".*"resource":"deadline"' "$smoke/gap.js
 }
 grep -q '"type":"verdict","src":"core","verdict":"unknown"' "$smoke/gap.jsonl" || {
     echo "ci: gap smoke: trace does not close with an unknown core verdict" >&2
+    exit 1
+}
+
+# Parallel determinism smoke: the chase event stream is a pure function
+# of the problem — byte-identical for every -workers value. The raw trace
+# interleaves the implication arm with the racing counter-model arm
+# (whose cancellation point is scheduling-dependent), so the comparison
+# filters to the chase layer's own events.
+"$smoke/tdinfer" -preset chain:1 -rounds 64 -tuples 200000 \
+    -workers 1 -trace "$smoke/chain_w1.jsonl" >/dev/null
+"$smoke/tdinfer" -preset chain:1 -rounds 64 -tuples 200000 \
+    -workers 4 -trace "$smoke/chain_w4.jsonl" >/dev/null
+grep '"src":"chase"' "$smoke/chain_w1.jsonl" >"$smoke/chase_w1.jsonl"
+grep '"src":"chase"' "$smoke/chain_w4.jsonl" >"$smoke/chase_w4.jsonl"
+cmp -s "$smoke/chase_w1.jsonl" "$smoke/chase_w4.jsonl" || {
+    echo "ci: parallel smoke: chase traces differ between -workers 1 and -workers 4:" >&2
+    diff "$smoke/chase_w1.jsonl" "$smoke/chase_w4.jsonl" | head -20 >&2
     exit 1
 }
 
@@ -190,8 +209,10 @@ stage bench
 "$smoke/tdbench" -checksearch "$smoke/BENCH_search.json"
 
 # The committed chase benchmark snapshot must stay structurally valid:
-# parses, every workload present, and the index/scan join arms of each
-# chase workload agree on the verdict.
+# parses, every workload present, the index/scan/parallel arms of each
+# chase workload agree on the verdict, warm-repeat columns present with
+# matching verdicts, and at least one workload shows the >=2x warm-start
+# latency drop.
 "$smoke/tdbench" -checkbench BENCH_chase.json
 
 stage ""

@@ -42,14 +42,30 @@ type benchResult struct {
 	// the workload (-metrics; chase workloads only). The timed loop always
 	// runs sink-free, so counters never perturb ns_per_op.
 	Counters map[string]int64 `json:"counters,omitempty"`
+	// Workers is the chase Workers option of the arm (chase workloads only).
+	// The /parallel arm records runtime.GOMAXPROCS(0) at generation time; on
+	// a single-CPU host that is 1 and the arm measures the serial path.
+	Workers int `json:"workers,omitempty"`
+	// WarmNsPerOp and WarmVerdict measure a warm-start repeat of the same
+	// workload: one cold run captures a chase-state snapshot, then the timed
+	// loop re-runs Implies seeded with that snapshot (fresh governor per
+	// iteration, like the cold loop). The replay skips straight to the goal
+	// probe, so warm_ns_per_op is the incremental-path latency the serve
+	// layer gets on a state-cache hit.
+	WarmNsPerOp float64 `json:"warm_ns_per_op,omitempty"`
+	WarmVerdict string  `json:"warm_verdict,omitempty"`
 }
 
 type benchReport struct {
-	Generated string        `json:"generated"`
-	GoVersion string        `json:"go_version"`
-	GOOS      string        `json:"goos"`
-	GOARCH    string        `json:"goarch"`
-	Results   []benchResult `json:"results"`
+	Generated string `json:"generated"`
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	// Maxprocs records runtime.GOMAXPROCS(0) on the generating host: the
+	// workers sweep below is 1 vs this value, so a report from a 1-CPU box
+	// documents that its /parallel arm could not exercise real parallelism.
+	Maxprocs int           `json:"gomaxprocs"`
+	Results  []benchResult `json:"results"`
 }
 
 func writeBenchJSON(path string, metrics bool) {
@@ -66,9 +82,13 @@ func writeBenchJSON(path string, metrics bool) {
 		GoVersion: runtime.Version(),
 		GOOS:      runtime.GOOS,
 		GOARCH:    runtime.GOARCH,
+		Maxprocs:  runtime.GOMAXPROCS(0),
 	}
 
-	record := func(name string, tuples int, verdict string, counters map[string]int64, fn func(b *testing.B)) {
+	// record returns a pointer to the appended result so chase workloads can
+	// annotate it (workers, warm columns) before the next record call — the
+	// pointer is invalidated by the following append.
+	record := func(name string, tuples int, verdict string, counters map[string]int64, fn func(b *testing.B)) *benchResult {
 		r := testing.Benchmark(fn)
 		br := benchResult{
 			Name:        name,
@@ -82,7 +102,8 @@ func writeBenchJSON(path string, metrics bool) {
 			br.TuplesPerSec = float64(tuples) * 1e9 / br.NsPerOp
 		}
 		rep.Results = append(rep.Results, br)
-		fmt.Printf("%-28s %14.0f ns/op %8d allocs/op\n", name, br.NsPerOp, br.AllocsPerOp)
+		fmt.Printf("%-34s %14.0f ns/op %8d allocs/op\n", name, br.NsPerOp, br.AllocsPerOp)
+		return &rep.Results[len(rep.Results)-1]
 	}
 
 	// chaseCounters runs the workload once with a counter sink and returns
@@ -148,7 +169,12 @@ func writeBenchJSON(path string, metrics bool) {
 		})
 	}
 
-	// Chase implication on the reduction output, both join strategies.
+	// Chase implication on the reduction output: both join strategies at one
+	// worker, plus a /parallel arm (JoinIndex at GOMAXPROCS workers) and a
+	// warm-start repeat column on the index-join arms. Every iteration gets
+	// a FRESH governor: budget meters accumulate across runs, so a shared
+	// governor exhausts after the first few iterations and the loop would
+	// measure setup-cost no-ops, not chases.
 	for _, tc := range []struct {
 		name string
 		p    *words.Presentation
@@ -158,19 +184,70 @@ func writeBenchJSON(path string, metrics bool) {
 		{"chain3", words.ChainPresentation(3)},
 	} {
 		in := reduction.MustBuild(tc.p)
-		for _, join := range []chase.JoinStrategy{chase.JoinIndex, chase.JoinScan} {
-			opt := chase.Options{Governor: budget.New(nil, budget.Limits{Rounds: 32, Tuples: 200000}), SemiNaive: true, Join: join}
-			res, err := chase.Implies(in.D, in.D0, opt)
+		arms := []struct {
+			arm     string
+			join    chase.JoinStrategy
+			workers int
+			warm    bool
+		}{
+			{chase.JoinIndex.String(), chase.JoinIndex, 1, true},
+			{chase.JoinScan.String(), chase.JoinScan, 1, false},
+			{"parallel", chase.JoinIndex, runtime.GOMAXPROCS(0), true},
+		}
+		for _, a := range arms {
+			a := a
+			mkOpt := func() chase.Options {
+				return chase.Options{
+					Governor:  budget.New(nil, budget.Limits{Rounds: 32, Tuples: 200000}),
+					SemiNaive: true, Join: a.join, Workers: a.workers,
+				}
+			}
+			res, err := chase.Implies(in.D, in.D0, mkOpt())
 			check(err)
 			tuples := res.Instance.Len()
-			record(fmt.Sprintf("chase/implies_%s/%s", tc.name, join), tuples, res.Verdict.String(), chaseCounters(in.D, in.D0, opt), func(b *testing.B) {
-				b.ReportAllocs()
+			br := record(fmt.Sprintf("chase/implies_%s/%s", tc.name, a.arm), tuples,
+				res.Verdict.String(), chaseCounters(in.D, in.D0, mkOpt()), func(b *testing.B) {
+					b.ReportAllocs()
+					for i := 0; i < b.N; i++ {
+						if _, err := chase.Implies(in.D, in.D0, mkOpt()); err != nil {
+							b.Fatal(err)
+						}
+					}
+				})
+			br.Workers = a.workers
+			if !a.warm {
+				continue
+			}
+			capOpt := mkOpt()
+			capOpt.CaptureState = true
+			prod, err := chase.Implies(in.D, in.D0, capOpt)
+			check(err)
+			if prod.State == nil {
+				fmt.Fprintf(os.Stderr, "tdbench: %s: no chase state captured\n", br.Name)
+				os.Exit(1)
+			}
+			warmOpt := func() chase.Options {
+				o := mkOpt()
+				o.WarmState = prod.State
+				return o
+			}
+			wres, err := chase.Implies(in.D, in.D0, warmOpt())
+			check(err)
+			if !wres.WarmStarted || wres.Verdict != res.Verdict {
+				fmt.Fprintf(os.Stderr, "tdbench: %s: warm repeat diverged (warm-started %v, verdict %s vs %s)\n",
+					br.Name, wres.WarmStarted, wres.Verdict, res.Verdict)
+				os.Exit(1)
+			}
+			w := testing.Benchmark(func(b *testing.B) {
 				for i := 0; i < b.N; i++ {
-					if _, err := chase.Implies(in.D, in.D0, opt); err != nil {
+					if _, err := chase.Implies(in.D, in.D0, warmOpt()); err != nil {
 						b.Fatal(err)
 					}
 				}
 			})
+			br.WarmNsPerOp = float64(w.T.Nanoseconds()) / float64(w.N)
+			br.WarmVerdict = wres.Verdict.String()
+			fmt.Printf("%-34s %14.0f ns/op (warm repeat)\n", br.Name, br.WarmNsPerOp)
 		}
 	}
 
@@ -217,12 +294,23 @@ var benchExpectedChase = []string{
 	"chase/decide_full",
 }
 
+// benchExpectedSweep lists the chase workloads that additionally carry the
+// workers sweep (a /parallel arm at GOMAXPROCS workers) and warm-start
+// repeat columns on their index-join arms.
+var benchExpectedSweep = []string{
+	"chase/implies_chain1", "chase/implies_chain2", "chase/implies_chain3",
+}
+
 // checkBenchJSON validates a BENCH_chase.json structurally, mirroring
 // -checksearch: the report must parse, every expected workload must be
-// present (chase workloads under BOTH join strategies), measurements must
-// be positive, and the index and scan arms of each chase workload must
-// report the same verdict — the soundness requirement of the join
-// ablation.
+// present (chase workloads under BOTH join strategies, implication
+// workloads also under the /parallel arm), measurements must be positive,
+// and all arms of each chase workload must report the same verdict — the
+// soundness requirement of the join ablation and of the parallel round
+// decomposition. Warm columns must be present on the implication index
+// arms, agree with the cold verdict, and at least one workload must show
+// the warm repeat at less than half the cold latency — the point of
+// keeping chase states at all.
 func checkBenchJSON(path string) {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -263,6 +351,34 @@ func checkBenchJSON(path string) {
 			fail("workload %s: join strategies disagree (index=%s scan=%s)", base, idx.Verdict, scn.Verdict)
 		}
 	}
-	fmt.Printf("%s: %d results, all %d+%d workloads present, join-arm verdicts identical\n",
-		path, len(rep.Results), len(benchExpectedPlain), len(benchExpectedChase))
+	bestWarm := 0.0
+	for _, base := range benchExpectedSweep {
+		idx := byName[base+"/index"]
+		par, ok := byName[base+"/parallel"]
+		if !ok {
+			fail("workload %s: missing /parallel arm", base)
+		}
+		if par.Workers < 1 {
+			fail("workload %s/parallel: workers not recorded", base)
+		}
+		if par.Verdict != idx.Verdict {
+			fail("workload %s: parallel arm flips the verdict (parallel=%s index=%s)", base, par.Verdict, idx.Verdict)
+		}
+		for _, arm := range []benchResult{idx, par} {
+			if arm.WarmNsPerOp <= 0 {
+				fail("workload %s: missing warm repeat column", arm.Name)
+			}
+			if arm.WarmVerdict != arm.Verdict {
+				fail("workload %s: warm repeat flips the verdict (warm=%s cold=%s)", arm.Name, arm.WarmVerdict, arm.Verdict)
+			}
+			if r := arm.NsPerOp / arm.WarmNsPerOp; r > bestWarm {
+				bestWarm = r
+			}
+		}
+	}
+	if bestWarm < 2 {
+		fail("no workload shows a >=2x warm-start speedup (best %.2fx)", bestWarm)
+	}
+	fmt.Printf("%s: %d results, all %d+%d workloads present, arm verdicts identical, best warm speedup %.0fx\n",
+		path, len(rep.Results), len(benchExpectedPlain), len(benchExpectedChase), bestWarm)
 }

@@ -14,9 +14,11 @@
 //
 // Each request is canonicalized up to symbol renaming and equation order
 // before lookup, so renamed repeats of a problem share one cache line and
-// one engine run. Responses carry a "source" field ("cold", "cache",
-// "dedup") and the request trace ID, which stamps every JSONL event the
-// request caused.
+// one engine run. TD requests additionally share chase computations: goals
+// over the same dependency set and antecedent tableau warm-start from a
+// cached chase state instead of chasing from round 1. Responses carry a
+// "source" field ("cold", "warm", "cache", "dedup") and the request trace
+// ID, which stamps every JSONL event the request caused.
 //
 // SIGINT/SIGTERM drains gracefully: new requests get 503, in-flight runs
 // finish (or are cancelled at their next governor checkpoint once
@@ -34,6 +36,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
@@ -49,6 +52,8 @@ func main() {
 		maxInflight  = flag.Int("max-inflight", 0, "max concurrent engine runs (0 = unlimited)")
 		reqTimeout   = flag.Duration("request-timeout", 10*time.Second, "wall-clock budget per cold request (0 = meters only)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight runs before cancelling them")
+		workers      = flag.Int("workers", runtime.GOMAXPROCS(0), "engine worker goroutines per cold run (results are identical for every value; 1 = serial)")
+		stateCache   = flag.Int("state-cache", 0, "chase-state cache entries (0 = default 64, negative disables warm starts)")
 		rounds       = flag.Int("rounds", 0, "per-request chase round budget (0 = engine default)")
 		tuples       = flag.Int("tuples", 0, "per-request chase tuple budget (0 = engine default)")
 		nodes        = flag.Int("nodes", 0, "per-request search node budget (0 = engine default)")
@@ -63,6 +68,8 @@ func main() {
 		RequestTimeout: *reqTimeout,
 		MaxInflight:    *maxInflight,
 		CacheSize:      *cacheSize,
+		StateCacheSize: *stateCache,
+		Workers:        *workers,
 		Counters:       counters,
 	}
 	var flushTrace func()
@@ -123,8 +130,10 @@ func main() {
 	if flushTrace != nil {
 		flushTrace()
 	}
-	fmt.Printf("tdserve: drained. requests=%d cold=%d cache_hits=%d dedups=%d\n",
-		counters.Get("serve.requests"), counters.Get("serve.cache_misses"),
+	fmt.Printf("tdserve: drained. requests=%d cold=%d warm=%d cache_hits=%d dedups=%d\n",
+		counters.Get("serve.requests"),
+		counters.Get("serve.cache_misses")-counters.Get("serve.warm"),
+		counters.Get("serve.warm"),
 		counters.Get("serve.cache_hits"), counters.Get("serve.dedups"))
 }
 

@@ -30,8 +30,11 @@ import (
 	"context"
 	"fmt"
 	"runtime/pprof"
+	"sort"
 	"strconv"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"templatedep/internal/budget"
 	"templatedep/internal/obs"
@@ -123,6 +126,22 @@ type Options struct {
 	// chase phase. Off by default: label swaps cost a few allocations per
 	// round.
 	ProfileLabels bool
+	// WarmState, when non-nil, warm-starts the run from a snapshot captured
+	// by an earlier run over the same dependency set and start instance
+	// (see State). Verdicts, Stats, and tuple identity match a cold run
+	// exactly; only wall-clock changes. Incompatible or ineligible states
+	// (config mismatch, different start, budget-class rule, or an engine
+	// configuration outside stateEligible) silently fall back to a cold
+	// run. Warm starts take effect through Engine.Implies — a plain Chase
+	// has no prefix-goal predicate to replay with — and Result.WarmStarted
+	// reports whether the snapshot was actually used.
+	WarmState *State
+	// CaptureState asks the run to snapshot its last completed round into
+	// Result.State for reuse via WarmState. Ignored (Result.State stays
+	// nil) for configurations outside stateEligible and for runs that never
+	// complete a round. Capture costs one prefix clone of the final
+	// instance, paid once at the end of the run.
+	CaptureState bool
 }
 
 // RoundStats snapshots one fair round for growth analysis.
@@ -235,6 +254,13 @@ type Result struct {
 	Trace []Fired
 	// History is non-nil when Options.KeepHistory was set.
 	History []RoundStats
+	// State is the run's reusable snapshot when Options.CaptureState was
+	// set and the configuration was eligible; nil otherwise. A warm-started
+	// run that learned nothing new returns the snapshot it consumed.
+	State *State
+	// WarmStarted reports that the run reused Options.WarmState instead of
+	// chasing from round 1.
+	WarmStarted bool
 }
 
 // Engine runs chases of a fixed dependency set over one schema.
@@ -298,13 +324,31 @@ type collectTask struct {
 	deltaRow int
 	lo, hi   int
 	homs     homBuffer
+	// ns is the measured enumeration time of this task, folded into the
+	// engine's cost table after the round. It steers next round's CLAIM
+	// order only (heaviest first, so the dominant join starts immediately
+	// instead of behind a queue of cheap tasks); the merge always consumes
+	// results in task order, so timing never reaches the trace.
+	ns int64
 }
 
 // Chase closes start under the engine's dependencies (start is cloned).
 // The goal callback, if non-nil, is evaluated after the initial state and
 // after every round; when it returns true the chase stops early with
 // Verdict Implied.
+//
+// Chase has no prefix-goal predicate, so Options.WarmState is ignored here;
+// warm starts flow through Engine.Implies. Options.CaptureState works from
+// either entry point.
 func (e *Engine) Chase(start *relation.Instance, goal func(*relation.Instance) bool) Result {
+	return e.chase(start, goal, nil)
+}
+
+// chase is the engine core behind Chase and Implies. pgoal, when non-nil,
+// evaluates the goal against the instance prefix of the given length — the
+// capability warm-start replay needs to re-answer "was the goal witnessed
+// after round i" from a snapshot without materializing each prefix.
+func (e *Engine) chase(start *relation.Instance, goal func(*relation.Instance) bool, pgoal func(*relation.Instance, int) bool) Result {
 	inst := start.Clone()
 	res := Result{Instance: inst}
 	sink := e.opt.Sink
@@ -314,13 +358,14 @@ func (e *Engine) Chase(start *relation.Instance, goal func(*relation.Instance) b
 	// path never touches the governor.
 	g := budget.Resolve(e.opt.Governor, DefaultLimits)
 	tupleCap := g.Limit(budget.Tuples)
+	roundsCap := g.Limit(budget.Rounds)
 	// All emissions happen on this goroutine, in the sequential sections
 	// of the round, so the stream is deterministic for every Workers
 	// value.
 	emitVerdict := func() {
 		if sink != nil {
 			sink.Event(obs.Event{Type: obs.EvVerdict, Src: "chase",
-				Verdict: res.Verdict.String(), Round: res.Stats.Rounds, Tuples: inst.Len()})
+				Verdict: res.Verdict.String(), Round: res.Stats.Rounds, Tuples: res.Instance.Len()})
 		}
 	}
 	// emitStop reports a budget stop (exhaustion or cancellation) just
@@ -342,12 +387,6 @@ func (e *Engine) Chase(start *relation.Instance, goal func(*relation.Instance) b
 	if e.opt.ProfileLabels {
 		defer pprof.SetGoroutineLabels(context.Background())
 	}
-	if goal != nil && goal(inst) {
-		res.Verdict = Implied
-		res.FixpointReached = false
-		emitVerdict()
-		return res
-	}
 
 	// For the oblivious variant: triggers already fired, keyed by
 	// dependency index and the antecedent-variable bindings.
@@ -357,12 +396,187 @@ func (e *Engine) Chase(start *relation.Instance, goal func(*relation.Instance) b
 	// Delta tracking for semi-naive evaluation.
 	prevLen := 0 // tuples with index < prevLen existed before last round
 	lastLen := inst.Len()
+	startRound := 1
+
+	capturing := e.opt.CaptureState && e.stateEligible()
+	var capBounds []int
+	var capCum []Stats
+
+	// Warm-start path: replay a compatible snapshot's round boundaries
+	// against this run's goal and budget, then answer directly or resume the
+	// round loop where the snapshot left off. The replay mirrors the cold
+	// run decision-for-decision — including governor accounting — so
+	// verdicts, Stats, and tuple identity are exactly the cold run's.
+	// Anything that would force a divergence (incompatible snapshot,
+	// ineligible configuration, budget-class rule, a tuple cap that would
+	// have cut the producing run mid-round) falls back to a cold run
+	// instead.
+	warm := e.opt.WarmState
+	if warm != nil && !(pgoal != nil && e.stateEligible() &&
+		warm.compatibleWith(e, start) &&
+		warm.ReusableUnder(budget.Limits{Rounds: roundsCap, Tuples: tupleCap})) {
+		warm = nil
+	}
+	if warm != nil {
+		k := warm.Rounds()
+		// emitWarm reports the skipped prefix as one event carrying its
+		// cumulative totals, so a warm trace still replays to the same
+		// Stats the run reports (TestTraceReplayMatchesStats invariant).
+		emitWarm := func(rounds int, st Stats, tuples int) {
+			res.WarmStarted = true
+			if sink != nil {
+				sink.Event(obs.Event{Type: obs.EvChaseWarmStart, Src: "chase",
+					Round: rounds, Tuples: tuples, Matched: st.TriggersMatched,
+					N: st.TriggersFired, Added: st.TuplesAdded,
+					Homs: st.HomomorphismsSeen, Nulls: st.NullsCreated})
+			}
+		}
+		// finishReplay pins the result to boundary i — exactly the state a
+		// cold run holds after completing round i.
+		finishReplay := func(i int) {
+			res.Stats = warm.cum[i]
+			res.Instance = warm.inst.ClonePrefix(warm.bounds[i])
+			g.Add(budget.Rounds, i)
+			g.Add(budget.Tuples, warm.cum[i].TuplesAdded)
+			if capturing {
+				res.State = warm
+			}
+		}
+		bail := false
+		for i := 0; i <= k; i++ {
+			if i > 0 {
+				if roundsCap > 0 && i > roundsCap {
+					// The cold run's round-i charge would have been refused:
+					// report its Unknown at boundary i-1, with the refused
+					// charge settled the way Charge would have.
+					finishReplay(i - 1)
+					emitWarm(i-1, warm.cum[i-1], warm.bounds[i-1])
+					g.Add(budget.Rounds, 1)
+					res.Verdict = Unknown
+					res.Budget = budget.Exhausted(budget.Rounds)
+					emitStop()
+					emitVerdict()
+					return res
+				}
+				if tupleCap > 0 && warm.bounds[i] >= tupleCap {
+					// This tuple cap would have stopped the cold run
+					// mid-round — a state a boundary snapshot cannot
+					// reproduce. Run cold.
+					bail = true
+					break
+				}
+			}
+			if pgoal(warm.inst, warm.bounds[i]) {
+				finishReplay(i)
+				res.Verdict = Implied
+				res.Stats.Rounds = i
+				emitWarm(i, warm.cum[i], warm.bounds[i])
+				emitVerdict()
+				return res
+			}
+		}
+		switch {
+		case bail:
+			warm = nil
+		case warm.complete:
+			// The snapshot's chase reached a fixpoint without the goal:
+			// replay the final (empty) fixpoint round too.
+			if roundsCap > 0 && k+1 > roundsCap {
+				finishReplay(k)
+				emitWarm(k, warm.cum[k], warm.bounds[k])
+				g.Add(budget.Rounds, 1)
+				res.Verdict = Unknown
+				res.Budget = budget.Exhausted(budget.Rounds)
+				emitStop()
+				emitVerdict()
+				return res
+			}
+			res.Stats = warm.final
+			res.Instance = warm.inst.Clone()
+			res.FixpointReached = true
+			res.Verdict = NotImplied
+			g.Add(budget.Rounds, k+1)
+			g.Add(budget.Tuples, warm.final.TuplesAdded)
+			if capturing {
+				res.State = warm
+			}
+			emitWarm(k+1, warm.final, warm.bounds[k])
+			emitVerdict()
+			return res
+		default:
+			// Paused snapshot, goal not yet witnessed: restore the loop
+			// state the producing run held at its last clean boundary and
+			// continue chasing from the next round.
+			inst = warm.inst.Clone()
+			res.Instance = inst
+			prevLen = warm.bounds[k-1]
+			lastLen = warm.bounds[k]
+			res.Stats = warm.cum[k]
+			startRound = k + 1
+			g.Add(budget.Rounds, k)
+			g.Add(budget.Tuples, warm.cum[k].TuplesAdded)
+			emitWarm(k, warm.cum[k], warm.bounds[k])
+			if capturing {
+				capBounds = append([]int(nil), warm.bounds...)
+				capCum = append([]Stats(nil), warm.cum...)
+			}
+		}
+	}
+	if capturing && capBounds == nil {
+		capBounds = []int{inst.Len()}
+		capCum = []Stats{{}}
+	}
+	// captureAt snapshots the last completed round boundary into
+	// Result.State. ClonePrefix (never a plain Clone) renormalizes the
+	// fresh-value counters a cancelled merge phase may have advanced past
+	// the boundary, so a resumed run numbers its nulls exactly as a cold one
+	// would.
+	captureAt := func(complete bool) {
+		if !capturing {
+			return
+		}
+		k := len(capBounds) - 1
+		if k == 0 && !complete {
+			return
+		}
+		st := &State{
+			inst:        inst.ClonePrefix(capBounds[k]),
+			bounds:      capBounds,
+			cum:         capCum,
+			complete:    complete,
+			stopped:     res.Budget.Code == budget.CodeExhausted,
+			classRounds: roundsCap,
+			classTuples: tupleCap,
+			cfg:         e.stateCfg(),
+		}
+		if complete {
+			st.final = res.Stats
+		}
+		res.State = st
+	}
+
+	if startRound == 1 && goal != nil && goal(inst) {
+		res.Verdict = Implied
+		res.FixpointReached = false
+		emitVerdict()
+		return res
+	}
 
 	// Per-dependency scratch assignments for replaying buffered
 	// homomorphisms, reused across rounds.
 	scratch := make([]tableau.Assignment, len(e.deps))
+	shardFallbackNoted := false
+	// taskCost remembers the measured enumeration time of each (dependency,
+	// delta position) from the previous round. Chain-style workloads
+	// concentrate a round's cost in one deep backtracking join; claiming
+	// heaviest-first keeps that task off the queue's tail so the round's
+	// wall clock approaches max(heaviest, total/Workers). The schedule is
+	// timing-driven and therefore nondeterministic, but it only reorders
+	// CLAIMS — the merge consumes results in task order, so verdicts,
+	// Stats, and traces are unaffected.
+	var taskCost map[[2]int]int64
 
-	for round := 1; ; round++ {
+	for round := startRound; ; round++ {
 		// One governor checkpoint per fair round: the charge refuses the
 		// round when the rounds meter is spent or the context is done, so a
 		// cancelled run stops within one round and Stats still counts only
@@ -370,6 +584,7 @@ func (e *Engine) Chase(start *relation.Instance, goal func(*relation.Instance) b
 		if o := g.Charge(budget.Rounds, 1); o.Stopped() {
 			res.Verdict = Unknown
 			res.Budget = o
+			captureAt(false)
 			emitStop()
 			emitVerdict()
 			return res
@@ -412,10 +627,24 @@ func (e *Engine) Chase(start *relation.Instance, goal func(*relation.Instance) b
 			// row j; with the index join that row is pinned outermost, so
 			// shard concatenation equals the unsharded enumeration.
 			shards := 1
-			if e.opt.Workers > 1 && e.opt.Join == JoinIndex && deltaLen > 1 {
-				shards = e.opt.Workers
-				if shards > deltaLen {
-					shards = deltaLen
+			if e.opt.Workers > 1 && deltaLen > 1 {
+				if e.opt.Join == JoinIndex {
+					shards = e.opt.Workers
+					if shards > deltaLen {
+						shards = deltaLen
+					}
+				} else if !shardFallbackNoted {
+					// The scan join cannot pin the delta row to the outermost
+					// backtracking level, so intra-dependency sharding is
+					// index-join only: record the serial fallback once per
+					// run. Dependency-level parallelism still applies. This
+					// is the one chase event whose presence depends on the
+					// Workers option.
+					shardFallbackNoted = true
+					if sink != nil {
+						sink.Event(obs.Event{Type: obs.EvShardFallback, Src: "chase",
+							Round: round, N: e.opt.Workers})
+					}
 				}
 			}
 			if deltaLen == 0 {
@@ -479,22 +708,55 @@ func (e *Engine) Chase(start *relation.Instance, goal func(*relation.Instance) b
 			d.Tableau().EachRangeHomomorphism(inst, ranges, t.deltaRow, nil, emit)
 		}
 		if e.opt.Workers > 1 && len(tasks) > 1 {
+			// Workers claim tasks off a shared atomic cursor (the psearch
+			// work-pool idiom): no channel hop per task, no dispatcher
+			// goroutine, workers capped at the task count. Claim order does
+			// not affect the output — the merge below consumes results in
+			// task order — so the cursor walks a permutation sorted by last
+			// round's measured cost, heaviest first.
+			order := make([]int, len(tasks))
+			for i := range order {
+				order[i] = i
+			}
+			if len(taskCost) > 0 {
+				cost := func(i int) int64 {
+					return taskCost[[2]int{tasks[i].dep, tasks[i].deltaRow}]
+				}
+				sort.SliceStable(order, func(a, b int) bool {
+					return cost(order[a]) > cost(order[b])
+				})
+			}
+			workers := e.opt.Workers
+			if workers > len(tasks) {
+				workers = len(tasks)
+			}
+			var cursor atomic.Int64
 			var wg sync.WaitGroup
-			next := make(chan int)
-			for w := 0; w < e.opt.Workers; w++ {
+			for w := 0; w < workers; w++ {
 				wg.Add(1)
 				go func() {
 					defer wg.Done()
-					for ti := range next {
-						runTask(&tasks[ti])
+					for {
+						ti := int(cursor.Add(1)) - 1
+						if ti >= len(tasks) {
+							return
+						}
+						t := &tasks[order[ti]]
+						start := time.Now()
+						runTask(t)
+						t.ns = int64(time.Since(start))
 					}
 				}()
 			}
-			for ti := range tasks {
-				next <- ti
-			}
-			close(next)
 			wg.Wait()
+			if taskCost == nil {
+				taskCost = make(map[[2]int]int64, len(tasks))
+			} else {
+				clear(taskCost)
+			}
+			for i := range tasks {
+				taskCost[[2]int{tasks[i].dep, tasks[i].deltaRow}] += tasks[i].ns
+			}
 		} else {
 			for ti := range tasks {
 				runTask(&tasks[ti])
@@ -528,6 +790,7 @@ func (e *Engine) Chase(start *relation.Instance, goal func(*relation.Instance) b
 		stopMidRound := func(o budget.Outcome) Result {
 			res.Verdict = Unknown
 			res.Budget = o
+			captureAt(false)
 			emitRoundTail()
 			emitStop()
 			emitVerdict()
@@ -590,6 +853,7 @@ func (e *Engine) Chase(start *relation.Instance, goal func(*relation.Instance) b
 			} else {
 				res.Verdict = NotImplied
 			}
+			captureAt(true)
 			emitRoundTail()
 			emitVerdict()
 			return res
@@ -652,6 +916,10 @@ func (e *Engine) Chase(start *relation.Instance, goal func(*relation.Instance) b
 		g.Add(budget.Tuples, addedRound)
 		prevLen = lastLen
 		lastLen = inst.Len()
+		if capturing {
+			capBounds = append(capBounds, lastLen)
+			capCum = append(capCum, res.Stats)
+		}
 		if e.opt.KeepHistory {
 			res.History = append(res.History, RoundStats{
 				Round:         round,
@@ -663,6 +931,7 @@ func (e *Engine) Chase(start *relation.Instance, goal func(*relation.Instance) b
 		}
 		if goal != nil && goal(inst) {
 			res.Verdict = Implied
+			captureAt(false)
 			emitVerdict()
 			return res
 		}
@@ -716,8 +985,12 @@ func (e *Engine) Implies(d0 *td.TD) (Result, error) {
 	goal := func(inst *relation.Instance) bool {
 		return tableau.RowSatisfiable(concl, as, inst)
 	}
-	res := e.Chase(frozen, goal)
-	return res, nil
+	// The prefix-goal predicate lets a warm start re-answer "was the
+	// conclusion witnessed after round i" against snapshot boundaries.
+	pgoal := func(inst *relation.Instance, limit int) bool {
+		return tableau.RowSatisfiableWithin(concl, as, inst, limit)
+	}
+	return e.chase(frozen, goal, pgoal), nil
 }
 
 // Implies is a convenience one-shot wrapper around Engine.Implies.

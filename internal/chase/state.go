@@ -1,0 +1,161 @@
+package chase
+
+import (
+	"templatedep/internal/budget"
+	"templatedep/internal/relation"
+)
+
+// Warm-start snapshots. For a fixed dependency set, start instance, and
+// step discipline, the restricted chase is ONE deterministic computation:
+// the goal and the budget only decide how much of it a given run observes.
+// The instance is append-only and every round appends a contiguous range of
+// tuples, so recording the instance together with the per-round length
+// boundaries and cumulative Stats captures every intermediate state of the
+// run at once. A later query over the same prefix replays those boundaries
+// (checking its own goal against each prefix via
+// tableau.RowSatisfiableWithin) and, when the snapshot is not complete,
+// resumes the round loop exactly where the producing run left off — with
+// identical verdicts, Stats, and tuple identity to a cold run, because the
+// restored loop state (instance, delta frontier, fresh-value counters,
+// cumulative meters) is byte-for-byte what the cold run would have held.
+//
+// Snapshots only ever describe CLEAN round boundaries: a run cut mid-round
+// (tuple-cap or cancellation during materialization) truncates its snapshot
+// to the last completed round, discarding the partial round — resuming then
+// re-derives that round from the delta, which is exactly the cold
+// computation. relation.Instance.ClonePrefix rebuilds the truncated
+// instance from its rows, which also renormalizes the fresh-value counters
+// a cancelled merge phase may have advanced past the boundary.
+
+// stateCfg fingerprints the options that determine the chase computation a
+// snapshot describes. Workers is deliberately absent: results are
+// bit-identical for every worker count. Variant is absent because snapshots
+// are restricted-chase only (stateEligible).
+type stateCfg struct {
+	semiNaive bool
+	join      JoinStrategy
+}
+
+func (e *Engine) stateCfg() stateCfg {
+	return stateCfg{semiNaive: e.opt.SemiNaive, join: e.opt.Join}
+}
+
+// stateEligible reports whether this engine configuration can produce or
+// consume warm-start snapshots. The oblivious variant would need its fired
+// set restored; Trace, KeepHistory, and PerDepStats demand per-step or
+// per-dependency detail a boundary snapshot does not retain. All of them
+// fall back to a cold run rather than approximate.
+func (e *Engine) stateEligible() bool {
+	return e.opt.Variant == Restricted && !e.opt.Trace && !e.opt.KeepHistory && !e.opt.PerDepStats
+}
+
+// State is a reusable snapshot of a chase computation, produced under
+// Options.CaptureState (Result.State) and consumed via Options.WarmState.
+// It is immutable once captured and safe to share across goroutines — a
+// consuming run clones what it needs.
+type State struct {
+	// inst is the instance after the last completed round, rebuilt as a
+	// normalized prefix clone (ClonePrefix) so its fresh-value counters
+	// match a cold run paused at that boundary.
+	inst *relation.Instance
+	// bounds[i] is the instance size after round i; bounds[0] is the start
+	// instance size. Every intermediate instance of the producing run is
+	// the prefix inst[:bounds[i]].
+	bounds []int
+	// cum[i] is the cumulative Stats through round i (cum[0] is zero).
+	cum []Stats
+	// final is the producing run's Stats including the empty fixpoint
+	// round; valid only when complete.
+	final Stats
+	// complete marks a snapshot whose chase reached a fixpoint: replay
+	// answers every goal and budget, nothing is left to resume.
+	complete bool
+	// stopped marks a snapshot truncated by meter exhaustion; the budget
+	// class below then gates reuse.
+	stopped bool
+	// classRounds/classTuples are the producing run's meter limits (0 =
+	// unlimited) — its budget class.
+	classRounds, classTuples int
+	cfg                      stateCfg
+}
+
+// Rounds returns the number of completed rounds the snapshot holds.
+func (s *State) Rounds() int { return len(s.bounds) - 1 }
+
+// Tuples returns the instance size at the snapshot's last boundary.
+func (s *State) Tuples() int { return s.bounds[len(s.bounds)-1] }
+
+// Complete reports whether the snapshot's chase reached a fixpoint.
+func (s *State) Complete() bool { return s.complete }
+
+// Stopped reports whether the snapshot was truncated by meter exhaustion.
+func (s *State) Stopped() bool { return s.stopped }
+
+// ReusableUnder implements the budget-class rule for budget-stopped
+// states, mirroring the verdict cache: a state truncated by meter
+// exhaustion may only seed a run whose budget class is strictly larger in
+// at least one dimension — never a smaller-or-equal class. States that
+// completed on their own (fixpoint, goal found, or a mere cancellation)
+// carry no such restriction: their replay is exact under any meters.
+func (s *State) ReusableUnder(l budget.Limits) bool {
+	if !s.stopped {
+		return true
+	}
+	return largerLimit(l.Rounds, s.classRounds) || largerLimit(l.Tuples, s.classTuples)
+}
+
+// largerLimit compares meter limits treating 0 as unlimited.
+func largerLimit(next, prior int) bool {
+	if prior == 0 {
+		return false
+	}
+	if next == 0 {
+		return true
+	}
+	return next > prior
+}
+
+// Extends reports whether s supersedes old in a state cache: a complete
+// snapshot beats any paused one, and among paused snapshots more completed
+// rounds win (larger-budget runs overwrite the states of smaller ones).
+// Snapshots of different computations (config fingerprints) never replace
+// each other.
+func (s *State) Extends(old *State) bool {
+	if old == nil {
+		return true
+	}
+	if s.cfg != old.cfg {
+		return false
+	}
+	if old.complete {
+		return false
+	}
+	if s.complete {
+		return true
+	}
+	return s.Rounds() > old.Rounds()
+}
+
+// compatibleWith reports whether the snapshot describes the computation
+// this engine would run from start: same config fingerprint, same schema,
+// and the same start instance tuple-for-tuple. The prefix comparison makes
+// a state key collision (or caller misuse) degrade to a cold run instead
+// of a wrong answer.
+func (s *State) compatibleWith(e *Engine, start *relation.Instance) bool {
+	if s == nil || s.inst == nil || len(s.bounds) == 0 || len(s.cum) != len(s.bounds) {
+		return false
+	}
+	if !s.complete && len(s.bounds) < 2 {
+		return false
+	}
+	if s.cfg != e.stateCfg() {
+		return false
+	}
+	if !s.inst.Schema().Equal(e.schema) {
+		return false
+	}
+	if s.bounds[0] != start.Len() {
+		return false
+	}
+	return s.inst.EqualPrefix(start, start.Len())
+}

@@ -246,17 +246,27 @@ func InferDeepening(deps []*td.TD, d0 *td.TD, opt DeepeningOptions) (InferenceRe
 	}
 	var last InferenceResult
 	rounds := 0
+	// Each round's chase resumes the previous round's snapshot instead of
+	// re-deriving its prefix: the budget classes strictly grow between
+	// rounds, so even a meter-stopped snapshot passes the budget-class rule
+	// (chase.State.ReusableUnder) for the next round.
+	var carry *chase.State
 	for round := 1; ; round++ {
 		if o := g.Charge(budget.Rounds, 1); o.Stopped() {
 			return last, rounds, nil
 		}
 		rounds = round
 		b.Chase.Governor = g.Child(budget.Limits{Rounds: chaseRounds, Tuples: chaseTuples})
+		b.Chase.CaptureState = true
+		b.Chase.WarmState = carry
 		b.FiniteDB.Governor = g.Child(budget.Limits{Nodes: fdbNodes})
 		b.FiniteDB.Sizes = budget.Range{Lo: 1, Hi: fdbSize}
 		res, err := Infer(deps, d0, b)
 		if err != nil {
 			return InferenceResult{}, round, err
+		}
+		if res.Chase != nil && res.Chase.State != nil {
+			carry = res.Chase.State
 		}
 		last = res
 		b.emit(obs.Event{Type: obs.EvDeepenRound, Round: round, Verdict: res.Verdict.String()})

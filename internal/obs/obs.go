@@ -20,7 +20,9 @@
 //  3. Deterministic where the engine is deterministic: the chase emits
 //     events only from its sequential merge/apply phase, so the event
 //     stream is bit-identical for every Options.Workers value (pinned by
-//     TestEventStreamWorkerIndependent).
+//     TestEventStreamWorkerIndependent). The one exception is
+//     shard_fallback, which exists to diagnose the Workers option itself
+//     and therefore appears only when Workers > 1 meets the scan join.
 //
 // The full event and counter schema — every type, field, and unit — is
 // documented in docs/OBSERVABILITY.md, which CI keeps in sync with the
@@ -56,6 +58,21 @@ const (
 	// (triggers fired), Matched (triggers matched), Homs (antecedent
 	// homomorphisms enumerated).
 	EvRoundEnd EventType = "round_end"
+	// EvChaseWarmStart reports that a chase run reused a prior snapshot
+	// instead of re-deriving its rounds, emitted before any round event of
+	// the run. It carries the cumulative totals of the skipped prefix so a
+	// warm trace still replays to the run's Stats. Fields: Round (completed
+	// rounds skipped), Tuples (instance size at the reused boundary), N
+	// (triggers fired skipped), Matched, Added, Homs, Nulls.
+	EvChaseWarmStart EventType = "chase_warmstart"
+	// EvShardFallback reports that a semi-naive round requested Workers > 1
+	// but had to enumerate each dependency serially because intra-dependency
+	// delta sharding requires the index join (Options.Join == JoinIndex).
+	// Emitted at most once per run, on the first such round, so flat scaling
+	// under the scan ablation is diagnosable from the trace. The one chase
+	// event whose presence depends on the Workers option. Fields: Round, N
+	// (workers requested).
+	EvShardFallback EventType = "shard_fallback"
 	// EvSearchNode reports a batch of committed backtracking nodes in a
 	// finite-model search (Src "search" for the semigroup engine, Src
 	// "finitemodel" for the instance engine). Fields: Order (semigroup
@@ -103,7 +120,8 @@ const (
 	// size; chase only), N (nodes visited; search only).
 	EvVerdict EventType = "verdict"
 	// EvServeRequest closes one inference-service request (Src "serve").
-	// Fields: Req, Key, Source ("cold" for a fresh engine run, "cache" for
+	// Fields: Req, Key, Source ("cold" for a fresh engine run, "warm" for an
+	// engine run that warm-started from the chase-state cache, "cache" for
 	// an LRU verdict-cache answer, "dedup" for a request collapsed into an
 	// identical in-flight run), Verdict.
 	EvServeRequest EventType = "serve_request"
@@ -115,6 +133,11 @@ const (
 	// run instead of starting its own (singleflight), emitted before the
 	// request's serve_request line. Fields: Req, Key.
 	EvServeDedup EventType = "serve_dedup"
+	// EvServeWarm reports that a request's engine run warm-started from the
+	// service's chase-state cache, emitted before the request's
+	// serve_request line. Key is the chase-state key digest, not the
+	// request's verdict-cache key. Fields: Req, Key.
+	EvServeWarm EventType = "serve_warm"
 	// EvServeShutdown reports that the service drained and stopped.
 	// Fields: N (engine runs that were in flight when the drain began —
 	// each completed, and closed its trace, before this line was written).
@@ -147,6 +170,9 @@ type Event struct {
 	Matched int `json:"matched,omitempty"`
 	// Homs counts antecedent homomorphisms enumerated.
 	Homs int `json:"homs,omitempty"`
+	// Nulls counts labeled nulls invented (chase_warmstart only; per-round
+	// null counts ride on nulls_created.n).
+	Nulls int `json:"nulls,omitempty"`
 	// Order is the semigroup order (or instance size) under search.
 	Order int `json:"order,omitempty"`
 	// Depth is the prefix depth of a search split.
@@ -178,8 +204,8 @@ type Event struct {
 	// for requests that are equal up to symbol renaming and equation
 	// order.
 	Key string `json:"key,omitempty"`
-	// Source tells how a serve request was answered: "cold", "cache", or
-	// "dedup".
+	// Source tells how a serve request was answered: "cold", "warm",
+	// "cache", or "dedup".
 	Source string `json:"source,omitempty"`
 }
 

@@ -36,12 +36,24 @@ type Totals struct {
 	SearchSteals int
 	// RulesAdded counts rule_added events.
 	RulesAdded int
+	// WarmStarts counts chase_warmstart events. The skipped-prefix totals
+	// those events carry are folded into the chase aggregates above, so a
+	// warm trace replays to the same Stats a cold run of the same query
+	// reports — but not into PerDepFired, whose per-dependency attribution
+	// a boundary snapshot does not retain.
+	WarmStarts int
+	// ShardFallbacks counts shard_fallback events (semi-naive rounds that
+	// requested Workers > 1 under the scan join and ran serially).
+	ShardFallbacks int
 	// ServeRequests counts serve_request events (one per request the
 	// inference service answered).
 	ServeRequests int
-	// ServeMisses counts serve_request events with source "cold" — the
-	// requests that actually ran an engine.
+	// ServeMisses counts serve_request events with source "cold" or "warm"
+	// — the requests that actually ran an engine.
 	ServeMisses int
+	// ServeWarm counts serve_warm events (engine runs that warm-started
+	// from the chase-state cache).
+	ServeWarm int
 	// ServeCacheHits counts serve_cache_hit events.
 	ServeCacheHits int
 	// ServeDedups counts serve_dedup events (requests collapsed into an
@@ -97,6 +109,18 @@ func Replay(r io.Reader) (Totals, error) {
 		case EvRoundEnd:
 			t.TriggersMatched += e.Matched
 			t.Homomorphisms += e.Homs
+		case EvChaseWarmStart:
+			t.WarmStarts++
+			if e.Round > t.Rounds {
+				t.Rounds = e.Round
+			}
+			t.TriggersMatched += e.Matched
+			t.TriggersFired += e.N
+			t.TuplesAdded += e.Added
+			t.NullsCreated += e.Nulls
+			t.Homomorphisms += e.Homs
+		case EvShardFallback:
+			t.ShardFallbacks++
 		case EvSearchNode:
 			t.SearchNodes += e.N
 		case EvSearchSplit:
@@ -107,13 +131,15 @@ func Replay(r io.Reader) (Totals, error) {
 			t.RulesAdded++
 		case EvServeRequest:
 			t.ServeRequests++
-			if e.Source == "cold" {
+			if e.Source == "cold" || e.Source == "warm" {
 				t.ServeMisses++
 			}
 		case EvServeCacheHit:
 			t.ServeCacheHits++
 		case EvServeDedup:
 			t.ServeDedups++
+		case EvServeWarm:
+			t.ServeWarm++
 		case EvServeShutdown:
 			t.ServeShutdowns++
 		case EvBudgetExhausted:

@@ -75,6 +75,17 @@ func (s *JSONLSink) Event(e Event) {
 		appendInt("n", e.N)
 		appendInt("matched", e.Matched)
 		appendInt("homs", e.Homs)
+	case EvChaseWarmStart:
+		appendInt("round", e.Round)
+		appendInt("tuples", e.Tuples)
+		appendInt("n", e.N)
+		appendInt("matched", e.Matched)
+		appendInt("added", e.Added)
+		appendInt("homs", e.Homs)
+		appendInt("nulls", e.Nulls)
+	case EvShardFallback:
+		appendInt("round", e.Round)
+		appendInt("n", e.N)
 	case EvSearchNode:
 		appendInt("order", e.Order)
 		appendInt("n", e.N)
@@ -112,7 +123,7 @@ func (s *JSONLSink) Event(e Event) {
 		b = appendStr(b, "key", e.Key)
 		b = appendStr(b, "source", e.Source)
 		b = appendStr(b, "verdict", e.Verdict)
-	case EvServeCacheHit, EvServeDedup:
+	case EvServeCacheHit, EvServeDedup, EvServeWarm:
 		b = appendStr(b, "key", e.Key)
 	case EvServeShutdown:
 		appendInt("n", e.N)
@@ -253,6 +264,11 @@ func (s *CounterSink) Event(e Event) {
 	case EvRoundEnd:
 		s.C.Add("chase.triggers_matched", int64(e.Matched))
 		s.C.Add("chase.homomorphisms", int64(e.Homs))
+	case EvChaseWarmStart:
+		s.C.Add("chase.warm_starts", 1)
+		s.C.Add("chase.warm_rounds_skipped", int64(e.Round))
+	case EvShardFallback:
+		s.C.Add("chase.shard_fallbacks", 1)
 	case EvSearchNode:
 		s.C.Add(e.Src+".nodes", int64(e.N))
 	case EvSearchSplit:
@@ -275,15 +291,18 @@ func (s *CounterSink) Event(e Event) {
 		s.C.Add(e.Src+".verdicts", 1)
 	case EvServeRequest:
 		s.C.Add("serve.requests", 1)
-		// A "cold" request is the one that actually ran an engine — the
-		// cache-miss count of the serving layer.
-		if e.Source == "cold" {
+		// A "cold" or "warm" request is one that actually ran an engine —
+		// the cache-miss count of the serving layer (warm runs skipped
+		// chase rounds but still missed the verdict cache).
+		if e.Source == "cold" || e.Source == "warm" {
 			s.C.Add("serve.cache_misses", 1)
 		}
 	case EvServeCacheHit:
 		s.C.Add("serve.cache_hits", 1)
 	case EvServeDedup:
 		s.C.Add("serve.dedups", 1)
+	case EvServeWarm:
+		s.C.Add("serve.warm", 1)
 	case EvServeShutdown:
 		s.C.Add("serve.shutdowns", 1)
 	}

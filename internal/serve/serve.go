@@ -13,7 +13,18 @@
 //     is answered without touching an engine;
 //   - a singleflight table collapsing identical in-flight queries: N
 //     concurrent requests for one problem run ONE chase, and the other
-//     N−1 wait for its verdict.
+//     N−1 wait for its verdict;
+//   - a chase-state cache keyed by the canonical (dependency set, goal
+//     antecedents) prefix (CanonChaseState): the chase is goal-conclusion-
+//     independent, so queries sharing that prefix share one deterministic
+//     chase computation. A td-mode cold run captures its chase state; later
+//     queries over the same prefix warm-start from it (Source "warm") with
+//     verdicts and Stats identical to a cold run, and concurrent queries
+//     over the prefix singleflight on the STATE key too, so a batch of
+//     goals over one dependency set chases its fixpoint once. States
+//     truncated by meter exhaustion are only reused by strictly larger
+//     budget classes (chase.State.ReusableUnder) and are overwritten by the
+//     deeper states larger-budget runs produce (chase.State.Extends).
 //
 // Each cold request runs under a governor derived from the server-wide
 // limits via budget.ForRequest: its context is a child of the server's
@@ -68,6 +79,14 @@ type Config struct {
 	MaxInflight int
 	// CacheSize bounds the verdict cache (entries; 0 = 1024).
 	CacheSize int
+	// StateCacheSize bounds the chase-state cache (entries; 0 = 64;
+	// negative disables state caching). State entries carry chased
+	// instances, so the default is much smaller than the verdict cache's.
+	StateCacheSize int
+	// Workers sets the engines' intra-run parallelism (chase round
+	// sharding, finite-db subtree splitting) for every cold run; 0 keeps
+	// the engines serial. Results are bit-identical for every value.
+	Workers int
 	// Sink receives every event of every request, each stamped with the
 	// request's trace ID.
 	Sink obs.Sink
@@ -78,7 +97,10 @@ type Config struct {
 	Runner Runner
 }
 
-const defaultCacheSize = 1024
+const (
+	defaultCacheSize      = 1024
+	defaultStateCacheSize = 64
+)
 
 // Problem is a parsed, canonicalized request.
 type Problem struct {
@@ -93,6 +115,9 @@ type Problem struct {
 	Key string
 	// Hash is the short digest of Key used on the wire and in events.
 	Hash string
+	// StateKey is the chase-state cache key (CanonChaseState), set for td
+	// problems; queries sharing it share one chase computation.
+	StateKey string
 }
 
 // Request is the JSON body of POST /infer. Exactly one problem form must
@@ -122,6 +147,7 @@ type Response struct {
 	// Mode is "presentation" or "td".
 	Mode string `json:"mode"`
 	// Source says how the verdict was obtained: "cold" (an engine ran),
+	// "warm" (an engine ran, warm-started from the chase-state cache),
 	// "cache" (verdict cache), or "dedup" (collapsed into an identical
 	// in-flight run).
 	Source string `json:"source"`
@@ -148,6 +174,15 @@ type call struct {
 	dups atomic.Int64
 }
 
+// stateCall is one in-flight chase-state computation: the first cold run
+// over a state key becomes its leader; runs for OTHER goals sharing the key
+// wait on done and then warm-start from whatever state the leader
+// published. (Identical goals never get here — the verdict singleflight
+// collapses them first.)
+type stateCall struct {
+	done chan struct{}
+}
+
 // Server answers inference requests. Create with New, serve via Handler,
 // stop via BeginDrain + Shutdown.
 type Server struct {
@@ -157,11 +192,13 @@ type Server struct {
 	rootCancel context.CancelFunc
 	sem        chan struct{}
 
-	mu       sync.Mutex
-	cache    *lru
-	inflight map[string]*call
-	draining bool
-	drainN   int
+	mu          sync.Mutex
+	cache       *lru
+	states      *stateLRU
+	inflight    map[string]*call
+	stateFlight map[string]*stateCall
+	draining    bool
+	drainN      int
 
 	// wg tracks cold engine runs; Shutdown waits on it.
 	wg           sync.WaitGroup
@@ -175,6 +212,9 @@ type Server struct {
 func New(cfg Config) *Server {
 	if cfg.CacheSize <= 0 {
 		cfg.CacheSize = defaultCacheSize
+	}
+	if cfg.StateCacheSize == 0 {
+		cfg.StateCacheSize = defaultStateCacheSize
 	}
 	if cfg.Runner == nil {
 		cfg.Runner = CoreRunner
@@ -194,6 +234,10 @@ func New(cfg Config) *Server {
 		rootCancel: cancel,
 		cache:      newLRU(cfg.CacheSize),
 		inflight:   make(map[string]*call),
+	}
+	if cfg.StateCacheSize > 0 {
+		s.states = newStateLRU(cfg.StateCacheSize)
+		s.stateFlight = make(map[string]*stateCall)
 	}
 	if cfg.MaxInflight > 0 {
 		s.sem = make(chan struct{}, cfg.MaxInflight)
@@ -238,15 +282,25 @@ func pick(cfgv, def int) int {
 // governor rooted at the server context (budget.ForRequest), one child
 // governor per arm carrying the derived limits, and the request-stamping
 // sink threaded through every layer.
+// chaseLimits resolves the per-request chase meter limits — the budget
+// class every td-mode run executes under, which also gates reuse of
+// budget-stopped chase states (chase.State.ReusableUnder).
+func (s *Server) chaseLimits() budget.Limits {
+	l := s.cfg.Limits
+	return budget.Limits{
+		Rounds: pick(l.Rounds, chase.DefaultLimits.Rounds),
+		Tuples: pick(l.Tuples, chase.DefaultLimits.Tuples),
+	}
+}
+
 func (s *Server) budgetFor(sink obs.Sink) (core.Budget, *budget.Governor, context.CancelFunc) {
 	l := s.cfg.Limits
 	g, cancel := budget.ForRequest(s.rootCtx, s.cfg.RequestTimeout, l)
 	b := core.Budget{Governor: g, Sink: sink}
 	b.Chase = chase.DefaultOptions()
-	b.Chase.Governor = g.Child(budget.Limits{
-		Rounds: pick(l.Rounds, chase.DefaultLimits.Rounds),
-		Tuples: pick(l.Tuples, chase.DefaultLimits.Tuples),
-	})
+	b.Chase.Governor = g.Child(s.chaseLimits())
+	b.Chase.Workers = s.cfg.Workers
+	b.FiniteDB.Workers = s.cfg.Workers
 	b.Closure.Governor = g.Child(budget.Limits{
 		Words: pick(l.Words, words.DefaultLimits.Words),
 	})
@@ -281,7 +335,12 @@ func CoreRunner(_ context.Context, p *Problem, b core.Budget) (CachedVerdict, er
 	case core.FiniteCounterexample:
 		winner = "finite-db"
 	}
-	return CachedVerdict{Verdict: res.Verdict, Winner: winner}, nil
+	v := CachedVerdict{Verdict: res.Verdict, Winner: winner}
+	if res.Chase != nil {
+		v.State = res.Chase.State
+		v.Warm = res.Chase.WarmStarted
+	}
+	return v, nil
 }
 
 // ParseRequest validates a wire request and canonicalizes it into a
@@ -342,7 +401,8 @@ func ParseRequest(req Request) (*Problem, error) {
 			return nil, fmt.Errorf("serve: %w", err)
 		}
 		key := CanonInference(deps, goal)
-		return &Problem{Mode: "td", Deps: deps, Goal: goal, Key: key, Hash: keyDigest(key)}, nil
+		return &Problem{Mode: "td", Deps: deps, Goal: goal, Key: key, Hash: keyDigest(key),
+			StateKey: CanonChaseState(deps, goal)}, nil
 	}
 }
 
@@ -417,11 +477,76 @@ func (s *Server) Infer(p *Problem) (Response, error) {
 	if c.err != nil {
 		return Response{}, c.err
 	}
-	return finish("cold", c.val)
+	src := "cold"
+	if c.val.Warm {
+		src = "warm"
+		sink.Event(obs.Event{Type: obs.EvServeWarm, Src: "serve",
+			Key: keyDigest(p.StateKey)})
+	}
+	return finish(src, c.val)
+}
+
+// leaseState resolves how a cold run interacts with the chase-state cache.
+// A reusable complete state warm-starts the run immediately (no flight
+// needed — nothing is left to compute for the key). Otherwise the first run
+// over the key leads a state computation, possibly seeded by a reusable
+// paused state; later runs for OTHER goals sharing the key follow, waiting
+// for the leader's published state. Budget-stopped states whose class is
+// not strictly below this request's are skipped (ReusableUnder).
+func (s *Server) leaseState(p *Problem) (warm *chase.State, flight *stateCall, lead bool) {
+	if s.states == nil || p.StateKey == "" {
+		return nil, nil, false
+	}
+	limits := s.chaseLimits()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if st := s.states.Get(p.StateKey); st != nil && st.ReusableUnder(limits) {
+		if st.Complete() {
+			return st, nil, false
+		}
+		warm = st
+	}
+	if c, ok := s.stateFlight[p.StateKey]; ok {
+		return nil, c, false
+	}
+	s.stateFlight[p.StateKey] = &stateCall{done: make(chan struct{})}
+	return warm, nil, true
+}
+
+// closeStateFlight releases the state-key singleflight entry, waking
+// followers (who then re-read the state cache). Only the leader calls it.
+func (s *Server) closeStateFlight(key string) {
+	s.mu.Lock()
+	c := s.stateFlight[key]
+	delete(s.stateFlight, key)
+	s.mu.Unlock()
+	if c != nil {
+		close(c.done)
+	}
 }
 
 // runCold executes the engines for one leader request.
 func (s *Server) runCold(p *Problem, sink obs.Sink) (CachedVerdict, error) {
+	warm, flight, lead := s.leaseState(p)
+	if lead {
+		defer s.closeStateFlight(p.StateKey)
+	}
+	if flight != nil {
+		// Follower of an in-flight state computation: wait for its leader
+		// to publish, then warm-start from whatever landed in the cache.
+		// The wait happens before any semaphore slot is held and the leader
+		// never waits on followers, so this cannot deadlock.
+		select {
+		case <-flight.done:
+		case <-s.rootCtx.Done():
+			return CachedVerdict{}, s.rootCtx.Err()
+		}
+		s.mu.Lock()
+		if st := s.states.Get(p.StateKey); st != nil && st.ReusableUnder(s.chaseLimits()) {
+			warm = st
+		}
+		s.mu.Unlock()
+	}
 	if s.sem != nil {
 		select {
 		case s.sem <- struct{}{}:
@@ -441,11 +566,23 @@ func (s *Server) runCold(p *Problem, sink obs.Sink) (CachedVerdict, error) {
 
 	b, g, cancel := s.budgetFor(sink)
 	defer cancel()
+	if s.states != nil && p.StateKey != "" {
+		b.Chase.CaptureState = true
+		b.Chase.WarmState = warm
+	}
 	t0 := time.Now()
 	v, err := s.cfg.Runner(g.Context(), p, b)
 	if err != nil {
 		return CachedVerdict{}, err
 	}
+	if v.State != nil && s.states != nil && p.StateKey != "" {
+		s.mu.Lock()
+		s.states.Put(p.StateKey, v.State)
+		s.mu.Unlock()
+	}
+	// The snapshot lives in the state cache only: the verdict cache and
+	// dedup followers get a State-free value.
+	v.State = nil
 	v.ColdMS = float64(time.Since(t0)) / float64(time.Millisecond)
 	if o := g.Interrupted(); o.Stopped() {
 		v.Stop = o.String()
@@ -497,6 +634,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 type Stats struct {
 	Requests     int64 `json:"requests"`
 	CacheEntries int   `json:"cache_entries"`
+	StateEntries int   `json:"state_entries"`
 	Inflight     int64 `json:"inflight"`
 	InflightPeak int64 `json:"inflight_peak"`
 	Draining     bool  `json:"draining"`
@@ -506,11 +644,16 @@ type Stats struct {
 func (s *Server) Stats() Stats {
 	s.mu.Lock()
 	entries := s.cache.Len()
+	stateEntries := 0
+	if s.states != nil {
+		stateEntries = s.states.Len()
+	}
 	draining := s.draining
 	s.mu.Unlock()
 	return Stats{
 		Requests:     s.requestsSeen.Load(),
 		CacheEntries: entries,
+		StateEntries: stateEntries,
 		Inflight:     s.engineNow.Load(),
 		InflightPeak: s.enginePeak.Load(),
 		Draining:     draining,

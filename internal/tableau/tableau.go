@@ -341,6 +341,49 @@ func RowSatisfiable(row VarTuple, as Assignment, inst *relation.Instance) bool {
 	return false
 }
 
+// RowSatisfiableWithin is RowSatisfiable restricted to the instance prefix
+// of tuples with index < limit. Posting lists hold ascending indices, so
+// each list is scanned only up to the first out-of-prefix entry. This is
+// the goal check of warm-started chases: a boundary snapshot exposes every
+// intermediate instance of the run as a prefix, and this predicate answers
+// "was the conclusion witnessed after round i" without materializing the
+// prefix.
+func RowSatisfiableWithin(row VarTuple, as Assignment, inst *relation.Instance, limit int) bool {
+	if limit >= inst.Len() {
+		return RowSatisfiable(row, as, inst)
+	}
+	bestAttr, bestVal := -1, relation.Value(0)
+	bestLen := -1
+	for a, v := range row {
+		if bound := as[a][v]; bound != Unbound {
+			l := len(inst.Matching(relation.Attr(a), bound))
+			if bestLen < 0 || l < bestLen {
+				bestAttr, bestVal, bestLen = a, bound, l
+			}
+		}
+	}
+	if bestAttr < 0 {
+		return limit > 0 // fully existential row matches any in-prefix tuple
+	}
+	for _, idx := range inst.Matching(relation.Attr(bestAttr), bestVal) {
+		if idx >= limit {
+			break
+		}
+		tup := inst.Tuple(idx)
+		ok := true
+		for a, v := range row {
+			if bound := as[a][v]; bound != Unbound && bound != tup[a] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
 // RowSatisfiableScan is the index-free linear scan, kept for the ablation
 // benchmark against the posting-list version.
 func RowSatisfiableScan(row VarTuple, as Assignment, inst *relation.Instance) bool {
