@@ -9,11 +9,14 @@
 #   race     — full suite under the race detector (chase worker pool,
 #              psearch pool, and the serving layer's singleflight/drain
 #              paths are all concurrent code)
-#   smoke    — end-to-end binaries: tdinfer governed run on the
-#              undecidable gap preset; tdserve under a duplicate-heavy
-#              tdbench -loadjson burst with graceful-drain assertions
-#   bench    — structural validation of the benchmark emitters: a fresh
-#              -searchjson report and the committed BENCH_chase.json
+#   smoke    — end-to-end binaries: tdinfer governed runs on the
+#              undecidable gap preset (static race under a deadline, and
+#              the adaptive portfolio's finite-db answer); tdserve under
+#              a duplicate-heavy tdbench -loadjson burst with
+#              graceful-drain assertions
+#   bench    — structural validation of the benchmark emitters: fresh
+#              -searchjson and -portfoliojson reports plus the committed
+#              BENCH_chase.json and BENCH_portfolio.json
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -98,6 +101,33 @@ for token in serve.requests serve.cache_hits serve.cache_misses serve.dedups ser
     fi
 done
 
+# The portfolio's reallocation vocabulary: the event type must be
+# documented in both the schema docs and the architecture map, and every
+# portfolio.* counter CounterSink maintains must appear in the schema
+# docs.
+for doc in docs/OBSERVABILITY.md docs/ARCHITECTURE.md; do
+    if ! grep -q -- "portfolio_realloc" "$doc"; then
+        echo "$doc: the portfolio_realloc event (from internal/portfolio) is undocumented" >&2
+        exit 1
+    fi
+done
+for token in portfolio.reallocs portfolio.granted portfolio.withheld portfolio.retired; do
+    if ! grep -q -- "$token" docs/OBSERVABILITY.md; then
+        echo "docs/OBSERVABILITY.md: portfolio counter \"$token\" (from internal/obs) is undocumented" >&2
+        exit 1
+    fi
+done
+
+# The architecture map must cover every internal package and every
+# command, so the package inventory cannot silently drift from the tree.
+for pkg in internal/*/ cmd/*/; do
+    name=$(basename "$pkg")
+    if ! grep -q -- "$name" docs/ARCHITECTURE.md; then
+        echo "docs/ARCHITECTURE.md: package $pkg is missing from the map" >&2
+        exit 1
+    fi
+done
+
 stage unit
 
 go test -count=1 ./...
@@ -119,9 +149,11 @@ stage smoke
 # Governance smoke: a wall-clock budget on the undecidable gap preset must
 # come back promptly (bounded cancellation latency), exit 0 with an honest
 # "unknown", and leave a trace that replays (the JSONL parses and carries
-# the chase's deadline stop marker).
+# the chase's deadline stop marker). Pinned to the static race: the
+# adaptive portfolio *answers* this instance (asserted below), so only
+# -engine race exercises the deadline path on it.
 go build -o "$smoke/tdinfer" ./cmd/tdinfer
-out=$("$smoke/tdinfer" -preset gap -deadline 100ms -rounds 100000 \
+out=$("$smoke/tdinfer" -engine race -preset gap -deadline 100ms -rounds 100000 \
     -tuples 10000000 -trace "$smoke/gap.jsonl")
 grep -q "verdict: unknown" <<<"$out" || {
     echo "ci: gap smoke: expected unknown verdict, got:" >&2
@@ -134,6 +166,30 @@ grep -q '"type":"cancelled","src":"chase".*"resource":"deadline"' "$smoke/gap.js
 }
 grep -q '"type":"verdict","src":"core","verdict":"unknown"' "$smoke/gap.jsonl" || {
     echo "ci: gap smoke: trace does not close with an unknown core verdict" >&2
+    exit 1
+}
+
+# Portfolio smoke: the default engine settles the same TD instance — the
+# finite-db arm finds the 2-tuple database the sequential run never
+# reaches (DESIGN.md §12) — and its trace carries the reallocation
+# decisions.
+out=$("$smoke/tdinfer" -preset gap -deadline 30s -trace "$smoke/gap_pf.jsonl")
+grep -q "verdict: finite-counterexample" <<<"$out" || {
+    echo "ci: portfolio gap smoke: expected finite-counterexample, got:" >&2
+    echo "$out" >&2
+    exit 1
+}
+grep -q "winner: finite-db arm" <<<"$out" || {
+    echo "ci: portfolio gap smoke: expected the finite-db arm to win, got:" >&2
+    echo "$out" >&2
+    exit 1
+}
+grep -q '"type":"portfolio_realloc"' "$smoke/gap_pf.jsonl" || {
+    echo "ci: portfolio gap smoke: trace has no portfolio_realloc events" >&2
+    exit 1
+}
+grep -q '"type":"verdict","src":"portfolio","verdict":"finite-counterexample"' "$smoke/gap_pf.jsonl" || {
+    echo "ci: portfolio gap smoke: trace does not close with the portfolio verdict" >&2
     exit 1
 }
 
@@ -214,5 +270,14 @@ stage bench
 # matching verdicts, and at least one workload shows the >=2x warm-start
 # latency drop.
 "$smoke/tdbench" -checkbench BENCH_chase.json
+
+# The portfolio comparison emitter: a fresh quick report (one timed run
+# per side) must parse with race/portfolio verdicts consistent on every
+# preset, and the committed full report must additionally satisfy the
+# acceptance thresholds (within noise on >=2 presets, kb >=2x on the
+# KB-decidable one).
+"$smoke/tdbench" -portfoliojson "$smoke/BENCH_portfolio.json" -portfolioquick >/dev/null
+"$smoke/tdbench" -checkportfolio "$smoke/BENCH_portfolio.json"
+"$smoke/tdbench" -checkportfolio BENCH_portfolio.json
 
 stage ""

@@ -76,18 +76,24 @@ func TestCLI(t *testing.T) {
 		if err != nil {
 			t.Fatalf("trace does not replay: %v\n%s", err, data)
 		}
-		if tot.Rounds == 0 || tot.Verdicts["chase"] != "implied" || tot.Verdicts["core"] != "implied" {
+		if tot.Rounds == 0 || tot.Verdicts["chase"] != "implied" || tot.Verdicts["portfolio"] != "implied" {
 			t.Errorf("replay totals %+v from trace:\n%s", tot, data)
+		}
+		if tot.PortfolioReallocs == 0 {
+			t.Errorf("replay totals %+v: expected portfolio_realloc events in the trace", tot)
 		}
 	})
 
 	// The governance contract end to end: a wall-clock budget on the
 	// undecidable gap instance exits 0 with an honest unknown verdict,
 	// partial chase statistics, and a trace that still replays cleanly.
+	// Pinned to the static race engine — the adaptive portfolio settles
+	// this instance (see tdinfer-portfolio-gap below), so only the static
+	// sequential run exercises the deadline path on it.
 	t.Run("tdinfer-deadline", func(t *testing.T) {
 		trace := filepath.Join(t.TempDir(), "gap.jsonl")
 		out := run("tdinfer", 0,
-			"-preset", "gap", "-deadline", "100ms",
+			"-preset", "gap", "-deadline", "100ms", "-engine", "race",
 			"-rounds", "100000", "-tuples", "10000000",
 			"-trace", trace)
 		if !strings.Contains(out, "verdict: unknown") {
@@ -115,6 +121,40 @@ func TestCLI(t *testing.T) {
 		}
 		if tot.Rounds == 0 || tot.TuplesAdded == 0 {
 			t.Errorf("replay totals %+v: expected partial chase progress before the deadline", tot)
+		}
+	})
+
+	// The adaptive portfolio on the same gap instance: the finite-db arm
+	// gets leases alongside the diverging chase and finds the 2-tuple
+	// database that satisfies D and violates D0 — an answer the static
+	// sequential run above never reaches because the chase drains its
+	// whole budget first. (The word-level gap property rules out finite
+	// CANCELLATION-MODEL counterexamples, not arbitrary finite databases,
+	// so the presentation-level verdict for gap stays unknown.)
+	t.Run("tdinfer-portfolio-gap", func(t *testing.T) {
+		trace := filepath.Join(t.TempDir(), "gap-portfolio.jsonl")
+		out := run("tdinfer", 0,
+			"-preset", "gap", "-deadline", "30s",
+			"-trace", trace)
+		if !strings.Contains(out, "verdict: finite-counterexample") {
+			t.Errorf("output:\n%s", out)
+		}
+		if !strings.Contains(out, "winner: finite-db arm") {
+			t.Errorf("missing winner line:\n%s", out)
+		}
+		data, err := os.ReadFile(trace)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tot, err := obs.Replay(bytes.NewReader(data))
+		if err != nil {
+			t.Fatalf("portfolio trace does not replay: %v\n%s", err, data)
+		}
+		if tot.Verdicts["portfolio"] != "finite-counterexample" {
+			t.Errorf("replay verdicts %v, want finite-counterexample from portfolio", tot.Verdicts)
+		}
+		if tot.PortfolioReallocs == 0 {
+			t.Errorf("replay totals %+v: expected reallocation decisions", tot)
 		}
 	})
 

@@ -43,7 +43,8 @@ func loadProblems() []serve.Request {
 
 type loadResult struct {
 	// Problem is the index into the request mix; Key/Verdict are as
-	// reported by the server; Source is "cold", "cache", or "dedup".
+	// reported by the server; Source is "cold", "warm", "cache", or
+	// "dedup".
 	Problem   int     `json:"problem"`
 	Key       string  `json:"key"`
 	Source    string  `json:"source"`
@@ -59,6 +60,7 @@ type loadReport struct {
 	Workers   int     `json:"workers"`
 	Problems  int     `json:"problems"`
 	Cold      int     `json:"cold"`
+	Warm      int     `json:"warm"`
 	CacheHits int     `json:"cache_hits"`
 	Dedups    int     `json:"dedups"`
 	HitRate   float64 `json:"hit_rate"`
@@ -177,6 +179,8 @@ func writeLoadJSON(path, server string, n, c int) {
 		switch r.Source {
 		case "cold":
 			rep.Cold++
+		case "warm":
+			rep.Warm++
 		case "cache":
 			rep.CacheHits++
 		case "dedup":

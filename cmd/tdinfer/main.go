@@ -41,6 +41,7 @@ import (
 	"templatedep/internal/chase"
 	"templatedep/internal/core"
 	"templatedep/internal/obs"
+	"templatedep/internal/portfolio"
 	"templatedep/internal/psearch"
 	"templatedep/internal/reduction"
 	"templatedep/internal/relation"
@@ -65,6 +66,7 @@ func main() {
 		workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "worker goroutines for the chase and the counterexample enumeration (results are identical for every value; 1 = serial)")
 		pruneFlag  = flag.String("prune", "symmetry", "counterexample enumeration symmetry breaking: symmetry|none")
 		deadline   = flag.Duration("deadline", 0, "wall-clock budget for the whole run (0 = none)")
+		engine     = flag.String("engine", "portfolio", "inference engine: portfolio (adaptive budget reallocation across all arms) or race (static sequential dual run)")
 		proof      = flag.Bool("proof", false, "print the chase proof trace")
 		traceFile  = flag.String("trace", "", "write the structured event stream to FILE as JSONL (see docs/OBSERVABILITY.md)")
 		progress   = flag.Bool("progress", false, "live progress line on stderr")
@@ -74,6 +76,9 @@ func main() {
 	flag.Var(&deps, "dep", "a TD (repeatable)")
 	flag.Parse()
 
+	if *engine != "portfolio" && *engine != "race" {
+		fatal(fmt.Errorf("unknown -engine %q (want portfolio or race)", *engine))
+	}
 	if *preset == "" && (*schemaFlag == "" || *goalFlag == "") {
 		fmt.Fprintln(os.Stderr, "tdinfer: either -preset or both -schema and -goal are required")
 		flag.Usage()
@@ -184,9 +189,23 @@ func main() {
 	fmt.Printf("D0:  %s\n\n", goal.Format())
 
 	start := time.Now()
-	res, err := core.Infer(depSet, goal, b)
-	if err != nil {
-		fatal(err)
+	var res core.InferenceResult
+	if *engine == "portfolio" {
+		pres, perr := portfolio.Infer(depSet, goal, b.PortfolioOptions())
+		if perr != nil {
+			fatal(perr)
+		}
+		res = core.InferenceResult{Verdict: core.VerdictOf(pres.Verdict),
+			Chase: pres.Chase, Counterexample: pres.Counterexample}
+		if pres.Winner != "" {
+			fmt.Printf("winner: %s arm (%d scheduler ticks, %d reallocation decisions)\n",
+				pres.Winner, pres.Ticks, len(pres.Decisions))
+		}
+	} else {
+		res, err = core.Infer(depSet, goal, b)
+		if err != nil {
+			fatal(err)
+		}
 	}
 	fmt.Printf("verdict: %s\n", res.Verdict)
 	if res.Chase != nil {

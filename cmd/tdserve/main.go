@@ -58,9 +58,13 @@ func main() {
 		tuples       = flag.Int("tuples", 0, "per-request chase tuple budget (0 = engine default)")
 		nodes        = flag.Int("nodes", 0, "per-request search node budget (0 = engine default)")
 		wordsCap     = flag.Int("words", 0, "per-request closure word budget (0 = engine default)")
+		engine       = flag.String("engine", "portfolio", "inference engine per cold run: portfolio (adaptive reallocation) or race (static budgets)")
 		traceFile    = flag.String("trace", "", "write the structured event stream to FILE as JSONL (see docs/OBSERVABILITY.md)")
 	)
 	flag.Parse()
+	if *engine != "portfolio" && *engine != "race" {
+		fatal(fmt.Errorf("unknown -engine %q (want portfolio or race)", *engine))
+	}
 
 	counters := obs.NewCounters()
 	cfg := serve.Config{
@@ -71,6 +75,7 @@ func main() {
 		StateCacheSize: *stateCache,
 		Workers:        *workers,
 		Counters:       counters,
+		Engine:         *engine,
 	}
 	var flushTrace func()
 	if *traceFile != "" {

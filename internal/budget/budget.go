@@ -96,6 +96,29 @@ func (l Limits) of(r Resource) int {
 	return 0
 }
 
+// Of returns the cap l places on r; zero means that meter is uncapped. It
+// is the exported counterpart of the internal accessor, for layers that
+// manipulate Limits generically by Resource (the adaptive portfolio grows
+// every capped meter of an arm's lease by the same multiplier).
+func (l Limits) Of(r Resource) int { return l.of(r) }
+
+// With returns a copy of l with the cap on r replaced by n.
+func (l Limits) With(r Resource, n int) Limits {
+	switch r {
+	case Rounds:
+		l.Rounds = n
+	case Tuples:
+		l.Tuples = n
+	case Nodes:
+		l.Nodes = n
+	case Words:
+		l.Words = n
+	case Rules:
+		l.Rules = n
+	}
+	return l
+}
+
 // Range is an inclusive [Lo, Hi] window over a structural search dimension
 // (semigroup orders, instance sizes). It is a coordinate system, not a
 // meter: enumerating order 6 before order 2 costs the same nodes either
@@ -242,6 +265,22 @@ func (g *Governor) Limit(r Resource) int { return g.limits.of(r) }
 
 // Used returns the amount charged to r so far.
 func (g *Governor) Used(r Resource) int { return int(g.used[r].Load()) }
+
+// Remaining reports the unused headroom on r: Limit(r) - Used(r), floored
+// at zero. ok is false when r is unlimited (no cap set), in which case n
+// is meaningless. The adaptive portfolio uses this to clamp the cumulative
+// grants it hands an arm to the headroom still left in the parent pool.
+func (g *Governor) Remaining(r Resource) (n int, ok bool) {
+	lim := g.limits.of(r)
+	if lim <= 0 {
+		return 0, false
+	}
+	n = lim - g.Used(r)
+	if n < 0 {
+		n = 0
+	}
+	return n, true
+}
 
 // Add settles n units against r without checking limits — the bulk
 // accounting path for engines that enforce caps on hot-loop locals.

@@ -154,6 +154,11 @@ type DeepeningOptions struct {
 	// mid-search instead of waiting for the round to finish. Nil means a
 	// 2-second deadline and 16 rounds.
 	Governor *budget.Governor
+	// Portfolio switches InferDeepening onto the adaptive portfolio
+	// scheduler: each round runs every arm under one reallocating
+	// governor, and the allocations learned in one round (portfolio
+	// Memory) seed the next, alongside the usual chase snapshot carry.
+	Portfolio bool
 }
 
 // resolveDeepening applies the DeepeningOptions defaults, returning the
@@ -227,6 +232,9 @@ func AnalyzePresentationDeepening(p *words.Presentation, opt DeepeningOptions) (
 func InferDeepening(deps []*td.TD, d0 *td.TD, opt DeepeningOptions) (InferenceResult, int, error) {
 	g, release := resolveDeepening(opt)
 	defer release()
+	if opt.Portfolio {
+		return inferPortfolioDeepening(deps, d0, opt, g)
+	}
 	b := opt.Initial
 	b.Chase.SemiNaive = true
 	chaseRounds, chaseTuples, fdbSize, fdbNodes := 2, 32, 1, 1024

@@ -94,12 +94,16 @@ const (
 	// completion. Fields: Iter (completion sweep), Rules (total rules
 	// after the addition).
 	EvRuleAdded EventType = "rule_added"
-	// EvArmStart reports that a dual-semidecision arm began work. Fields:
-	// Arm ("derivation" or "model-search"), Round (deepening round, 0
-	// outside deepening).
+	// EvArmStart reports that a dual-semidecision arm began work. From the
+	// race front-end (Src "core") Arm is "derivation" or "model-search";
+	// from the adaptive portfolio (Src "portfolio") Arm names the engine
+	// arm ("kb", "chase", "eid", "model-search", "finite-db") and the event
+	// opens one budget lease. Fields: Arm, Round (deepening round, or the
+	// portfolio scheduler tick; 0 outside both).
 	EvArmStart EventType = "arm_start"
-	// EvArmResult reports an arm's outcome. Fields: Arm, Round, Verdict
-	// (the arm-level outcome string).
+	// EvArmResult reports an arm's outcome: the race arm's result, or the
+	// close of one portfolio lease. Fields: Arm, Round, Verdict (the
+	// arm-level outcome string).
 	EvArmResult EventType = "arm_result"
 	// EvDeepenRound closes one iterative-deepening round. Fields: Round,
 	// Verdict (that round's verdict).
@@ -119,6 +123,18 @@ const (
 	// Verdict, Round (rounds/iterations used), Tuples (final instance
 	// size; chase only), N (nodes visited; search only).
 	EvVerdict EventType = "verdict"
+	// EvPortfolioRealloc records one budget-reallocation decision of the
+	// adaptive portfolio governor (Src "portfolio"): at every scheduler
+	// tick, for every live arm, the policy either grows the arm's
+	// cumulative meter grant or withholds it. Fields: Arm, Resource (the
+	// arm's primary meter), Old and New (cumulative grant before/after —
+	// New == Old is a withheld grant, New == 0 retires the arm), Signal
+	// (the policy signal behind the decision: "seed", "steady", "fed",
+	// "stalled", "probe", "capped", or a retirement reason such as
+	// "confluent", "refuted", "covered", "exhausted"), Round (the
+	// scheduler tick). The decision sequence is a pure function of the
+	// problem and options, so replayed traces reproduce it exactly.
+	EvPortfolioRealloc EventType = "portfolio_realloc"
 	// EvServeRequest closes one inference-service request (Src "serve").
 	// Fields: Req, Key, Source ("cold" for a fresh engine run, "warm" for an
 	// engine run that warm-started from the chase-state cache, "cache" for
@@ -153,7 +169,7 @@ type Event struct {
 	// Type discriminates the payload.
 	Type EventType `json:"type"`
 	// Src is the emitting layer: "chase", "search", "finitemodel",
-	// "rewrite", "core", or "serve".
+	// "rewrite", "core", "portfolio", or "serve".
 	Src string `json:"src"`
 	// Round is 1-based (chase fair round, deepening round); 0 when not
 	// applicable.
@@ -190,8 +206,15 @@ type Event struct {
 	// Arm names a dual-semidecision arm.
 	Arm string `json:"arm,omitempty"`
 	// Resource is the budget detail of a stop event: a meter name for
-	// budget_exhausted, "context" or "deadline" for cancelled.
+	// budget_exhausted, "context" or "deadline" for cancelled. For
+	// portfolio_realloc it is the meter whose grant the decision changes.
 	Resource string `json:"resource,omitempty"`
+	// Old and New are the cumulative grant on Resource before and after a
+	// portfolio_realloc decision.
+	Old int `json:"old,omitempty"`
+	New int `json:"new,omitempty"`
+	// Signal is the policy signal behind a portfolio_realloc decision.
+	Signal string `json:"signal,omitempty"`
 	// Verdict is an outcome string of the emitting layer.
 	Verdict string `json:"verdict,omitempty"`
 	// Req is the serving layer's per-request trace ID. The service stamps

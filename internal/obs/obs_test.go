@@ -30,6 +30,8 @@ func allEvents() []Event {
 		{Type: EvDeepenRound, Src: "core", Round: 1, Verdict: "unknown"},
 		{Type: EvBudgetExhausted, Src: "search", Round: 0, Resource: "nodes"},
 		{Type: EvCancelled, Src: "words", Round: 0, Resource: "deadline"},
+		{Type: EvPortfolioRealloc, Src: "portfolio", Arm: "kb", Resource: "rules", Old: 32, New: 64, Signal: "fed", Round: 2},
+		{Type: EvPortfolioRealloc, Src: "portfolio", Arm: "chase", Resource: "rounds", Old: 8, New: 8, Signal: "stalled", Round: 2},
 		{Type: EvVerdict, Src: "chase", Verdict: "implied", Round: 1, Tuples: 10},
 	}
 }
@@ -101,20 +103,22 @@ func TestReplay(t *testing.T) {
 		t.Fatal(err)
 	}
 	want := Totals{
-		Rounds:          1,
-		TriggersMatched: 11,
-		TriggersFired:   9,
-		TuplesAdded:     3,
-		NullsCreated:    6,
-		Homomorphisms:   13,
-		SearchNodes:     4096 + 32,
-		SearchSplits:    1,
-		SearchSteals:    2,
-		RulesAdded:      1,
-		PerDepFired:     map[int]int{0: 4, 2: 5},
-		Verdicts:        map[string]string{"chase": "implied"},
-		Stops:           map[string]string{"search": "exhausted:nodes", "words": "deadline"},
-		Events:          len(allEvents()),
+		Rounds:            1,
+		TriggersMatched:   11,
+		TriggersFired:     9,
+		TuplesAdded:       3,
+		NullsCreated:      6,
+		Homomorphisms:     13,
+		SearchNodes:       4096 + 32,
+		SearchSplits:      1,
+		SearchSteals:      2,
+		RulesAdded:        1,
+		PortfolioReallocs: 2,
+		PortfolioGranted:  map[string]int{"rules": 32},
+		PerDepFired:       map[int]int{0: 4, 2: 5},
+		Verdicts:          map[string]string{"chase": "implied"},
+		Stops:             map[string]string{"search": "exhausted:nodes", "words": "deadline"},
+		Events:            len(allEvents()),
 	}
 	if !reflect.DeepEqual(tot, want) {
 		t.Errorf("replay totals:\n got %+v\nwant %+v", tot, want)
@@ -182,6 +186,9 @@ func TestCounterSink(t *testing.T) {
 		"core.arm.derivation.runs": 1,
 		"core.deepen_rounds":       1,
 		"chase.verdicts":           1,
+		"portfolio.reallocs":       2,
+		"portfolio.granted.rules":  32,
+		"portfolio.withheld":       1,
 	} {
 		if got := c.Get(name); got != want {
 			t.Errorf("%s = %d, want %d", name, got, want)

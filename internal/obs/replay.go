@@ -45,6 +45,14 @@ type Totals struct {
 	// ShardFallbacks counts shard_fallback events (semi-naive rounds that
 	// requested Workers > 1 under the scan join and ran serially).
 	ShardFallbacks int
+	// PortfolioReallocs counts portfolio_realloc events — the adaptive
+	// portfolio's full reallocation decision sequence, withheld grants
+	// included.
+	PortfolioReallocs int
+	// PortfolioGranted sums New - Old over the growing portfolio_realloc
+	// decisions, by meter name: the total headroom the governor handed
+	// out on each resource.
+	PortfolioGranted map[string]int
 	// ServeRequests counts serve_request events (one per request the
 	// inference service answered).
 	ServeRequests int
@@ -80,7 +88,7 @@ type Totals struct {
 // ignored, so streams from newer emitters still replay.
 func Replay(r io.Reader) (Totals, error) {
 	t := Totals{PerDepFired: make(map[int]int), Verdicts: make(map[string]string),
-		Stops: make(map[string]string)}
+		Stops: make(map[string]string), PortfolioGranted: make(map[string]int)}
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
 	line := 0
@@ -121,6 +129,11 @@ func Replay(r io.Reader) (Totals, error) {
 			t.Homomorphisms += e.Homs
 		case EvShardFallback:
 			t.ShardFallbacks++
+		case EvPortfolioRealloc:
+			t.PortfolioReallocs++
+			if e.New > e.Old {
+				t.PortfolioGranted[e.Resource] += e.New - e.Old
+			}
 		case EvSearchNode:
 			t.SearchNodes += e.N
 		case EvSearchSplit:

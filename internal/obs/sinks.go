@@ -119,6 +119,13 @@ func (s *JSONLSink) Event(e Event) {
 		appendInt("round", e.Round)
 		appendInt("tuples", e.Tuples)
 		appendInt("n", e.N)
+	case EvPortfolioRealloc:
+		b = appendStr(b, "arm", e.Arm)
+		b = appendStr(b, "resource", e.Resource)
+		appendInt("old", e.Old)
+		appendInt("new", e.New)
+		b = appendStr(b, "signal", e.Signal)
+		appendInt("round", e.Round)
 	case EvServeRequest:
 		b = appendStr(b, "key", e.Key)
 		b = appendStr(b, "source", e.Source)
@@ -280,7 +287,17 @@ func (s *CounterSink) Event(e Event) {
 	case EvRuleAdded:
 		s.C.Add("rewrite.rules_added", 1)
 	case EvArmStart:
-		s.C.Add("core.arm."+e.Arm+".runs", 1)
+		s.C.Add(e.Src+".arm."+e.Arm+".runs", 1)
+	case EvPortfolioRealloc:
+		s.C.Add("portfolio.reallocs", 1)
+		switch {
+		case e.New > e.Old:
+			s.C.Add("portfolio.granted."+e.Resource, int64(e.New-e.Old))
+		case e.New == e.Old:
+			s.C.Add("portfolio.withheld", 1)
+		default:
+			s.C.Add("portfolio.retired", 1)
+		}
 	case EvDeepenRound:
 		s.C.Add("core.deepen_rounds", 1)
 	case EvBudgetExhausted:

@@ -1,6 +1,7 @@
-// Package psearch is the parallel subtree-splitting core shared by the two
-// direction-(B) backtracking engines (internal/search over multiplication
-// tables, internal/finitemodel over database instances).
+// Package psearch is the parallel subtree-splitting backtracking core
+// (DESIGN.md §8) shared by the two counter-model search engines:
+// internal/search over multiplication tables and internal/finitemodel
+// over database instances.
 //
 // An engine splits one structural coordinate's backtracking tree at a
 // prefix depth into independent subtree tasks, indexed in the lexicographic

@@ -360,6 +360,14 @@ func (s *searcher) searchOrder(n int) (*semigroup.Interpretation, error) {
 			return false
 		}
 		if i == len(free) {
+			// Every completed assignment is a generation node, whether or
+			// not its pins survive: on presentations with many symbols
+			// almost all assignments die right here, and without charging
+			// them the node budget would never be consulted — the
+			// enumeration is exponential in the alphabet size.
+			if !s.countGen() {
+				return false
+			}
 			if st := s.pinTable(n, assign); st != nil {
 				roots = append(roots, st)
 				if len(roots) >= taskTarget {

@@ -1,7 +1,8 @@
-// Package serve is the long-running inference service over internal/core:
-// an HTTP/JSON front-end that answers TD-implication queries with the same
-// dual-semidecision engines as the CLIs, but amortizes work across
-// requests.
+// Package serve is the long-running inference service over the engine
+// front-ends — the adaptive portfolio (internal/portfolio, the default
+// Runner) or the static facade (internal/core, Config.Engine "race"): an
+// HTTP/JSON layer that answers TD-implication queries with the same
+// engines as the CLIs, but amortizes work across requests.
 //
 // Undecidability shapes the serving economics. A single query may burn its
 // entire budget and still answer Unknown — that is the honest outcome the
@@ -52,6 +53,7 @@ import (
 	"templatedep/internal/core"
 	"templatedep/internal/finitemodel"
 	"templatedep/internal/obs"
+	"templatedep/internal/portfolio"
 	"templatedep/internal/relation"
 	"templatedep/internal/search"
 	"templatedep/internal/td"
@@ -93,7 +95,13 @@ type Config struct {
 	// Counters, when set, additionally folds every event through a
 	// CounterSink — the source of /metrics.
 	Counters *obs.Counters
-	// Runner overrides the engine entry point (nil = CoreRunner).
+	// Engine picks the inference front-end when Runner is nil:
+	// "portfolio" (or "") serves every cold run through the adaptive
+	// portfolio scheduler, "race" through the static fixed-budget
+	// front-ends (the pre-portfolio behavior).
+	Engine string
+	// Runner overrides the engine entry point (nil = resolved from
+	// Engine).
 	Runner Runner
 }
 
@@ -217,7 +225,11 @@ func New(cfg Config) *Server {
 		cfg.StateCacheSize = defaultStateCacheSize
 	}
 	if cfg.Runner == nil {
-		cfg.Runner = CoreRunner
+		if cfg.Engine == "race" {
+			cfg.Runner = CoreRunner
+		} else {
+			cfg.Runner = PortfolioRunner
+		}
 	}
 	var base []obs.Sink
 	if cfg.Sink != nil {
@@ -339,6 +351,34 @@ func CoreRunner(_ context.Context, p *Problem, b core.Budget) (CachedVerdict, er
 	if res.Chase != nil {
 		v.State = res.Chase.State
 		v.Warm = res.Chase.WarmStarted
+	}
+	return v, nil
+}
+
+// PortfolioRunner is the default Runner: every arm races under one
+// adaptive portfolio governor, with meter headroom reallocated between
+// arms from live progress signals. The chase-state cache keeps working
+// unchanged — the chase arm threads the request's warm state into its
+// first lease and its final lease's snapshot back out.
+func PortfolioRunner(_ context.Context, p *Problem, b core.Budget) (CachedVerdict, error) {
+	opt := b.PortfolioOptions()
+	var res *portfolio.Result
+	var err error
+	if p.Pres != nil {
+		res, err = portfolio.AnalyzePresentation(p.Pres, opt)
+	} else {
+		res, err = portfolio.Infer(p.Deps, p.Goal, opt)
+	}
+	if err != nil {
+		return CachedVerdict{}, err
+	}
+	v := CachedVerdict{Verdict: core.VerdictOf(res.Verdict), Winner: res.Winner}
+	if res.Chase != nil {
+		v.State = res.Chase.State
+		// The portfolio warm-carries its own snapshots between leases;
+		// a request only counts as "warm" when the state came from the
+		// service's cache, not from intra-run carry.
+		v.Warm = res.Chase.WarmStarted && b.Chase.WarmState != nil
 	}
 	return v, nil
 }

@@ -35,8 +35,14 @@ func Preset(name string) (*Presentation, error) {
 			return nil, fmt.Errorf("words: bad tower preset %q", name)
 		}
 		return PowerTowerPresentation(k), nil
+	case strings.HasPrefix(name, "collapse:"):
+		k, err := strconv.Atoi(strings.TrimPrefix(name, "collapse:"))
+		if err != nil {
+			return nil, fmt.Errorf("words: bad collapse preset %q", name)
+		}
+		return CollapsePresentation(k), nil
 	default:
-		return nil, fmt.Errorf("words: unknown preset %q (try power, twostep, gap, chain:N, nilpotent:M, tower:K)", name)
+		return nil, fmt.Errorf("words: unknown preset %q (try power, twostep, gap, chain:N, nilpotent:M, tower:K, collapse:K)", name)
 	}
 }
 
@@ -200,6 +206,77 @@ func PowerTowerPresentation(k int) *Presentation {
 		c := a.MustSymbol(fmt.Sprintf("c%d", i))
 		eqs = append(eqs, Eq(W(c, c), W(prev)))
 		prev = c
+	}
+	p, err := NewPresentation(a, eqs)
+	if err != nil {
+		panic(err)
+	}
+	return p.WithZeroEquations()
+}
+
+// CollapsePresentation returns a presentation that is DERIVABLE but
+// engineered so that equational closure drowns while Knuth–Bendix
+// completion decides it in a handful of sweeps: the KB-decidable workload
+// for the adaptive portfolio.
+//
+// The backbone is the chain family: A0 = k0·k0 = s1 = k1·k1 = ... = 0, a
+// derivation of length Θ(k). On top, every chain symbol k(i) opens a
+// self-expanding junk tree over fresh private symbols: k(i) = x(i)·y(i,0)
+// roots it, and x(i) = x(i)·y(i,j) for j = 1..2k lets every junk word
+// grow 2k distinct longer neighbours forever. The junk equations are
+// listed before the backbone links, so closure's breadth-first frontier
+// enqueues the (2k)^depth junk flood ahead of the backbone successor at
+// every level and exhausts a 10^5-word budget long before the depth-2k
+// derivation surfaces. For completion the junk is free: the rules
+// x(i)·y(i,j) -> x(i) and x(i)·y(i,0) -> k(i) are over private symbols
+// whose suffixes never match another rule's prefix, so they contribute
+// zero critical pairs.
+//
+// The alphabet lists the zero symbol FIRST, making it the shortlex
+// minimum. The paired backbone rules k(i)·k(i) -> s(i) / -> s(i+1) then
+// collapse cleanly: their critical pairs orient every chain symbol down
+// to 0 (s(k-1) -> 0, ..., s1 -> 0, and finally A0 -> 0), so the completed
+// system joins A0 and 0 and DecideGoal answers the instance positively.
+func CollapsePresentation(k int) *Presentation {
+	if k < 2 {
+		k = 2
+	}
+	names := []string{"0", "A0"}
+	for i := 1; i < k; i++ {
+		names = append(names, fmt.Sprintf("s%d", i))
+	}
+	for i := 0; i < k; i++ {
+		names = append(names, fmt.Sprintf("k%d", i))
+	}
+	for i := 0; i < k; i++ {
+		names = append(names, fmt.Sprintf("x%d", i))
+		for j := 0; j <= 2*k; j++ {
+			names = append(names, fmt.Sprintf("y%d_%d", i, j))
+		}
+	}
+	a := MustAlphabet(names, "A0", "0")
+	var eqs []Equation
+	prev := a.A0()
+	for i := 0; i < k; i++ {
+		ki := a.MustSymbol(fmt.Sprintf("k%d", i))
+		var next Symbol
+		if i == k-1 {
+			next = a.Zero()
+		} else {
+			next = a.MustSymbol(fmt.Sprintf("s%d", i+1))
+		}
+		// Junk first: closure generates neighbours in equation order, so
+		// the flood of junk expansions enqueues ahead of the backbone
+		// successor at every BFS level.
+		x := a.MustSymbol(fmt.Sprintf("x%d", i))
+		for j := 1; j <= 2*k; j++ {
+			y := a.MustSymbol(fmt.Sprintf("y%d_%d", i, j))
+			eqs = append(eqs, Eq(W(x, y), W(x)))
+		}
+		eqs = append(eqs, Eq(W(x, a.MustSymbol(fmt.Sprintf("y%d_0", i))), W(ki)))
+		eqs = append(eqs, Eq(W(ki, ki), W(prev)))
+		eqs = append(eqs, Eq(W(ki, ki), W(next)))
+		prev = next
 	}
 	p, err := NewPresentation(a, eqs)
 	if err != nil {
