@@ -94,7 +94,7 @@ done
 
 # And for the serving layer's counter vocabulary: every serve.* counter
 # the server bumps must appear in the schema docs.
-for token in serve.requests serve.cache_hits serve.cache_misses serve.dedups serve.warm serve.shutdowns; do
+for token in serve.requests serve.cache_hits serve.cache_misses serve.dedups serve.warm serve.shutdowns serve.cert_checked serve.cert_rejected; do
     if ! grep -q -- "$token" docs/OBSERVABILITY.md; then
         echo "docs/OBSERVABILITY.md: serve counter \"$token\" (from internal/serve) is undocumented" >&2
         exit 1
@@ -192,6 +192,27 @@ grep -q '"type":"verdict","src":"portfolio","verdict":"finite-counterexample"' "
     echo "ci: portfolio gap smoke: trace does not close with the portfolio verdict" >&2
     exit 1
 }
+
+# Certificate smoke: every definitive verdict carries a proof object the
+# standalone checker accepts with no engine in the loop (gap's database
+# counterexample through the portfolio, chain's chase proof), and a
+# single tampered byte is rejected with a nonzero exit.
+go build -o "$smoke/tdcheck" ./cmd/tdcheck
+"$smoke/tdinfer" -preset gap -deadline 30s -cert "$smoke/gap.cert.json" >/dev/null
+"$smoke/tdcheck" -verify "$smoke/gap.cert.json" >/dev/null || {
+    echo "ci: cert smoke: gap certificate rejected" >&2
+    exit 1
+}
+"$smoke/tdinfer" -preset chain:2 -cert "$smoke/chain.cert.json" >/dev/null
+"$smoke/tdcheck" -verify "$smoke/chain.cert.json" >/dev/null || {
+    echo "ci: cert smoke: chain certificate rejected" >&2
+    exit 1
+}
+sed 's/"version": 1/"version": 7/' "$smoke/chain.cert.json" >"$smoke/tampered.cert.json"
+if "$smoke/tdcheck" -verify "$smoke/tampered.cert.json" >/dev/null 2>&1; then
+    echo "ci: cert smoke: tampered certificate was accepted" >&2
+    exit 1
+fi
 
 # Parallel determinism smoke: the chase event stream is a pure function
 # of the problem — byte-identical for every -workers value. The raw trace

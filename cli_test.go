@@ -242,6 +242,45 @@ func TestCLI(t *testing.T) {
 		}
 	})
 
+	// The certificate product surface end to end: tdinfer writes the
+	// verdict's proof object, tdcheck re-verifies it with no engine in the
+	// loop, and a tampered byte is rejected with a precise error.
+	t.Run("tdinfer-cert-to-tdcheck-verify", func(t *testing.T) {
+		dir := t.TempDir()
+		chainCert := filepath.Join(dir, "chain.cert.json")
+		out := run("tdinfer", 0, "-preset", "chain:2", "-cert", chainCert)
+		if !strings.Contains(out, "verdict: implied") || !strings.Contains(out, "certificate: kind=chase") {
+			t.Fatalf("tdinfer -cert output:\n%s", out)
+		}
+		ver := run("tdcheck", 0, "-verify", chainCert)
+		if !strings.Contains(ver, "certificate OK") || !strings.Contains(ver, "chase trace:") {
+			t.Errorf("tdcheck -verify output:\n%s", ver)
+		}
+		// The finite-counterexample side, with the -proof epilogue.
+		powerCert := filepath.Join(dir, "power.cert.json")
+		out = run("tdinfer", 0, "-preset", "power", "-proof", "-cert", powerCert)
+		for _, want := range []string{"verdict: finite-counterexample", "counter-database:", "witness semigroup", "multiplication table"} {
+			if !strings.Contains(out, want) {
+				t.Errorf("missing %q in -proof output:\n%s", want, out)
+			}
+		}
+		ver = run("tdcheck", 0, "-verify", powerCert)
+		if !strings.Contains(ver, `verdict "finite-counterexample" is certified`) {
+			t.Errorf("tdcheck -verify power output:\n%s", ver)
+		}
+		// A single tampered byte must be rejected.
+		data, err := os.ReadFile(chainCert)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bad := filepath.Join(dir, "bad.cert.json")
+		os.WriteFile(bad, bytes.Replace(data, []byte(`"version": 1`), []byte(`"version": 7`), 1), 0o644)
+		rej := run("tdcheck", 1, "-verify", bad)
+		if !strings.Contains(rej, "REJECTED") {
+			t.Errorf("tampered cert accepted:\n%s", rej)
+		}
+	})
+
 	t.Run("tdreduce-to-tdinfer-pipeline", func(t *testing.T) {
 		// The Main Theorem's direction (A), end to end across process
 		// boundaries: tdreduce emits (D, D0) for a derivable presentation;
@@ -312,9 +351,9 @@ func TestCLI(t *testing.T) {
 			t.Fatalf("unexpected first line:\n%s", strings.Join(lines, "\n"))
 		}
 
-		post := func(body string) map[string]any {
+		post := func(path, body string) map[string]any {
 			t.Helper()
-			res, err := http.Post("http://"+addr+"/infer", "application/json", strings.NewReader(body))
+			res, err := http.Post("http://"+addr+path, "application/json", strings.NewReader(body))
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -328,15 +367,23 @@ func TestCLI(t *testing.T) {
 			}
 			return m
 		}
-		cold := post(`{"preset":"power"}`)
+		// ?cert=1 returns the verdict's certificate inline.
+		cold := post("/infer?cert=1", `{"preset":"power"}`)
 		if cold["source"] != "cold" || cold["verdict"] != "finite-counterexample" {
 			t.Errorf("cold response: %v", cold)
 		}
+		if c, ok := cold["cert"].(map[string]any); !ok || c["kind"] != "finite-model" {
+			t.Errorf("cold response carries no finite-model certificate: %v", cold["cert"])
+		}
 		// The power presentation under renamed symbols, zero equations left
 		// implicit: canonicalization must route it to the same cache line.
-		hit := post(`{"alphabet":["A0","Q","Z"],"a0":"A0","zero":"Z","equations":["A0 A0 = Q"]}`)
+		// Without ?cert=1 the certificate is stripped from the wire.
+		hit := post("/infer", `{"alphabet":["A0","Q","Z"],"a0":"A0","zero":"Z","equations":["A0 A0 = Q"]}`)
 		if hit["source"] != "cache" || hit["key"] != cold["key"] || hit["verdict"] != cold["verdict"] {
 			t.Errorf("renamed twin response: %v (cold was %v)", hit, cold)
+		}
+		if hit["cert"] != nil {
+			t.Errorf("certificate served without opt-in: %v", hit["cert"])
 		}
 
 		if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {

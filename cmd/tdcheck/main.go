@@ -5,6 +5,14 @@
 //
 // Database files hold one fact per line: R(StLaurent, EveningDress, 10).
 // Dependency files hold one TD per line in the td syntax.
+//
+// With -verify CERT, tdcheck is instead the standalone certificate
+// checker: it decodes the JSON certificate a definitive verdict carries
+// (tdinfer -cert, sgword, or POST /infer?cert=1), re-checks the proof
+// independently of the engines that produced it, and prints a readable
+// rendering. Exit 0 means the certificate is valid; any tampering —
+// corrupted steps, forged derivations, witness tables that fail a
+// dependency, truncated JSON — exits 1 with a precise error.
 package main
 
 import (
@@ -14,6 +22,7 @@ import (
 	"strings"
 
 	"templatedep/internal/budget"
+	"templatedep/internal/cert"
 	"templatedep/internal/chase"
 	"templatedep/internal/relation"
 	"templatedep/internal/tableau"
@@ -27,10 +36,15 @@ func main() {
 		depsFile   = flag.String("deps", "", "dependency file (required)")
 		repair     = flag.Bool("repair", false, "chase the database and print the repair tuples")
 		rounds     = flag.Int("rounds", 64, "chase round budget for -repair")
+		verify     = flag.String("verify", "", "verify the JSON certificate in FILE (standalone mode; ignores -schema/-db/-deps)")
 	)
 	flag.Parse()
+	if *verify != "" {
+		verifyCert(*verify)
+		return
+	}
 	if *schemaFlag == "" || *dbFile == "" || *depsFile == "" {
-		fmt.Fprintln(os.Stderr, "tdcheck: -schema, -db and -deps are required")
+		fmt.Fprintln(os.Stderr, "tdcheck: -schema, -db and -deps are required (or -verify CERT)")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -108,6 +122,26 @@ func describeMatch(d *td.TD, as tableau.Assignment, namer *relation.Namer) strin
 		parts = append(parts, namer.FormatTuple(tup))
 	}
 	return strings.Join(parts, " & ")
+}
+
+// verifyCert runs the standalone certificate checker: strict decode, full
+// independent re-check, readable rendering. The process exit code IS the
+// verification verdict.
+func verifyCert(path string) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	c, err := cert.Decode(data)
+	if err != nil {
+		fatal(fmt.Errorf("%s: %w", path, err))
+	}
+	if err := cert.Check(c); err != nil {
+		fmt.Print(cert.Describe(c))
+		fatal(fmt.Errorf("%s: REJECTED: %w", path, err))
+	}
+	fmt.Print(cert.Describe(c))
+	fmt.Printf("certificate OK: the %s proof checks out; verdict %q is certified\n", c.Kind, c.Verdict)
 }
 
 func fatal(err error) {

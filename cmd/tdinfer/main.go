@@ -23,7 +23,13 @@
 // Observability: -trace FILE writes the structured event stream (JSONL, see
 // docs/OBSERVABILITY.md) of the whole run; -progress keeps a live one-line
 // status on stderr; -depstats prints a per-dependency work table; -proof
-// prints the chase proof trace when the verdict is "implied".
+// prints the chase proof trace when the verdict is "implied" and the
+// counter-database (plus, for -preset runs, the witness semigroup's
+// multiplication table when one exists) when it is "finite-counterexample".
+//
+// Certificates: -cert FILE writes the verdict's verifiable proof object as
+// versioned JSON; `tdcheck -verify FILE` re-checks it independently of the
+// engines that produced it.
 package main
 
 import (
@@ -38,6 +44,7 @@ import (
 	"time"
 
 	"templatedep/internal/budget"
+	"templatedep/internal/cert"
 	"templatedep/internal/chase"
 	"templatedep/internal/core"
 	"templatedep/internal/obs"
@@ -45,6 +52,7 @@ import (
 	"templatedep/internal/psearch"
 	"templatedep/internal/reduction"
 	"templatedep/internal/relation"
+	"templatedep/internal/search"
 	"templatedep/internal/td"
 	"templatedep/internal/words"
 )
@@ -67,7 +75,8 @@ func main() {
 		pruneFlag  = flag.String("prune", "symmetry", "counterexample enumeration symmetry breaking: symmetry|none")
 		deadline   = flag.Duration("deadline", 0, "wall-clock budget for the whole run (0 = none)")
 		engine     = flag.String("engine", "portfolio", "inference engine: portfolio (adaptive budget reallocation across all arms) or race (static sequential dual run)")
-		proof      = flag.Bool("proof", false, "print the chase proof trace")
+		proof      = flag.Bool("proof", false, "print the proof object: the chase trace for implied, the counter-database and witness table for finite-counterexample")
+		certFile   = flag.String("cert", "", "write the verdict's verifiable certificate (JSON) to FILE; re-check with tdcheck -verify FILE")
 		traceFile  = flag.String("trace", "", "write the structured event stream to FILE as JSONL (see docs/OBSERVABILITY.md)")
 		progress   = flag.Bool("progress", false, "live progress line on stderr")
 		depStats   = flag.Bool("depstats", false, "print per-dependency chase statistics")
@@ -89,6 +98,11 @@ func main() {
 		depSet []*td.TD
 		goal   *td.TD
 		err    error
+		// presetPres and presetInst are set for -preset runs: the source
+		// presentation and its reduction, used by the -proof epilogue to
+		// search for a semigroup-level witness on finite counterexamples.
+		presetPres *words.Presentation
+		presetInst *reduction.Instance
 	)
 	if *preset != "" {
 		p, err := words.Preset(*preset)
@@ -100,6 +114,7 @@ func main() {
 			fatal(err)
 		}
 		schema, depSet, goal = in.Schema, in.D, in.D0
+		presetPres, presetInst = p, in
 	} else {
 		schema, err = relation.NewSchema(strings.Split(*schemaFlag, ","))
 		if err != nil {
@@ -142,6 +157,7 @@ func main() {
 
 	b := core.DefaultBudget()
 	b.Governor = budget.New(ctx, budget.Limits{})
+	b.Certify = *certFile != "" || *proof
 	b.Chase = chase.Options{
 		Governor:  b.Governor.Child(budget.Limits{Rounds: *rounds, Tuples: *tuples}),
 		SemiNaive: true, Trace: *proof, PerDepStats: *depStats,
@@ -196,7 +212,7 @@ func main() {
 			fatal(perr)
 		}
 		res = core.InferenceResult{Verdict: core.VerdictOf(pres.Verdict),
-			Chase: pres.Chase, Counterexample: pres.Counterexample}
+			Chase: pres.Chase, Counterexample: pres.Counterexample}.WithCert(pres.Cert())
 		if pres.Winner != "" {
 			fmt.Printf("winner: %s arm (%d scheduler ticks, %d reallocation decisions)\n",
 				pres.Winner, pres.Ticks, len(pres.Decisions))
@@ -222,15 +238,43 @@ func main() {
 					depSet[i].Name(), ds.Matched, ds.Fired, ds.Added, ds.Nulls)
 			}
 		}
-		if *proof && res.Verdict == core.Implied {
+	}
+	if *proof && res.Verdict == core.Implied {
+		switch {
+		case res.Chase != nil && len(res.Chase.Trace) > 0:
 			fmt.Println("proof trace:")
 			for _, f := range res.Chase.Trace {
 				fmt.Printf("  round %d: %s adds %v\n", f.Round, depSet[f.Dep].Name(), f.Tuple)
+			}
+		case res.Cert() != nil && res.Cert().Chase != nil:
+			// The winning arm ran untraced (the adaptive portfolio's chase
+			// keeps its snapshots warm-state eligible); the certifying
+			// replay's trace is the proof.
+			fmt.Println("proof trace (from certificate replay):")
+			for _, s := range res.Cert().Chase.Steps {
+				fmt.Printf("  %s adds %v\n", depSet[s.Dep].Name(), s.Tuple)
 			}
 		}
 	}
 	if res.Counterexample != nil {
 		fmt.Printf("finite counterexample (%d tuples):\n%s", res.Counterexample.Len(), res.Counterexample.String())
+	}
+	if *proof && res.Verdict == core.FiniteCounterexample {
+		printCounterexampleProof(res, presetPres, presetInst, b)
+	}
+	if *certFile != "" {
+		c := res.Cert()
+		if c == nil {
+			fatal(fmt.Errorf("verdict %s produced no certificate (unknown verdicts are never certified)", res.Verdict))
+		}
+		data, err := c.Encode()
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*certFile, data, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("certificate: kind=%s written to %s (re-check with: tdcheck -verify %s)\n", c.Kind, *certFile, *certFile)
 	}
 	if res.Verdict == core.Unknown {
 		switch ctx.Err() {
@@ -242,6 +286,41 @@ func main() {
 			fmt.Println("inconclusive within budget — raise -rounds / -tuples / -cx-tuples.")
 		}
 		fmt.Println("(TD inference is undecidable; no budget eliminates this outcome in general.)")
+	}
+}
+
+// printCounterexampleProof renders the finite-counterexample proof object:
+// the counter-database from the certificate, and for -preset runs also the
+// semigroup-level view — the witness multiplication table when the model
+// search finds one, or an honest note that none exists within budget (the
+// database-level and cancellation-model counterexample notions genuinely
+// differ, e.g. on the gap preset).
+func printCounterexampleProof(res core.InferenceResult, p *words.Presentation, in *reduction.Instance, b core.Budget) {
+	if c := res.Cert(); c != nil && c.Model != nil {
+		fmt.Println("counterexample proof:")
+		printIndented(cert.DescribeModel(c.Model))
+	} else if res.Counterexample != nil {
+		fmt.Println("counterexample proof: see the database above")
+	}
+	if p == nil || in == nil {
+		return
+	}
+	sres, err := search.FindCounterModel(p, b.ModelSearch)
+	if err != nil || sres.Interpretation == nil {
+		fmt.Println("no semigroup witness within the model-search budget — the counterexample is database-level only")
+		return
+	}
+	wit := sres.Interpretation
+	m := &cert.Model{Table: wit.Table.Rows(), Assign: make(map[string]int, len(wit.Assign))}
+	for s, e := range wit.Assign {
+		m.Assign[wit.Alphabet.Name(s)] = int(e)
+	}
+	printIndented(cert.DescribeModel(m))
+}
+
+func printIndented(s string) {
+	for _, line := range strings.Split(strings.TrimRight(s, "\n"), "\n") {
+		fmt.Println("  " + line)
 	}
 }
 

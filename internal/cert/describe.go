@@ -1,0 +1,80 @@
+package cert
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Describe renders the certificate for human eyes: the problem it is
+// about, the verdict it certifies, and the proof payload — derivation
+// steps, chase trace, or counter-database plus witness table. It is the
+// output of `tdcheck -verify` and the `-proof` epilogue of tdinfer on
+// finite-counterexample verdicts.
+func Describe(c *Certificate) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "certificate: kind=%s verdict=%s version=%d\n", c.Kind, c.Verdict, c.Version)
+	if c.Problem.IsPresentation() {
+		fmt.Fprintf(&b, "problem: presentation over {%s}, A0=%s, zero=%s, %d equations\n",
+			strings.Join(c.Problem.Alphabet, ","), c.Problem.A0, c.Problem.Zero, len(c.Problem.Equations))
+	} else {
+		fmt.Fprintf(&b, "problem: schema %s, %d dependencies, goal %s\n",
+			strings.Join(c.Problem.Schema, ","), len(c.Problem.Deps), c.Problem.Goal)
+	}
+	switch {
+	case c.Derivation != nil:
+		d := c.Derivation
+		fmt.Fprintf(&b, "derivation: %s = %s in %d steps\n", d.From, d.To, len(d.Steps))
+		for i, s := range d.Steps {
+			dir := "->"
+			if !s.Forward {
+				dir = "<-"
+			}
+			fmt.Fprintf(&b, "  step %d: eq %d %s at pos %d yields %s\n", i, s.Eq, dir, s.Pos, s.Result)
+		}
+	case c.Chase != nil:
+		fmt.Fprintf(&b, "chase trace: %d steps\n", len(c.Chase.Steps))
+		for i, s := range c.Chase.Steps {
+			fmt.Fprintf(&b, "  step %d: dep %d adds %v\n", i, s.Dep, s.Tuple)
+		}
+	case c.Model != nil:
+		b.WriteString(DescribeModel(c.Model))
+	}
+	return b.String()
+}
+
+// DescribeModel renders just the finite-model payload: the
+// counter-database and, when present, the witness semigroup's
+// multiplication table and symbol assignment.
+func DescribeModel(m *Model) string {
+	var b strings.Builder
+	if len(m.Tuples) > 0 {
+		fmt.Fprintf(&b, "counter-database: %d tuples\n", len(m.Tuples))
+		for _, row := range m.Tuples {
+			fmt.Fprintf(&b, "  %v\n", row)
+		}
+	}
+	if len(m.Table) > 0 {
+		fmt.Fprintf(&b, "witness semigroup (order %d), multiplication table:\n", len(m.Table))
+		for _, row := range m.Table {
+			b.WriteString(" ")
+			for _, v := range row {
+				fmt.Fprintf(&b, " %d", v)
+			}
+			b.WriteByte('\n')
+		}
+	}
+	if len(m.Assign) > 0 {
+		names := make([]string, 0, len(m.Assign))
+		for name := range m.Assign {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		b.WriteString("witness assignment:")
+		for _, name := range names {
+			fmt.Fprintf(&b, " %s=%d", name, m.Assign[name])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

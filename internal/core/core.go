@@ -25,6 +25,7 @@ import (
 	"fmt"
 
 	"templatedep/internal/budget"
+	"templatedep/internal/cert"
 	"templatedep/internal/chase"
 	"templatedep/internal/finitemodel"
 	"templatedep/internal/obs"
@@ -55,6 +56,11 @@ type Budget struct {
 	// every sub-procedure whose options do not already carry a sink, so
 	// one sink observes the whole dual run. See docs/OBSERVABILITY.md.
 	Sink obs.Sink
+	// Certify makes every definitive TD-level verdict carry a serializable
+	// certificate (Cert() on the result): chase tracing is forced on so an
+	// Implied verdict has a replayable trace. Off by default — tracing
+	// costs allocations on the hot path, so benchmarks stay unchanged.
+	Certify bool
 }
 
 // withSink propagates b.Sink into sub-procedure options that have none,
@@ -179,6 +185,23 @@ type InferenceResult struct {
 	// Counterexample is the finite database violating D0, when found
 	// (either the chase fixpoint or the enumerator's witness).
 	Counterexample *relation.Instance
+
+	cert *cert.Certificate
+}
+
+// Cert returns the run's serializable certificate: non-nil for every
+// definitive verdict of a run with Budget.Certify set (and for portfolio
+// runs whose winning arm's verdict could be certified), nil for Unknown
+// and for uncertified runs.
+func (r InferenceResult) Cert() *cert.Certificate { return r.cert }
+
+// WithCert returns a copy of r carrying c; it is how layers that rebuild
+// an InferenceResult from parts (the portfolio front-end, the CLIs'
+// presentation adapter) thread a certificate through without exporting
+// the field itself.
+func (r InferenceResult) WithCert(c *cert.Certificate) InferenceResult {
+	r.cert = c
+	return r
 }
 
 // Infer runs the dual semidecision for an arbitrary TD instance: the chase
@@ -186,6 +209,33 @@ type InferenceResult struct {
 // enumerator for FCEX.
 func Infer(deps []*td.TD, d0 *td.TD, b Budget) (InferenceResult, error) {
 	b = b.withSink().withGovernor()
+	if b.Certify && !b.Chase.CaptureState {
+		// Force tracing so an Implied verdict has a replayable proof.
+		// Snapshot-capturing runs (the serving layer's warm-state cache)
+		// stay untraced — tracing makes snapshots ineligible — and
+		// certify by replay instead.
+		b.Chase.Trace = true
+	}
+	doc := func() cert.Problem { return cert.TDProblem(d0.Schema(), deps, d0) }
+	// certImplied turns an Implied chase result into a certificate: its own
+	// trace when the run recorded a complete one, a deterministic traced
+	// replay under the same budget class (with margin) otherwise.
+	certImplied := func(cres *chase.Result) *cert.Certificate {
+		if len(cres.Trace) > 0 && !cres.WarmStarted {
+			return cert.NewChase(doc(), cres.Trace)
+		}
+		var lim budget.Limits
+		if b.Chase.Governor != nil {
+			l := b.Chase.Governor.Limits()
+			if l.Rounds > 0 {
+				lim.Rounds = 2*l.Rounds + 4
+			}
+			if l.Tuples > 0 {
+				lim.Tuples = 4*l.Tuples + 1024
+			}
+		}
+		return cert.CertifyImplied(doc(), deps, d0, lim)
+	}
 	verdict := func(res InferenceResult) (InferenceResult, error) {
 		b.emit(obs.Event{Type: obs.EvVerdict, Verdict: res.Verdict.String()})
 		return res, nil
@@ -198,9 +248,17 @@ func Infer(deps []*td.TD, d0 *td.TD, b Budget) (InferenceResult, error) {
 	b.emit(obs.Event{Type: obs.EvArmResult, Arm: "chase", Verdict: cres.Verdict.String()})
 	switch cres.Verdict {
 	case chase.Implied:
-		return verdict(InferenceResult{Verdict: Implied, Chase: &cres})
+		res := InferenceResult{Verdict: Implied, Chase: &cres}
+		if b.Certify {
+			res.cert = certImplied(&cres)
+		}
+		return verdict(res)
 	case chase.NotImplied:
-		return verdict(InferenceResult{Verdict: FiniteCounterexample, Chase: &cres, Counterexample: cres.Instance})
+		res := InferenceResult{Verdict: FiniteCounterexample, Chase: &cres, Counterexample: cres.Instance}
+		if b.Certify {
+			res.cert = cert.NewFiniteModel(doc(), cres.Instance, nil)
+		}
+		return verdict(res)
 	}
 	b.emit(obs.Event{Type: obs.EvArmStart, Arm: "finite-db"})
 	fres, err := finitemodel.FindCounterexample(deps, d0, b.FiniteDB)
@@ -209,7 +267,11 @@ func Infer(deps []*td.TD, d0 *td.TD, b Budget) (InferenceResult, error) {
 	}
 	b.emit(obs.Event{Type: obs.EvArmResult, Arm: "finite-db", Verdict: fres.Status()})
 	if fres.Instance != nil {
-		return verdict(InferenceResult{Verdict: FiniteCounterexample, Chase: &cres, Counterexample: fres.Instance})
+		res := InferenceResult{Verdict: FiniteCounterexample, Chase: &cres, Counterexample: fres.Instance}
+		if b.Certify {
+			res.cert = cert.NewFiniteModel(doc(), fres.Instance, nil)
+		}
+		return verdict(res)
 	}
 	return verdict(InferenceResult{Verdict: Unknown, Chase: &cres})
 }
@@ -235,6 +297,34 @@ type PresentationResult struct {
 	// derivable instances into IMPL and finitely-refutable ones into FCEX,
 	// and the gap between them is where the undecidability lives.
 	GoalRefuted bool
+}
+
+// Cert assembles the run's serializable certificate from the proof
+// objects the pipeline already carries, embedding the ORIGINAL
+// presentation (the checker rebuilds the reduction deterministically):
+// an equational derivation or a chase trace for Implied, the
+// counter-database plus the semigroup witness for FiniteCounterexample.
+// Nil for Unknown, and for definitive verdicts whose run kept no proof
+// object (an untraced chase win — certify those with cert.CertifyImplied).
+func (r *PresentationResult) Cert() *cert.Certificate {
+	if r == nil || r.Instance == nil || r.Instance.Original == nil {
+		return nil
+	}
+	doc := cert.PresentationProblem(r.Instance.Original)
+	switch r.Verdict {
+	case Implied:
+		if r.Derivation != nil {
+			return cert.NewDerivation(doc, r.Instance.Pres, r.Derivation)
+		}
+		if r.ChaseProof != nil {
+			return cert.NewChase(doc, r.ChaseProof.Trace)
+		}
+	case FiniteCounterexample:
+		if r.CounterModel != nil {
+			return cert.NewFiniteModel(doc, r.CounterModel.Instance, r.Witness)
+		}
+	}
+	return nil
 }
 
 // AnalyzePresentation runs the full pipeline on a semigroup presentation:

@@ -30,6 +30,7 @@ func (b Budget) PortfolioOptions() portfolio.Options {
 		Governor:    b.Governor,
 		Sink:        b.Sink,
 		Workers:     b.Chase.Workers,
+		Certify:     b.Certify,
 		Chase:       b.Chase,
 		ModelSearch: b.ModelSearch,
 		FiniteDB:    b.FiniteDB,
@@ -103,7 +104,7 @@ func inferPortfolioDeepening(deps []*td.TD, d0 *td.TD, opt DeepeningOptions, g *
 		if res.Chase != nil && res.Chase.State != nil {
 			carry = res.Chase.State
 		}
-		last = InferenceResult{Verdict: VerdictOf(res.Verdict), Chase: res.Chase, Counterexample: res.Counterexample}
+		last = InferenceResult{Verdict: VerdictOf(res.Verdict), Chase: res.Chase, Counterexample: res.Counterexample, cert: res.Cert()}
 		b.emit(obs.Event{Type: obs.EvDeepenRound, Round: round, Verdict: last.Verdict.String()})
 		if last.Verdict != Unknown || g.Interrupted().Stopped() {
 			return last, round, nil

@@ -158,6 +158,12 @@ const (
 	// Fields: N (engine runs that were in flight when the drain began —
 	// each completed, and closed its trace, before this line was written).
 	EvServeShutdown EventType = "serve_shutdown"
+	// EvCertCheck reports one certificate verification by the serving
+	// layer: every certificate is re-checked by the independent verifier
+	// before it is stored or replayed from the cache. Fields: Req, Key,
+	// Source (the certificate kind: "derivation", "chase", or
+	// "finite-model"), Verdict ("ok" or "rejected").
+	EvCertCheck EventType = "cert_check"
 )
 
 // Event is one structured observation. It is a flat value type — emitters

@@ -70,6 +70,11 @@ type Totals struct {
 	// ServeShutdowns counts serve_shutdown events (1 for a trace of one
 	// complete server lifetime).
 	ServeShutdowns int
+	// CertChecks counts cert_check events (certificate verifications by
+	// the serving layer); CertRejects counts the subset whose verdict was
+	// "rejected".
+	CertChecks  int
+	CertRejects int
 	// PerDepFired sums dep_fired.n by dependency index.
 	PerDepFired map[int]int
 	// Verdicts maps emitting layer (event src) to its final verdict
@@ -155,6 +160,11 @@ func Replay(r io.Reader) (Totals, error) {
 			t.ServeWarm++
 		case EvServeShutdown:
 			t.ServeShutdowns++
+		case EvCertCheck:
+			t.CertChecks++
+			if e.Verdict == "rejected" {
+				t.CertRejects++
+			}
 		case EvBudgetExhausted:
 			t.Stops[e.Src] = "exhausted:" + e.Resource
 		case EvCancelled:

@@ -134,6 +134,10 @@ func (s *JSONLSink) Event(e Event) {
 		b = appendStr(b, "key", e.Key)
 	case EvServeShutdown:
 		appendInt("n", e.N)
+	case EvCertCheck:
+		b = appendStr(b, "key", e.Key)
+		b = appendStr(b, "source", e.Source)
+		b = appendStr(b, "verdict", e.Verdict)
 	default:
 		// Unknown types round-trip through encoding/json so custom
 		// emitters degrade gracefully instead of silently dropping data.
@@ -322,6 +326,11 @@ func (s *CounterSink) Event(e Event) {
 		s.C.Add("serve.warm", 1)
 	case EvServeShutdown:
 		s.C.Add("serve.shutdowns", 1)
+	case EvCertCheck:
+		s.C.Add("serve.cert_checked", 1)
+		if e.Verdict == "rejected" {
+			s.C.Add("serve.cert_rejected", 1)
+		}
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"templatedep/internal/budget"
+	"templatedep/internal/cert"
 	"templatedep/internal/chase"
 	"templatedep/internal/eid"
 	"templatedep/internal/finitemodel"
@@ -357,7 +358,11 @@ func AnalyzePresentation(p *words.Presentation, opt Options) (*Result, error) {
 		chaseArm(in.D, in.D0, opt, res, scale),
 		eidArm(in.D, in.D0, opt, res, scale),
 	}
-	return run(arms, opt, res)
+	out, err := run(arms, opt, res)
+	if err == nil && opt.Certify {
+		certify(out, cert.PresentationProblem(p), in.D, in.D0)
+	}
+	return out, err
 }
 
 // Infer runs the TD-level portfolio: the chase, the finite-database
@@ -372,5 +377,9 @@ func Infer(deps []*td.TD, d0 *td.TD, opt Options) (*Result, error) {
 		finiteDBArm(deps, d0, opt, res, scale),
 		eidArm(deps, d0, opt, res, scale),
 	}
-	return run(arms, opt, res)
+	out, err := run(arms, opt, res)
+	if err == nil && opt.Certify {
+		certify(out, cert.TDProblem(d0.Schema(), deps, d0), deps, d0)
+	}
+	return out, err
 }

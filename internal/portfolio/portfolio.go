@@ -66,6 +66,7 @@ import (
 	"fmt"
 
 	"templatedep/internal/budget"
+	"templatedep/internal/cert"
 	"templatedep/internal/chase"
 	"templatedep/internal/eid"
 	"templatedep/internal/finitemodel"
@@ -155,6 +156,13 @@ type Options struct {
 	// Memory seeds the arms with allocations learned by a previous run
 	// (see Result.Memory); nil starts cold.
 	Memory *Memory
+	// Certify makes a definitive verdict carry a serializable certificate
+	// (Result.Cert): native proof objects (a validated chase trace, the
+	// verified counter-model) serialize directly, and Implied wins from
+	// arms without one (kb, eid, an untraced chase lease) are certified by
+	// a deterministic traced chase replay. Off by default — the replay
+	// costs one extra chase run on some wins.
+	Certify bool
 
 	// Per-engine options. Governors inside them contribute their meter
 	// limits as the arm's hard ceilings (engine defaults otherwise); the
@@ -260,7 +268,14 @@ type Result struct {
 	Stop budget.Outcome
 	// Memory is the learned allocation state, ready to seed a re-run.
 	Memory *Memory
+
+	cert *cert.Certificate
 }
+
+// Cert returns the run's serializable certificate: non-nil for definitive
+// verdicts of runs with Options.Certify set whose winning verdict could be
+// certified (see the Certify doc), nil otherwise.
+func (r *Result) Cert() *cert.Certificate { return r.cert }
 
 // armHealth is an arm's self-reported progress classification for one
 // lease, computed from the arm's own meters only.

@@ -240,6 +240,22 @@ func (t *Table) String() string {
 	return b.String()
 }
 
+// Rows returns the multiplication table as a fresh n×n int matrix —
+// Rows()[i][j] = i·j. It is the serialization-facing accessor (certificate
+// payloads, diagnostics); mutating the returned matrix does not affect the
+// table.
+func (t *Table) Rows() [][]int {
+	rows := make([][]int, t.n)
+	for i := 0; i < t.n; i++ {
+		row := make([]int, t.n)
+		for j := 0; j < t.n; j++ {
+			row[j] = int(t.mul[i*t.n+j])
+		}
+		rows[i] = row
+	}
+	return rows
+}
+
 // Equal reports table equality (same order, same products); names ignored.
 func (t *Table) Equal(u *Table) bool {
 	if t.n != u.n {
@@ -258,6 +274,10 @@ func (t *Table) Equal(u *Table) bool {
 type Interpretation struct {
 	Table  *Table
 	Assign map[words.Symbol]Elem
+	// Alphabet is the alphabet the assignment is over, kept so consumers
+	// (certificate serialization, diagnostics) can render symbol names
+	// without threading the alphabet separately.
+	Alphabet *words.Alphabet
 }
 
 // NewInterpretation validates that every symbol of a is assigned.
@@ -271,7 +291,7 @@ func NewInterpretation(t *Table, a *words.Alphabet, assign map[words.Symbol]Elem
 			return nil, fmt.Errorf("semigroup: symbol %s assigned out-of-range element %d", a.Name(s), int(e))
 		}
 	}
-	return &Interpretation{Table: t, Assign: assign}, nil
+	return &Interpretation{Table: t, Assign: assign, Alphabet: a}, nil
 }
 
 // Eval computes the value of a non-empty word.

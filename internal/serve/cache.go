@@ -3,6 +3,8 @@ package serve
 import (
 	"container/list"
 
+	"templatedep/internal/budget"
+	"templatedep/internal/cert"
 	"templatedep/internal/chase"
 	"templatedep/internal/core"
 )
@@ -35,6 +37,21 @@ type CachedVerdict struct {
 	// Warm reports that the run warm-started from a cached chase state
 	// (Response.Source "warm").
 	Warm bool
+	// Cert is the verifiable certificate backing a definitive verdict,
+	// nil for Unknown verdicts (and for the rare definitive run whose
+	// certifying replay itself ran out of budget). The server re-checks
+	// it with the independent verifier before storing and again before
+	// replaying a hit whose CertOK flag is unset.
+	Cert *cert.Certificate
+	// CertOK records that Cert passed cert.Check after the cold run. A
+	// stored entry with a Cert but CertOK false is re-verified on its
+	// next hit and treated as a miss if the check fails.
+	CertOK bool
+	// Class is the budget class the cold run was answered under (the
+	// effective chase limits). An Unknown verdict only stands in for
+	// requests whose budget does not exceed this class — a larger-budget
+	// request re-runs and overwrites the entry.
+	Class budget.Limits
 }
 
 // lru is a bounded most-recently-used verdict cache. It is NOT
@@ -85,6 +102,19 @@ func (l *lru) Put(key string, v CachedVerdict) bool {
 
 // Len returns the number of cached verdicts.
 func (l *lru) Len() int { return l.ll.Len() }
+
+// Delete removes key from the cache, reporting whether it was present.
+// Used when a stored certificate fails re-verification on a hit: the
+// entry is evicted and the request recomputed.
+func (l *lru) Delete(key string) bool {
+	el, ok := l.m[key]
+	if !ok {
+		return false
+	}
+	l.ll.Remove(el)
+	delete(l.m, key)
+	return true
+}
 
 // stateLRU is the bounded chase-state cache, keyed by the canonical
 // dependency-set + goal-antecedent prefix (CanonChaseState). Like the

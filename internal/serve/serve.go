@@ -49,6 +49,7 @@ import (
 	"time"
 
 	"templatedep/internal/budget"
+	"templatedep/internal/cert"
 	"templatedep/internal/chase"
 	"templatedep/internal/core"
 	"templatedep/internal/finitemodel"
@@ -126,6 +127,12 @@ type Problem struct {
 	// StateKey is the chase-state cache key (CanonChaseState), set for td
 	// problems; queries sharing it share one chase computation.
 	StateKey string
+	// Limits carries the request's per-meter budget overrides (zero
+	// fields defer to the server-wide limits). Deliberately NOT part of
+	// the canonical Key: the problem class is the same whatever budget a
+	// client brings — the budget only decides whether a cached Unknown
+	// verdict may stand in for the request (CachedVerdict.Class).
+	Limits budget.Limits
 }
 
 // Request is the JSON body of POST /infer. Exactly one problem form must
@@ -143,6 +150,15 @@ type Request struct {
 	Schema []string `json:"schema,omitempty"`
 	Deps   []string `json:"deps,omitempty"`
 	Goal   string   `json:"goal,omitempty"`
+	// Rounds/Tuples/Nodes/Words override the server-wide meter limits for
+	// this request only (0 = server default). A request whose budget class
+	// exceeds the one a cached Unknown verdict was computed under re-runs
+	// the engines and overwrites the entry — bigger budgets may settle
+	// what smaller ones could not.
+	Rounds int `json:"rounds,omitempty"`
+	Tuples int `json:"tuples,omitempty"`
+	Nodes  int `json:"nodes,omitempty"`
+	Words  int `json:"words,omitempty"`
 }
 
 // Response is the JSON body of a successful POST /infer.
@@ -170,6 +186,11 @@ type Response struct {
 	// requests, the amount saved for cache/dedup ones).
 	ElapsedMS float64 `json:"elapsed_ms"`
 	ColdMS    float64 `json:"cold_ms"`
+	// Cert is the verifiable certificate backing a definitive verdict,
+	// checked by the server before it was stored. The HTTP layer strips
+	// it unless the client asked (POST /infer?cert=1); Infer always fills
+	// it when one exists.
+	Cert *cert.Certificate `json:"cert,omitempty"`
 }
 
 // call is one in-flight cold run; followers for the same key block on done.
@@ -290,27 +311,66 @@ func pick(cfgv, def int) int {
 	return def
 }
 
-// budgetFor builds the per-request core budget: one request-scoped
-// governor rooted at the server context (budget.ForRequest), one child
-// governor per arm carrying the derived limits, and the request-stamping
-// sink threaded through every layer.
+// limitsFor merges the request's per-meter budget overrides over the
+// server-wide limits; zero override fields fall through to the config.
+func (s *Server) limitsFor(p *Problem) budget.Limits {
+	l := s.cfg.Limits
+	if p.Limits.Rounds > 0 {
+		l.Rounds = p.Limits.Rounds
+	}
+	if p.Limits.Tuples > 0 {
+		l.Tuples = p.Limits.Tuples
+	}
+	if p.Limits.Nodes > 0 {
+		l.Nodes = p.Limits.Nodes
+	}
+	if p.Limits.Words > 0 {
+		l.Words = p.Limits.Words
+	}
+	return l
+}
+
 // chaseLimits resolves the per-request chase meter limits — the budget
 // class every td-mode run executes under, which also gates reuse of
 // budget-stopped chase states (chase.State.ReusableUnder).
-func (s *Server) chaseLimits() budget.Limits {
-	l := s.cfg.Limits
+func (s *Server) chaseLimits(p *Problem) budget.Limits {
+	l := s.limitsFor(p)
 	return budget.Limits{
 		Rounds: pick(l.Rounds, chase.DefaultLimits.Rounds),
 		Tuples: pick(l.Tuples, chase.DefaultLimits.Tuples),
 	}
 }
 
-func (s *Server) budgetFor(sink obs.Sink) (core.Budget, *budget.Governor, context.CancelFunc) {
-	l := s.cfg.Limits
+// requestClass is the fully resolved budget class of a request: every
+// meter at its effective value (override, server config, or engine
+// default). Stored with Unknown verdicts so a later, strictly larger
+// request is treated as a miss (classExceeds) and overwrites the entry.
+func (s *Server) requestClass(p *Problem) budget.Limits {
+	l := s.limitsFor(p)
+	c := s.chaseLimits(p)
+	c.Nodes = pick(l.Nodes, search.DefaultLimits.Nodes)
+	c.Words = pick(l.Words, words.DefaultLimits.Words)
+	return c
+}
+
+// classExceeds reports whether budget class a exceeds b on any meter —
+// the condition under which a may settle a problem b answered Unknown.
+func classExceeds(a, b budget.Limits) bool {
+	return a.Rounds > b.Rounds || a.Tuples > b.Tuples ||
+		a.Nodes > b.Nodes || a.Words > b.Words
+}
+
+// budgetFor builds the per-request core budget: one request-scoped
+// governor rooted at the server context (budget.ForRequest), one child
+// governor per arm carrying the derived limits, and the request-stamping
+// sink threaded through every layer. Certify is always on — the service
+// never stores a definitive verdict without a checkable proof.
+func (s *Server) budgetFor(p *Problem, sink obs.Sink) (core.Budget, *budget.Governor, context.CancelFunc) {
+	l := s.limitsFor(p)
 	g, cancel := budget.ForRequest(s.rootCtx, s.cfg.RequestTimeout, l)
-	b := core.Budget{Governor: g, Sink: sink}
+	b := core.Budget{Governor: g, Sink: sink, Certify: true}
 	b.Chase = chase.DefaultOptions()
-	b.Chase.Governor = g.Child(s.chaseLimits())
+	b.Chase.Governor = g.Child(s.chaseLimits(p))
 	b.Chase.Workers = s.cfg.Workers
 	b.FiniteDB.Workers = s.cfg.Workers
 	b.Closure.Governor = g.Child(budget.Limits{
@@ -334,7 +394,7 @@ func CoreRunner(_ context.Context, p *Problem, b core.Budget) (CachedVerdict, er
 		if err != nil {
 			return CachedVerdict{}, err
 		}
-		return CachedVerdict{Verdict: res.Verdict, Winner: res.Winner}, nil
+		return CachedVerdict{Verdict: res.Verdict, Winner: res.Winner, Cert: res.Cert()}, nil
 	}
 	res, err := core.Infer(p.Deps, p.Goal, b)
 	if err != nil {
@@ -347,7 +407,7 @@ func CoreRunner(_ context.Context, p *Problem, b core.Budget) (CachedVerdict, er
 	case core.FiniteCounterexample:
 		winner = "finite-db"
 	}
-	v := CachedVerdict{Verdict: res.Verdict, Winner: winner}
+	v := CachedVerdict{Verdict: res.Verdict, Winner: winner, Cert: res.Cert()}
 	if res.Chase != nil {
 		v.State = res.Chase.State
 		v.Warm = res.Chase.WarmStarted
@@ -372,7 +432,7 @@ func PortfolioRunner(_ context.Context, p *Problem, b core.Budget) (CachedVerdic
 	if err != nil {
 		return CachedVerdict{}, err
 	}
-	v := CachedVerdict{Verdict: core.VerdictOf(res.Verdict), Winner: res.Winner}
+	v := CachedVerdict{Verdict: core.VerdictOf(res.Verdict), Winner: res.Winner, Cert: res.Cert()}
 	if res.Chase != nil {
 		v.State = res.Chase.State
 		// The portfolio warm-carries its own snapshots between leases;
@@ -386,6 +446,16 @@ func PortfolioRunner(_ context.Context, p *Problem, b core.Budget) (CachedVerdic
 // ParseRequest validates a wire request and canonicalizes it into a
 // Problem.
 func ParseRequest(req Request) (*Problem, error) {
+	p, err := parseProblem(req)
+	if err != nil {
+		return nil, err
+	}
+	p.Limits = budget.Limits{Rounds: req.Rounds, Tuples: req.Tuples,
+		Nodes: req.Nodes, Words: req.Words}
+	return p, nil
+}
+
+func parseProblem(req Request) (*Problem, error) {
 	forms := 0
 	if req.Preset != "" {
 		forms++
@@ -471,10 +541,15 @@ func (s *Server) Infer(p *Problem) (Response, error) {
 		resp.Winner = v.Winner
 		resp.Stop = v.Stop
 		resp.ColdMS = v.ColdMS
+		resp.Cert = v.Cert
 		resp.ElapsedMS = float64(time.Since(start)) / float64(time.Millisecond)
 		sink.Event(obs.Event{Type: obs.EvServeRequest, Src: "serve",
 			Key: p.Hash, Source: src, Verdict: v.Verdict.String()})
 		return resp, nil
+	}
+	emitCertCheck := func(kind, verdict string) {
+		sink.Event(obs.Event{Type: obs.EvCertCheck, Src: "serve",
+			Key: p.Hash, Source: kind, Verdict: verdict})
 	}
 
 	s.mu.Lock()
@@ -482,14 +557,44 @@ func (s *Server) Infer(p *Problem) (Response, error) {
 		s.mu.Unlock()
 		return Response{}, ErrDraining
 	}
+	// rejectedKind remembers a hit whose stored certificate failed
+	// re-verification: the entry was evicted and the request falls
+	// through to a recompute; the cert_check event is emitted once the
+	// lock is released.
+	rejectedKind := ""
 	if v, ok := s.cache.Get(p.Key); ok {
-		s.mu.Unlock()
-		sink.Event(obs.Event{Type: obs.EvServeCacheHit, Src: "serve", Key: p.Hash})
-		return finish("cache", v)
+		switch {
+		case v.Verdict == core.Unknown && classExceeds(s.requestClass(p), v.Class):
+			// A strictly larger budget may settle what this entry's class
+			// could not: treat the hit as a miss and let the cold run
+			// overwrite it.
+		case v.Cert != nil && !v.CertOK:
+			// The stored certificate was never (successfully) verified —
+			// re-check before replaying the verdict, evict on failure.
+			kind := string(v.Cert.Kind)
+			if err := cert.Check(v.Cert); err != nil {
+				s.cache.Delete(p.Key)
+				rejectedKind = kind
+			} else {
+				v.CertOK = true
+				s.cache.Put(p.Key, v)
+				s.mu.Unlock()
+				emitCertCheck(kind, "ok")
+				sink.Event(obs.Event{Type: obs.EvServeCacheHit, Src: "serve", Key: p.Hash})
+				return finish("cache", v)
+			}
+		default:
+			s.mu.Unlock()
+			sink.Event(obs.Event{Type: obs.EvServeCacheHit, Src: "serve", Key: p.Hash})
+			return finish("cache", v)
+		}
 	}
 	if c, ok := s.inflight[p.Key]; ok {
 		c.dups.Add(1)
 		s.mu.Unlock()
+		if rejectedKind != "" {
+			emitCertCheck(rejectedKind, "rejected")
+		}
 		<-c.done
 		if c.err != nil {
 			return Response{}, c.err
@@ -501,6 +606,9 @@ func (s *Server) Infer(p *Problem) (Response, error) {
 	s.inflight[p.Key] = c
 	s.wg.Add(1)
 	s.mu.Unlock()
+	if rejectedKind != "" {
+		emitCertCheck(rejectedKind, "rejected")
+	}
 
 	// The leader stays on the drain WaitGroup through its event emission,
 	// so a graceful Shutdown's serve_shutdown line lands after every cold
@@ -537,7 +645,7 @@ func (s *Server) leaseState(p *Problem) (warm *chase.State, flight *stateCall, l
 	if s.states == nil || p.StateKey == "" {
 		return nil, nil, false
 	}
-	limits := s.chaseLimits()
+	limits := s.chaseLimits(p)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if st := s.states.Get(p.StateKey); st != nil && st.ReusableUnder(limits) {
@@ -582,7 +690,7 @@ func (s *Server) runCold(p *Problem, sink obs.Sink) (CachedVerdict, error) {
 			return CachedVerdict{}, s.rootCtx.Err()
 		}
 		s.mu.Lock()
-		if st := s.states.Get(p.StateKey); st != nil && st.ReusableUnder(s.chaseLimits()) {
+		if st := s.states.Get(p.StateKey); st != nil && st.ReusableUnder(s.chaseLimits(p)) {
 			warm = st
 		}
 		s.mu.Unlock()
@@ -604,7 +712,7 @@ func (s *Server) runCold(p *Problem, sink obs.Sink) (CachedVerdict, error) {
 	}
 	defer s.engineNow.Add(-1)
 
-	b, g, cancel := s.budgetFor(sink)
+	b, g, cancel := s.budgetFor(p, sink)
 	defer cancel()
 	if s.states != nil && p.StateKey != "" {
 		b.Chase.CaptureState = true
@@ -627,6 +735,23 @@ func (s *Server) runCold(p *Problem, sink obs.Sink) (CachedVerdict, error) {
 	if o := g.Interrupted(); o.Stopped() {
 		v.Stop = o.String()
 	}
+	// Verify the engine's certificate with the independent checker before
+	// the verdict is stored or served. A rejection never trusts the proof
+	// — the cert is dropped — but keeps the verdict: the engines are the
+	// soundness anchor, the certificate is the audit trail.
+	if v.Cert != nil {
+		kind := string(v.Cert.Kind)
+		if cerr := cert.Check(v.Cert); cerr != nil {
+			v.Cert = nil
+			sink.Event(obs.Event{Type: obs.EvCertCheck, Src: "serve",
+				Key: p.Hash, Source: kind, Verdict: "rejected"})
+		} else {
+			v.CertOK = true
+			sink.Event(obs.Event{Type: obs.EvCertCheck, Src: "serve",
+				Key: p.Hash, Source: kind, Verdict: "ok"})
+		}
+	}
+	v.Class = s.requestClass(p)
 	return v, nil
 }
 
@@ -751,6 +876,11 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	resp, err := s.Infer(p)
+	if r.URL.Query().Get("cert") != "1" {
+		// Certificates can dwarf the verdict they back; clients opt in
+		// with POST /infer?cert=1.
+		resp.Cert = nil
+	}
 	switch {
 	case errors.Is(err, ErrDraining):
 		writeErr(w, http.StatusServiceUnavailable, err.Error())

@@ -189,6 +189,7 @@ func (d *TD) FrozenAntecedents() (*relation.Instance, tableau.Assignment) {
 // index.
 func (d *TD) Format() string {
 	s := d.Schema()
+	prefixes := columnPrefixes(s)
 	atom := func(r tableau.VarTuple) string {
 		var b strings.Builder
 		b.WriteString("R(")
@@ -196,7 +197,7 @@ func (d *TD) Format() string {
 			if a > 0 {
 				b.WriteString(", ")
 			}
-			b.WriteString(varPrefix(s.Name(relation.Attr(a))))
+			b.WriteString(prefixes[a])
 			b.WriteString(strconv.Itoa(int(v)))
 		}
 		b.WriteString(")")
@@ -220,6 +221,28 @@ func (d *TD) String() string {
 		return d.Format()
 	}
 	return d.name + ": " + d.Format()
+}
+
+// columnPrefixes derives one variable-name prefix per column: the
+// lower-cased, digit-stripped column name, disambiguated with the column
+// position whenever two columns collapse to the same prefix (K0' and K1'
+// both yield k'). Distinct prefixes per column keep the rendered text
+// inside the typing restriction, so Format round-trips through Parse on
+// every schema.
+func columnPrefixes(s *relation.Schema) []string {
+	n := s.Width()
+	out := make([]string, n)
+	count := make(map[string]int, n)
+	for a := 0; a < n; a++ {
+		out[a] = varPrefix(s.Name(relation.Attr(a)))
+		count[out[a]]++
+	}
+	for a := 0; a < n; a++ {
+		if count[out[a]] > 1 {
+			out[a] = out[a] + "c" + strconv.Itoa(a) + "v"
+		}
+	}
+	return out
 }
 
 func varPrefix(attrName string) string {
