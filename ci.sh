@@ -14,9 +14,14 @@
 #              the adaptive portfolio's finite-db answer); tdserve under
 #              a duplicate-heavy tdbench -loadjson burst with
 #              graceful-drain assertions
+#   shard    — the multi-replica tier: 3 tdserve replicas with disk
+#              stores and a consistent-hash ring, certificate-verified
+#              peer fills under a burst, then a kill+restart with the
+#              first repeat served from the store (no recompute)
 #   bench    — structural validation of the benchmark emitters: fresh
-#              -searchjson and -portfoliojson reports plus the committed
-#              BENCH_chase.json and BENCH_portfolio.json
+#              -searchjson, -portfoliojson, and -shardjson reports plus
+#              the committed BENCH_chase.json, BENCH_portfolio.json,
+#              and BENCH_serve.json
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -25,6 +30,7 @@ STAGE_START=0
 SUMMARY=()
 smoke=$(mktemp -d)
 srv_pid=""
+shard_pids=()
 
 stage() {
     local now=$SECONDS
@@ -43,6 +49,9 @@ on_exit() {
     if [[ -n "$srv_pid" ]] && kill -0 "$srv_pid" 2>/dev/null; then
         kill "$srv_pid" 2>/dev/null || true
     fi
+    for pid in ${shard_pids[@]+"${shard_pids[@]}"}; do
+        kill "$pid" 2>/dev/null || true
+    done
     rm -rf "$smoke"
     if [[ $rc -ne 0 && -n "$CURRENT_STAGE" ]]; then
         SUMMARY+=("$(printf '%-8s FAIL  %4ds' "$CURRENT_STAGE" $((SECONDS - STAGE_START)))")
@@ -94,9 +103,19 @@ done
 
 # And for the serving layer's counter vocabulary: every serve.* counter
 # the server bumps must appear in the schema docs.
-for token in serve.requests serve.cache_hits serve.cache_misses serve.dedups serve.warm serve.shutdowns serve.cert_checked serve.cert_rejected; do
+for token in serve.requests serve.cache_hits serve.cache_misses serve.dedups serve.warm serve.shutdowns serve.cert_checked serve.cert_rejected \
+    serve.store_hits serve.peer_fills serve.peer_ok serve.peer_rejected serve.peer_unknown serve.peer_down; do
     if ! grep -q -- "$token" docs/OBSERVABILITY.md; then
         echo "docs/OBSERVABILITY.md: serve counter \"$token\" (from internal/serve) is undocumented" >&2
+        exit 1
+    fi
+done
+
+# The disk store's counter vocabulary gets the same freshness bar.
+for token in store.recovers store.recovered_records store.superseded_records store.dropped_bytes \
+    store.puts store.put_skips store.written_bytes store.compactions store.reclaimed_bytes; do
+    if ! grep -q -- "$token" docs/OBSERVABILITY.md; then
+        echo "docs/OBSERVABILITY.md: store counter \"$token\" (from internal/store) is undocumented" >&2
         exit 1
     fi
 done
@@ -276,6 +295,95 @@ tail -1 "$smoke/serve.jsonl" | grep -q '"type":"serve_shutdown"' || {
     exit 1
 }
 
+stage shard
+
+# Shard smoke: three real tdserve replicas share a temp store directory
+# (one append-log each) and split the canonical key-space by consistent
+# hashing over fixed local ports. A duplicate-heavy burst fired at
+# replica A must produce certificate-verified peer fills (keys owned by
+# the other replicas come back source "peer") and write-through store
+# puts; then replica A is SIGTERMed and restarted on the same log and
+# address, and a repeat of a previously-answered key must be served
+# from disk (source "store") with zero engine recomputes.
+sharddir="$smoke/shard"
+mkdir -p "$sharddir"
+shard_ports=(7471 7472 7473)
+shard_peers="http://127.0.0.1:7471,http://127.0.0.1:7472,http://127.0.0.1:7473"
+start_replica() { # port; leaves the pid in $! for the caller
+    "$smoke/tdserve" -addr "127.0.0.1:$1" -request-timeout 5s \
+        -store "$sharddir/rep$1.log" \
+        -peers "$shard_peers" -self "http://127.0.0.1:$1" \
+        >>"$sharddir/rep$1.out" 2>&1 &
+}
+await_replica() { # port
+    for _ in $(seq 1 100); do
+        if curl -sf "http://127.0.0.1:$1/healthz" >/dev/null 2>&1; then
+            return 0
+        fi
+        sleep 0.1
+    done
+    echo "ci: shard smoke: replica on port $1 never became healthy:" >&2
+    cat "$sharddir/rep$1.out" >&2
+    return 1
+}
+for i in 0 1 2; do
+    start_replica "${shard_ports[$i]}"
+    shard_pids[$i]=$!
+done
+for port in "${shard_ports[@]}"; do
+    await_replica "$port"
+done
+
+# The burst at replica A. -loadjson itself cross-checks the client's
+# per-source outcomes against A's /metrics movement, so a nonzero
+# "peer" count below is already certificate-verified adoptions
+# (serve.peer_ok), not mere attempts.
+"$smoke/tdbench" -loadjson "$sharddir/load.json" \
+    -loadserver "http://127.0.0.1:${shard_ports[0]}" -loadn 48 -loadc 6
+metrics=$(curl -sf "http://127.0.0.1:${shard_ports[0]}/metrics")
+peer_ok=$(grep -o '"serve.peer_ok":[0-9]*' <<<"$metrics" | grep -o '[0-9]*$' || echo 0)
+store_puts=$(grep -o '"store.puts":[0-9]*' <<<"$metrics" | grep -o '[0-9]*$' || echo 0)
+if [[ "$peer_ok" -eq 0 ]]; then
+    echo "ci: shard smoke: no certificate-verified peer fills at replica A — the ring never split the key-space" >&2
+    exit 1
+fi
+if [[ "$store_puts" -eq 0 ]]; then
+    echo "ci: shard smoke: no write-through store puts at replica A" >&2
+    exit 1
+fi
+
+# Kill replica A, restart it on the same store file and address, and
+# repeat a key it answered during the burst: the answer must come off
+# the disk store, and the fresh process must have run zero engines
+# (serve.cache_misses still unmoved).
+kill -TERM "${shard_pids[0]}"
+wait "${shard_pids[0]}" || {
+    echo "ci: shard smoke: replica A exited nonzero:" >&2
+    cat "$sharddir/rep${shard_ports[0]}.out" >&2
+    exit 1
+}
+start_replica "${shard_ports[0]}"
+shard_pids[0]=$!
+await_replica "${shard_ports[0]}"
+repeat=$(curl -sf -d '{"preset":"power"}' "http://127.0.0.1:${shard_ports[0]}/infer")
+grep -q '"source":"store"' <<<"$repeat" || {
+    echo "ci: shard smoke: restarted replica did not answer the repeat from its store:" >&2
+    echo "$repeat" >&2
+    exit 1
+}
+metrics=$(curl -sf "http://127.0.0.1:${shard_ports[0]}/metrics")
+if grep -o '"serve.cache_misses":[0-9]*' <<<"$metrics" | grep -qv ':0$'; then
+    echo "ci: shard smoke: restarted replica ran an engine on a stored key" >&2
+    exit 1
+fi
+for pid in "${shard_pids[@]}"; do
+    kill -TERM "$pid" 2>/dev/null || true
+done
+for pid in "${shard_pids[@]}"; do
+    wait "$pid" || true
+done
+shard_pids=()
+
 stage bench
 
 # The search benchmark emitter must produce a report that parses and
@@ -300,5 +408,14 @@ stage bench
 "$smoke/tdbench" -portfoliojson "$smoke/BENCH_portfolio.json" -portfolioquick >/dev/null
 "$smoke/tdbench" -checkportfolio "$smoke/BENCH_portfolio.json"
 "$smoke/tdbench" -checkportfolio BENCH_portfolio.json
+
+# The shard/restart drill emitter: a fresh quick report (3 in-process
+# replicas, 3 burst rounds, kill+restart) must parse and satisfy the
+# structural gates — key-space split across shards, nonzero verified
+# peer fills, every restart-warm repeat served from the store with zero
+# recomputes — and the committed full report must too.
+"$smoke/tdbench" -shardjson "$smoke/BENCH_serve.json" -shardquick >/dev/null
+"$smoke/tdbench" -checkserve "$smoke/BENCH_serve.json"
+"$smoke/tdbench" -checkserve BENCH_serve.json
 
 stage ""

@@ -43,8 +43,8 @@ func loadProblems() []serve.Request {
 
 type loadResult struct {
 	// Problem is the index into the request mix; Key/Verdict are as
-	// reported by the server; Source is "cold", "warm", "cache", or
-	// "dedup".
+	// reported by the server; Source is "cold", "warm", "cache", "dedup",
+	// "store", or "peer".
 	Problem   int     `json:"problem"`
 	Key       string  `json:"key"`
 	Source    string  `json:"source"`
@@ -63,11 +63,18 @@ type loadReport struct {
 	Warm      int     `json:"warm"`
 	CacheHits int     `json:"cache_hits"`
 	Dedups    int     `json:"dedups"`
+	StoreHits int     `json:"store_hits"`
+	PeerFills int     `json:"peer_fills"`
 	HitRate   float64 `json:"hit_rate"`
-	P50MS     float64 `json:"p50_ms"`
-	P90MS     float64 `json:"p90_ms"`
-	P99MS     float64 `json:"p99_ms"`
-	MaxMS     float64 `json:"max_ms"`
+	// MetricsDelta is the server-side counter movement over the burst
+	// (after minus before, from GET /metrics), cross-checked against the
+	// client-observed source totals above — a mismatch fails the run. Only
+	// the serve.* counters the harness validates are recorded.
+	MetricsDelta map[string]int64 `json:"metrics_delta,omitempty"`
+	P50MS        float64          `json:"p50_ms"`
+	P90MS        float64          `json:"p90_ms"`
+	P99MS        float64          `json:"p99_ms"`
+	MaxMS        float64          `json:"max_ms"`
 	// Results carries one row per request only when the run is small
 	// enough to be worth inlining (<= 64 requests); summaries above are
 	// always present.
@@ -100,6 +107,10 @@ func writeLoadJSON(path, server string, n, c int) {
 	}
 
 	client := &http.Client{Timeout: 60 * time.Second}
+	before, err := fetchCounters(client, server)
+	if err != nil {
+		fail("metrics snapshot before burst: %v", err)
+	}
 	url := server + "/infer"
 	results := make([]loadResult, n)
 	var wg sync.WaitGroup
@@ -185,13 +196,42 @@ func writeLoadJSON(path, server string, n, c int) {
 			rep.CacheHits++
 		case "dedup":
 			rep.Dedups++
+		case "store":
+			rep.StoreHits++
+		case "peer":
+			rep.PeerFills++
 		default:
 			fail("request %d: unknown source %q", i, r.Source)
 		}
 		latencies = append(latencies, r.LatencyMS)
 	}
-	if n > len(problems) && rep.CacheHits+rep.Dedups == 0 {
-		fail("sent %d requests over %d problems but observed zero cache hits and zero dedups — the verdict cache is not working", n, len(problems))
+	if n > len(problems) && rep.CacheHits+rep.Dedups+rep.StoreHits == 0 {
+		fail("sent %d requests over %d problems but observed zero cache, store, or dedup hits — the verdict cache is not working", n, len(problems))
+	}
+
+	// Cross-check the client's view against the server's own counters: the
+	// /metrics movement over the burst must equal what the responses
+	// claimed, source by source. (The harness assumes it is the server's
+	// only client — true in CI, where this gate runs.)
+	after, err := fetchCounters(client, server)
+	if err != nil {
+		fail("metrics snapshot after burst: %v", err)
+	}
+	rep.MetricsDelta = make(map[string]int64)
+	for name, want := range map[string]int64{
+		"serve.requests":     int64(n),
+		"serve.cache_hits":   int64(rep.CacheHits),
+		"serve.dedups":       int64(rep.Dedups),
+		"serve.warm":         int64(rep.Warm),
+		"serve.cache_misses": int64(rep.Cold + rep.Warm),
+		"serve.store_hits":   int64(rep.StoreHits),
+		"serve.peer_ok":      int64(rep.PeerFills),
+	} {
+		got := after[name] - before[name]
+		rep.MetricsDelta[name] = got
+		if got != want {
+			fail("server counter %s moved by %d over the burst but clients observed %d — server metrics and client outcomes disagree", name, got, want)
+		}
 	}
 	if twin, ok := firstFor[len(problems)-1]; ok {
 		if power, ok2 := firstFor[0]; ok2 && twin.Key != power.Key {
@@ -199,7 +239,8 @@ func writeLoadJSON(path, server string, n, c int) {
 		}
 	}
 
-	rep.HitRate = float64(rep.CacheHits+rep.Dedups) / float64(n)
+	// Store hits are hits — answered without any engine run.
+	rep.HitRate = float64(rep.CacheHits+rep.Dedups+rep.StoreHits) / float64(n)
 	sort.Float64s(latencies)
 	pct := func(p float64) float64 {
 		idx := int(p * float64(len(latencies)-1))
@@ -219,7 +260,30 @@ func writeLoadJSON(path, server string, n, c int) {
 	if err := os.WriteFile(path, out, 0o644); err != nil {
 		fail("%v", err)
 	}
-	fmt.Printf("load: %d requests x %d workers over %d problems: cold=%d cache=%d dedup=%d hit_rate=%.2f p50=%.1fms p99=%.1fms max=%.1fms\n",
-		n, c, len(problems), rep.Cold, rep.CacheHits, rep.Dedups, rep.HitRate, rep.P50MS, rep.P99MS, rep.MaxMS)
+	fmt.Printf("load: %d requests x %d workers over %d problems: cold=%d cache=%d dedup=%d store=%d peer=%d hit_rate=%.2f p50=%.1fms p99=%.1fms max=%.1fms\n",
+		n, c, len(problems), rep.Cold, rep.CacheHits, rep.Dedups, rep.StoreHits, rep.PeerFills, rep.HitRate, rep.P50MS, rep.P99MS, rep.MaxMS)
+	fmt.Printf("metrics delta validated against client-observed sources\n")
 	fmt.Printf("wrote %s\n", path)
+}
+
+// fetchCounters snapshots a tdserve replica's counter block.
+func fetchCounters(client *http.Client, server string) (map[string]int64, error) {
+	resp, err := client.Get(server + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET /metrics: status %d", resp.StatusCode)
+	}
+	var m struct {
+		Counters map[string]int64 `json:"counters"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		return nil, err
+	}
+	if m.Counters == nil {
+		m.Counters = map[string]int64{}
+	}
+	return m.Counters, nil
 }

@@ -40,6 +40,9 @@ func main() {
 	loadserver := flag.String("loadserver", "http://127.0.0.1:8080", "with -loadjson: base URL of the tdserve instance")
 	loadn := flag.Int("loadn", 200, "with -loadjson: total requests to send")
 	loadc := flag.Int("loadc", 8, "with -loadjson: concurrent client workers")
+	shardjson := flag.String("shardjson", "", "self-host a 3-replica sharded tdserve ring, burst it, kill+restart one replica, and write JSON results to this file")
+	shardquick := flag.Bool("shardquick", false, "with -shardjson: fewer burst rounds (CI smoke)")
+	checkserve := flag.String("checkserve", "", "validate a -shardjson report (parses, shards split, peer fills adopted, restart served from the store) and exit")
 	flag.Parse()
 
 	if *metrics && *benchjson == "" {
@@ -64,6 +67,18 @@ func main() {
 	}
 	if *checkbench != "" {
 		checkBenchJSON(*checkbench)
+		return
+	}
+	if *checkserve != "" {
+		checkServeJSON(*checkserve)
+		return
+	}
+	if *shardquick && *shardjson == "" {
+		fmt.Fprintln(os.Stderr, "tdbench: -shardquick requires -shardjson")
+		os.Exit(2)
+	}
+	if *shardjson != "" {
+		writeShardJSON(*shardjson, *shardquick)
 		return
 	}
 	if *loadjson != "" {

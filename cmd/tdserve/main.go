@@ -17,8 +17,17 @@
 // one engine run. TD requests additionally share chase computations: goals
 // over the same dependency set and antecedent tableau warm-start from a
 // cached chase state instead of chasing from round 1. Responses carry a
-// "source" field ("cold", "warm", "cache", "dedup") and the request trace
-// ID, which stamps every JSONL event the request caused.
+// "source" field ("cold", "warm", "cache", "dedup", "store", "peer") and
+// the request trace ID, which stamps every JSONL event the request caused.
+//
+// -store FILE persists every answered verdict in an append-log; a
+// restarted replica replays it on boot and answers previously-settled keys
+// from disk (source "store") without re-running an engine. -peers/-self
+// shard the canonical key-space across replicas by consistent hashing: a
+// local miss on a key another replica owns is forwarded there, and the
+// answer adopted only after its certificate passes the local verifier —
+// a down or lying peer degrades to a local compute, never to a wrong or
+// unproven verdict.
 //
 // SIGINT/SIGTERM drains gracefully: new requests get 503, in-flight runs
 // finish (or are cancelled at their next governor checkpoint once
@@ -37,12 +46,14 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
 	"templatedep/internal/budget"
 	"templatedep/internal/obs"
 	"templatedep/internal/serve"
+	"templatedep/internal/store"
 )
 
 func main() {
@@ -60,10 +71,32 @@ func main() {
 		wordsCap     = flag.Int("words", 0, "per-request closure word budget (0 = engine default)")
 		engine       = flag.String("engine", "portfolio", "inference engine per cold run: portfolio (adaptive reallocation) or race (static budgets)")
 		traceFile    = flag.String("trace", "", "write the structured event stream to FILE as JSONL (see docs/OBSERVABILITY.md)")
+		storePath    = flag.String("store", "", "disk-backed verdict store FILE (append-log; created if absent, replayed on start)")
+		peers        = flag.String("peers", "", "comma-separated base URLs of every ring replica, this one included (enables consistent-hash peer fill)")
+		self         = flag.String("self", "", "this replica's base URL exactly as listed in -peers")
+		peerTimeout  = flag.Duration("peer-timeout", 2*time.Second, "wall-clock bound per peer-fill round trip")
 	)
 	flag.Parse()
 	if *engine != "portfolio" && *engine != "race" {
 		fatal(fmt.Errorf("unknown -engine %q (want portfolio or race)", *engine))
+	}
+	var peerList []string
+	if *peers != "" {
+		for _, p := range strings.Split(*peers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				peerList = append(peerList, p)
+			}
+		}
+		if *self == "" {
+			fatal(fmt.Errorf("-peers requires -self (this replica's URL as listed)"))
+		}
+		found := false
+		for _, p := range peerList {
+			found = found || p == *self
+		}
+		if !found {
+			fatal(fmt.Errorf("-self %q is not in -peers", *self))
+		}
 	}
 
 	counters := obs.NewCounters()
@@ -76,6 +109,9 @@ func main() {
 		Workers:        *workers,
 		Counters:       counters,
 		Engine:         *engine,
+		Peers:          peerList,
+		Self:           *self,
+		PeerTimeout:    *peerTimeout,
 	}
 	var flushTrace func()
 	if *traceFile != "" {
@@ -97,6 +133,21 @@ func main() {
 				fatal(err)
 			}
 		}
+	}
+
+	var vstore *store.Store
+	if *storePath != "" {
+		var err error
+		// The store shares the trace sink so its recover/put/compact events
+		// land in the same stream (and counters) as the serving layer's.
+		vstore, err = store.Open(*storePath, store.Options{
+			Sink: obs.Multi(cfg.Sink, obs.NewCounterSink(counters)),
+		})
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Store = vstore
+		fmt.Printf("tdserve: store %s (%d verdicts recovered)\n", *storePath, vstore.Len())
 	}
 
 	s := serve.New(cfg)
@@ -132,14 +183,20 @@ func main() {
 	if err := s.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		fatal(err)
 	}
+	if vstore != nil {
+		if err := vstore.Close(); err != nil {
+			fatal(err)
+		}
+	}
 	if flushTrace != nil {
 		flushTrace()
 	}
-	fmt.Printf("tdserve: drained. requests=%d cold=%d warm=%d cache_hits=%d dedups=%d\n",
+	fmt.Printf("tdserve: drained. requests=%d cold=%d warm=%d cache_hits=%d dedups=%d store_hits=%d peer_fills=%d\n",
 		counters.Get("serve.requests"),
 		counters.Get("serve.cache_misses")-counters.Get("serve.warm"),
 		counters.Get("serve.warm"),
-		counters.Get("serve.cache_hits"), counters.Get("serve.dedups"))
+		counters.Get("serve.cache_hits"), counters.Get("serve.dedups"),
+		counters.Get("serve.store_hits"), counters.Get("serve.peer_fills"))
 }
 
 func fatal(err error) {

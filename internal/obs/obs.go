@@ -164,6 +164,37 @@ const (
 	// Source (the certificate kind: "derivation", "chase", or
 	// "finite-model"), Verdict ("ok" or "rejected").
 	EvCertCheck EventType = "cert_check"
+	// EvServeStoreHit reports that a request was answered from the
+	// disk-backed verdict store (a restart-warm hit: present on disk but
+	// not yet in the in-memory cache), emitted before the request's
+	// serve_request line. Fields: Req, Key.
+	EvServeStoreHit EventType = "serve_store_hit"
+	// EvServePeerFill reports one peer-fill attempt: a local miss whose
+	// canonical key is owned by another replica of the consistent-hash
+	// ring was forwarded to that owner. Fields: Req, Key, Source (the
+	// owner peer's base URL), Verdict ("ok" — the peer's certificate
+	// verified and its verdict was adopted; "rejected" — the peer answered
+	// but its certificate failed verification or mismatched the problem;
+	// "unknown" — the peer answered without a definitive verdict;
+	// "down" — the peer was unreachable or errored). Every non-"ok"
+	// attempt falls back to a local engine run.
+	EvServePeerFill EventType = "serve_peer_fill"
+	// EvStoreRecover reports one disk-store open (Src "store"): the
+	// append-log was scanned, the in-memory index rebuilt, and any torn
+	// tail truncated. Fields: N (live records indexed), Added (superseded
+	// records skipped during the scan — rewritten entries awaiting
+	// compaction), Bytes (torn-tail bytes dropped; 0 for a clean log).
+	EvStoreRecover EventType = "store_recover"
+	// EvStorePut reports one write-through store put (Src "store").
+	// Fields: Key, Source ("insert" for a first write, "overwrite" for a
+	// class-upgrade or definitive replacement, "skip" when the existing
+	// record already supersedes the new one and nothing was written),
+	// Bytes (record bytes appended; 0 for "skip").
+	EvStorePut EventType = "store_put"
+	// EvStoreCompact reports one log compaction (Src "store"): the log was
+	// rewritten with only the live record per key. Fields: N (live records
+	// kept), Bytes (dead bytes reclaimed).
+	EvStoreCompact EventType = "store_compact"
 )
 
 // Event is one structured observation. It is a flat value type — emitters
@@ -175,7 +206,7 @@ type Event struct {
 	// Type discriminates the payload.
 	Type EventType `json:"type"`
 	// Src is the emitting layer: "chase", "search", "finitemodel",
-	// "rewrite", "core", "portfolio", or "serve".
+	// "rewrite", "core", "portfolio", "serve", or "store".
 	Src string `json:"src"`
 	// Round is 1-based (chase fair round, deepening round); 0 when not
 	// applicable.
@@ -234,8 +265,13 @@ type Event struct {
 	// order.
 	Key string `json:"key,omitempty"`
 	// Source tells how a serve request was answered: "cold", "warm",
-	// "cache", or "dedup".
+	// "cache", "dedup", "store", or "peer". For serve_peer_fill it is the
+	// owner peer's base URL; for store_put it is the write disposition.
 	Source string `json:"source,omitempty"`
+	// Bytes is a byte count: torn-tail bytes dropped by store_recover,
+	// record bytes appended by store_put, dead bytes reclaimed by
+	// store_compact.
+	Bytes int `json:"bytes,omitempty"`
 }
 
 // Sink receives events. Implementations must be safe for concurrent use:

@@ -75,6 +75,22 @@ type Totals struct {
 	// "rejected".
 	CertChecks  int
 	CertRejects int
+	// ServeStoreHits counts serve_store_hit events (requests answered from
+	// the disk-backed verdict store — restart-warm hits).
+	ServeStoreHits int
+	// ServePeerFills counts serve_peer_fill events (local misses forwarded
+	// to the ring owner); ServePeerOK counts the subset adopted after
+	// certificate verification, ServePeerRejects the subset whose
+	// certificate was rejected (each of which fell back to a local run).
+	ServePeerFills   int
+	ServePeerOK      int
+	ServePeerRejects int
+	// StoreRecovers counts store_recover events (disk-store opens);
+	// StorePuts counts non-skip store_put events; StoreCompactions counts
+	// store_compact events.
+	StoreRecovers    int
+	StorePuts        int
+	StoreCompactions int
 	// PerDepFired sums dep_fired.n by dependency index.
 	PerDepFired map[int]int
 	// Verdicts maps emitting layer (event src) to its final verdict
@@ -165,6 +181,24 @@ func Replay(r io.Reader) (Totals, error) {
 			if e.Verdict == "rejected" {
 				t.CertRejects++
 			}
+		case EvServeStoreHit:
+			t.ServeStoreHits++
+		case EvServePeerFill:
+			t.ServePeerFills++
+			switch e.Verdict {
+			case "ok":
+				t.ServePeerOK++
+			case "rejected":
+				t.ServePeerRejects++
+			}
+		case EvStoreRecover:
+			t.StoreRecovers++
+		case EvStorePut:
+			if e.Source != "skip" {
+				t.StorePuts++
+			}
+		case EvStoreCompact:
+			t.StoreCompactions++
 		case EvBudgetExhausted:
 			t.Stops[e.Src] = "exhausted:" + e.Resource
 		case EvCancelled:

@@ -138,6 +138,23 @@ func (s *JSONLSink) Event(e Event) {
 		b = appendStr(b, "key", e.Key)
 		b = appendStr(b, "source", e.Source)
 		b = appendStr(b, "verdict", e.Verdict)
+	case EvServeStoreHit:
+		b = appendStr(b, "key", e.Key)
+	case EvServePeerFill:
+		b = appendStr(b, "key", e.Key)
+		b = appendStr(b, "source", e.Source)
+		b = appendStr(b, "verdict", e.Verdict)
+	case EvStoreRecover:
+		appendInt("n", e.N)
+		appendInt("added", e.Added)
+		appendInt("bytes", e.Bytes)
+	case EvStorePut:
+		b = appendStr(b, "key", e.Key)
+		b = appendStr(b, "source", e.Source)
+		appendInt("bytes", e.Bytes)
+	case EvStoreCompact:
+		appendInt("n", e.N)
+		appendInt("bytes", e.Bytes)
 	default:
 		// Unknown types round-trip through encoding/json so custom
 		// emitters degrade gracefully instead of silently dropping data.
@@ -331,6 +348,35 @@ func (s *CounterSink) Event(e Event) {
 		if e.Verdict == "rejected" {
 			s.C.Add("serve.cert_rejected", 1)
 		}
+	case EvServeStoreHit:
+		s.C.Add("serve.store_hits", 1)
+	case EvServePeerFill:
+		s.C.Add("serve.peer_fills", 1)
+		switch e.Verdict {
+		case "ok":
+			s.C.Add("serve.peer_ok", 1)
+		case "rejected":
+			s.C.Add("serve.peer_rejected", 1)
+		case "unknown":
+			s.C.Add("serve.peer_unknown", 1)
+		case "down":
+			s.C.Add("serve.peer_down", 1)
+		}
+	case EvStoreRecover:
+		s.C.Add("store.recovers", 1)
+		s.C.Add("store.recovered_records", int64(e.N))
+		s.C.Add("store.superseded_records", int64(e.Added))
+		s.C.Add("store.dropped_bytes", int64(e.Bytes))
+	case EvStorePut:
+		if e.Source == "skip" {
+			s.C.Add("store.put_skips", 1)
+		} else {
+			s.C.Add("store.puts", 1)
+			s.C.Add("store.written_bytes", int64(e.Bytes))
+		}
+	case EvStoreCompact:
+		s.C.Add("store.compactions", 1)
+		s.C.Add("store.reclaimed_bytes", int64(e.Bytes))
 	}
 }
 

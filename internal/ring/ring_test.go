@@ -1,0 +1,124 @@
+package ring
+
+import (
+	"fmt"
+	"testing"
+)
+
+func testKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		// Shaped like the serving layer's canonical keys: structured text,
+		// not random bytes — the dispersion must come from the hash.
+		keys[i] = fmt.Sprintf("pres|eq:%d|A0 A0 = B%d|0", i, i%7)
+	}
+	return keys
+}
+
+func TestOwnerDeterministicAndOrderInvariant(t *testing.T) {
+	peers := []string{"http://a:1", "http://b:2", "http://c:3"}
+	permuted := []string{"http://c:3", "http://a:1", "http://b:2"}
+	r1 := New(peers, 0)
+	r2 := New(permuted, 0)
+	in := map[string]bool{}
+	for _, p := range peers {
+		in[p] = true
+	}
+	for _, k := range testKeys(500) {
+		o1, o2 := r1.Owner(k), r2.Owner(k)
+		if o1 != o2 {
+			t.Fatalf("key %q: owner depends on peer-list order (%q vs %q)", k, o1, o2)
+		}
+		if !in[o1] {
+			t.Fatalf("key %q: owner %q not in peer set", k, o1)
+		}
+		if again := r1.Owner(k); again != o1 {
+			t.Fatalf("key %q: owner not deterministic (%q then %q)", k, o1, again)
+		}
+	}
+}
+
+func TestEmptyAndSingleRing(t *testing.T) {
+	if got := New(nil, 0).Owner("k"); got != "" {
+		t.Fatalf("empty ring owner = %q, want \"\"", got)
+	}
+	r := New([]string{"only"}, 0)
+	for _, k := range testKeys(50) {
+		if r.Owner(k) != "only" {
+			t.Fatalf("single-peer ring must own everything")
+		}
+	}
+	if New([]string{"a", "a", "", "a"}, 0).Len() != 1 {
+		t.Fatalf("duplicate/empty peers must collapse")
+	}
+}
+
+func TestBalance(t *testing.T) {
+	peers := []string{"p0", "p1", "p2", "p3"}
+	r := New(peers, 0)
+	counts := map[string]int{}
+	keys := testKeys(4000)
+	for _, k := range keys {
+		counts[r.Owner(k)]++
+	}
+	// With 128 vnodes the skew stays well under 2x of the fair share; the
+	// bound here is loose on purpose — it guards against a broken hash
+	// (everything on one peer), not statistical perfection.
+	fair := len(keys) / len(peers)
+	for _, p := range peers {
+		if counts[p] < fair/3 {
+			t.Fatalf("peer %s owns %d of %d keys (fair share %d) — ring is unbalanced: %v",
+				p, counts[p], len(keys), fair, counts)
+		}
+	}
+}
+
+// TestRebalanceMinimality is the property the ring exists for: growing the
+// fleet from N to N+1 peers moves only ~K/(N+1) of K keys, and every moved
+// key moves TO the new peer — no key shuffles between two old peers.
+func TestRebalanceMinimality(t *testing.T) {
+	peers := []string{"p0", "p1", "p2"}
+	r3 := New(peers, 0)
+	r4 := r3.With("p3")
+	keys := testKeys(6000)
+	moved := 0
+	for _, k := range keys {
+		before, after := r3.Owner(k), r4.Owner(k)
+		if before == after {
+			continue
+		}
+		moved++
+		if after != "p3" {
+			t.Fatalf("key %q moved %q -> %q: reassignment between surviving peers", k, before, after)
+		}
+	}
+	fair := len(keys) / 4
+	if moved == 0 {
+		t.Fatalf("no keys moved to the new peer")
+	}
+	if moved > fair*2 {
+		t.Fatalf("adding one peer moved %d of %d keys (fair share %d) — not minimal", moved, len(keys), fair)
+	}
+}
+
+func TestRemovalOnlyOrphansRemovedPeersKeys(t *testing.T) {
+	r4 := New([]string{"p0", "p1", "p2", "p3"}, 0)
+	r3 := r4.Without("p3")
+	keys := testKeys(6000)
+	for _, k := range keys {
+		before, after := r4.Owner(k), r3.Owner(k)
+		if before != "p3" && before != after {
+			t.Fatalf("key %q owned by surviving peer %q was reassigned to %q on removal of p3", k, before, after)
+		}
+		if after == "p3" {
+			t.Fatalf("key %q still owned by removed peer", k)
+		}
+	}
+	// Round trip: removing then re-adding restores the original assignment.
+	back := r3.With("p3")
+	for _, k := range keys[:500] {
+		if back.Owner(k) != r4.Owner(k) {
+			t.Fatalf("re-adding a peer did not restore its ownership")
+		}
+	}
+}

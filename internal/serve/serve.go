@@ -56,7 +56,9 @@ import (
 	"templatedep/internal/obs"
 	"templatedep/internal/portfolio"
 	"templatedep/internal/relation"
+	"templatedep/internal/ring"
 	"templatedep/internal/search"
+	"templatedep/internal/store"
 	"templatedep/internal/td"
 	"templatedep/internal/words"
 )
@@ -104,11 +106,33 @@ type Config struct {
 	// Runner overrides the engine entry point (nil = resolved from
 	// Engine).
 	Runner Runner
+	// Store, when set, is the disk-backed write-through verdict store:
+	// every answered verdict is persisted (internal/store supersession
+	// rules apply) and a cache miss consults it before any peer or engine,
+	// so a restarted replica answers previously-settled keys from disk
+	// (Response.Source "store"). The server reads and writes the store but
+	// does not own it — the caller opens and closes it.
+	Store *store.Store
+	// Peers are the base URLs ("http://host:port") of every replica in the
+	// serving ring, this one included. With fewer than two peers the ring
+	// is off and every miss computes locally.
+	Peers []string
+	// Self is this replica's own base URL exactly as it appears in Peers —
+	// the identity under which the ring assigns it keys.
+	Self string
+	// PeerTimeout bounds each peer-fill round trip (0 = 2s). Kept tight on
+	// purpose: a slow owner is indistinguishable from a down one, and the
+	// local engines are always available as the fallback.
+	PeerTimeout time.Duration
+	// PeerClient overrides the HTTP client used for peer fills (nil = a
+	// default client bounded by PeerTimeout). Injectable for tests.
+	PeerClient *http.Client
 }
 
 const (
 	defaultCacheSize      = 1024
 	defaultStateCacheSize = 64
+	defaultPeerTimeout    = 2 * time.Second
 )
 
 // Problem is a parsed, canonicalized request.
@@ -133,6 +157,14 @@ type Problem struct {
 	// client brings — the budget only decides whether a cached Unknown
 	// verdict may stand in for the request (CachedVerdict.Class).
 	Limits budget.Limits
+	// Wire is the request as it arrived, kept so a peer fill can forward
+	// the problem verbatim to the replica that owns its key.
+	Wire Request
+	// LocalOnly marks a request that must be answered without consulting
+	// peers (set for incoming peer fills — see peerFillHeader): two
+	// replicas with disagreeing rings degrade to local computes instead of
+	// forwarding a request back and forth.
+	LocalOnly bool
 }
 
 // Request is the JSON body of POST /infer. Exactly one problem form must
@@ -172,8 +204,9 @@ type Response struct {
 	Mode string `json:"mode"`
 	// Source says how the verdict was obtained: "cold" (an engine ran),
 	// "warm" (an engine ran, warm-started from the chase-state cache),
-	// "cache" (verdict cache), or "dedup" (collapsed into an identical
-	// in-flight run).
+	// "cache" (verdict cache), "dedup" (collapsed into an identical
+	// in-flight run), "store" (disk-backed verdict store — a restart-warm
+	// hit), or "peer" (certificate-verified fill from the ring owner).
 	Source string `json:"source"`
 	// Verdict is "implied", "finite-counterexample", or "unknown".
 	Verdict core.Verdict `json:"verdict"`
@@ -220,6 +253,8 @@ type Server struct {
 	rootCtx    context.Context
 	rootCancel context.CancelFunc
 	sem        chan struct{}
+	ring       *ring.Ring
+	peerClient *http.Client
 
 	mu          sync.Mutex
 	cache       *lru
@@ -274,6 +309,17 @@ func New(cfg Config) *Server {
 	}
 	if cfg.MaxInflight > 0 {
 		s.sem = make(chan struct{}, cfg.MaxInflight)
+	}
+	if len(cfg.Peers) > 1 && cfg.Self != "" {
+		s.ring = ring.New(cfg.Peers, 0)
+		s.peerClient = cfg.PeerClient
+		if s.peerClient == nil {
+			timeout := cfg.PeerTimeout
+			if timeout <= 0 {
+				timeout = defaultPeerTimeout
+			}
+			s.peerClient = &http.Client{Timeout: timeout}
+		}
 	}
 	return s
 }
@@ -452,6 +498,7 @@ func ParseRequest(req Request) (*Problem, error) {
 	}
 	p.Limits = budget.Limits{Rounds: req.Rounds, Tuples: req.Tuples,
 		Nodes: req.Nodes, Words: req.Words}
+	p.Wire = req
 	return p, nil
 }
 
@@ -570,10 +617,15 @@ func (s *Server) Infer(p *Problem) (Response, error) {
 			// overwrite it.
 		case v.Cert != nil && !v.CertOK:
 			// The stored certificate was never (successfully) verified —
-			// re-check before replaying the verdict, evict on failure.
+			// re-check before replaying the verdict, evict on failure (from
+			// the disk store too: a proof this process cannot verify must
+			// not answer the next process either).
 			kind := string(v.Cert.Kind)
 			if err := cert.Check(v.Cert); err != nil {
 				s.cache.Delete(p.Key)
+				if s.cfg.Store != nil {
+					s.cfg.Store.Delete(p.Key)
+				}
 				rejectedKind = kind
 			} else {
 				v.CertOK = true
@@ -614,7 +666,8 @@ func (s *Server) Infer(p *Problem) (Response, error) {
 	// so a graceful Shutdown's serve_shutdown line lands after every cold
 	// request's serve_request line.
 	defer s.wg.Done()
-	c.val, c.err = s.runCold(p, sink)
+	var src string
+	c.val, src, c.err = s.lead(p, sink)
 	s.mu.Lock()
 	delete(s.inflight, p.Key)
 	if c.err == nil {
@@ -625,13 +678,36 @@ func (s *Server) Infer(p *Problem) (Response, error) {
 	if c.err != nil {
 		return Response{}, c.err
 	}
+	if src != "store" {
+		// Write-through: everything this replica answered — cold, warm,
+		// and peer-filled verdicts alike — lands on disk, so a restart
+		// re-answers it from the store (src "store" was already there).
+		s.storePut(p, c.val)
+	}
+	return finish(src, c.val)
+}
+
+// lead runs a singleflight leader's lookup ladder below the in-memory
+// cache: disk store, then ring owner, then a local engine run. Returns the
+// verdict and its Response.Source.
+func (s *Server) lead(p *Problem, sink obs.Sink) (CachedVerdict, string, error) {
+	if v, ok := s.storeGet(p, sink); ok {
+		return v, "store", nil
+	}
+	if v, ok := s.peerFill(p, sink); ok {
+		return v, "peer", nil
+	}
+	v, err := s.runCold(p, sink)
+	if err != nil {
+		return CachedVerdict{}, "", err
+	}
 	src := "cold"
-	if c.val.Warm {
+	if v.Warm {
 		src = "warm"
 		sink.Event(obs.Event{Type: obs.EvServeWarm, Src: "serve",
 			Key: keyDigest(p.StateKey)})
 	}
-	return finish(src, c.val)
+	return v, src, nil
 }
 
 // leaseState resolves how a cold run interacts with the chase-state cache.
@@ -803,6 +879,11 @@ type Stats struct {
 	Inflight     int64 `json:"inflight"`
 	InflightPeak int64 `json:"inflight_peak"`
 	Draining     bool  `json:"draining"`
+	// StoreRecords is the disk store's live record count (0 when the
+	// server runs without a store); Peers is the ring size (0 when
+	// sharding is off).
+	StoreRecords int `json:"store_records,omitempty"`
+	Peers        int `json:"peers,omitempty"`
 }
 
 // Stats snapshots the server gauges.
@@ -815,7 +896,7 @@ func (s *Server) Stats() Stats {
 	}
 	draining := s.draining
 	s.mu.Unlock()
-	return Stats{
+	st := Stats{
 		Requests:     s.requestsSeen.Load(),
 		CacheEntries: entries,
 		StateEntries: stateEntries,
@@ -823,6 +904,13 @@ func (s *Server) Stats() Stats {
 		InflightPeak: s.enginePeak.Load(),
 		Draining:     draining,
 	}
+	if s.cfg.Store != nil {
+		st.StoreRecords = s.cfg.Store.Len()
+	}
+	if s.ring != nil {
+		st.Peers = s.ring.Len()
+	}
+	return st
 }
 
 // dupsFor reports how many followers are collapsed into the in-flight run
@@ -875,6 +963,9 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err.Error())
 		return
 	}
+	// An incoming peer fill must be answered from local resources only —
+	// never re-forwarded (see peerFillHeader).
+	p.LocalOnly = r.Header.Get(peerFillHeader) == "1"
 	resp, err := s.Infer(p)
 	if r.URL.Query().Get("cert") != "1" {
 		// Certificates can dwarf the verdict they back; clients opt in
@@ -893,11 +984,14 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	st := s.Stats()
-	status := "ok"
+	// A draining replica answers 503 so load balancers and ring peers
+	// stop routing to it while its in-flight runs finish; /infer is
+	// already refusing with ErrDraining by then.
 	if st.Draining {
-		status = "draining"
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "draining"})
+		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"status": status})
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok"})
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
