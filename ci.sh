@@ -1,57 +1,58 @@
 #!/usr/bin/env bash
-# Repo CI gate, as a staged pipeline. Each stage is named and timed, and
-# the script always ends with a per-stage pass/fail summary — on failure
-# the summary shows exactly which stage died and how long it ran.
+# Repo CI gate, as a staged pipeline. Each stage is named, timed, and runs
+# under a hard wall-clock limit (`timeout --foreground`): a stuck stage —
+# a hung replica, a divergent chase, a deadlocked worker pool — FAILS with
+# its elapsed time in the summary instead of hanging the pipeline. The
+# script always ends with a per-stage pass/fail summary; on failure the
+# summary shows exactly which stage died and how long it ran, and any
+# reports/traces produced so far are copied to $CI_ARTIFACTS (when set)
+# for upload.
 #
-# Stages:
-#   static   — gofmt, build, vet, docs-freshness greps
-#   unit     — full test suite, -count=1 (no cached results)
-#   race     — full suite under the race detector (chase worker pool,
-#              psearch pool, and the serving layer's singleflight/drain
-#              paths are all concurrent code)
-#   smoke    — end-to-end binaries: tdinfer governed runs on the
-#              undecidable gap preset (static race under a deadline, and
-#              the adaptive portfolio's finite-db answer); tdserve under
-#              a duplicate-heavy tdbench -loadjson burst with
-#              graceful-drain assertions
-#   shard    — the multi-replica tier: 3 tdserve replicas with disk
-#              stores and a consistent-hash ring, certificate-verified
-#              peer fills under a burst, then a kill+restart with the
-#              first repeat served from the store (no recompute)
-#   bench    — structural validation of the benchmark emitters: fresh
-#              -searchjson, -portfoliojson, and -shardjson reports plus
-#              the committed BENCH_chase.json, BENCH_portfolio.json,
-#              and BENCH_serve.json
+# Stages (limit in seconds):
+#   static  (300) — gofmt, build, vet, docs-freshness greps
+#   unit    (600) — full test suite, -count=1 (no cached results)
+#   race    (900) — full suite under the race detector (chase worker
+#                   pool, psearch pool, and the serving layer's
+#                   singleflight/drain paths are all concurrent code)
+#   smoke   (300) — end-to-end binaries: tdinfer governed runs on the
+#                   undecidable gap preset (static race under a deadline,
+#                   and the adaptive portfolio's finite-db answer);
+#                   tdserve under a duplicate-heavy tdbench -loadjson
+#                   burst with graceful-drain assertions
+#   shard   (300) — the multi-replica tier: 3 tdserve replicas with disk
+#                   stores and a consistent-hash ring,
+#                   certificate-verified peer fills under a burst, then a
+#                   kill+restart with the first repeat served from the
+#                   store (no recompute)
+#   bench   (900) — structural validation of the benchmark emitters:
+#                   fresh -searchjson, -portfoliojson, and -shardjson
+#                   reports plus the committed BENCH_chase.json,
+#                   BENCH_portfolio.json, and BENCH_serve.json
+#   fuzz    (600) — the continuous differential gate: a fresh seeded
+#                   ~100-instance corpus through every engine with zero
+#                   cross-engine disagreements, zero oracle mismatches,
+#                   and every definitive verdict certified, plus the
+#                   committed BENCH_fuzz.json revalidated
 set -euo pipefail
 cd "$(dirname "$0")"
 
+SUMMARY=()
 CURRENT_STAGE=""
 STAGE_START=0
-SUMMARY=()
 smoke=$(mktemp -d)
-srv_pid=""
-shard_pids=()
-
-stage() {
-    local now=$SECONDS
-    if [[ -n "$CURRENT_STAGE" ]]; then
-        SUMMARY+=("$(printf '%-8s ok    %4ds' "$CURRENT_STAGE" $((now - STAGE_START)))")
-    fi
-    CURRENT_STAGE="$1"
-    STAGE_START=$now
-    if [[ -n "$1" ]]; then
-        echo "=== stage: $1"
-    fi
-}
+export smoke
 
 on_exit() {
     local rc=$?
-    if [[ -n "$srv_pid" ]] && kill -0 "$srv_pid" 2>/dev/null; then
-        kill "$srv_pid" 2>/dev/null || true
+    # Stage bodies run in child shells; anything they left behind (tdserve
+    # replicas, a hung tdbench) runs a binary built under $smoke, so this
+    # sweep is exact.
+    pkill -f "$smoke/" 2>/dev/null || true
+    if [[ $rc -ne 0 && -n "${CI_ARTIFACTS:-}" ]]; then
+        mkdir -p "$CI_ARTIFACTS"
+        (cd "$smoke" && find . -type f \( -name '*.json' -o -name '*.jsonl' -o -name '*.out' \) \
+            -exec cp --parents -t "$CI_ARTIFACTS" {} +) 2>/dev/null || true
     fi
-    for pid in ${shard_pids[@]+"${shard_pids[@]}"}; do
-        kill "$pid" 2>/dev/null || true
-    done
     rm -rf "$smoke"
     if [[ $rc -ne 0 && -n "$CURRENT_STAGE" ]]; then
         SUMMARY+=("$(printf '%-8s FAIL  %4ds' "$CURRENT_STAGE" $((SECONDS - STAGE_START)))")
@@ -67,355 +68,413 @@ on_exit() {
 }
 trap on_exit EXIT
 
-stage static
+# run_stage NAME LIMIT FN runs stage function FN (exported below) in a
+# child shell under a hard LIMIT-second timeout. rc 124/137 is the timeout
+# itself (SIGTERM / the -k SIGKILL escalation); any nonzero rc fails the
+# pipeline with the stage marked in the summary.
+run_stage() {
+    local name=$1 limit=$2 fn=$3 rc=0
+    CURRENT_STAGE=$name
+    STAGE_START=$SECONDS
+    echo "=== stage: $name (limit ${limit}s)"
+    timeout --foreground --kill-after=10 "$limit" bash -c "set -euo pipefail; $fn" || rc=$?
+    local elapsed=$((SECONDS - STAGE_START))
+    if [[ $rc -eq 124 || $rc -eq 137 ]]; then
+        SUMMARY+=("$(printf '%-8s FAIL  %4ds (hit the %ss stage limit)' "$name" "$elapsed" "$limit")")
+        CURRENT_STAGE=""
+        echo "ci: stage $name exceeded its ${limit}s limit" >&2
+        exit 1
+    elif [[ $rc -ne 0 ]]; then
+        SUMMARY+=("$(printf '%-8s FAIL  %4ds' "$name" "$elapsed")")
+        CURRENT_STAGE=""
+        exit "$rc"
+    fi
+    SUMMARY+=("$(printf '%-8s ok    %4ds' "$name" "$elapsed")")
+    CURRENT_STAGE=""
+}
 
-unformatted=$(gofmt -l .)
-if [[ -n "$unformatted" ]]; then
-    echo "gofmt: the following files need formatting:" >&2
-    echo "$unformatted" >&2
-    exit 1
-fi
+stage_static() {
+    local unformatted
+    unformatted=$(gofmt -l .)
+    if [[ -n "$unformatted" ]]; then
+        echo "gofmt: the following files need formatting:" >&2
+        echo "$unformatted" >&2
+        exit 1
+    fi
 
-go build ./...
-go vet ./...
+    go build ./...
+    go vet ./...
 
-# Docs freshness: every exported event type in internal/obs must be
-# documented in docs/OBSERVABILITY.md (both the Go constant and its wire
-# name), so the schema contract cannot silently drift from the code.
-while read -r const wire; do
-    for token in "$const" "$wire"; do
+    # Docs freshness: every exported event type in internal/obs must be
+    # documented in docs/OBSERVABILITY.md (both the Go constant and its wire
+    # name), so the schema contract cannot silently drift from the code.
+    while read -r const wire; do
+        for token in "$const" "$wire"; do
+            if ! grep -q -- "$token" docs/OBSERVABILITY.md; then
+                echo "docs/OBSERVABILITY.md: event type $token (from internal/obs/obs.go) is undocumented" >&2
+                exit 1
+            fi
+        done
+    done < <(sed -n 's/^\t\(Ev[A-Za-z0-9]*\) EventType = "\([a-z_]*\)"$/\1 \2/p' internal/obs/obs.go)
+
+    # Same freshness bar for the governor vocabulary: every resource meter and
+    # stop reason internal/budget can put on the wire must appear in the event
+    # schema docs.
+    for token in rounds tuples nodes words rules context deadline; do
         if ! grep -q -- "$token" docs/OBSERVABILITY.md; then
-            echo "docs/OBSERVABILITY.md: event type $token (from internal/obs/obs.go) is undocumented" >&2
+            echo "docs/OBSERVABILITY.md: budget resource/reason \"$token\" (from internal/budget) is undocumented" >&2
             exit 1
         fi
     done
-done < <(sed -n 's/^\t\(Ev[A-Za-z0-9]*\) EventType = "\([a-z_]*\)"$/\1 \2/p' internal/obs/obs.go)
 
-# Same freshness bar for the governor vocabulary: every resource meter and
-# stop reason internal/budget can put on the wire must appear in the event
-# schema docs.
-for token in rounds tuples nodes words rules context deadline; do
-    if ! grep -q -- "$token" docs/OBSERVABILITY.md; then
-        echo "docs/OBSERVABILITY.md: budget resource/reason \"$token\" (from internal/budget) is undocumented" >&2
-        exit 1
-    fi
-done
-
-# And for the serving layer's counter vocabulary: every serve.* counter
-# the server bumps must appear in the schema docs.
-for token in serve.requests serve.cache_hits serve.cache_misses serve.dedups serve.warm serve.shutdowns serve.cert_checked serve.cert_rejected \
-    serve.store_hits serve.peer_fills serve.peer_ok serve.peer_rejected serve.peer_unknown serve.peer_down; do
-    if ! grep -q -- "$token" docs/OBSERVABILITY.md; then
-        echo "docs/OBSERVABILITY.md: serve counter \"$token\" (from internal/serve) is undocumented" >&2
-        exit 1
-    fi
-done
-
-# The disk store's counter vocabulary gets the same freshness bar.
-for token in store.recovers store.recovered_records store.superseded_records store.dropped_bytes \
-    store.puts store.put_skips store.written_bytes store.compactions store.reclaimed_bytes; do
-    if ! grep -q -- "$token" docs/OBSERVABILITY.md; then
-        echo "docs/OBSERVABILITY.md: store counter \"$token\" (from internal/store) is undocumented" >&2
-        exit 1
-    fi
-done
-
-# The portfolio's reallocation vocabulary: the event type must be
-# documented in both the schema docs and the architecture map, and every
-# portfolio.* counter CounterSink maintains must appear in the schema
-# docs.
-for doc in docs/OBSERVABILITY.md docs/ARCHITECTURE.md; do
-    if ! grep -q -- "portfolio_realloc" "$doc"; then
-        echo "$doc: the portfolio_realloc event (from internal/portfolio) is undocumented" >&2
-        exit 1
-    fi
-done
-for token in portfolio.reallocs portfolio.granted portfolio.withheld portfolio.retired; do
-    if ! grep -q -- "$token" docs/OBSERVABILITY.md; then
-        echo "docs/OBSERVABILITY.md: portfolio counter \"$token\" (from internal/obs) is undocumented" >&2
-        exit 1
-    fi
-done
-
-# The architecture map must cover every internal package and every
-# command, so the package inventory cannot silently drift from the tree.
-for pkg in internal/*/ cmd/*/; do
-    name=$(basename "$pkg")
-    if ! grep -q -- "$name" docs/ARCHITECTURE.md; then
-        echo "docs/ARCHITECTURE.md: package $pkg is missing from the map" >&2
-        exit 1
-    fi
-done
-
-stage unit
-
-go test -count=1 ./...
-
-stage race
-
-# The full suite again under the race detector. The chase worker-pool
-# tests (TestIntraDependencyPartitioning, TestParallelWorkers, the
-# Workers=4 arms of TestWarmVsColdIdentical), the parallel counter-model
-# search tests (TestParallelDeterministicWitness,
-# TestParallelDeterministicCounterexample), and the serving layer's
-# singleflight/drain/state-flight tests all run real concurrency, so this
-# sweep covers every concurrent path in the repo, including the parallel
-# chase round pool and the warm-start state cache.
-go test -race -count=1 ./...
-
-stage smoke
-
-# Governance smoke: a wall-clock budget on the undecidable gap preset must
-# come back promptly (bounded cancellation latency), exit 0 with an honest
-# "unknown", and leave a trace that replays (the JSONL parses and carries
-# the chase's deadline stop marker). Pinned to the static race: the
-# adaptive portfolio *answers* this instance (asserted below), so only
-# -engine race exercises the deadline path on it.
-go build -o "$smoke/tdinfer" ./cmd/tdinfer
-out=$("$smoke/tdinfer" -engine race -preset gap -deadline 100ms -rounds 100000 \
-    -tuples 10000000 -trace "$smoke/gap.jsonl")
-grep -q "verdict: unknown" <<<"$out" || {
-    echo "ci: gap smoke: expected unknown verdict, got:" >&2
-    echo "$out" >&2
-    exit 1
-}
-grep -q '"type":"cancelled","src":"chase".*"resource":"deadline"' "$smoke/gap.jsonl" || {
-    echo "ci: gap smoke: trace has no chase deadline stop event" >&2
-    exit 1
-}
-grep -q '"type":"verdict","src":"core","verdict":"unknown"' "$smoke/gap.jsonl" || {
-    echo "ci: gap smoke: trace does not close with an unknown core verdict" >&2
-    exit 1
-}
-
-# Portfolio smoke: the default engine settles the same TD instance — the
-# finite-db arm finds the 2-tuple database the sequential run never
-# reaches (DESIGN.md §12) — and its trace carries the reallocation
-# decisions.
-out=$("$smoke/tdinfer" -preset gap -deadline 30s -trace "$smoke/gap_pf.jsonl")
-grep -q "verdict: finite-counterexample" <<<"$out" || {
-    echo "ci: portfolio gap smoke: expected finite-counterexample, got:" >&2
-    echo "$out" >&2
-    exit 1
-}
-grep -q "winner: finite-db arm" <<<"$out" || {
-    echo "ci: portfolio gap smoke: expected the finite-db arm to win, got:" >&2
-    echo "$out" >&2
-    exit 1
-}
-grep -q '"type":"portfolio_realloc"' "$smoke/gap_pf.jsonl" || {
-    echo "ci: portfolio gap smoke: trace has no portfolio_realloc events" >&2
-    exit 1
-}
-grep -q '"type":"verdict","src":"portfolio","verdict":"finite-counterexample"' "$smoke/gap_pf.jsonl" || {
-    echo "ci: portfolio gap smoke: trace does not close with the portfolio verdict" >&2
-    exit 1
-}
-
-# Certificate smoke: every definitive verdict carries a proof object the
-# standalone checker accepts with no engine in the loop (gap's database
-# counterexample through the portfolio, chain's chase proof), and a
-# single tampered byte is rejected with a nonzero exit.
-go build -o "$smoke/tdcheck" ./cmd/tdcheck
-"$smoke/tdinfer" -preset gap -deadline 30s -cert "$smoke/gap.cert.json" >/dev/null
-"$smoke/tdcheck" -verify "$smoke/gap.cert.json" >/dev/null || {
-    echo "ci: cert smoke: gap certificate rejected" >&2
-    exit 1
-}
-"$smoke/tdinfer" -preset chain:2 -cert "$smoke/chain.cert.json" >/dev/null
-"$smoke/tdcheck" -verify "$smoke/chain.cert.json" >/dev/null || {
-    echo "ci: cert smoke: chain certificate rejected" >&2
-    exit 1
-}
-sed 's/"version": 1/"version": 7/' "$smoke/chain.cert.json" >"$smoke/tampered.cert.json"
-if "$smoke/tdcheck" -verify "$smoke/tampered.cert.json" >/dev/null 2>&1; then
-    echo "ci: cert smoke: tampered certificate was accepted" >&2
-    exit 1
-fi
-
-# Parallel determinism smoke: the chase event stream is a pure function
-# of the problem — byte-identical for every -workers value. The raw trace
-# interleaves the implication arm with the racing counter-model arm
-# (whose cancellation point is scheduling-dependent), so the comparison
-# filters to the chase layer's own events.
-"$smoke/tdinfer" -preset chain:1 -rounds 64 -tuples 200000 \
-    -workers 1 -trace "$smoke/chain_w1.jsonl" >/dev/null
-"$smoke/tdinfer" -preset chain:1 -rounds 64 -tuples 200000 \
-    -workers 4 -trace "$smoke/chain_w4.jsonl" >/dev/null
-grep '"src":"chase"' "$smoke/chain_w1.jsonl" >"$smoke/chase_w1.jsonl"
-grep '"src":"chase"' "$smoke/chain_w4.jsonl" >"$smoke/chase_w4.jsonl"
-cmp -s "$smoke/chase_w1.jsonl" "$smoke/chase_w4.jsonl" || {
-    echo "ci: parallel smoke: chase traces differ between -workers 1 and -workers 4:" >&2
-    diff "$smoke/chase_w1.jsonl" "$smoke/chase_w4.jsonl" | head -20 >&2
-    exit 1
-}
-
-# Serve smoke: start tdserve, fire a duplicate-heavy burst through
-# tdbench -loadjson (which itself fails on a zero hit rate or on verdict /
-# canonical-key inconsistency across repeats), then SIGTERM and assert a
-# clean drain: the "drained." line prints and the trace's final event is
-# the single serve_shutdown.
-go build -o "$smoke/tdbench" ./cmd/tdbench
-go build -o "$smoke/tdserve" ./cmd/tdserve
-"$smoke/tdserve" -addr 127.0.0.1:0 -request-timeout 2s \
-    -trace "$smoke/serve.jsonl" >"$smoke/serve.out" 2>&1 &
-srv_pid=$!
-serve_addr=""
-for _ in $(seq 1 50); do
-    serve_addr=$(sed -n 's/^tdserve: listening on //p' "$smoke/serve.out")
-    [[ -n "$serve_addr" ]] && break
-    sleep 0.1
-done
-[[ -n "$serve_addr" ]] || {
-    echo "ci: serve smoke: tdserve never reported its address:" >&2
-    cat "$smoke/serve.out" >&2
-    exit 1
-}
-"$smoke/tdbench" -loadjson "$smoke/load.json" -loadserver "http://$serve_addr" \
-    -loadn 40 -loadc 8
-kill -TERM "$srv_pid"
-wait "$srv_pid" || {
-    echo "ci: serve smoke: tdserve exited nonzero:" >&2
-    cat "$smoke/serve.out" >&2
-    exit 1
-}
-srv_pid=""
-grep -q '^tdserve: drained\.' "$smoke/serve.out" || {
-    echo "ci: serve smoke: no drained line in tdserve output:" >&2
-    cat "$smoke/serve.out" >&2
-    exit 1
-}
-[[ "$(grep -c '"type":"serve_shutdown"' "$smoke/serve.jsonl")" == 1 ]] || {
-    echo "ci: serve smoke: expected exactly one serve_shutdown event" >&2
-    exit 1
-}
-tail -1 "$smoke/serve.jsonl" | grep -q '"type":"serve_shutdown"' || {
-    echo "ci: serve smoke: trace does not end with serve_shutdown:" >&2
-    tail -3 "$smoke/serve.jsonl" >&2
-    exit 1
-}
-
-stage shard
-
-# Shard smoke: three real tdserve replicas share a temp store directory
-# (one append-log each) and split the canonical key-space by consistent
-# hashing over fixed local ports. A duplicate-heavy burst fired at
-# replica A must produce certificate-verified peer fills (keys owned by
-# the other replicas come back source "peer") and write-through store
-# puts; then replica A is SIGTERMed and restarted on the same log and
-# address, and a repeat of a previously-answered key must be served
-# from disk (source "store") with zero engine recomputes.
-sharddir="$smoke/shard"
-mkdir -p "$sharddir"
-shard_ports=(7471 7472 7473)
-shard_peers="http://127.0.0.1:7471,http://127.0.0.1:7472,http://127.0.0.1:7473"
-start_replica() { # port; leaves the pid in $! for the caller
-    "$smoke/tdserve" -addr "127.0.0.1:$1" -request-timeout 5s \
-        -store "$sharddir/rep$1.log" \
-        -peers "$shard_peers" -self "http://127.0.0.1:$1" \
-        >>"$sharddir/rep$1.out" 2>&1 &
-}
-await_replica() { # port
-    for _ in $(seq 1 100); do
-        if curl -sf "http://127.0.0.1:$1/healthz" >/dev/null 2>&1; then
-            return 0
+    # And for the serving layer's counter vocabulary: every serve.* counter
+    # the server bumps must appear in the schema docs.
+    for token in serve.requests serve.cache_hits serve.cache_misses serve.dedups serve.warm serve.shutdowns serve.cert_checked serve.cert_rejected \
+        serve.store_hits serve.peer_fills serve.peer_ok serve.peer_rejected serve.peer_unknown serve.peer_down; do
+        if ! grep -q -- "$token" docs/OBSERVABILITY.md; then
+            echo "docs/OBSERVABILITY.md: serve counter \"$token\" (from internal/serve) is undocumented" >&2
+            exit 1
         fi
+    done
+
+    # The disk store's counter vocabulary gets the same freshness bar.
+    for token in store.recovers store.recovered_records store.superseded_records store.dropped_bytes \
+        store.puts store.put_skips store.written_bytes store.compactions store.reclaimed_bytes; do
+        if ! grep -q -- "$token" docs/OBSERVABILITY.md; then
+            echo "docs/OBSERVABILITY.md: store counter \"$token\" (from internal/store) is undocumented" >&2
+            exit 1
+        fi
+    done
+
+    # The portfolio's reallocation vocabulary: the event type must be
+    # documented in both the schema docs and the architecture map, and every
+    # portfolio.* counter CounterSink maintains must appear in the schema
+    # docs.
+    for doc in docs/OBSERVABILITY.md docs/ARCHITECTURE.md; do
+        if ! grep -q -- "portfolio_realloc" "$doc"; then
+            echo "$doc: the portfolio_realloc event (from internal/portfolio) is undocumented" >&2
+            exit 1
+        fi
+    done
+    for token in portfolio.reallocs portfolio.granted portfolio.withheld portfolio.retired; do
+        if ! grep -q -- "$token" docs/OBSERVABILITY.md; then
+            echo "docs/OBSERVABILITY.md: portfolio counter \"$token\" (from internal/obs) is undocumented" >&2
+            exit 1
+        fi
+    done
+
+    # The differential fuzzer's counter vocabulary: the per-family counter
+    # is documented as a pattern, so grep for its stable prefix.
+    for token in fuzz.cases fuzz.disagreements fuzz.family.; do
+        if ! grep -q -- "$token" docs/OBSERVABILITY.md; then
+            echo "docs/OBSERVABILITY.md: fuzz counter \"$token\" (from internal/obs) is undocumented" >&2
+            exit 1
+        fi
+    done
+
+    # The architecture map must cover every internal package and every
+    # command, so the package inventory cannot silently drift from the tree.
+    for pkg in internal/*/ cmd/*/; do
+        name=$(basename "$pkg")
+        if ! grep -q -- "$name" docs/ARCHITECTURE.md; then
+            echo "docs/ARCHITECTURE.md: package $pkg is missing from the map" >&2
+            exit 1
+        fi
+    done
+}
+
+stage_unit() {
+    go test -count=1 ./...
+}
+
+stage_race() {
+    # The full suite again under the race detector. The chase worker-pool
+    # tests (TestIntraDependencyPartitioning, TestParallelWorkers, the
+    # Workers=4 arms of TestWarmVsColdIdentical), the parallel counter-model
+    # search tests (TestParallelDeterministicWitness,
+    # TestParallelDeterministicCounterexample), and the serving layer's
+    # singleflight/drain/state-flight tests all run real concurrency, so this
+    # sweep covers every concurrent path in the repo, including the parallel
+    # chase round pool and the warm-start state cache.
+    go test -race -count=1 ./...
+}
+
+stage_smoke() {
+    # Governance smoke: a wall-clock budget on the undecidable gap preset must
+    # come back promptly (bounded cancellation latency), exit 0 with an honest
+    # "unknown", and leave a trace that replays (the JSONL parses and carries
+    # the chase's deadline stop marker). Pinned to the static race: the
+    # adaptive portfolio *answers* this instance (asserted below), so only
+    # -engine race exercises the deadline path on it.
+    go build -o "$smoke/tdinfer" ./cmd/tdinfer
+    out=$("$smoke/tdinfer" -engine race -preset gap -deadline 100ms -rounds 100000 \
+        -tuples 10000000 -trace "$smoke/gap.jsonl")
+    grep -q "verdict: unknown" <<<"$out" || {
+        echo "ci: gap smoke: expected unknown verdict, got:" >&2
+        echo "$out" >&2
+        exit 1
+    }
+    grep -q '"type":"cancelled","src":"chase".*"resource":"deadline"' "$smoke/gap.jsonl" || {
+        echo "ci: gap smoke: trace has no chase deadline stop event" >&2
+        exit 1
+    }
+    grep -q '"type":"verdict","src":"core","verdict":"unknown"' "$smoke/gap.jsonl" || {
+        echo "ci: gap smoke: trace does not close with an unknown core verdict" >&2
+        exit 1
+    }
+
+    # Portfolio smoke: the default engine settles the same TD instance — the
+    # finite-db arm finds the 2-tuple database the sequential run never
+    # reaches (DESIGN.md §12) — and its trace carries the reallocation
+    # decisions.
+    out=$("$smoke/tdinfer" -preset gap -deadline 30s -trace "$smoke/gap_pf.jsonl")
+    grep -q "verdict: finite-counterexample" <<<"$out" || {
+        echo "ci: portfolio gap smoke: expected finite-counterexample, got:" >&2
+        echo "$out" >&2
+        exit 1
+    }
+    grep -q "winner: finite-db arm" <<<"$out" || {
+        echo "ci: portfolio gap smoke: expected the finite-db arm to win, got:" >&2
+        echo "$out" >&2
+        exit 1
+    }
+    grep -q '"type":"portfolio_realloc"' "$smoke/gap_pf.jsonl" || {
+        echo "ci: portfolio gap smoke: trace has no portfolio_realloc events" >&2
+        exit 1
+    }
+    grep -q '"type":"verdict","src":"portfolio","verdict":"finite-counterexample"' "$smoke/gap_pf.jsonl" || {
+        echo "ci: portfolio gap smoke: trace does not close with the portfolio verdict" >&2
+        exit 1
+    }
+
+    # Certificate smoke: every definitive verdict carries a proof object the
+    # standalone checker accepts with no engine in the loop (gap's database
+    # counterexample through the portfolio, chain's chase proof), and a
+    # single tampered byte is rejected with a nonzero exit.
+    go build -o "$smoke/tdcheck" ./cmd/tdcheck
+    "$smoke/tdinfer" -preset gap -deadline 30s -cert "$smoke/gap.cert.json" >/dev/null
+    "$smoke/tdcheck" -verify "$smoke/gap.cert.json" >/dev/null || {
+        echo "ci: cert smoke: gap certificate rejected" >&2
+        exit 1
+    }
+    "$smoke/tdinfer" -preset chain:2 -cert "$smoke/chain.cert.json" >/dev/null
+    "$smoke/tdcheck" -verify "$smoke/chain.cert.json" >/dev/null || {
+        echo "ci: cert smoke: chain certificate rejected" >&2
+        exit 1
+    }
+    sed 's/"version": 1/"version": 7/' "$smoke/chain.cert.json" >"$smoke/tampered.cert.json"
+    if "$smoke/tdcheck" -verify "$smoke/tampered.cert.json" >/dev/null 2>&1; then
+        echo "ci: cert smoke: tampered certificate was accepted" >&2
+        exit 1
+    fi
+
+    # Parallel determinism smoke: the chase event stream is a pure function
+    # of the problem — byte-identical for every -workers value. The raw trace
+    # interleaves the implication arm with the racing counter-model arm
+    # (whose cancellation point is scheduling-dependent), so the comparison
+    # filters to the chase layer's own events.
+    "$smoke/tdinfer" -preset chain:1 -rounds 64 -tuples 200000 \
+        -workers 1 -trace "$smoke/chain_w1.jsonl" >/dev/null
+    "$smoke/tdinfer" -preset chain:1 -rounds 64 -tuples 200000 \
+        -workers 4 -trace "$smoke/chain_w4.jsonl" >/dev/null
+    grep '"src":"chase"' "$smoke/chain_w1.jsonl" >"$smoke/chase_w1.jsonl"
+    grep '"src":"chase"' "$smoke/chain_w4.jsonl" >"$smoke/chase_w4.jsonl"
+    cmp -s "$smoke/chase_w1.jsonl" "$smoke/chase_w4.jsonl" || {
+        echo "ci: parallel smoke: chase traces differ between -workers 1 and -workers 4:" >&2
+        diff "$smoke/chase_w1.jsonl" "$smoke/chase_w4.jsonl" | head -20 >&2
+        exit 1
+    }
+
+    # Serve smoke: start tdserve, fire a duplicate-heavy burst through
+    # tdbench -loadjson (which itself fails on a zero hit rate or on verdict /
+    # canonical-key inconsistency across repeats), then SIGTERM and assert a
+    # clean drain: the "drained." line prints and the trace's final event is
+    # the single serve_shutdown.
+    go build -o "$smoke/tdbench" ./cmd/tdbench
+    go build -o "$smoke/tdserve" ./cmd/tdserve
+    "$smoke/tdserve" -addr 127.0.0.1:0 -request-timeout 2s \
+        -trace "$smoke/serve.jsonl" >"$smoke/serve.out" 2>&1 &
+    local srv_pid=$!
+    local serve_addr=""
+    for _ in $(seq 1 50); do
+        serve_addr=$(sed -n 's/^tdserve: listening on //p' "$smoke/serve.out")
+        [[ -n "$serve_addr" ]] && break
         sleep 0.1
     done
-    echo "ci: shard smoke: replica on port $1 never became healthy:" >&2
-    cat "$sharddir/rep$1.out" >&2
-    return 1
+    [[ -n "$serve_addr" ]] || {
+        echo "ci: serve smoke: tdserve never reported its address:" >&2
+        cat "$smoke/serve.out" >&2
+        exit 1
+    }
+    "$smoke/tdbench" -loadjson "$smoke/load.json" -loadserver "http://$serve_addr" \
+        -loadn 40 -loadc 8
+    kill -TERM "$srv_pid"
+    wait "$srv_pid" || {
+        echo "ci: serve smoke: tdserve exited nonzero:" >&2
+        cat "$smoke/serve.out" >&2
+        exit 1
+    }
+    grep -q '^tdserve: drained\.' "$smoke/serve.out" || {
+        echo "ci: serve smoke: no drained line in tdserve output:" >&2
+        cat "$smoke/serve.out" >&2
+        exit 1
+    }
+    [[ "$(grep -c '"type":"serve_shutdown"' "$smoke/serve.jsonl")" == 1 ]] || {
+        echo "ci: serve smoke: expected exactly one serve_shutdown event" >&2
+        exit 1
+    }
+    tail -1 "$smoke/serve.jsonl" | grep -q '"type":"serve_shutdown"' || {
+        echo "ci: serve smoke: trace does not end with serve_shutdown:" >&2
+        tail -3 "$smoke/serve.jsonl" >&2
+        exit 1
+    }
 }
-for i in 0 1 2; do
-    start_replica "${shard_ports[$i]}"
-    shard_pids[$i]=$!
-done
-for port in "${shard_ports[@]}"; do
-    await_replica "$port"
-done
 
-# The burst at replica A. -loadjson itself cross-checks the client's
-# per-source outcomes against A's /metrics movement, so a nonzero
-# "peer" count below is already certificate-verified adoptions
-# (serve.peer_ok), not mere attempts.
-"$smoke/tdbench" -loadjson "$sharddir/load.json" \
-    -loadserver "http://127.0.0.1:${shard_ports[0]}" -loadn 48 -loadc 6
-metrics=$(curl -sf "http://127.0.0.1:${shard_ports[0]}/metrics")
-peer_ok=$(grep -o '"serve.peer_ok":[0-9]*' <<<"$metrics" | grep -o '[0-9]*$' || echo 0)
-store_puts=$(grep -o '"store.puts":[0-9]*' <<<"$metrics" | grep -o '[0-9]*$' || echo 0)
-if [[ "$peer_ok" -eq 0 ]]; then
-    echo "ci: shard smoke: no certificate-verified peer fills at replica A — the ring never split the key-space" >&2
-    exit 1
-fi
-if [[ "$store_puts" -eq 0 ]]; then
-    echo "ci: shard smoke: no write-through store puts at replica A" >&2
-    exit 1
-fi
+stage_shard() {
+    # Shard smoke: three real tdserve replicas share a temp store directory
+    # (one append-log each) and split the canonical key-space by consistent
+    # hashing over fixed local ports. A duplicate-heavy burst fired at
+    # replica A must produce certificate-verified peer fills (keys owned by
+    # the other replicas come back source "peer") and write-through store
+    # puts; then replica A is SIGTERMed and restarted on the same log and
+    # address, and a repeat of a previously-answered key must be served
+    # from disk (source "store") with zero engine recomputes.
+    local sharddir="$smoke/shard"
+    mkdir -p "$sharddir"
+    local shard_ports=(7471 7472 7473)
+    local shard_peers="http://127.0.0.1:7471,http://127.0.0.1:7472,http://127.0.0.1:7473"
+    local shard_pids=()
+    start_replica() { # port; leaves the pid in $! for the caller
+        "$smoke/tdserve" -addr "127.0.0.1:$1" -request-timeout 5s \
+            -store "$sharddir/rep$1.log" \
+            -peers "$shard_peers" -self "http://127.0.0.1:$1" \
+            >>"$sharddir/rep$1.out" 2>&1 &
+    }
+    await_replica() { # port
+        for _ in $(seq 1 100); do
+            if curl -sf "http://127.0.0.1:$1/healthz" >/dev/null 2>&1; then
+                return 0
+            fi
+            sleep 0.1
+        done
+        echo "ci: shard smoke: replica on port $1 never became healthy:" >&2
+        cat "$sharddir/rep$1.out" >&2
+        return 1
+    }
+    for i in 0 1 2; do
+        start_replica "${shard_ports[$i]}"
+        shard_pids[$i]=$!
+    done
+    for port in "${shard_ports[@]}"; do
+        await_replica "$port"
+    done
 
-# Kill replica A, restart it on the same store file and address, and
-# repeat a key it answered during the burst: the answer must come off
-# the disk store, and the fresh process must have run zero engines
-# (serve.cache_misses still unmoved).
-kill -TERM "${shard_pids[0]}"
-wait "${shard_pids[0]}" || {
-    echo "ci: shard smoke: replica A exited nonzero:" >&2
-    cat "$sharddir/rep${shard_ports[0]}.out" >&2
-    exit 1
+    # The burst at replica A. -loadjson itself cross-checks the client's
+    # per-source outcomes against A's /metrics movement, so a nonzero
+    # "peer" count below is already certificate-verified adoptions
+    # (serve.peer_ok), not mere attempts.
+    "$smoke/tdbench" -loadjson "$sharddir/load.json" \
+        -loadserver "http://127.0.0.1:${shard_ports[0]}" -loadn 48 -loadc 6
+    local metrics peer_ok store_puts
+    metrics=$(curl -sf "http://127.0.0.1:${shard_ports[0]}/metrics")
+    peer_ok=$(grep -o '"serve.peer_ok":[0-9]*' <<<"$metrics" | grep -o '[0-9]*$' || echo 0)
+    store_puts=$(grep -o '"store.puts":[0-9]*' <<<"$metrics" | grep -o '[0-9]*$' || echo 0)
+    if [[ "$peer_ok" -eq 0 ]]; then
+        echo "ci: shard smoke: no certificate-verified peer fills at replica A — the ring never split the key-space" >&2
+        exit 1
+    fi
+    if [[ "$store_puts" -eq 0 ]]; then
+        echo "ci: shard smoke: no write-through store puts at replica A" >&2
+        exit 1
+    fi
+
+    # Kill replica A, restart it on the same store file and address, and
+    # repeat a key it answered during the burst: the answer must come off
+    # the disk store, and the fresh process must have run zero engines
+    # (serve.cache_misses still unmoved).
+    kill -TERM "${shard_pids[0]}"
+    wait "${shard_pids[0]}" || {
+        echo "ci: shard smoke: replica A exited nonzero:" >&2
+        cat "$sharddir/rep${shard_ports[0]}.out" >&2
+        exit 1
+    }
+    start_replica "${shard_ports[0]}"
+    shard_pids[0]=$!
+    await_replica "${shard_ports[0]}"
+    local repeat
+    repeat=$(curl -sf -d '{"preset":"power"}' "http://127.0.0.1:${shard_ports[0]}/infer")
+    grep -q '"source":"store"' <<<"$repeat" || {
+        echo "ci: shard smoke: restarted replica did not answer the repeat from its store:" >&2
+        echo "$repeat" >&2
+        exit 1
+    }
+    metrics=$(curl -sf "http://127.0.0.1:${shard_ports[0]}/metrics")
+    if grep -o '"serve.cache_misses":[0-9]*' <<<"$metrics" | grep -qv ':0$'; then
+        echo "ci: shard smoke: restarted replica ran an engine on a stored key" >&2
+        exit 1
+    fi
+    for pid in "${shard_pids[@]}"; do
+        kill -TERM "$pid" 2>/dev/null || true
+    done
+    for pid in "${shard_pids[@]}"; do
+        wait "$pid" || true
+    done
 }
-start_replica "${shard_ports[0]}"
-shard_pids[0]=$!
-await_replica "${shard_ports[0]}"
-repeat=$(curl -sf -d '{"preset":"power"}' "http://127.0.0.1:${shard_ports[0]}/infer")
-grep -q '"source":"store"' <<<"$repeat" || {
-    echo "ci: shard smoke: restarted replica did not answer the repeat from its store:" >&2
-    echo "$repeat" >&2
-    exit 1
+
+stage_bench() {
+    # The search benchmark emitter must produce a report that parses and
+    # carries every ablation arm (serial/parallel-4 x symmetry/none) with
+    # identical verdicts. -searchquick times one run per arm, so this checks
+    # structure, not statistics.
+    "$smoke/tdbench" -searchjson "$smoke/BENCH_search.json" -searchquick >/dev/null
+    "$smoke/tdbench" -checksearch "$smoke/BENCH_search.json"
+
+    # The committed chase benchmark snapshot must stay structurally valid:
+    # parses, every workload present, the index/scan/parallel arms of each
+    # chase workload agree on the verdict, warm-repeat columns present with
+    # matching verdicts, and at least one workload shows the >=2x warm-start
+    # latency drop.
+    "$smoke/tdbench" -checkbench BENCH_chase.json
+
+    # The portfolio comparison emitter: a fresh quick report (one timed run
+    # per side) must parse with race/portfolio verdicts consistent on every
+    # preset, and the committed full report must additionally satisfy the
+    # acceptance thresholds (within noise on >=2 presets, kb >=2x on the
+    # KB-decidable one).
+    "$smoke/tdbench" -portfoliojson "$smoke/BENCH_portfolio.json" -portfolioquick >/dev/null
+    "$smoke/tdbench" -checkportfolio "$smoke/BENCH_portfolio.json"
+    "$smoke/tdbench" -checkportfolio BENCH_portfolio.json
+
+    # The shard/restart drill emitter: a fresh quick report (3 in-process
+    # replicas, 3 burst rounds, kill+restart) must parse and satisfy the
+    # structural gates — key-space split across shards, nonzero verified
+    # peer fills, every restart-warm repeat served from the store with zero
+    # recomputes — and the committed full report must too.
+    "$smoke/tdbench" -shardjson "$smoke/BENCH_serve.json" -shardquick >/dev/null
+    "$smoke/tdbench" -checkserve "$smoke/BENCH_serve.json"
+    "$smoke/tdbench" -checkserve BENCH_serve.json
 }
-metrics=$(curl -sf "http://127.0.0.1:${shard_ports[0]}/metrics")
-if grep -o '"serve.cache_misses":[0-9]*' <<<"$metrics" | grep -qv ':0$'; then
-    echo "ci: shard smoke: restarted replica ran an engine on a stored key" >&2
-    exit 1
-fi
-for pid in "${shard_pids[@]}"; do
-    kill -TERM "$pid" 2>/dev/null || true
-done
-for pid in "${shard_pids[@]}"; do
-    wait "$pid" || true
-done
-shard_pids=()
 
-stage bench
+stage_fuzz() {
+    # The continuous differential gate. A fresh ~100-instance corpus (fixed
+    # seed: this stage gates the CODE; the nightly workflow rotates seeds to
+    # grow coverage) runs through every engine under matched governors.
+    # -fuzzjson itself exits nonzero on any cross-engine disagreement, and
+    # -checkfuzz re-enforces the acceptance gates from the report alone:
+    # all three families present, zero disagreements, zero oracle
+    # mismatches, every definitive consensus verdict certified. The
+    # committed full-corpus BENCH_fuzz.json must satisfy the same gates.
+    "$smoke/tdbench" -fuzzjson "$smoke/BENCH_fuzz.json" -fuzzquick -fuzzseed 7
+    "$smoke/tdbench" -checkfuzz "$smoke/BENCH_fuzz.json"
+    "$smoke/tdbench" -checkfuzz BENCH_fuzz.json
+}
 
-# The search benchmark emitter must produce a report that parses and
-# carries every ablation arm (serial/parallel-4 x symmetry/none) with
-# identical verdicts. -searchquick times one run per arm, so this checks
-# structure, not statistics.
-"$smoke/tdbench" -searchjson "$smoke/BENCH_search.json" -searchquick >/dev/null
-"$smoke/tdbench" -checksearch "$smoke/BENCH_search.json"
+export -f stage_static stage_unit stage_race stage_smoke stage_shard stage_bench stage_fuzz
 
-# The committed chase benchmark snapshot must stay structurally valid:
-# parses, every workload present, the index/scan/parallel arms of each
-# chase workload agree on the verdict, warm-repeat columns present with
-# matching verdicts, and at least one workload shows the >=2x warm-start
-# latency drop.
-"$smoke/tdbench" -checkbench BENCH_chase.json
-
-# The portfolio comparison emitter: a fresh quick report (one timed run
-# per side) must parse with race/portfolio verdicts consistent on every
-# preset, and the committed full report must additionally satisfy the
-# acceptance thresholds (within noise on >=2 presets, kb >=2x on the
-# KB-decidable one).
-"$smoke/tdbench" -portfoliojson "$smoke/BENCH_portfolio.json" -portfolioquick >/dev/null
-"$smoke/tdbench" -checkportfolio "$smoke/BENCH_portfolio.json"
-"$smoke/tdbench" -checkportfolio BENCH_portfolio.json
-
-# The shard/restart drill emitter: a fresh quick report (3 in-process
-# replicas, 3 burst rounds, kill+restart) must parse and satisfy the
-# structural gates — key-space split across shards, nonzero verified
-# peer fills, every restart-warm repeat served from the store with zero
-# recomputes — and the committed full report must too.
-"$smoke/tdbench" -shardjson "$smoke/BENCH_serve.json" -shardquick >/dev/null
-"$smoke/tdbench" -checkserve "$smoke/BENCH_serve.json"
-"$smoke/tdbench" -checkserve BENCH_serve.json
-
-stage ""
+run_stage static 300 stage_static
+run_stage unit 600 stage_unit
+run_stage race 900 stage_race
+run_stage smoke 300 stage_smoke
+run_stage shard 300 stage_shard
+run_stage bench 900 stage_bench
+run_stage fuzz 600 stage_fuzz

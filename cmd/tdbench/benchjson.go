@@ -8,12 +8,10 @@
 package main
 
 import (
-	"encoding/json"
 	"fmt"
 	"os"
 	"runtime"
 	"testing"
-	"time"
 
 	"templatedep/internal/budget"
 	"templatedep/internal/chase"
@@ -57,10 +55,7 @@ type benchResult struct {
 }
 
 type benchReport struct {
-	Generated string `json:"generated"`
-	GoVersion string `json:"go_version"`
-	GOOS      string `json:"goos"`
-	GOARCH    string `json:"goarch"`
+	reportHost
 	// Maxprocs records runtime.GOMAXPROCS(0) on the generating host: the
 	// workers sweep below is 1 vs this value, so a report from a 1-CPU box
 	// documents that its /parallel arm could not exercise real parallelism.
@@ -69,20 +64,12 @@ type benchReport struct {
 }
 
 func writeBenchJSON(path string, metrics bool) {
-	// Fail on an unwritable path before spending minutes measuring.
-	f, err := os.Create(path)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "tdbench: %v\n", err)
-		os.Exit(1)
-	}
-	f.Close()
+	fail := reportFail("bench")
+	reportProbe(path, fail)
 
 	rep := benchReport{
-		Generated: time.Now().UTC().Format(time.RFC3339),
-		GoVersion: runtime.Version(),
-		GOOS:      runtime.GOOS,
-		GOARCH:    runtime.GOARCH,
-		Maxprocs:  runtime.GOMAXPROCS(0),
+		reportHost: newReportHost(),
+		Maxprocs:   runtime.GOMAXPROCS(0),
 	}
 
 	// record returns a pointer to the appended result so chase workloads can
@@ -271,10 +258,7 @@ func writeBenchJSON(path string, metrics bool) {
 		})
 	}
 
-	out, err := json.MarshalIndent(rep, "", "  ")
-	check(err)
-	out = append(out, '\n')
-	check(os.WriteFile(path, out, 0o644))
+	reportWrite(path, rep, fail)
 	fmt.Printf("\nwrote %d results to %s\n", len(rep.Results), path)
 }
 
@@ -312,20 +296,9 @@ var benchExpectedSweep = []string{
 // the warm repeat at less than half the cold latency — the point of
 // keeping chase states at all.
 func checkBenchJSON(path string) {
-	data, err := os.ReadFile(path)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "tdbench: %v\n", err)
-		os.Exit(1)
-	}
+	fail := reportFail(path)
 	var rep benchReport
-	if err := json.Unmarshal(data, &rep); err != nil {
-		fmt.Fprintf(os.Stderr, "tdbench: %s: %v\n", path, err)
-		os.Exit(1)
-	}
-	fail := func(format string, args ...any) {
-		fmt.Fprintf(os.Stderr, "tdbench: %s: %s\n", path, fmt.Sprintf(format, args...))
-		os.Exit(1)
-	}
+	reportRead(path, &rep, false, fail)
 	byName := make(map[string]benchResult, len(rep.Results))
 	for _, r := range rep.Results {
 		if r.NsPerOp <= 0 {

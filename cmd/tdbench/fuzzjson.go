@@ -1,0 +1,266 @@
+// Differential fuzzing gate: `tdbench -fuzzjson FILE` generates a seeded
+// scenario corpus (internal/corpus — TM-derived hard instances, random
+// presentations and TD instances, and the decidable oracle fragment with
+// independent ground truth), runs every instance through all applicable
+// engines under matched governors (internal/difffuzz), and writes one JSON
+// document with the corpus composition, per-family verdict counts and
+// timings, and every violated invariant. The run itself exits nonzero when
+// any invariant fails — after writing the report, so CI can upload it as
+// an artifact.
+//
+// `tdbench -checkfuzz FILE` validates a previously written report: it must
+// parse strictly, carry all three corpus families, sum its per-family
+// counts to the instance total, report ZERO disagreements and zero oracle
+// mismatches, and show every definitive consensus verdict certified. This
+// is the continuous differential gate ci.sh and the nightly workflow run:
+// the soundness claims of DESIGN.md hold not just on the curated test
+// presets but on a fresh adversarial corpus every push.
+package main
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+
+	"templatedep/internal/corpus"
+	"templatedep/internal/difffuzz"
+	"templatedep/internal/obs"
+)
+
+// fuzzFamily aggregates one corpus family's differential outcomes.
+type fuzzFamily struct {
+	Family string `json:"family"`
+	Cases  int    `json:"cases"`
+	// Verdict distribution of the cross-engine consensus.
+	Implied              int `json:"implied"`
+	FiniteCounterexample int `json:"finite_counterexample"`
+	Unknown              int `json:"unknown"`
+	// Oracle ground-truth distribution (oracle family only) and the count
+	// of definitive engine verdicts that contradicted it (gate: zero).
+	OracleImplied    int `json:"oracle_implied,omitempty"`
+	OracleNotImplied int `json:"oracle_not_implied,omitempty"`
+	OracleMismatches int `json:"oracle_mismatches"`
+	// NsPerCase is total engine wall time over cases — a throughput
+	// number, not a benchmark (cases run concurrently under -fuzzjson).
+	NsPerCase float64 `json:"ns_per_case"`
+}
+
+type fuzzReport struct {
+	reportHost
+	// Quick marks the ~100-instance CI-smoke corpus; the nightly and
+	// committed reports use the full default.
+	Quick   bool  `json:"quick"`
+	Seed    int64 `json:"seed"`
+	Workers int   `json:"workers"`
+	// Corpus composition by family, in corpus generation order.
+	Instances int          `json:"instances"`
+	Families  []fuzzFamily `json:"families"`
+	// Engines is the union of engine names that ran (TD instances and
+	// presentation instances have different engine sets).
+	Engines []string `json:"engines"`
+	// Definitive counts cases with a definitive consensus; Certified of
+	// them shipped a certificate that passed cert.Check (gate: all).
+	Definitive int `json:"definitive"`
+	Certified  int `json:"certified"`
+	// DisagreementCount must be zero; Disagreements lists the violations
+	// verbatim when it is not, so a red report is self-diagnosing.
+	DisagreementCount int      `json:"disagreement_count"`
+	Disagreements     []string `json:"disagreements,omitempty"`
+	// Counters is the difffuzz observability counter snapshot
+	// (fuzz.cases, fuzz.family.<family>.cases, fuzz.disagreements).
+	Counters map[string]int64 `json:"counters"`
+}
+
+// fuzzComposition splits a total corpus size across the families: roughly
+// a fifth TM-derived instances (the expensive ones), the rest split evenly
+// between random and oracle. n <= 0 takes the defaults (100 quick / 240
+// full).
+func fuzzComposition(n int, quick bool) (tm, random, oracle int) {
+	if n <= 0 {
+		if quick {
+			n = 100
+		} else {
+			n = 240
+		}
+	}
+	tm = n / 5
+	random = (n - tm) / 2
+	oracle = n - tm - random
+	return tm, random, oracle
+}
+
+func writeFuzzJSON(path string, quick bool, n int, seed int64) {
+	fail := reportFail("fuzz")
+	reportProbe(path, fail)
+
+	tmN, randomN, oracleN := fuzzComposition(n, quick)
+	insts, err := corpus.Generate(corpus.Options{Seed: seed, TM: tmN, Random: randomN, Oracle: oracleN})
+	if err != nil {
+		fail("corpus: %v", err)
+	}
+	counters := obs.NewCounters()
+	res, err := difffuzz.Run(insts, difffuzz.Options{
+		Seed:    seed,
+		Workers: runtime.GOMAXPROCS(0),
+		Sink:    obs.NewCounterSink(counters),
+	})
+	if err != nil {
+		fail("%v", err)
+	}
+
+	rep := fuzzReport{
+		reportHost:        newReportHost(),
+		Quick:             quick,
+		Seed:              seed,
+		Workers:           runtime.GOMAXPROCS(0),
+		Instances:         len(res.Cases),
+		Disagreements:     res.Disagreements,
+		DisagreementCount: len(res.Disagreements),
+		Counters:          counters.Snapshot(),
+	}
+	byFamily := map[string]*fuzzFamily{}
+	var familyOrder []string
+	engines := map[string]bool{}
+	for _, c := range res.Cases {
+		f, ok := byFamily[c.Family]
+		if !ok {
+			f = &fuzzFamily{Family: c.Family}
+			byFamily[c.Family] = f
+			familyOrder = append(familyOrder, c.Family)
+		}
+		f.Cases++
+		switch c.Verdict {
+		case "implied":
+			f.Implied++
+			rep.Definitive++
+		case "finite-counterexample":
+			f.FiniteCounterexample++
+			rep.Definitive++
+		default:
+			f.Unknown++
+		}
+		switch c.Oracle {
+		case "implied":
+			f.OracleImplied++
+		case "not-implied":
+			f.OracleNotImplied++
+		}
+		certified := false
+		for _, e := range c.Engines {
+			engines[e.Engine] = true
+			certified = certified || e.Certified
+		}
+		if certified {
+			rep.Certified++
+		}
+		f.NsPerCase += float64(c.NS)
+		for _, p := range c.Problems {
+			if len(p) >= 7 && p[:7] == "oracle:" {
+				f.OracleMismatches++
+			}
+		}
+	}
+	for _, name := range familyOrder {
+		f := byFamily[name]
+		if f.Cases > 0 {
+			f.NsPerCase /= float64(f.Cases)
+		}
+		rep.Families = append(rep.Families, *f)
+		fmt.Printf("%-8s %4d cases: %3d implied, %3d finite-counterexample, %3d unknown  %12.0f ns/case\n",
+			f.Family, f.Cases, f.Implied, f.FiniteCounterexample, f.Unknown, f.NsPerCase)
+	}
+	for e := range engines {
+		rep.Engines = append(rep.Engines, e)
+	}
+	sort.Strings(rep.Engines)
+
+	reportWrite(path, rep, fail)
+	fmt.Printf("fuzz: %d instances (seed %d): %d definitive, %d certified, %d disagreements\n",
+		rep.Instances, rep.Seed, rep.Definitive, rep.Certified, rep.DisagreementCount)
+	fmt.Printf("wrote %s\n", path)
+	if rep.DisagreementCount > 0 {
+		for _, d := range rep.Disagreements {
+			fmt.Fprintf(os.Stderr, "tdbench: fuzz: DISAGREE %s\n", d)
+		}
+		fail("%d invariant violations (report written for triage)", rep.DisagreementCount)
+	}
+}
+
+// checkFuzzJSON validates a -fuzzjson report: the continuous differential
+// gate. Structure (all families present, counts consistent) and the
+// soundness acceptance criteria (zero disagreements, zero oracle
+// mismatches, every definitive consensus certified) are both enforced, on
+// fresh and committed reports alike — a quick report differs only in
+// corpus size.
+func checkFuzzJSON(path string) {
+	fail := reportFail("checkfuzz: " + path)
+	var rep fuzzReport
+	reportRead(path, &rep, true, fail)
+
+	if rep.Instances <= 0 {
+		fail("no instances")
+	}
+	if rep.Seed == 0 {
+		fail("seed not recorded")
+	}
+	byFamily := map[string]fuzzFamily{}
+	total := 0
+	for _, f := range rep.Families {
+		byFamily[f.Family] = f
+		total += f.Cases
+		if f.Cases <= 0 {
+			fail("family %s carries no cases", f.Family)
+		}
+		if f.Implied+f.FiniteCounterexample+f.Unknown != f.Cases {
+			fail("family %s: verdict counts sum to %d of %d cases",
+				f.Family, f.Implied+f.FiniteCounterexample+f.Unknown, f.Cases)
+		}
+		if f.NsPerCase <= 0 {
+			fail("family %s: no time recorded", f.Family)
+		}
+		if f.OracleMismatches != 0 {
+			fail("family %s: %d definitive verdicts contradict the fragment oracle", f.Family, f.OracleMismatches)
+		}
+	}
+	if total != rep.Instances {
+		fail("family cases sum to %d of %d instances", total, rep.Instances)
+	}
+	for _, fam := range []string{"tm", "random", "oracle"} {
+		if _, ok := byFamily[fam]; !ok {
+			fail("missing corpus family %q", fam)
+		}
+	}
+	orc := byFamily["oracle"]
+	if orc.OracleImplied+orc.OracleNotImplied != orc.Cases {
+		fail("oracle family: ground-truth counts sum to %d of %d cases",
+			orc.OracleImplied+orc.OracleNotImplied, orc.Cases)
+	}
+	if orc.Unknown != 0 {
+		fail("oracle family: %d cases stayed unknown — the decidable fragment must settle", orc.Unknown)
+	}
+	if rep.DisagreementCount != 0 || len(rep.Disagreements) != 0 {
+		for _, d := range rep.Disagreements {
+			fmt.Fprintf(os.Stderr, "tdbench: checkfuzz: DISAGREE %s\n", d)
+		}
+		fail("%d cross-engine invariant violations", rep.DisagreementCount)
+	}
+	if rep.Definitive <= 0 {
+		fail("no case reached a definitive consensus")
+	}
+	if rep.Certified != rep.Definitive {
+		fail("%d of %d definitive consensus verdicts shipped a checked certificate",
+			rep.Certified, rep.Definitive)
+	}
+	if len(rep.Engines) == 0 {
+		fail("no engines recorded")
+	}
+	if got := rep.Counters["fuzz.cases"]; got != int64(rep.Instances) {
+		fail("counter fuzz.cases = %d, want %d", got, rep.Instances)
+	}
+	if got := rep.Counters["fuzz.disagreements"]; got != 0 {
+		fail("counter fuzz.disagreements = %d, want 0", got)
+	}
+	fmt.Printf("checkfuzz: %s ok (%d instances across %d families, %d definitive, all certified, 0 disagreements)\n",
+		path, rep.Instances, len(rep.Families), rep.Definitive)
+}

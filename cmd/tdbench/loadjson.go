@@ -16,8 +16,6 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
-	"os"
-	"runtime"
 	"sort"
 	"sync"
 	"time"
@@ -53,8 +51,7 @@ type loadResult struct {
 }
 
 type loadReport struct {
-	Generated string  `json:"generated"`
-	GoVersion string  `json:"go_version"`
+	reportHost
 	Server    string  `json:"server"`
 	Requests  int     `json:"requests"`
 	Workers   int     `json:"workers"`
@@ -82,19 +79,11 @@ type loadReport struct {
 }
 
 func writeLoadJSON(path, server string, n, c int) {
-	fail := func(format string, args ...any) {
-		fmt.Fprintf(os.Stderr, "tdbench: load: %s\n", fmt.Sprintf(format, args...))
-		os.Exit(1)
-	}
+	fail := reportFail("load")
 	if n <= 0 || c <= 0 {
 		fail("-loadn and -loadc must be positive")
 	}
-	// Fail on an unwritable path before hammering the server.
-	f, err := os.Create(path)
-	if err != nil {
-		fail("%v", err)
-	}
-	f.Close()
+	reportProbe(path, fail)
 
 	problems := loadProblems()
 	bodies := make([][]byte, len(problems))
@@ -168,12 +157,11 @@ func writeLoadJSON(path, server string, n, c int) {
 	// canonicalization contract observed from outside the process.
 	firstFor := make(map[int]loadResult)
 	rep := loadReport{
-		Generated: time.Now().UTC().Format(time.RFC3339),
-		GoVersion: runtime.Version(),
-		Server:    server,
-		Requests:  n,
-		Workers:   c,
-		Problems:  len(problems),
+		reportHost: newReportHost(),
+		Server:     server,
+		Requests:   n,
+		Workers:    c,
+		Problems:   len(problems),
 	}
 	latencies := make([]float64, 0, n)
 	for i, r := range results {
@@ -252,14 +240,7 @@ func writeLoadJSON(path, server string, n, c int) {
 		rep.Results = results
 	}
 
-	out, err := json.MarshalIndent(rep, "", "  ")
-	if err != nil {
-		fail("%v", err)
-	}
-	out = append(out, '\n')
-	if err := os.WriteFile(path, out, 0o644); err != nil {
-		fail("%v", err)
-	}
+	reportWrite(path, rep, fail)
 	fmt.Printf("load: %d requests x %d workers over %d problems: cold=%d cache=%d dedup=%d store=%d peer=%d hit_rate=%.2f p50=%.1fms p99=%.1fms max=%.1fms\n",
 		n, c, len(problems), rep.Cold, rep.CacheHits, rep.Dedups, rep.StoreHits, rep.PeerFills, rep.HitRate, rep.P50MS, rep.P99MS, rep.MaxMS)
 	fmt.Printf("metrics delta validated against client-observed sources\n")

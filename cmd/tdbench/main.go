@@ -43,6 +43,11 @@ func main() {
 	shardjson := flag.String("shardjson", "", "self-host a 3-replica sharded tdserve ring, burst it, kill+restart one replica, and write JSON results to this file")
 	shardquick := flag.Bool("shardquick", false, "with -shardjson: fewer burst rounds (CI smoke)")
 	checkserve := flag.String("checkserve", "", "validate a -shardjson report (parses, shards split, peer fills adopted, restart served from the store) and exit")
+	fuzzjson := flag.String("fuzzjson", "", "generate a seeded scenario corpus, run it through every engine differentially, and write JSON results to this file")
+	fuzzquick := flag.Bool("fuzzquick", false, "with -fuzzjson: ~100-instance corpus (CI smoke) instead of the full default")
+	fuzzn := flag.Int("fuzzn", 0, "with -fuzzjson: total corpus instances (0 means the default: 240 full, 100 quick)")
+	fuzzseed := flag.Int64("fuzzseed", 1, "with -fuzzjson: corpus and mutation seed")
+	checkfuzz := flag.String("checkfuzz", "", "validate a -fuzzjson report (parses, all families present, zero disagreements, definitive verdicts certified) and exit")
 	flag.Parse()
 
 	if *metrics && *benchjson == "" {
@@ -71,6 +76,18 @@ func main() {
 	}
 	if *checkserve != "" {
 		checkServeJSON(*checkserve)
+		return
+	}
+	if *checkfuzz != "" {
+		checkFuzzJSON(*checkfuzz)
+		return
+	}
+	if (*fuzzquick || *fuzzn != 0) && *fuzzjson == "" {
+		fmt.Fprintln(os.Stderr, "tdbench: -fuzzquick and -fuzzn require -fuzzjson")
+		os.Exit(2)
+	}
+	if *fuzzjson != "" {
+		writeFuzzJSON(*fuzzjson, *fuzzquick, *fuzzn, *fuzzseed)
 		return
 	}
 	if *shardquick && *shardjson == "" {

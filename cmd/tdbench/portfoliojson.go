@@ -34,12 +34,8 @@
 package main
 
 import (
-	"encoding/json"
 	"fmt"
-	"os"
 	"runtime"
-	"testing"
-	"time"
 
 	"templatedep/internal/budget"
 	"templatedep/internal/core"
@@ -87,11 +83,8 @@ type portfolioSummary struct {
 }
 
 type portfolioReport struct {
-	Generated string `json:"generated"`
-	GoVersion string `json:"go_version"`
-	GOOS      string `json:"goos"`
-	GOARCH    string `json:"goarch"`
-	NumCPU    int    `json:"num_cpu"`
+	reportHost
+	NumCPU int `json:"num_cpu"`
 	// Quick marks single-timed-run reports (CI smoke): structure and
 	// consistency are meaningful, the timings are not.
 	Quick     bool                `json:"quick"`
@@ -130,36 +123,17 @@ func portfolioBenchOptions() portfolio.Options {
 }
 
 func writePortfolioJSON(path string, quick bool) {
-	f, err := os.Create(path)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "tdbench: %v\n", err)
-		os.Exit(1)
-	}
-	f.Close()
+	fail := reportFail("portfolio")
+	reportProbe(path, fail)
 
 	rep := portfolioReport{
-		Generated: time.Now().UTC().Format(time.RFC3339),
-		GoVersion: runtime.Version(),
-		GOOS:      runtime.GOOS,
-		GOARCH:    runtime.GOARCH,
-		NumCPU:    runtime.NumCPU(),
-		Quick:     quick,
-		Summary:   portfolioSummary{WinnerCounts: map[string]int{}, AllConsistent: true},
+		reportHost: newReportHost(),
+		NumCPU:     runtime.NumCPU(),
+		Quick:      quick,
+		Summary:    portfolioSummary{WinnerCounts: map[string]int{}, AllConsistent: true},
 	}
 
-	measure := func(run func()) float64 {
-		if quick {
-			start := time.Now()
-			run()
-			return float64(time.Since(start).Nanoseconds())
-		}
-		r := testing.Benchmark(func(b *testing.B) {
-			for i := 0; i < b.N; i++ {
-				run()
-			}
-		})
-		return float64(r.T.Nanoseconds()) / float64(r.N)
-	}
+	measure := func(run func()) float64 { return measureNs(quick, run) }
 
 	for _, preset := range portfolioBenchPresets {
 		p, err := words.Preset(preset)
@@ -209,10 +183,7 @@ func writePortfolioJSON(path string, quick bool) {
 			pfNs, w.Portfolio.Verdict, orNone(w.Portfolio.Winner), w.Portfolio.Ticks, w.Speedup)
 	}
 
-	out, err := json.MarshalIndent(rep, "", "  ")
-	check(err)
-	out = append(out, '\n')
-	check(os.WriteFile(path, out, 0o644))
+	reportWrite(path, rep, fail)
 	fmt.Printf("\nwrote %d workloads to %s (kb headline %.2fx on %s, %d/%d within noise)\n",
 		len(rep.Workloads), path, rep.Summary.KBSpeedup, rep.Summary.KBWorkload,
 		rep.Summary.WithinNoise, len(rep.Workloads))
@@ -237,20 +208,9 @@ func portfolioConsistent(a, b string) bool {
 // KB-decidable presentation — only for full (non-quick) reports, since a
 // single timed run proves nothing about wall-clock.
 func checkPortfolioJSON(path string) {
-	data, err := os.ReadFile(path)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "tdbench: %v\n", err)
-		os.Exit(1)
-	}
+	fail := reportFail(path)
 	var rep portfolioReport
-	if err := json.Unmarshal(data, &rep); err != nil {
-		fmt.Fprintf(os.Stderr, "tdbench: %s: %v\n", path, err)
-		os.Exit(1)
-	}
-	fail := func(format string, args ...any) {
-		fmt.Fprintf(os.Stderr, "tdbench: %s: %s\n", path, fmt.Sprintf(format, args...))
-		os.Exit(1)
-	}
+	reportRead(path, &rep, false, fail)
 	if len(rep.Workloads) == 0 {
 		fail("no workloads")
 	}

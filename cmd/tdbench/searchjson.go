@@ -23,12 +23,8 @@
 package main
 
 import (
-	"encoding/json"
 	"fmt"
-	"os"
 	"runtime"
-	"testing"
-	"time"
 
 	"templatedep/internal/budget"
 	"templatedep/internal/finitemodel"
@@ -88,10 +84,7 @@ type searchSummary struct {
 }
 
 type searchReport struct {
-	Generated string           `json:"generated"`
-	GoVersion string           `json:"go_version"`
-	GOOS      string           `json:"goos"`
-	GOARCH    string           `json:"goarch"`
+	reportHost
 	NumCPU    int              `json:"num_cpu"`
 	Workers   int              `json:"workers"`
 	Workloads []searchWorkload `json:"workloads"`
@@ -163,39 +156,16 @@ var searchArms = []struct {
 }
 
 func writeSearchJSON(path string, quick bool) {
-	// Fail on an unwritable path before spending minutes measuring.
-	f, err := os.Create(path)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "tdbench: %v\n", err)
-		os.Exit(1)
-	}
-	f.Close()
+	fail := reportFail("search")
+	reportProbe(path, fail)
 
 	rep := searchReport{
-		Generated: time.Now().UTC().Format(time.RFC3339),
-		GoVersion: runtime.Version(),
-		GOOS:      runtime.GOOS,
-		GOARCH:    runtime.GOARCH,
-		NumCPU:    runtime.NumCPU(),
-		Workers:   benchWorkers,
+		reportHost: newReportHost(),
+		NumCPU:     runtime.NumCPU(),
+		Workers:    benchWorkers,
 	}
 
-	// measure returns ns/op: a full testing.Benchmark loop normally, a
-	// single timed run under -searchquick (CI smoke — structure over
-	// statistics).
-	measure := func(run func()) float64 {
-		if quick {
-			start := time.Now()
-			run()
-			return float64(time.Since(start).Nanoseconds())
-		}
-		r := testing.Benchmark(func(b *testing.B) {
-			for i := 0; i < b.N; i++ {
-				run()
-			}
-		})
-		return float64(r.T.Nanoseconds()) / float64(r.N)
-	}
+	measure := func(run func()) float64 { return measureNs(quick, run) }
 
 	for _, c := range searchCases() {
 		w := searchWorkload{Name: c.name, VerdictsIdentical: true}
@@ -242,10 +212,7 @@ func writeSearchJSON(path string, quick bool) {
 		}
 	}
 
-	out, err := json.MarshalIndent(rep, "", "  ")
-	check(err)
-	out = append(out, '\n')
-	check(os.WriteFile(path, out, 0o644))
+	reportWrite(path, rep, fail)
 	fmt.Printf("\nwrote %d workloads to %s (headline %.2fx on %s, gap nodes %d -> %d)\n",
 		len(rep.Workloads), path, rep.Summary.HeadlineSpeedup, rep.Summary.HeadlineWorkload,
 		rep.Summary.GapUnprunedNodes, rep.Summary.GapPrunedNodes)
@@ -256,20 +223,9 @@ func writeSearchJSON(path string, quick bool) {
 // by the CI smoke so a refactor cannot silently drop an arm or desync the
 // serial and parallel search paths.
 func checkSearchJSON(path string) {
-	data, err := os.ReadFile(path)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "tdbench: %v\n", err)
-		os.Exit(1)
-	}
+	fail := reportFail(path)
 	var rep searchReport
-	if err := json.Unmarshal(data, &rep); err != nil {
-		fmt.Fprintf(os.Stderr, "tdbench: %s: %v\n", path, err)
-		os.Exit(1)
-	}
-	fail := func(format string, args ...any) {
-		fmt.Fprintf(os.Stderr, "tdbench: %s: %s\n", path, fmt.Sprintf(format, args...))
-		os.Exit(1)
-	}
+	reportRead(path, &rep, false, fail)
 	if len(rep.Workloads) == 0 {
 		fail("no workloads")
 	}

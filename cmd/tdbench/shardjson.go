@@ -145,13 +145,12 @@ type shardRestart struct {
 }
 
 type shardReport struct {
-	Generated string       `json:"generated"`
-	GoVersion string       `json:"go_version"`
-	Replicas  int          `json:"replicas"`
-	Problems  int          `json:"problems"`
-	Burst     shardPhase   `json:"burst"`
-	PerShard  []shardShard `json:"per_shard"`
-	Restart   shardRestart `json:"restart"`
+	reportHost
+	Replicas int          `json:"replicas"`
+	Problems int          `json:"problems"`
+	Burst    shardPhase   `json:"burst"`
+	PerShard []shardShard `json:"per_shard"`
+	Restart  shardRestart `json:"restart"`
 	// PeerFillsTotal / PeerOKTotal aggregate the ring's fill attempts and
 	// adoptions over the whole run (attempts also count down/unknown/
 	// rejected probes, so attempts >= adoptions always).
@@ -160,15 +159,8 @@ type shardReport struct {
 }
 
 func writeShardJSON(path string, quick bool) {
-	fail := func(format string, args ...any) {
-		fmt.Fprintf(os.Stderr, "tdbench: shard: %s\n", fmt.Sprintf(format, args...))
-		os.Exit(1)
-	}
-	f, err := os.Create(path)
-	if err != nil {
-		fail("%v", err)
-	}
-	f.Close()
+	fail := reportFail("shard")
+	reportProbe(path, fail)
 
 	const nReplicas = 3
 	rounds := 6 // burst rounds over the problem mix
@@ -247,10 +239,9 @@ func writeShardJSON(path string, quick bool) {
 	// once by its owner (cold), adopted by the others (peer), and then
 	// repeats hit local caches.
 	rep := shardReport{
-		Generated: time.Now().UTC().Format(time.RFC3339),
-		GoVersion: runtime.Version(),
-		Replicas:  nReplicas,
-		Problems:  len(problems),
+		reportHost: newReportHost(),
+		Replicas:   nReplicas,
+		Problems:   len(problems),
 	}
 	var latencies []float64
 	verdictFor := map[string]string{}
@@ -385,14 +376,7 @@ func writeShardJSON(path string, quick bool) {
 		r.kill()
 	}
 
-	out, err := json.MarshalIndent(rep, "", "  ")
-	if err != nil {
-		fail("%v", err)
-	}
-	out = append(out, '\n')
-	if err := os.WriteFile(path, out, 0o644); err != nil {
-		fail("%v", err)
-	}
+	reportWrite(path, rep, fail)
 	fmt.Printf("shard: %d replicas x %d problems x %d rounds: burst hit_rate=%.2f peer_ok=%d; restart: %d records recovered, %d/%d repeats from store, %d recomputes\n",
 		nReplicas, len(problems), rounds, rep.Burst.HitRate, rep.PeerOKTotal,
 		rep.Restart.RecoveredRecords, rep.Restart.StoreHits, rep.Restart.RepeatedKeys, rep.Restart.Recomputes)
@@ -404,20 +388,9 @@ func writeShardJSON(path string, quick bool) {
 // answered from the store without recompute). Used by ci.sh on the
 // committed BENCH_serve.json.
 func checkServeJSON(path string) {
-	fail := func(format string, args ...any) {
-		fmt.Fprintf(os.Stderr, "tdbench: checkserve: %s: %s\n", path, fmt.Sprintf(format, args...))
-		os.Exit(1)
-	}
-	raw, err := os.ReadFile(path)
-	if err != nil {
-		fail("%v", err)
-	}
+	fail := reportFail("checkserve: " + path)
 	var rep shardReport
-	dec := json.NewDecoder(bytes.NewReader(raw))
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&rep); err != nil {
-		fail("parse: %v", err)
-	}
+	reportRead(path, &rep, true, fail)
 	if rep.Replicas != 3 {
 		fail("replicas = %d, want 3", rep.Replicas)
 	}

@@ -182,11 +182,21 @@ func NewDerivation(doc Problem, pres *words.Presentation, d *words.Derivation) *
 
 // NewChase builds a chase certificate from a validated trace.
 func NewChase(doc Problem, trace []chase.Fired) *Certificate {
-	if len(trace) == 0 {
-		return nil
-	}
+	// A zero-step trace is a valid proof of a TRIVIAL implication: the
+	// goal's conclusion is already satisfiable in its own frozen
+	// antecedents, and the checker verifies exactly that (the witness
+	// check of an empty replay). Random fuzzing generates such goals
+	// routinely, so they must be certifiable too.
 	cc := &Chase{}
 	for _, f := range trace {
+		// Non-adding firings (a duplicate conclusion, common when the
+		// dependency set itself contains duplicates) leave the instance
+		// unchanged, so the proof does not need them. Dropping them here
+		// also keeps the wire format free of an Added flag: the checker
+		// replays every recorded step as a strict addition.
+		if !f.Added {
+			continue
+		}
 		t := make([]int, len(f.Tuple))
 		for i, v := range f.Tuple {
 			t[i] = int(v)

@@ -171,10 +171,12 @@ func TestRejectCorruptedChaseStep(t *testing.T) {
 	c.Chase.Steps[0].Tuple[1] = 424242
 	wantCheckError(t, c, "justifies")
 
-	// An empty trace proves nothing.
+	// An emptied trace no longer reaches the goal witness (the goal here
+	// is not trivially implied, so the frozen antecedents alone cannot
+	// witness it).
 	c = roundTrip(t, res.Cert())
 	c.Chase.Steps = nil
-	wantCheckError(t, c, "empty chase trace")
+	wantCheckError(t, c, "witness the goal")
 }
 
 func TestRejectForgedDerivation(t *testing.T) {

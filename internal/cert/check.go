@@ -194,9 +194,11 @@ func checkDerivation(p *words.Presentation, d *Derivation) error {
 // The restricted chase only records genuinely new tuples, so every replayed
 // step is required to add its tuple.
 func checkChase(deps []*td.TD, goal *td.TD, cc *Chase) error {
-	if len(cc.Steps) == 0 {
-		return fmt.Errorf("cert: empty chase trace cannot witness the goal")
-	}
+	// Zero steps are allowed: the replay then just checks the witness on
+	// the frozen antecedents, which is the sound proof of a trivial
+	// implication (any homomorphism of the antecedents carries the frozen
+	// conclusion witness along). A forged empty trace for a non-trivial
+	// goal still fails that witness check.
 	trace := make([]chase.Fired, 0, len(cc.Steps))
 	for _, s := range cc.Steps {
 		tup := make(relation.Tuple, len(s.Tuple))

@@ -1,0 +1,351 @@
+// Package corpus is a deterministic, seeded scenario generator for the
+// differential fuzzing gate (internal/difffuzz). It produces three
+// instance families:
+//
+//   - "tm": TM-derived hard presentations from internal/tm at scaled
+//     tape sizes — the paper's own undecidability construction, so the
+//     corpus always contains instances the engines cannot fully decide;
+//   - "random": random (2,1)-normalized presentations and random TD
+//     instances over parameterized schemas (width, antecedent count, and
+//     a variable-reuse knob);
+//   - "oracle": a decidable fragment — multivalued dependencies and
+//     independence atoms rendered as TDs — whose ground truth is computed
+//     by an independent axiomatic decider (see oracle.go) that never
+//     calls the chase or any search engine.
+//
+// Determinism contract: the corpus is a pure function of Options.Seed and
+// the family counts. Every instance is generated from its own PRNG,
+// seeded by a splitmix64-style mix of the corpus seed and the instance's
+// global index, and workers write results into their index slot — so the
+// corpus is byte-identical for every Options.Workers value (pinned by
+// TestGenerateWorkerIndependent).
+package corpus
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+
+	"templatedep/internal/relation"
+	"templatedep/internal/tableau"
+	"templatedep/internal/td"
+	"templatedep/internal/tm"
+	"templatedep/internal/words"
+)
+
+// Family names a corpus family.
+type Family string
+
+const (
+	// FamilyTM is the TM-derived hard family (presentations).
+	FamilyTM Family = "tm"
+	// FamilyRandom is the random presentation / random TD family.
+	FamilyRandom Family = "random"
+	// FamilyOracle is the decidable fragment with independent ground truth.
+	FamilyOracle Family = "oracle"
+)
+
+// Kind tells which engine set an instance is run through.
+type Kind string
+
+const (
+	// KindPresentation instances run the presentation pipeline (reduction,
+	// derivation/model-search race, portfolio).
+	KindPresentation Kind = "presentation"
+	// KindTD instances run the TD-level engines (chase, EID chase,
+	// finite-db enumerator, core, portfolio).
+	KindTD Kind = "td"
+)
+
+// OracleVerdict is the decidable fragment's ground truth: "" when no
+// oracle applies (the tm and random families).
+type OracleVerdict string
+
+const (
+	// OracleNone marks instances without a ground-truth oracle.
+	OracleNone OracleVerdict = ""
+	// OracleImplied: the fragment decider derives the goal from the deps.
+	OracleImplied OracleVerdict = "implied"
+	// OracleNotImplied: the decider refutes the implication (and by the
+	// fragment's finite controllability, a finite counterexample exists).
+	OracleNotImplied OracleVerdict = "not-implied"
+)
+
+// Instance is one generated scenario.
+type Instance struct {
+	// ID is "family/NNN", unique within one corpus.
+	ID string
+	// Family is the generating family.
+	Family Family
+	// Kind selects the engine set.
+	Kind Kind
+	// Label is a human-readable description of the construction.
+	Label string
+
+	// Pres is set for KindPresentation instances.
+	Pres *words.Presentation
+
+	// Schema, Deps, Goal are set for KindTD instances.
+	Schema *relation.Schema
+	Deps   []*td.TD
+	Goal   *td.TD
+
+	// Oracle is the fragment ground truth (FamilyOracle only).
+	Oracle OracleVerdict
+}
+
+// Format renders the instance deterministically — the byte-identity
+// surface of the determinism contract.
+func (in Instance) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s kind=%s label=%s oracle=%s\n", in.ID, in.Kind, in.Label, in.Oracle)
+	if in.Pres != nil {
+		b.WriteString(in.Pres.Format())
+		b.WriteString("\n")
+	}
+	for _, d := range in.Deps {
+		b.WriteString(d.Format())
+		b.WriteString("\n")
+	}
+	if in.Goal != nil {
+		b.WriteString(in.Goal.Format())
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// Options parameterizes a corpus.
+type Options struct {
+	// Seed is the corpus seed; the corpus is a pure function of it and
+	// the family counts.
+	Seed int64
+	// TM, Random, Oracle are per-family instance counts.
+	TM, Random, Oracle int
+	// Workers parallelizes generation; output is identical for every
+	// value. <= 0 means 1.
+	Workers int
+
+	// MaxSymbols caps the extra (non-distinguished) symbols of a random
+	// presentation; <= 0 means 3.
+	MaxSymbols int
+	// MaxEquations caps the random (2,1) equations per presentation;
+	// <= 0 means 4.
+	MaxEquations int
+	// MaxWidth caps the schema width of a random TD instance; <= 1
+	// means 4.
+	MaxWidth int
+	// MaxAntecedents caps the antecedent rows of a random TD; <= 0
+	// means 3.
+	MaxAntecedents int
+	// VarReuse is the percent chance a random tableau cell reuses an
+	// existing variable of its column instead of minting a fresh one;
+	// <= 0 means 60.
+	VarReuse int
+}
+
+func (opt Options) withDefaults() Options {
+	if opt.Workers <= 0 {
+		opt.Workers = 1
+	}
+	if opt.MaxSymbols <= 0 {
+		opt.MaxSymbols = 3
+	}
+	if opt.MaxEquations <= 0 {
+		opt.MaxEquations = 4
+	}
+	if opt.MaxWidth <= 1 {
+		opt.MaxWidth = 4
+	}
+	if opt.MaxAntecedents <= 0 {
+		opt.MaxAntecedents = 3
+	}
+	if opt.VarReuse <= 0 {
+		opt.VarReuse = 60
+	}
+	return opt
+}
+
+// mixSeed derives instance i's PRNG seed from the corpus seed with a
+// splitmix64 finalizer, so per-instance streams are independent and the
+// assignment is order-free (workers can generate in any order).
+func mixSeed(seed int64, i int) int64 {
+	z := uint64(seed) + uint64(i+1)*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	return int64(z)
+}
+
+// Generate produces the corpus: opt.TM instances of FamilyTM, then
+// opt.Random of FamilyRandom, then opt.Oracle of FamilyOracle, in stable
+// index order regardless of Workers.
+func Generate(opt Options) ([]Instance, error) {
+	opt = opt.withDefaults()
+	total := opt.TM + opt.Random + opt.Oracle
+	out := make([]Instance, total)
+	errs := make([]error, total)
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < opt.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				out[i], errs[i] = generate(opt, i)
+			}
+		}()
+	}
+	for i := 0; i < total; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// generate builds global-index i from its own PRNG.
+func generate(opt Options, i int) (Instance, error) {
+	rng := rand.New(rand.NewSource(mixSeed(opt.Seed, i)))
+	var in Instance
+	var err error
+	switch {
+	case i < opt.TM:
+		in, err = genTM(i)
+		in.ID = fmt.Sprintf("tm/%03d", i)
+	case i < opt.TM+opt.Random:
+		idx := i - opt.TM
+		in, err = genRandom(rng, idx, opt)
+		in.ID = fmt.Sprintf("random/%03d", idx)
+	default:
+		idx := i - opt.TM - opt.Random
+		in = genOracle(rng, idx)
+		in.ID = fmt.Sprintf("oracle/%03d", idx)
+	}
+	return in, err
+}
+
+// genTM encodes a rotating set of Turing machines at scaled tape sizes.
+// ScanRightAndHalt on 1^n halts in n+1 steps, so n is the hardness knob;
+// RunForever instances land in the undecidability gap (underivable goal,
+// possibly no finite counterexample) and keep the honest-Unknown path in
+// the corpus.
+func genTM(idx int) (Instance, error) {
+	var (
+		m     *tm.TM
+		input []int
+		label string
+	)
+	switch idx % 4 {
+	case 0:
+		n := 1 + (idx/4)%5
+		m, input, label = tm.ScanRightAndHalt(), ones(n), fmt.Sprintf("scan-right-1^%d", n)
+	case 1:
+		m, label = tm.WriteOneAndHalt(), "write-one"
+	case 2:
+		m, label = tm.FlipFlopAndHalt(), "flip-flop"
+	default:
+		if idx%8 == 3 {
+			m, label = tm.RunForever(), "run-forever"
+		} else {
+			n := 2 + (idx/8)%4
+			m, input, label = tm.ScanRightAndHalt(), ones(n), fmt.Sprintf("scan-right-1^%d", n)
+		}
+	}
+	p, err := tm.EncodePresentation(m, input)
+	if err != nil {
+		return Instance{}, err
+	}
+	return Instance{Family: FamilyTM, Kind: KindPresentation, Label: label, Pres: p}, nil
+}
+
+func ones(n int) []int {
+	w := make([]int, n)
+	for i := range w {
+		w[i] = 1
+	}
+	return w
+}
+
+// genRandom alternates random (2,1) presentations and random TD
+// instances.
+func genRandom(rng *rand.Rand, idx int, opt Options) (Instance, error) {
+	if idx%2 == 0 {
+		m := 1 + rng.Intn(opt.MaxSymbols)
+		k := 1 + rng.Intn(opt.MaxEquations)
+		p := words.RandomPresentation(rng, m, k)
+		return Instance{
+			Family: FamilyRandom,
+			Kind:   KindPresentation,
+			Label:  fmt.Sprintf("rand-pres-m%d-k%d", m, k),
+			Pres:   p,
+		}, nil
+	}
+	w := 2 + rng.Intn(opt.MaxWidth-1)
+	s := schemaOfWidth(w)
+	nDeps := 1 + rng.Intn(3)
+	deps := make([]*td.TD, nDeps)
+	for j := range deps {
+		d, err := randomTD(rng, s, opt, fmt.Sprintf("dep%d", j))
+		if err != nil {
+			return Instance{}, err
+		}
+		deps[j] = d
+	}
+	goal, err := randomTD(rng, s, opt, "goal")
+	if err != nil {
+		return Instance{}, err
+	}
+	return Instance{
+		Family: FamilyRandom,
+		Kind:   KindTD,
+		Label:  fmt.Sprintf("rand-td-w%d-d%d", w, nDeps),
+		Schema: s,
+		Deps:   deps,
+		Goal:   goal,
+	}, nil
+}
+
+// randomTD draws a TD over s: 1..MaxAntecedents antecedent rows whose
+// cells reuse an existing column variable with probability VarReuse%,
+// and a conclusion that reuses an antecedent variable with probability
+// 75% (and is existential otherwise).
+func randomTD(rng *rand.Rand, s *relation.Schema, opt Options, name string) (*td.TD, error) {
+	w := s.Width()
+	rows := 1 + rng.Intn(opt.MaxAntecedents)
+	used := make([]int, w)
+	ants := make([]tableau.VarTuple, rows)
+	for r := range ants {
+		t := make(tableau.VarTuple, w)
+		for a := 0; a < w; a++ {
+			if used[a] > 0 && rng.Intn(100) < opt.VarReuse {
+				t[a] = tableau.Var(rng.Intn(used[a]))
+			} else {
+				t[a] = tableau.Var(used[a])
+				used[a]++
+			}
+		}
+		ants[r] = t
+	}
+	concl := make(tableau.VarTuple, w)
+	for a := 0; a < w; a++ {
+		if rng.Intn(100) < 75 {
+			concl[a] = tableau.Var(rng.Intn(used[a]))
+		} else {
+			concl[a] = tableau.Var(used[a]) // existential
+		}
+	}
+	return td.New(s, ants, concl, name)
+}
+
+// schemaAttrNames is the fixed attribute pool for generated TD schemas.
+var schemaAttrNames = []string{"A", "B", "C", "D", "E"}
+
+func schemaOfWidth(w int) *relation.Schema {
+	return relation.MustSchema(schemaAttrNames[:w]...)
+}

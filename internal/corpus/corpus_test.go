@@ -1,0 +1,111 @@
+package corpus
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestGenerateWorkerIndependent pins the determinism contract: the same
+// seed and family counts produce a byte-identical corpus for every
+// Workers value.
+func TestGenerateWorkerIndependent(t *testing.T) {
+	opt := Options{Seed: 42, TM: 6, Random: 10, Oracle: 10}
+	var want string
+	for _, workers := range []int{1, 2, 4, 7} {
+		opt.Workers = workers
+		insts, err := Generate(opt)
+		if err != nil {
+			t.Fatalf("Generate(workers=%d): %v", workers, err)
+		}
+		var b strings.Builder
+		for _, in := range insts {
+			b.WriteString(in.Format())
+		}
+		got := b.String()
+		if want == "" {
+			want = got
+			continue
+		}
+		if got != want {
+			t.Fatalf("corpus differs between Workers=1 and Workers=%d", workers)
+		}
+	}
+}
+
+// TestGenerateSeedSensitive: different seeds give different corpora (the
+// random families actually consume the seed).
+func TestGenerateSeedSensitive(t *testing.T) {
+	a, err := Generate(Options{Seed: 1, Random: 8, Oracle: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(Options{Seed: 2, Random: 8, Oracle: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a {
+		if a[i].Format() != b[i].Format() {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("seeds 1 and 2 produced identical corpora")
+	}
+}
+
+// TestGenerateComposition checks family assignment, IDs, and that every
+// instance is well-formed for its kind.
+func TestGenerateComposition(t *testing.T) {
+	insts, err := Generate(Options{Seed: 7, TM: 5, Random: 6, Oracle: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(insts) != 18 {
+		t.Fatalf("got %d instances, want 18", len(insts))
+	}
+	counts := map[Family]int{}
+	for _, in := range insts {
+		counts[in.Family]++
+		switch in.Kind {
+		case KindPresentation:
+			if in.Pres == nil {
+				t.Errorf("%s: presentation instance without a presentation", in.ID)
+			}
+		case KindTD:
+			if in.Schema == nil || len(in.Deps) == 0 || in.Goal == nil {
+				t.Errorf("%s: TD instance incomplete", in.ID)
+			}
+		default:
+			t.Errorf("%s: unknown kind %q", in.ID, in.Kind)
+		}
+		if in.Family == FamilyOracle && in.Oracle == OracleNone {
+			t.Errorf("%s: oracle instance without ground truth", in.ID)
+		}
+		if in.Family != FamilyOracle && in.Oracle != OracleNone {
+			t.Errorf("%s: non-oracle instance carries ground truth %q", in.ID, in.Oracle)
+		}
+	}
+	if counts[FamilyTM] != 5 || counts[FamilyRandom] != 6 || counts[FamilyOracle] != 7 {
+		t.Fatalf("family composition %v, want tm=5 random=6 oracle=7", counts)
+	}
+}
+
+// TestOracleFragmentTDShapes: MVD TDs are full (terminating chase);
+// independence-atom TDs are embedded unless X ∪ Y covers the schema.
+func TestOracleFragmentTDShapes(t *testing.T) {
+	s := schemaOfWidth(4)
+	mvd := mvdTD(s, 0b0001, 0b0010, "mvd")
+	if !mvd.IsFull() {
+		t.Errorf("mvdTD produced an embedded TD: %s", mvd.Format())
+	}
+	atom := atomTD(s, 0b0001, 0b0010, "atom")
+	if atom.IsFull() {
+		t.Errorf("atomTD(X∪Y ⊂ U) produced a full TD: %s", atom.Format())
+	}
+	covering := atomTD(s, 0b0011, 0b1100, "atom-cover")
+	if !covering.IsFull() {
+		t.Errorf("atomTD(X∪Y = U) produced an embedded TD: %s", covering.Format())
+	}
+}

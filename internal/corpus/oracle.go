@@ -1,0 +1,106 @@
+// The fragment ground-truth deciders. Both are direct implementations of
+// complete axiomatizations over column bitmasks — no chase, no model
+// search, no shared code with any engine — so a disagreement between an
+// engine and these procedures is evidence about the engine, not about a
+// shared bug.
+package corpus
+
+// mvdImplies decides Σ ⊨ X ↠ Y for multivalued dependencies over a
+// schema of width w, by Beeri's dependency-basis algorithm: start from
+// the single block U − X and repeatedly split any block B against a
+// dependency V ↠ W with V ∩ B = ∅, B ∩ W ≠ ∅, and B − W ≠ ∅ into
+// B ∩ W and B − W; at the fixpoint the blocks are the dependency basis
+// DEP(X), and Σ ⊨ X ↠ Y iff Y − X is a union of blocks. The algorithm
+// is complete for MVD implication, and because mvdTD renders MVDs as
+// full TDs (terminating chase), finite and unrestricted implication
+// coincide on this family — so the oracle is binding in both
+// directions.
+func mvdImplies(w int, deps []sides, goal sides) bool {
+	all := colMask(1<<w) - 1
+	need := goal.y &^ goal.x
+	if need == 0 {
+		return true // trivial: Y ⊆ X
+	}
+	blocks := []colMask{all &^ goal.x}
+	for changed := true; changed; {
+		changed = false
+		for _, d := range deps {
+			for i, b := range blocks {
+				if b&d.x == 0 && b&d.y != 0 && b&^d.y != 0 {
+					blocks[i] = b & d.y
+					blocks = append(blocks, b&^d.y)
+					changed = true
+				}
+			}
+		}
+	}
+	var cover colMask
+	for _, b := range blocks {
+		if b&need != 0 {
+			if b&^need != 0 {
+				return false // a block straddles Y's boundary
+			}
+			cover |= b
+		}
+	}
+	return cover == need
+}
+
+// atomImplies decides Σ ⊨ X ⊥ Y for independence atoms over a schema of
+// width w, by saturating the Geiger–Paz–Pearl axioms:
+//
+//	trivial:       X ⊥ ∅
+//	symmetry:      X ⊥ Y  ⊢  Y ⊥ X
+//	decomposition: X ⊥ YZ ⊢  X ⊥ Y
+//	exchange:      X ⊥ Y, XY ⊥ Z ⊢ X ⊥ YZ
+//
+// This system is complete for independence atoms over database
+// relations (Kontinen–Link–Väänänen; see PAPERS.md), and the
+// completeness proof builds finite countermodels, so "not derivable"
+// certifies a finite counterexample — the oracle is binding in both
+// directions here too. The state space is all ordered pairs of disjoint
+// column sets (≤ 2^w · 2^w cells at w ≤ 5), saturated to a fixpoint.
+func atomImplies(w int, deps []sides, goal sides) bool {
+	n := 1 << w
+	have := make([][]bool, n)
+	for x := range have {
+		have[x] = make([]bool, n)
+		have[x][0] = true // trivial: X ⊥ ∅
+		have[0][x] = true
+	}
+	for _, d := range deps {
+		have[d.x][d.y] = true
+	}
+	for changed := true; changed; {
+		changed = false
+		mark := func(x, y colMask) {
+			if !have[x][y] {
+				have[x][y] = true
+				changed = true
+			}
+		}
+		for x := colMask(0); int(x) < n; x++ {
+			for y := colMask(0); int(y) < n; y++ {
+				if !have[x][y] || x&y != 0 {
+					continue
+				}
+				mark(y, x) // symmetry
+				// decomposition on both sides (via symmetry): every
+				// subset of y stays independent of x.
+				for sub := y; ; sub = (sub - 1) & y {
+					mark(x, sub)
+					if sub == 0 {
+						break
+					}
+				}
+				// exchange: x ⊥ y and xy ⊥ z gives x ⊥ yz.
+				for z := colMask(0); int(z) < n; z++ {
+					if have[x|y][z] && (x|y)&z == 0 {
+						mark(x, y|z)
+					}
+				}
+			}
+		}
+	}
+	return have[goal.x][goal.y]
+}

@@ -1,0 +1,151 @@
+package corpus
+
+import (
+	"testing"
+
+	"templatedep/internal/relation"
+)
+
+// Column masks over schema A, B, C, (D): bit a = column index.
+const (
+	cA colMask = 1 << iota
+	cB
+	cC
+	cD
+)
+
+// TestMVDOraclePinned pins the dependency-basis decider against
+// hand-derived MVD implication verdicts.
+func TestMVDOraclePinned(t *testing.T) {
+	cases := []struct {
+		name string
+		w    int
+		deps []sides
+		goal sides
+		want bool
+	}{
+		// Complementation: over ABC, A↠B forces A↠C.
+		{"complementation", 3, []sides{{cA, cB}}, sides{cA, cC}, true},
+		// ...but not over ABCD, where the complement of B is CD.
+		{"no-complement-w4", 4, []sides{{cA, cB}}, sides{cA, cC}, false},
+		// Transitivity: A↠B, B↠C ⊢ A↠(C−B) = C.
+		{"transitivity", 4, []sides{{cA, cB}, {cB, cC}}, sides{cA, cC}, true},
+		// X ∪ Y = U is trivially implied.
+		{"trivial-cover", 3, nil, sides{cA, cB | cC}, true},
+		// Y ⊆ X is trivially implied.
+		{"trivial-subset", 3, nil, sides{cA | cB, cA}, true},
+		// Nothing follows from nothing.
+		{"empty-sigma", 3, nil, sides{cA, cB}, false},
+		// Augmentation does not reverse: AB↠C gives nothing about A↠C.
+		{"no-deaugment", 4, []sides{{cA | cB, cC}}, sides{cA, cC}, false},
+		// MVDs do not decompose their right side: A↠BC ⊬ A↠B.
+		{"no-decomposition", 4, []sides{{cA, cB | cC}}, sides{cA, cB}, false},
+		// Augmentation holds: A↠B ⊢ AB↠C over ABC (trivially, C = U−AB).
+		{"augment-trivial", 3, []sides{{cA, cB}}, sides{cA | cB, cC}, true},
+	}
+	for _, tc := range cases {
+		if got := mvdImplies(tc.w, tc.deps, tc.goal); got != tc.want {
+			t.Errorf("%s: mvdImplies = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestAtomOraclePinned pins the Geiger–Paz–Pearl saturation against
+// hand-derived independence-atom verdicts.
+func TestAtomOraclePinned(t *testing.T) {
+	cases := []struct {
+		name string
+		w    int
+		deps []sides
+		goal sides
+		want bool
+	}{
+		// Decomposition: A⊥BC ⊢ A⊥B.
+		{"decomposition", 3, []sides{{cA, cB | cC}}, sides{cA, cB}, true},
+		// Symmetry: A⊥B ⊢ B⊥A.
+		{"symmetry", 3, []sides{{cA, cB}}, sides{cB, cA}, true},
+		// Exchange: A⊥B, AB⊥C ⊢ A⊥BC.
+		{"exchange", 3, []sides{{cA, cB}, {cA | cB, cC}}, sides{cA, cB | cC}, true},
+		// No transfer to a fresh column: A⊥B ⊬ A⊥C. The 2-tuple relation
+		// {(0,0,0), (1,0,1)} satisfies A⊥B and violates A⊥C.
+		{"no-transfer", 3, []sides{{cA, cB}}, sides{cA, cC}, false},
+		// Independence is not transitive: A⊥B, B⊥C ⊬ A⊥C.
+		{"no-transitivity", 4, []sides{{cA, cB}, {cB, cC}}, sides{cA, cC}, false},
+		// Nothing follows from nothing.
+		{"empty-sigma", 3, nil, sides{cA, cB}, false},
+		// Exchange needs the joint premise: A⊥B, A⊥C ⊬ A⊥BC.
+		{"no-composition", 3, []sides{{cA, cB}, {cA, cC}}, sides{cA, cB | cC}, false},
+		// Derived symmetry + decomposition chain: BC⊥A ⊢ A⊥C.
+		{"sym-then-decompose", 3, []sides{{cB | cC, cA}}, sides{cA, cC}, true},
+	}
+	for _, tc := range cases {
+		if got := atomImplies(tc.w, tc.deps, tc.goal); got != tc.want {
+			t.Errorf("%s: atomImplies = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestOracleAgainstSemantics cross-checks both deciders against direct
+// TD satisfaction on exhaustively enumerated tiny relations: if the
+// decider says "not implied", some small relation must satisfy the deps
+// and violate the goal... and if it says "implied", no relation of the
+// sizes we can afford to enumerate may be a counterexample. This keeps
+// the oracle honest without calling any engine.
+func TestOracleAgainstSemantics(t *testing.T) {
+	insts, err := Generate(Options{Seed: 99, Oracle: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, in := range insts {
+		if in.Oracle != OracleImplied {
+			continue
+		}
+		// Soundness spot-check: chase-free, search-free enumeration of
+		// relations with 2 tuples over values {0,1} — any counterexample
+		// here refutes an "implied" oracle verdict.
+		w := in.Schema.Width()
+		if w > 4 {
+			continue // 2^(2w) grows fast; smoke the small schemas only
+		}
+		if tinyCounterexample(in, w) {
+			t.Errorf("%s (%s): oracle says implied but a 2-tuple relation satisfies the deps and violates the goal", in.ID, in.Label)
+		}
+	}
+}
+
+// tinyCounterexample enumerates all relations of at most 2 tuples over
+// {0,1}^w and reports whether one satisfies every dep while violating
+// the goal — which would refute an "implied" oracle verdict.
+func tinyCounterexample(in Instance, w int) bool {
+	nCodes := 1 << w
+	build := func(codes ...int) *relation.Instance {
+		inst := relation.NewInstance(in.Schema)
+		for _, code := range codes {
+			t := make(relation.Tuple, w)
+			for a := 0; a < w; a++ {
+				t[a] = relation.Value((code >> a) & 1)
+			}
+			inst.MustAdd(t)
+		}
+		return inst
+	}
+	for c1 := 0; c1 < nCodes; c1++ {
+		for c2 := c1; c2 < nCodes; c2++ {
+			inst := build(c1, c2)
+			ok := true
+			for _, d := range in.Deps {
+				if sat, _ := d.Satisfies(inst); !sat {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			if sat, _ := in.Goal.Satisfies(inst); !sat {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,173 @@
+// Canon-stability checking: the canonical key of an instance must be
+// invariant under exactly the transformations internal/serve's canon
+// layer documents. Each mutation below applies only documented-invariant
+// transformations, so a key change is a canonicalization bug, never an
+// over-eager test.
+package difffuzz
+
+import (
+	"fmt"
+	"math/rand"
+
+	"templatedep/internal/corpus"
+	"templatedep/internal/relation"
+	"templatedep/internal/serve"
+	"templatedep/internal/tableau"
+	"templatedep/internal/td"
+	"templatedep/internal/words"
+)
+
+// checkCanon computes the instance's canonical key, then re-keys
+// opt.Mutations mutated copies and reports any key drift through
+// problem. The mutation stream is seeded from opt.Seed and the case
+// index, independent of the corpus seed.
+func checkCanon(in corpus.Instance, caseIdx int, opt Options, problem func(kind, format string, args ...any)) error {
+	rng := rand.New(rand.NewSource(mutSeed(opt.Seed, caseIdx)))
+	if in.Kind == corpus.KindPresentation {
+		base := serve.CanonPresentation(in.Pres)
+		for m := 0; m < opt.Mutations; m++ {
+			mut, err := mutatePresentation(rng, in.Pres)
+			if err != nil {
+				return fmt.Errorf("difffuzz: %s: mutation %d: %w", in.ID, m, err)
+			}
+			if got := serve.CanonPresentation(mut); got != base {
+				problem("canon", "mutation %d (symbol rename + equation shuffle/flip) changed the key: %q -> %q", m, base, got)
+			}
+		}
+		return nil
+	}
+	base := serve.CanonInference(in.Deps, in.Goal)
+	for m := 0; m < opt.Mutations; m++ {
+		deps, goal, err := mutateTDInstance(rng, in.Schema, in.Deps, in.Goal)
+		if err != nil {
+			return fmt.Errorf("difffuzz: %s: mutation %d: %w", in.ID, m, err)
+		}
+		if got := serve.CanonInference(deps, goal); got != base {
+			problem("canon", "mutation %d (attr rename + dep shuffle/dup + var renumber) changed the key: %q -> %q", m, base, got)
+		}
+	}
+	return nil
+}
+
+// mutSeed mixes the mutation seed with the case index (same finalizer as
+// the corpus generator, offset so the streams differ).
+func mutSeed(seed int64, i int) int64 {
+	z := uint64(seed)*0xA24BAED4963EE407 + uint64(i+1)*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	return int64(z)
+}
+
+// mutatePresentation applies the three invariances CanonPresentation
+// documents: rename (and reposition) every non-distinguished symbol,
+// permute the equation list, and flip equation orientations.
+func mutatePresentation(rng *rand.Rand, p *words.Presentation) (*words.Presentation, error) {
+	a := p.Alphabet
+	oldNames := a.Names()
+	a0Name, zeroName := a.Name(a.A0()), a.Name(a.Zero())
+	var others []int
+	for i, n := range oldNames {
+		if n != a0Name && n != zeroName {
+			others = append(others, i)
+		}
+	}
+	newNames := append([]string(nil), oldNames...)
+	symMap := make([]words.Symbol, len(oldNames))
+	for i := range symMap {
+		symMap[i] = words.Symbol(i) // distinguished symbols keep index and name
+	}
+	perm := rng.Perm(len(others))
+	for i, j := range perm {
+		// Old symbol others[j] lands at position others[i] under a fresh
+		// name (fresh names cannot collide with A0/zero or each other).
+		newNames[others[i]] = fmt.Sprintf("g%d", i)
+		symMap[others[j]] = words.Symbol(others[i])
+	}
+	na, err := words.NewAlphabet(newNames, a0Name, zeroName)
+	if err != nil {
+		return nil, err
+	}
+	mapWord := func(w words.Word) words.Word {
+		out := make(words.Word, len(w))
+		for k, s := range w {
+			out[k] = symMap[s]
+		}
+		return out
+	}
+	eqs := make([]words.Equation, len(p.Equations))
+	for i, e := range p.Equations {
+		ne := words.Eq(mapWord(e.LHS), mapWord(e.RHS))
+		if rng.Intn(2) == 0 {
+			ne = ne.Reversed()
+		}
+		eqs[i] = ne
+	}
+	rng.Shuffle(len(eqs), func(i, j int) { eqs[i], eqs[j] = eqs[j], eqs[i] })
+	return words.NewPresentation(na, eqs)
+}
+
+// mutateTDInstance applies the invariances CanonInference documents:
+// attribute renaming, dependency-list permutation and duplication, TD
+// display renaming, and per-column variable renumbering. Column order
+// and antecedent-row order are left alone — the canon layer does not
+// promise invariance under those.
+func mutateTDInstance(rng *rand.Rand, s *relation.Schema, deps []*td.TD, goal *td.TD) ([]*td.TD, *td.TD, error) {
+	names := make([]string, s.Width())
+	for a := range names {
+		names[a] = fmt.Sprintf("Col%d", a)
+	}
+	ns, err := relation.NewSchema(names)
+	if err != nil {
+		return nil, nil, err
+	}
+	remap := func(d *td.TD, name string) (*td.TD, error) {
+		w := s.Width()
+		rows := make([]tableau.VarTuple, d.NumAntecedents()+1)
+		for r := 0; r < d.NumAntecedents(); r++ {
+			rows[r] = d.Antecedent(r)
+		}
+		rows[len(rows)-1] = d.Conclusion()
+		// Per-column variable permutation: a pure renumbering, which
+		// tableau.New normalizes back out.
+		perms := make([][]tableau.Var, w)
+		for a := 0; a < w; a++ {
+			max := 0
+			for _, row := range rows {
+				if int(row[a])+1 > max {
+					max = int(row[a]) + 1
+				}
+			}
+			p := rng.Perm(max)
+			perms[a] = make([]tableau.Var, max)
+			for v, pv := range p {
+				perms[a][v] = tableau.Var(pv)
+			}
+		}
+		out := make([]tableau.VarTuple, len(rows))
+		for r, row := range rows {
+			nr := make(tableau.VarTuple, w)
+			for a := 0; a < w; a++ {
+				nr[a] = perms[a][row[a]]
+			}
+			out[r] = nr
+		}
+		return td.New(ns, out[:len(out)-1], out[len(out)-1], name)
+	}
+	mutDeps := make([]*td.TD, 0, len(deps)+1)
+	for i, d := range deps {
+		nd, err := remap(d, fmt.Sprintf("m%d", i))
+		if err != nil {
+			return nil, nil, err
+		}
+		mutDeps = append(mutDeps, nd)
+	}
+	// Duplicate one member: CanonInference dedups the set.
+	mutDeps = append(mutDeps, mutDeps[rng.Intn(len(mutDeps))])
+	rng.Shuffle(len(mutDeps), func(i, j int) { mutDeps[i], mutDeps[j] = mutDeps[j], mutDeps[i] })
+	mutGoal, err := remap(goal, "mgoal")
+	if err != nil {
+		return nil, nil, err
+	}
+	return mutDeps, mutGoal, nil
+}

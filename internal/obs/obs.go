@@ -195,6 +195,19 @@ const (
 	// rewritten with only the live record per key. Fields: N (live records
 	// kept), Bytes (dead bytes reclaimed).
 	EvStoreCompact EventType = "store_compact"
+	// EvFuzzCase closes one differential-fuzz case (Src "difffuzz"): every
+	// engine in the instance's set ran under a matched governor and the
+	// cross-engine invariants were checked. Fields: Key (the corpus
+	// instance ID), Source (the corpus family: "tm", "random", or
+	// "oracle"), Verdict (the consensus verdict; "unknown" when no engine
+	// was definitive), N (engines run).
+	EvFuzzCase EventType = "fuzz_case"
+	// EvFuzzDisagree reports one invariant violation of a
+	// differential-fuzz case, emitted before the case's fuzz_case line.
+	// Fields: Key (the corpus instance ID), Source (the corpus family),
+	// Arm (the violated invariant: "verdict", "oracle", "cert", or
+	// "canon"), Verdict (the human-readable detail).
+	EvFuzzDisagree EventType = "fuzz_disagree"
 )
 
 // Event is one structured observation. It is a flat value type — emitters
@@ -206,7 +219,7 @@ type Event struct {
 	// Type discriminates the payload.
 	Type EventType `json:"type"`
 	// Src is the emitting layer: "chase", "search", "finitemodel",
-	// "rewrite", "core", "portfolio", "serve", or "store".
+	// "rewrite", "core", "portfolio", "serve", "store", or "difffuzz".
 	Src string `json:"src"`
 	// Round is 1-based (chase fair round, deepening round); 0 when not
 	// applicable.

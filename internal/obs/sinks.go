@@ -155,6 +155,16 @@ func (s *JSONLSink) Event(e Event) {
 	case EvStoreCompact:
 		appendInt("n", e.N)
 		appendInt("bytes", e.Bytes)
+	case EvFuzzCase:
+		b = appendStr(b, "key", e.Key)
+		b = appendStr(b, "source", e.Source)
+		b = appendStr(b, "verdict", e.Verdict)
+		appendInt("n", e.N)
+	case EvFuzzDisagree:
+		b = appendStr(b, "key", e.Key)
+		b = appendStr(b, "source", e.Source)
+		b = appendStr(b, "arm", e.Arm)
+		b = appendStr(b, "verdict", e.Verdict)
 	default:
 		// Unknown types round-trip through encoding/json so custom
 		// emitters degrade gracefully instead of silently dropping data.
@@ -377,6 +387,11 @@ func (s *CounterSink) Event(e Event) {
 	case EvStoreCompact:
 		s.C.Add("store.compactions", 1)
 		s.C.Add("store.reclaimed_bytes", int64(e.Bytes))
+	case EvFuzzCase:
+		s.C.Add("fuzz.cases", 1)
+		s.C.Add("fuzz.family."+e.Source+".cases", 1)
+	case EvFuzzDisagree:
+		s.C.Add("fuzz.disagreements", 1)
 	}
 }
 

@@ -23,6 +23,7 @@ package tm
 
 import (
 	"fmt"
+	"sort"
 
 	"templatedep/internal/words"
 )
@@ -164,8 +165,20 @@ func EncodePresentation(m *TM, input []int) (*words.Presentation, error) {
 	init = init.Concat(words.W(rm))
 	eqs = append(eqs, words.Eq(init, words.W(a.A0())))
 
-	// Transition equations.
-	for k, tr := range m.Delta {
+	// Transition equations, in sorted (state, symbol) order so the encoded
+	// presentation is deterministic (Delta is a map).
+	keys := make([][2]int, 0, len(m.Delta))
+	for k := range m.Delta {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	for _, k := range keys {
+		tr := m.Delta[k]
 		q, s := k[0], k[1]
 		switch tr.Move {
 		case Right:
